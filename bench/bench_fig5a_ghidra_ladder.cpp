@@ -1,0 +1,56 @@
+/// \file bench_fig5a_ghidra_ladder.cpp
+/// Regenerates Figure 5a: the GHIDRA strategy ladder — for each strategy
+/// combination on top of call frames, the number of corpus binaries with
+/// full coverage and full accuracy. Expected shape (paper, 1,352 bins):
+///   FDE            cov 1319 / acc 864
+///   FDE+Rec+CFR    cov 1274 / acc 810   (control-flow repair hurts)
+///   FDE+Rec        cov 1346 / acc 830
+///   FDE+Rec+Fsig   cov 1346 / acc 830   (no coverage gain)
+///   FDE+Rec+Tcall  cov 1346 / acc 697→  (tiny gain, many FPs)
+
+#include <iostream>
+
+#include "baselines/tools.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace fetch;
+  bench::print_header("Figure 5a — GHIDRA strategy ladder",
+                      "full-coverage / full-accuracy binary counts per "
+                      "strategy combination");
+
+  const eval::Corpus corpus = eval::Corpus::self_built();
+  eval::TextTable table(
+      {"Strategy", "FullCov", "FullAcc", "FP-total", "FN-total"});
+
+  auto run_ghidra = [&corpus](const baselines::GhidraOptions& options) {
+    return eval::run_strategy(
+        corpus, [&options](const eval::CorpusEntry& entry) {
+          return baselines::ghidra_like(entry.elf, options);
+        });
+  };
+
+  bench::add_ladder_row(table, "FDE",
+                        eval::run_strategy(corpus, bench::run_fde_only));
+
+  baselines::GhidraOptions with_cfr;  // GHIDRA defaults: CFR on
+  bench::add_ladder_row(table, "FDE+Rec+CFR", run_ghidra(with_cfr));
+
+  baselines::GhidraOptions no_cfr;
+  no_cfr.cfr = false;
+  bench::add_ladder_row(table, "FDE+Rec", run_ghidra(no_cfr));
+
+  baselines::GhidraOptions fsig = no_cfr;
+  fsig.fsig = true;
+  bench::add_ladder_row(table, "FDE+Rec+Fsig", run_ghidra(fsig));
+
+  baselines::GhidraOptions tcall = no_cfr;
+  tcall.tcall = true;
+  bench::add_ladder_row(table, "FDE+Rec+Tcall", run_ghidra(tcall));
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: CFR reduces coverage below plain "
+               "FDE+Rec; Fsig adds no coverage; Tcall adds false "
+               "positives (accuracy drops).\n";
+  return 0;
+}

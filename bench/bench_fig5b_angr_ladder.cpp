@@ -1,0 +1,60 @@
+/// \file bench_fig5b_angr_ladder.cpp
+/// Regenerates Figure 5b: the ANGR strategy ladder. Expected shape
+/// (paper, 1,343 bins):
+///   FDE             cov 1310 / acc 864
+///   FDE+Rec+Fmerg   cov 1303           (function merging hurts coverage)
+///   FDE+Rec         cov 1337 / acc 845
+///   FDE+Rec+Fsig    cov 1337 / acc 13  (FP explosion)
+///   FDE+Rec+Tcall   cov 1337 / acc 697
+///   FDE+Rec+Scan    cov 1337 / acc 0   (linear scan kills all accuracy)
+
+#include <iostream>
+
+#include "baselines/tools.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace fetch;
+  bench::print_header("Figure 5b — ANGR strategy ladder",
+                      "full-coverage / full-accuracy binary counts per "
+                      "strategy combination");
+
+  const eval::Corpus corpus = eval::Corpus::self_built();
+  eval::TextTable table(
+      {"Strategy", "FullCov", "FullAcc", "FP-total", "FN-total"});
+
+  auto run_angr = [&corpus](const baselines::AngrOptions& options) {
+    return eval::run_strategy(
+        corpus, [&options](const eval::CorpusEntry& entry) {
+          return baselines::angr_like(entry.elf, options);
+        });
+  };
+
+  bench::add_ladder_row(table, "FDE",
+                        eval::run_strategy(corpus, bench::run_fde_only));
+
+  baselines::AngrOptions with_fmerge;  // ANGR defaults: Fmerg on
+  bench::add_ladder_row(table, "FDE+Rec+Fmerg", run_angr(with_fmerge));
+
+  baselines::AngrOptions base;
+  base.fmerge = false;
+  bench::add_ladder_row(table, "FDE+Rec", run_angr(base));
+
+  baselines::AngrOptions fsig = base;
+  fsig.fsig = true;
+  bench::add_ladder_row(table, "FDE+Rec+Fsig", run_angr(fsig));
+
+  baselines::AngrOptions tcall = base;
+  tcall.tcall = true;
+  bench::add_ladder_row(table, "FDE+Rec+Tcall", run_angr(tcall));
+
+  baselines::AngrOptions scan = base;
+  scan.scan = true;
+  bench::add_ladder_row(table, "FDE+Rec+Scan", run_angr(scan));
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: Fmerg reduces coverage; Fsig/Tcall/Scan "
+               "add no meaningful coverage but pile up false positives "
+               "(Scan worst).\n";
+  return 0;
+}

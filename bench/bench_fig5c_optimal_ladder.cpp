@@ -1,0 +1,98 @@
+/// \file bench_fig5c_optimal_ladder.cpp
+/// Regenerates Figure 5c (the optimal strategies) plus the §IV-E residual
+/// analysis: FDE → FDE+Rec → FDE+Rec+Xref → FDE+Rec+Xref+Tcall(Algorithm 1),
+/// then classifies what remains missed. Expected shape (paper, 1,352):
+///   FDE               cov 1319 / acc 864
+///   FDE+Rec           cov 1346 / acc 864
+///   FDE+Rec+Xref      cov 1346 / acc 864   (154 new starts, 0 new FPs)
+///   FDE+Rec+Xref+Tcall cov 1334 / acc 1222 (Algorithm 1 fixes FDE FPs)
+/// Residual misses: unreachable assembly + tail-call-only targets.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/pointer_detector.hpp"
+#include "disasm/code_view.hpp"
+#include "ehframe/eh_frame.hpp"
+
+int main() {
+  using namespace fetch;
+  bench::print_header("Figure 5c — optimal strategies ladder + §IV-E",
+                      "coverage/accuracy of the FETCH pipeline stages");
+
+  const eval::Corpus corpus = eval::Corpus::self_built();
+  eval::TextTable table(
+      {"Strategy", "FullCov", "FullAcc", "FP-total", "FN-total"});
+
+  bench::add_ladder_row(table, "FDE",
+                        eval::run_strategy(corpus, bench::run_fde_only));
+  bench::add_ladder_row(table, "FDE+Rec",
+                        eval::run_strategy(corpus, bench::run_fde_rec));
+  bench::add_ladder_row(table, "FDE+Rec+Xref",
+                        eval::run_strategy(corpus, bench::run_fde_rec_xref));
+  bench::add_ladder_row(table, "FDE+Rec+Xref+Tcall",
+                        eval::run_strategy(corpus, bench::run_fetch));
+  table.print(std::cout);
+
+  // --- §IV-E detail: what Xref adds and what remains missed ----------------
+  std::size_t xref_added = 0;
+  std::size_t xref_fps = 0;
+  std::size_t probed = 0;
+  std::map<eval::MissKind, std::size_t> residual;
+  for (const eval::CorpusEntry& entry : corpus.entries()) {
+    core::FunctionDetector detector(entry.elf);
+    core::DetectorOptions options = eval::fetch_options(entry.bin.truth);
+    options.fix_fde_errors = false;
+    const core::DetectionResult result = detector.run(options);
+    for (const std::uint64_t p : result.pointer_starts) {
+      ++xref_added;
+      xref_fps += entry.bin.truth.starts.count(p) == 0 ? 1 : 0;
+    }
+    probed += result.pointer_starts.size();
+    const auto e = eval::evaluate_starts(result.starts(), entry.bin.truth);
+    for (const std::uint64_t fn : e.false_negatives) {
+      ++residual[eval::classify_miss(fn, entry.bin.truth)];
+    }
+  }
+  std::cout << "\n§IV-E — pointer detection over " << corpus.size()
+            << " binaries:\n";
+  std::cout << "  new function starts accepted: " << xref_added
+            << "  [paper: 154]\n";
+  std::cout << "  false positives introduced:   " << xref_fps
+            << "  [paper: 0]\n";
+  std::cout << "  residual misses by class:\n";
+  for (const auto& [kind, count] : residual) {
+    std::cout << "    " << eval::miss_kind_name(kind) << ": " << count
+              << "\n";
+  }
+  std::cout << "  [paper: 160 unreachable assembly + 254 tail-call-only, "
+               "both harmless]\n";
+
+  // --- Ablation (DESIGN.md #3): sliding window vs aligned-only scan ---------
+  std::size_t sliding_found = 0;
+  std::size_t aligned_found = 0;
+  for (const eval::CorpusEntry& entry : corpus.entries()) {
+    for (const bool aligned_only : {false, true}) {
+      disasm::CodeView code(entry.elf);
+      const auto eh = eh::EhFrame::from_elf(entry.elf);
+      if (!eh) {
+        continue;
+      }
+      disasm::Options dopts;
+      dopts.conditional_noreturn = entry.bin.truth.error_like;
+      disasm::Result state = disasm::analyze(code, eh->pc_begins(), dopts);
+      core::PointerDetectionOptions scan;
+      scan.aligned_only = aligned_only;
+      const auto pd = core::detect_pointer_functions(code, state, dopts, scan);
+      (aligned_only ? aligned_found : sliding_found) += pd.accepted.size();
+    }
+  }
+  std::cout << "\nAblation (DESIGN.md #3) — pointer-candidate scan:\n";
+  std::cout << "  sliding 8-byte window (paper's superset): "
+            << sliding_found << " starts found\n";
+  std::cout << "  aligned-only slots:                       "
+            << aligned_found << " starts found\n";
+  std::cout << "  The sliding window finds every aligned hit plus pointers "
+               "at unaligned offsets (packed structs, mid-struct fields).\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+/// \file bench_micro.cpp
+/// Engineering micro-benchmarks (google-benchmark): throughput of the
+/// substrates every experiment leans on — instruction decoding, eh_frame
+/// parsing, CFI evaluation, corpus generation, and the full FETCH
+/// pipeline per binary. Not a paper artifact; regressions here inflate
+/// every other bench.
+
+#include <benchmark/benchmark.h>
+
+#include "core/detector.hpp"
+#include "disasm/code_view.hpp"
+#include "ehframe/cfi_eval.hpp"
+#include "ehframe/eh_frame.hpp"
+#include "elf/elf_file.hpp"
+#include "eval/runner.hpp"
+#include "synth/codegen.hpp"
+#include "synth/corpus.hpp"
+#include "x86/decoder.hpp"
+
+namespace {
+
+using namespace fetch;
+
+const synth::SynthBinary& sample_binary() {
+  static const synth::SynthBinary bin = synth::generate(synth::make_program(
+      synth::projects()[0], synth::profile_for("gcc", "O2"), 4242));
+  return bin;
+}
+
+void BM_DecodeText(benchmark::State& state) {
+  const elf::ElfFile elf(sample_binary().image);
+  const elf::Section* text = elf.section(".text");
+  const auto bytes = elf.section_bytes(*text);
+  for (auto _ : state) {
+    std::size_t off = 0;
+    std::size_t count = 0;
+    while (off < bytes.size()) {
+      const auto insn =
+          x86::decode(bytes.subspan(off), text->addr + off);
+      off += insn ? insn->length : 1;
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_DecodeText);
+
+void BM_ParseElf(benchmark::State& state) {
+  const auto& image = sample_binary().image;
+  for (auto _ : state) {
+    elf::ElfFile elf(image);
+    benchmark::DoNotOptimize(elf.sections().size());
+  }
+}
+BENCHMARK(BM_ParseElf);
+
+void BM_ParseEhFrame(benchmark::State& state) {
+  const elf::ElfFile elf(sample_binary().image);
+  const elf::Section* sec = elf.section(".eh_frame");
+  const auto bytes = elf.section_bytes(*sec);
+  for (auto _ : state) {
+    const auto eh = eh::EhFrame::parse(bytes, sec->addr);
+    benchmark::DoNotOptimize(eh.fdes().size());
+  }
+}
+BENCHMARK(BM_ParseEhFrame);
+
+void BM_EvaluateAllCfi(benchmark::State& state) {
+  const elf::ElfFile elf(sample_binary().image);
+  const auto eh = *eh::EhFrame::from_elf(elf);
+  for (auto _ : state) {
+    std::size_t complete = 0;
+    for (const eh::Fde& fde : eh.fdes()) {
+      const auto table = eh::evaluate_cfi(eh.cie_for(fde), fde);
+      complete += table && table->complete_stack_height() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(complete);
+  }
+}
+BENCHMARK(BM_EvaluateAllCfi);
+
+void BM_GenerateBinary(benchmark::State& state) {
+  const auto spec = synth::make_program(
+      synth::projects()[0], synth::profile_for("gcc", "O2"), 4242);
+  for (auto _ : state) {
+    const synth::SynthBinary bin = synth::generate(spec);
+    benchmark::DoNotOptimize(bin.image.size());
+  }
+}
+BENCHMARK(BM_GenerateBinary);
+
+void BM_FetchPipeline(benchmark::State& state) {
+  const synth::SynthBinary& bin = sample_binary();
+  const elf::ElfFile elf(bin.image);
+  for (auto _ : state) {
+    core::FunctionDetector detector(elf);
+    const auto result = detector.run(eval::fetch_options(bin.truth));
+    benchmark::DoNotOptimize(result.functions.size());
+  }
+}
+BENCHMARK(BM_FetchPipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

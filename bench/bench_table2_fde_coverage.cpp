@@ -1,0 +1,91 @@
+/// \file bench_table2_fde_coverage.cpp
+/// Regenerates Table II and the Q1 study (§IV-B): per-project FDE coverage
+/// of the ground-truth function starts across the self-built corpus, the
+/// total coverage rate (paper: 99.87%), and the nature of the functions
+/// FDEs miss (paper: overwhelmingly hand-written assembly).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace fetch;
+  bench::print_header(
+      "Table II / §IV-B (Q1) — FDE coverage on the self-built corpus",
+      "FDE-alone coverage 99.87%, misses concentrated in assembly "
+      "functions, 33/1352 binaries with gaps");
+
+  const eval::Corpus corpus = eval::Corpus::self_built();
+
+  struct ProjectAgg {
+    std::string type;
+    std::string lang;
+    std::size_t binaries = 0;
+    std::size_t truth = 0;
+    std::size_t covered = 0;
+  };
+  std::map<std::string, ProjectAgg> by_project;
+
+  std::size_t total_truth = 0;
+  std::size_t total_covered = 0;
+  std::size_t bins_with_misses = 0;
+  std::size_t missed_asm = 0;
+  std::size_t missed_other = 0;
+
+  for (const eval::CorpusEntry& entry : corpus.entries()) {
+    const auto fde_starts = bench::run_fde_only(entry);
+    // Project key: the longest project name that prefixes the binary name
+    // (binary names are "<project>-<compiler>-<opt>").
+    std::string key;
+    for (const synth::ProjectDef& def : synth::projects()) {
+      if (entry.bin.name.rfind(def.name + "-", 0) == 0 &&
+          def.name.size() > key.size()) {
+        key = def.name;
+      }
+    }
+    ProjectAgg& agg = by_project[key];
+    ++agg.binaries;
+
+    std::size_t miss_here = 0;
+    for (const std::uint64_t s : entry.bin.truth.starts) {
+      ++agg.truth;
+      ++total_truth;
+      if (fde_starts.count(s) != 0) {
+        ++agg.covered;
+        ++total_covered;
+      } else {
+        ++miss_here;
+        if (entry.bin.truth.asm_functions.count(s) != 0) {
+          ++missed_asm;
+        } else {
+          ++missed_other;
+        }
+      }
+    }
+    bins_with_misses += miss_here > 0 ? 1 : 0;
+  }
+  for (const synth::ProjectDef& def : synth::projects()) {
+    by_project[def.name].type = def.type;
+    by_project[def.name].lang = def.lang;
+  }
+
+  eval::TextTable table({"Project", "Type", "Lang", "Bins", "FDE%"});
+  for (const auto& [name, agg] : by_project) {
+    table.add_row({name, agg.type, agg.lang, std::to_string(agg.binaries),
+                   eval::fmt_pct(static_cast<double>(agg.covered),
+                                 static_cast<double>(agg.truth))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTotal: FDEs cover " << total_covered << " of "
+            << total_truth << " function starts ("
+            << eval::fmt_pct(static_cast<double>(total_covered),
+                             static_cast<double>(total_truth))
+            << "%)  [paper: 1,103,832 of 1,105,278 = 99.87%]\n";
+  std::cout << "Binaries with FDE misses: " << bins_with_misses << " of "
+            << corpus.size() << "  [paper: 33 of 1,352]\n";
+  std::cout << "Missed functions that are assembly: " << missed_asm
+            << " of " << (missed_asm + missed_other)
+            << "  [paper: 1,330 of 1,446]\n";
+  return 0;
+}

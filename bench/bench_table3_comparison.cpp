@@ -1,0 +1,62 @@
+/// \file bench_table3_comparison.cpp
+/// Regenerates Table III: FETCH vs the eight existing tools — false
+/// positives and false negatives (in thousands) per optimization level.
+/// Expected shape: FETCH has the best coverage everywhere and the best or
+/// near-best accuracy; BAP/NUCLEUS are FP-heavy; DYNINST/RADARE2 miss the
+/// most; ANGR is the best of the rest on coverage but FP-laden.
+
+#include <iostream>
+
+#include "baselines/tools.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace fetch;
+  bench::print_header("Table III — FETCH vs existing tools",
+                      "FP#/FN# (thousands in the paper; raw counts here) "
+                      "per optimization level");
+
+  const eval::Corpus corpus = eval::Corpus::self_built();
+  const std::vector<std::string> opts = {"O2", "O3", "Os", "Ofast"};
+
+  struct Row {
+    std::string name;
+    eval::Strategy strategy;
+  };
+  std::vector<Row> rows;
+  for (const baselines::ToolSpec& tool : baselines::conventional_tools()) {
+    rows.push_back({tool.name, [run = tool.run](const eval::CorpusEntry& e) {
+                      return run(e.elf);
+                    }});
+  }
+  rows.push_back({"GHIDRA", [](const eval::CorpusEntry& e) {
+                    return baselines::ghidra_like(e.elf, {});
+                  }});
+  rows.push_back({"ANGR", [](const eval::CorpusEntry& e) {
+                    return baselines::angr_like(e.elf, {});
+                  }});
+  rows.push_back({"FETCH", bench::run_fetch});
+
+  eval::TextTable table({"Tool", "OPT", "FP#", "FN#", "FullCov", "FullAcc"});
+  for (const Row& row : rows) {
+    std::map<std::string, eval::Aggregate> by_opt;
+    // Only the per-opt-level breakdown is printed; the overall aggregate
+    // is the sum of the four rows.
+    [[maybe_unused]] const eval::Aggregate total =
+        eval::run_strategy(corpus, row.strategy, &by_opt);
+    for (const std::string& opt : opts) {
+      const eval::Aggregate& agg = by_opt[opt];
+      table.add_row({row.name, opt, std::to_string(agg.fp_total),
+                     std::to_string(agg.fn_total),
+                     std::to_string(agg.full_coverage),
+                     std::to_string(agg.full_accuracy)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape [paper avgs, FP#/FN# in thousands]: "
+               "DYNINST 11.3/84.9, BAP 132.5/90.7, RADARE2 3.6/95.7, "
+               "NUCLEUS 21.9/20.6, IDA 1.8/36.2, NINJA 40.1/10.3, "
+               "GHIDRA 34.4/5.2, ANGR 52.7/0.19, FETCH 0.67/0.11 — FETCH "
+               "wins coverage everywhere, accuracy nearly everywhere.\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+/// \file bench_table4_stack_height.cpp
+/// Regenerates Table IV: precision and recall of ANGR-style and
+/// DYNINST-style static stack-height analyses against the CFI-recorded
+/// heights, over functions whose CFI provides complete height info —
+/// both for all code locations ("Full") and jump sites only ("Jump").
+/// Expected shape: high but imperfect precision/recall for both tools
+/// (paper avgs: ANGR 94.07/97.71 full, 98.72/96.40 jump; DYNINST
+/// 94.81/98.27 full, 98.67/99.35 jump), motivating FETCH's use of CFI.
+
+#include <iostream>
+
+#include "analysis/stack_height.hpp"
+#include "bench/common.hpp"
+#include "disasm/code_view.hpp"
+#include "ehframe/cfi_eval.hpp"
+#include "ehframe/eh_frame.hpp"
+
+namespace {
+
+struct PrCounts {
+  std::size_t reported = 0;  // locations where the tool reports a height
+  std::size_t correct = 0;   // ... and it matches CFI
+  std::size_t baseline = 0;  // locations where CFI has a height
+
+  [[nodiscard]] double precision() const {
+    return reported == 0 ? 0
+                         : 100.0 * static_cast<double>(correct) /
+                               static_cast<double>(reported);
+  }
+  [[nodiscard]] double recall() const {
+    return baseline == 0 ? 0
+                         : 100.0 * static_cast<double>(correct) /
+                               static_cast<double>(baseline);
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace fetch;
+  bench::print_header("Table IV — static stack-height analyses vs CFI",
+                      "precision/recall per optimization level, Full and "
+                      "Jump-site views");
+
+  const eval::Corpus corpus = eval::Corpus::self_built();
+
+  // counts[tool][opt][view]
+  std::map<std::string, std::map<std::string, std::map<std::string, PrCounts>>>
+      counts;
+
+  for (const eval::CorpusEntry& entry : corpus.entries()) {
+    disasm::CodeView code(entry.elf);
+    const auto eh = eh::EhFrame::from_elf(entry.elf);
+    if (!eh) {
+      continue;
+    }
+    disasm::Options dopts;
+    dopts.conditional_noreturn = entry.bin.truth.error_like;
+    const disasm::Result result =
+        disasm::analyze(code, eh->pc_begins(), dopts);
+    const auto pops = analysis::compute_callee_pops(code, result);
+
+    for (const auto& [fn_entry, fn] : result.functions) {
+      const eh::Fde* fde = eh->fde_covering(fn_entry);
+      if (fde == nullptr || fde->pc_begin != fn_entry) {
+        continue;
+      }
+      const auto table = eh::evaluate_cfi(eh->cie_for(*fde), *fde);
+      if (!table || !table->complete_stack_height()) {
+        continue;  // paper: only functions with complete CFI info
+      }
+      std::set<std::uint64_t> jump_sites;
+      for (const disasm::FuncJump& j : fn.jumps) {
+        jump_sites.insert(j.site);
+      }
+
+      for (const auto& [tool, config] :
+           {std::pair{"ANGR", analysis::angr_like_config()},
+            std::pair{"DYNINST", analysis::dyninst_like_config()}}) {
+        const analysis::HeightMap heights =
+            analysis::analyze_stack_heights(code, fn, config);
+        for (const auto& [addr, h] : heights) {
+          if (addr >= fde->pc_end()) {
+            continue;
+          }
+          const auto cfi_h = table->stack_height_at(addr);
+          if (!cfi_h) {
+            continue;
+          }
+          auto tally = [&](const char* view) {
+            PrCounts& c = counts[tool][entry.bin.opt][view];
+            ++c.baseline;
+            if (h.has_value()) {
+              ++c.reported;
+              c.correct += (*h == *cfi_h) ? 1 : 0;
+            }
+          };
+          tally("Full");
+          if (jump_sites.count(addr) != 0) {
+            tally("Jump");
+          }
+        }
+      }
+    }
+  }
+
+  eval::TextTable table({"OPT", "Tool", "View", "Pre", "Rec"});
+  for (const std::string opt : {"O2", "O3", "Os", "Ofast"}) {
+    for (const std::string tool : {"ANGR", "DYNINST"}) {
+      for (const std::string view : {"Full", "Jump"}) {
+        const PrCounts& c = counts[tool][opt][view];
+        table.add_row({opt, tool, view, eval::fmt(c.precision(), 2),
+                       eval::fmt(c.recall(), 2)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: both analyses below 100% on either "
+               "precision or recall in every setting — CFI-recorded "
+               "heights are the only loss-free source (FETCH's §V-B "
+               "choice).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared scaffolding for the per-table/figure benchmark binaries: corpus
+/// loading, the FETCH strategy-ladder configurations, and aggregate
+/// printing. Every bench is standalone: it generates the corpus, runs its
+/// strategies, and prints the rows of the paper artifact it regenerates.
+
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/detector.hpp"
+#include "eval/metrics.hpp"
+#include "eval/runner.hpp"
+#include "eval/table.hpp"
+
+namespace fetch::bench {
+
+/// FDE-only detection (§IV-B): raw PC Begin values.
+inline std::set<std::uint64_t> run_fde_only(const eval::CorpusEntry& entry) {
+  core::FunctionDetector detector(entry.elf);
+  core::DetectorOptions options;
+  options.recursive = false;
+  options.pointer_detection = false;
+  options.fix_fde_errors = false;
+  options.use_entry_point = false;
+  return detector.run(options).starts();
+}
+
+/// FDE + safe recursive disassembly (§IV-C).
+inline std::set<std::uint64_t> run_fde_rec(const eval::CorpusEntry& entry) {
+  core::FunctionDetector detector(entry.elf);
+  core::DetectorOptions options = eval::fetch_options(entry.bin.truth);
+  options.pointer_detection = false;
+  options.fix_fde_errors = false;
+  return detector.run(options).starts();
+}
+
+/// FDE + recursion + function-pointer detection (§IV-E, "Xref").
+inline std::set<std::uint64_t> run_fde_rec_xref(
+    const eval::CorpusEntry& entry) {
+  core::FunctionDetector detector(entry.elf);
+  core::DetectorOptions options = eval::fetch_options(entry.bin.truth);
+  options.fix_fde_errors = false;
+  return detector.run(options).starts();
+}
+
+/// The full FETCH pipeline (§VI).
+inline std::set<std::uint64_t> run_fetch(const eval::CorpusEntry& entry) {
+  core::FunctionDetector detector(entry.elf);
+  return detector.run(eval::fetch_options(entry.bin.truth)).starts();
+}
+
+/// Prints one "Figure 5" style ladder row.
+inline void add_ladder_row(eval::TextTable& table, const std::string& name,
+                           const eval::Aggregate& agg) {
+  table.add_row({name, std::to_string(agg.full_coverage),
+                 std::to_string(agg.full_accuracy),
+                 std::to_string(agg.fp_total), std::to_string(agg.fn_total)});
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "reproduces: " << paper << "\n\n";
+}
+
+}  // namespace fetch::bench

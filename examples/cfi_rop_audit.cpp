@@ -1,0 +1,71 @@
+/// \file cfi_rop_audit.cpp
+/// The paper's security motivation (§V-A) as a tool: a coarse-grained CFI
+/// policy admits every detected function start as an indirect-transfer
+/// target. Compare the attack surface (ROP/JOP gadgets reachable from
+/// admitted-but-false starts) of a policy built from raw call frames
+/// against one built from FETCH's repaired start set.
+///
+///   ./cfi_rop_audit
+
+#include <iostream>
+
+#include "core/detector.hpp"
+#include "disasm/code_view.hpp"
+#include "elf/elf_file.hpp"
+#include "eval/gadget.hpp"
+#include "eval/metrics.hpp"
+#include "eval/runner.hpp"
+#include "synth/codegen.hpp"
+#include "synth/corpus.hpp"
+
+int main() {
+  using namespace fetch;
+
+  std::size_t raw_false_targets = 0;
+  std::size_t raw_gadgets = 0;
+  std::size_t fixed_false_targets = 0;
+  std::size_t fixed_gadgets = 0;
+
+  // Audit a slice of the corpus (one project, all builds).
+  for (const std::string compiler : {"gcc", "llvm"}) {
+    for (const std::string opt : {"O2", "O3", "Os", "Ofast"}) {
+      const auto spec =
+          synth::make_program(synth::projects()[13],
+                              synth::profile_for(compiler, opt), 1313);
+      const synth::SynthBinary bin = synth::generate(spec);
+      const elf::ElfFile elf(bin.image);
+      const disasm::CodeView code(elf);
+      core::FunctionDetector detector(elf);
+
+      core::DetectorOptions raw = eval::fetch_options(bin.truth);
+      raw.fix_fde_errors = false;
+      const auto e_raw = eval::evaluate_starts(
+          detector.run(raw).starts(), bin.truth);
+      raw_false_targets += e_raw.fp();
+      raw_gadgets += eval::count_gadgets_at(code, e_raw.false_positives);
+
+      const auto e_fixed = eval::evaluate_starts(
+          detector.run(eval::fetch_options(bin.truth)).starts(), bin.truth);
+      fixed_false_targets += e_fixed.fp();
+      fixed_gadgets +=
+          eval::count_gadgets_at(code, e_fixed.false_positives);
+    }
+  }
+
+  std::cout << "CFI target-set audit (8 builds of one project):\n\n";
+  std::cout << "  policy from raw call frames:\n";
+  std::cout << "    false indirect-transfer targets: " << raw_false_targets
+            << "\n";
+  std::cout << "    ROP/JOP gadgets behind them:     " << raw_gadgets
+            << "\n\n";
+  std::cout << "  policy from FETCH (Algorithm 1 applied):\n";
+  std::cout << "    false indirect-transfer targets: "
+            << fixed_false_targets << "\n";
+  std::cout << "    ROP/JOP gadgets behind them:     " << fixed_gadgets
+            << "\n\n";
+  std::cout << "Every false target whitelists attacker-usable gadgets "
+               "(paper: 99,932 gadgets across its corpus); repairing the "
+               "call-frame errors shrinks the exposure to the residual "
+               "incomplete-CFI functions.\n";
+  return 0;
+}

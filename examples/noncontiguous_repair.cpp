@@ -1,0 +1,81 @@
+/// \file noncontiguous_repair.cpp
+/// Walks through the paper's §V story on one binary: non-contiguous
+/// functions give every cold part its own FDE, so raw call-frame starts
+/// contain false positives; Algorithm 1 proves the connecting jumps are
+/// not tail calls and merges the parts back. The example prints each
+/// false start, whether it was repaired, and why the residuals remain.
+///
+///   ./noncontiguous_repair
+
+#include <iostream>
+
+#include "core/detector.hpp"
+#include "elf/elf_file.hpp"
+#include "eval/metrics.hpp"
+#include "eval/runner.hpp"
+#include "synth/codegen.hpp"
+#include "synth/corpus.hpp"
+
+int main() {
+  using namespace fetch;
+
+  // A cold-split-heavy profile (Ofast) makes the effect visible.
+  const auto spec = synth::make_program(
+      synth::projects()[13], synth::profile_for("gcc", "Ofast"), 7);
+  const synth::SynthBinary bin = synth::generate(spec);
+  const elf::ElfFile elf(bin.image);
+  core::FunctionDetector detector(elf);
+
+  std::cout << "Binary '" << bin.name << "': "
+            << bin.truth.starts.size() << " true functions, "
+            << bin.truth.cold_parts.size()
+            << " non-contiguous cold parts\n\n";
+
+  // --- Step 1: trust call frames blindly (what GHIDRA/ANGR do) --------------
+  core::DetectorOptions raw = eval::fetch_options(bin.truth);
+  raw.fix_fde_errors = false;
+  const auto before = detector.run(raw);
+  const auto e_before = eval::evaluate_starts(before.starts(), bin.truth);
+  std::cout << "Without error fixing: " << before.functions.size()
+            << " starts, " << e_before.fp() << " false positives:\n";
+  for (const std::uint64_t fp : e_before.false_positives) {
+    const auto it = bin.truth.cold_parts.find(fp);
+    std::cout << "  0x" << std::hex << fp << std::dec;
+    if (it != bin.truth.cold_parts.end()) {
+      std::cout << "  = cold part of function 0x" << std::hex << it->second
+                << std::dec;
+    }
+    std::cout << "\n";
+  }
+
+  // --- Step 2: run Algorithm 1 ----------------------------------------------
+  const auto after = detector.run(eval::fetch_options(bin.truth));
+  const auto e_after = eval::evaluate_starts(after.starts(), bin.truth);
+  std::cout << "\nWith Algorithm 1: " << e_after.fp()
+            << " false positives remain\n";
+  for (const auto& [part, parent] : after.merged_parts) {
+    std::cout << "  merged 0x" << std::hex << part << " into 0x" << parent
+              << std::dec << "\n";
+  }
+  for (const std::uint64_t fp : e_after.false_positives) {
+    std::cout << "  residual 0x" << std::hex << fp << std::dec
+              << (bin.truth.incomplete_cfi_cold_parts.count(fp) != 0
+                      ? "  (parent uses a frame pointer: CFI has no "
+                        "complete stack-height info, so the merger "
+                        "conservatively skips it)"
+                      : "")
+              << "\n";
+  }
+
+  // --- Step 3: the cost side — deliberate, harmless inlining ---------------
+  std::size_t inlined = 0;
+  for (const auto& [part, parent] : after.merged_parts) {
+    inlined += bin.truth.tail_only_single.count(part) != 0 ? 1 : 0;
+  }
+  std::cout << "\nTail-call-only targets inlined (harmless by §V-C): "
+            << inlined << "\n";
+  std::cout << "Coverage " << e_before.fn() << " -> " << e_after.fn()
+            << " misses; accuracy " << e_before.fp() << " -> "
+            << e_after.fp() << " false starts.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "analysis/callconv.hpp"
+
+#include <deque>
+#include <set>
+
+#include "x86/insn.hpp"
+
+namespace fetch::analysis {
+
+namespace {
+
+using x86::Insn;
+using x86::Kind;
+using x86::Reg;
+
+constexpr std::uint16_t kArgRegs =
+    reg_bit(Reg::kRdi) | reg_bit(Reg::kRsi) | reg_bit(Reg::kRdx) |
+    reg_bit(Reg::kRcx) | reg_bit(Reg::kR8) | reg_bit(Reg::kR9);
+
+struct PathState {
+  std::uint64_t addr = 0;
+  std::uint16_t initialized = kArgRegs | reg_bit(Reg::kRsp);
+  std::size_t depth = 0;
+};
+
+}  // namespace
+
+bool meets_calling_convention(const disasm::CodeView& code,
+                              std::uint64_t entry,
+                              const CallConvOptions& options) {
+  std::deque<PathState> work;
+  work.push_back({entry, kArgRegs | reg_bit(Reg::kRsp), 0});
+  std::size_t paths = 1;
+  std::set<std::pair<std::uint64_t, std::uint16_t>> seen;
+
+  while (!work.empty()) {
+    PathState st = work.front();
+    work.pop_front();
+
+    while (st.depth < options.max_depth) {
+      if (!seen.insert({st.addr, st.initialized}).second) {
+        break;  // state already explored
+      }
+      const auto insn = code.insn_at(st.addr);
+      if (!insn) {
+        break;  // undecodable code is handled by the caller's other checks
+      }
+      ++st.depth;
+
+      // Reads of uninitialized non-argument registers are violations,
+      // except: push (callee-save spill), leave (callee-save restore, the
+      // counterpart of `pop rbp`), and rsp-relative addressing.
+      std::uint16_t reads = insn->regs_read;
+      reads &= ~static_cast<std::uint16_t>(reg_bit(Reg::kRsp));
+      if (insn->kind == Kind::kPush || insn->kind == Kind::kLeave) {
+        reads = 0;  // spilling/restoring a register is not a value use
+      }
+      if ((reads & ~st.initialized) != 0) {
+        return false;
+      }
+      st.initialized |= insn->regs_written;
+
+      switch (insn->kind) {
+        case Kind::kRet:
+        case Kind::kUd2:
+        case Kind::kHlt:
+        case Kind::kJmpIndirect:
+          goto next_path;
+        case Kind::kCallDirect:
+        case Kind::kCallIndirect:
+          // A call clobbers/defines all caller-saved state and returns a
+          // value; after it, treat everything as initialized (the check is
+          // about the *entry* convention).
+          goto next_path;
+        case Kind::kJmpDirect:
+          if (!insn->target || !code.is_code(*insn->target)) {
+            goto next_path;
+          }
+          st.addr = *insn->target;
+          continue;
+        case Kind::kCondJmp:
+          if (insn->target && code.is_code(*insn->target) &&
+              paths < options.max_paths) {
+            ++paths;
+            work.push_back({*insn->target, st.initialized, st.depth});
+          }
+          st.addr += insn->length;
+          continue;
+        default:
+          st.addr += insn->length;
+          continue;
+      }
+    }
+  next_path:;
+  }
+  return true;
+}
+
+}  // namespace fetch::analysis

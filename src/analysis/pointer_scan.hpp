@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file pointer_scan.hpp
+/// Conservative collection of potential function pointers (§IV-E): every
+/// consecutive 8-byte window of the data sections and the non-disassembled
+/// code gaps, plus every constant operand observed in disassembled code.
+/// The set deliberately over-approximates; legitimacy is established later
+/// by probing (core::PointerDetector).
+
+#include <cstdint>
+#include <set>
+
+#include "disasm/recursive.hpp"
+#include "elf/elf_file.hpp"
+
+namespace fetch::analysis {
+
+/// Pointers into executable sections found by an 8-byte window over
+/// allocated non-executable sections and over the code gaps not covered
+/// by \p disasm. The paper's conservative superset slides the window one
+/// byte at a time; \p aligned_only restricts it to 8-byte-aligned slots
+/// (the cheaper variant the DESIGN.md ablation #3 measures).
+[[nodiscard]] std::set<std::uint64_t> scan_data_pointers(
+    const elf::ElfFile& elf, const disasm::Result& disasm,
+    bool aligned_only = false);
+
+/// Full candidate superset of §IV-E: scan_data_pointers plus every
+/// immediate/RIP-relative constant recorded in \p disasm's xrefs.
+[[nodiscard]] std::set<std::uint64_t> collect_pointer_candidates(
+    const elf::ElfFile& elf, const disasm::Result& disasm,
+    bool aligned_only = false);
+
+}  // namespace fetch::analysis

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file strategies.hpp
+/// The individual detection strategies that existing tools layer on top of
+/// call frames — both the "safe" and the "unsafe" ones the paper's §IV
+/// studies. Each is implemented with the real heuristic the paper (and the
+/// SoK [27]) describes, so the tool emulations in tools.hpp reproduce the
+/// tools' characteristic error modes mechanically:
+///
+///   * prologue matching (Fsig)         — pattern-driven, strict or loose
+///   * control-flow repair (CFR)        — GHIDRA; removes unreferenced
+///                                        starts that follow call fall-through
+///   * thunk heuristic                  — GHIDRA; function starting with jmp
+///                                        → target becomes a start
+///   * function merging (Fmerg)         — ANGR; adjacent single-jump pairs
+///   * alignment splitting              — ANGR; first non-padding insn of a
+///                                        padding-headed function
+///   * linear gap scan (Scan)           — ANGR; each decodable gap piece
+///   * tail-call heuristic (Tcall)      — both; distance-based, no checks
+
+#include <cstdint>
+#include <set>
+
+#include "disasm/code_view.hpp"
+#include "disasm/recursive.hpp"
+
+namespace fetch::baselines {
+
+/// Scans the non-disassembled gaps of executable sections for function
+/// prologues. Strict mode requires two consistent prologue instructions
+/// (endbr64 / push rbp; mov rbp,rsp / push r; sub rsp, imm). Loose mode
+/// accepts any single push/endbr instruction — the aggressive variant that
+/// fires inside data blobs.
+[[nodiscard]] std::set<std::uint64_t> match_prologues(
+    const disasm::CodeView& code, const disasm::Result& result, bool strict);
+
+/// GHIDRA-style control-flow repair with name-less (weak) non-returning
+/// knowledge: returns the starts to REMOVE — detected starts that have no
+/// code references and are preceded (across padding) by a call instruction,
+/// i.e. look like fall-through continuations.
+[[nodiscard]] std::set<std::uint64_t> control_flow_repair(
+    const disasm::CodeView& code, const disasm::Result& result,
+    std::uint64_t entry_point);
+
+/// GHIDRA-style thunk detection: for every detected function whose first
+/// instruction is an unconditional direct jmp, report the jump target as a
+/// new function start.
+[[nodiscard]] std::set<std::uint64_t> thunk_targets(
+    const disasm::CodeView& code, const disasm::Result& result);
+
+/// ANGR-style function merging: returns the starts to REMOVE — functions g
+/// adjacent to a predecessor f whose single escaping jump is the only
+/// reference to g.
+[[nodiscard]] std::set<std::uint64_t> function_merging(
+    const disasm::CodeView& code, const disasm::Result& result);
+
+/// ANGR-style alignment handling: for detected starts that begin with
+/// padding instructions, report the first non-padding instruction as an
+/// additional start.
+[[nodiscard]] std::set<std::uint64_t> alignment_split(
+    const disasm::CodeView& code, const disasm::Result& result);
+
+/// ANGR-style linear gap scan: the beginning of each correctly-decoded
+/// piece of every gap becomes a function start.
+[[nodiscard]] std::set<std::uint64_t> linear_scan_gaps(
+    const disasm::CodeView& code, const disasm::Result& result);
+
+/// Distance-based tail-call heuristic (no stack-height, reference or
+/// calling-convention validation): targets of unconditional jumps that are
+/// backward or span more than \p distance bytes become starts.
+[[nodiscard]] std::set<std::uint64_t> tail_call_heuristic(
+    const disasm::CodeView& code, const disasm::Result& result,
+    std::uint64_t distance = 16);
+
+}  // namespace fetch::baselines

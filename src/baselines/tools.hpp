@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file tools.hpp
+/// Emulations of the eight tools the paper compares against (Table III)
+/// plus the strategy-ladder configurations of Figures 5a/5b. Each emulation
+/// composes the documented strategy mix of its tool from the bricks in
+/// strategies.hpp; see DESIGN.md ("Substitutions") for why this preserves
+/// the experiments' shape.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "elf/elf_file.hpp"
+
+namespace fetch::baselines {
+
+/// GHIDRA strategy toggles (Figure 5a ladder).
+struct GhidraOptions {
+  bool use_fde = true;
+  bool recursive = true;
+  bool cfr = true;    ///< control-flow repair (on by default in GHIDRA)
+  bool fsig = false;  ///< prologue matching
+  bool tcall = false; ///< tail-call heuristic (not enabled by default)
+};
+
+/// ANGR strategy toggles (Figure 5b ladder).
+struct AngrOptions {
+  bool use_fde = true;
+  bool recursive = true;
+  bool fmerge = true; ///< function merging (on by default in ANGR)
+  bool fsig = false;
+  bool tcall = false;
+  bool scan = false;  ///< linear gap scan
+};
+
+[[nodiscard]] std::set<std::uint64_t> ghidra_like(const elf::ElfFile& elf,
+                                                  const GhidraOptions& o = {});
+[[nodiscard]] std::set<std::uint64_t> angr_like(const elf::ElfFile& elf,
+                                                const AngrOptions& o = {});
+
+// Conventional tools (no eh_frame use).
+[[nodiscard]] std::set<std::uint64_t> dyninst_like(const elf::ElfFile& elf);
+[[nodiscard]] std::set<std::uint64_t> bap_like(const elf::ElfFile& elf);
+[[nodiscard]] std::set<std::uint64_t> radare2_like(const elf::ElfFile& elf);
+[[nodiscard]] std::set<std::uint64_t> nucleus_like(const elf::ElfFile& elf);
+[[nodiscard]] std::set<std::uint64_t> ida_like(const elf::ElfFile& elf);
+[[nodiscard]] std::set<std::uint64_t> ninja_like(const elf::ElfFile& elf);
+
+/// Registry for the comparison benches: name → detector.
+struct ToolSpec {
+  std::string name;
+  std::set<std::uint64_t> (*run)(const elf::ElfFile&);
+};
+[[nodiscard]] const std::vector<ToolSpec>& conventional_tools();
+
+}  // namespace fetch::baselines

@@ -1,0 +1,138 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+
+#include "analysis/callconv.hpp"
+#include "analysis/pointer_scan.hpp"
+#include "core/pointer_detector.hpp"
+#include "core/tail_call_merger.hpp"
+
+namespace fetch::core {
+
+const char* provenance_name(Provenance p) {
+  switch (p) {
+    case Provenance::kFde:
+      return "fde";
+    case Provenance::kSymbol:
+      return "symbol";
+    case Provenance::kEntryPoint:
+      return "entry";
+    case Provenance::kCallTarget:
+      return "call-target";
+    case Provenance::kPointer:
+      return "pointer";
+    case Provenance::kTailCall:
+      return "tail-call";
+  }
+  return "?";
+}
+
+FunctionDetector::FunctionDetector(const elf::ElfFile& elf)
+    : elf_(elf), code_(elf), eh_(eh::EhFrame::from_elf(elf)) {}
+
+DetectionResult FunctionDetector::run(const DetectorOptions& options) const {
+  DetectionResult out;
+
+  // --- Seeds ------------------------------------------------------------------
+  std::vector<std::uint64_t> seeds;
+  if (options.use_fdes && eh_) {
+    for (const std::uint64_t pc : eh_->pc_begins()) {
+      if (code_.is_code(pc)) {
+        out.fde_starts.insert(pc);
+        seeds.push_back(pc);
+      }
+    }
+  }
+  if (options.use_symbols) {
+    for (const elf::Symbol& sym : elf_.symbols()) {
+      if (sym.is_function() && code_.is_code(sym.value)) {
+        out.symbol_starts.insert(sym.value);
+        seeds.push_back(sym.value);
+      }
+    }
+  }
+  if (options.use_entry_point && code_.is_code(elf_.entry())) {
+    seeds.push_back(elf_.entry());
+  }
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+  // --- §V-B: drop FDE starts that violate the calling convention ------------
+  // (developer-mislabeled CFI, Figure 6b). Only done when error fixing is
+  // enabled; the raw-FDE studies keep them.
+  if (options.fix_fde_errors) {
+    std::vector<std::uint64_t> kept;
+    kept.reserve(seeds.size());
+    for (const std::uint64_t s : seeds) {
+      if (out.fde_starts.count(s) != 0 &&
+          !analysis::meets_calling_convention(code_, s)) {
+        out.invalid_fde_starts.insert(s);
+      } else {
+        kept.push_back(s);
+      }
+    }
+    seeds = std::move(kept);
+  }
+
+  // --- Safe recursive disassembly --------------------------------------------
+  disasm::Result state;
+  if (options.recursive) {
+    state = disasm::analyze(code_, seeds, options.disasm);
+  } else {
+    // FDE-only mode: starts are just the seeds; still record them in the
+    // disasm state so downstream stages have a uniform view.
+    for (const std::uint64_t s : seeds) {
+      state.starts.insert(s);
+    }
+  }
+  out.call_targets = state.call_targets;
+
+  // --- Function-pointer detection (§IV-E) ------------------------------------
+  if (options.pointer_detection && options.recursive) {
+    const PointerDetectionResult pd =
+        detect_pointer_functions(code_, state, options.disasm);
+    out.pointer_starts = pd.accepted;
+    if (!pd.accepted.empty()) {
+      // Rebuild per-function structure with the enlarged start set.
+      std::vector<std::uint64_t> all(state.starts.begin(), state.starts.end());
+      state = disasm::analyze(code_, all, options.disasm);
+    }
+  }
+
+  // --- Algorithm 1 (§V-B) -----------------------------------------------------
+  if (options.fix_fde_errors && options.recursive && eh_) {
+    const std::set<std::uint64_t> data_refs =
+        analysis::scan_data_pointers(elf_, state);
+    const MergeOutcome mo = merge_noncontiguous_functions(
+        code_, state, *eh_, data_refs, out.fde_starts);
+    for (const auto& [part, parent] : mo.merged) {
+      out.merged_parts.emplace(part, parent);
+    }
+    out.tail_targets = mo.tail_targets;
+    out.skipped_incomplete_cfi = mo.skipped_incomplete;
+  }
+
+  // --- Final provenance-tagged set -------------------------------------------
+  for (const auto& [entry, fn] : state.functions) {
+    out.extents.emplace(
+        entry, FunctionExtent{entry, fn.max_end, fn.insn_addrs.size()});
+  }
+  for (const std::uint64_t s : state.starts) {
+    Provenance prov = Provenance::kCallTarget;
+    if (out.fde_starts.count(s) != 0) {
+      prov = Provenance::kFde;
+    } else if (out.symbol_starts.count(s) != 0) {
+      prov = Provenance::kSymbol;
+    } else if (out.pointer_starts.count(s) != 0) {
+      prov = Provenance::kPointer;
+    } else if (out.tail_targets.count(s) != 0) {
+      prov = Provenance::kTailCall;
+    } else if (s == elf_.entry()) {
+      prov = Provenance::kEntryPoint;
+    }
+    out.functions.emplace(s, prov);
+  }
+  return out;
+}
+
+}  // namespace fetch::core

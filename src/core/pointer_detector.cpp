@@ -1,0 +1,191 @@
+#include "core/pointer_detector.hpp"
+
+#include <deque>
+
+#include "analysis/callconv.hpp"
+#include "analysis/pointer_scan.hpp"
+
+namespace fetch::core {
+
+namespace {
+
+using x86::Insn;
+using x86::Kind;
+
+/// Outcome of probing one candidate.
+struct Probe {
+  bool legitimate = false;
+  std::set<std::uint64_t> insns;                 // probed instruction starts
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> lengths;  // addr,len
+  std::set<std::uint64_t> constants;             // new pointer material
+};
+
+/// Conservative recursive disassembly from \p start with the §IV-E error
+/// checks. Stops at known function starts; does not follow calls.
+Probe probe_pointer(const disasm::CodeView& code, const disasm::Result& state,
+                    std::uint64_t start) {
+  Probe probe;
+  constexpr std::size_t kMaxProbeInsns = 1u << 14;
+
+  // A transfer target is erroneous when it lands strictly inside a
+  // previously decoded instruction (checks ii and iii).
+  auto into_middle = [&](std::uint64_t addr) {
+    return (state.covered.contains(addr) &&
+            state.insn_starts.count(addr) == 0) ||
+           (probe.insns.count(addr) == 0 &&
+            std::any_of(probe.lengths.begin(), probe.lengths.end(),
+                        [addr](const auto& p) {
+                          return addr > p.first && addr < p.first + p.second;
+                        }));
+  };
+
+  std::deque<std::uint64_t> work;
+  work.push_back(start);
+  std::set<std::uint64_t> queued{start};
+
+  while (!work.empty()) {
+    std::uint64_t addr = work.front();
+    work.pop_front();
+
+    while (true) {
+      if (probe.insns.count(addr) != 0 ||
+          state.insn_starts.count(addr) != 0) {
+        break;  // rejoined known-good code
+      }
+      if (probe.insns.size() >= kMaxProbeInsns) {
+        return probe;  // runaway: reject
+      }
+      const auto insn = code.insn_at(addr);
+      if (!insn) {
+        return probe;  // error (i): invalid opcode
+      }
+      if (into_middle(addr)) {
+        return probe;  // error (ii): middle of an existing instruction
+      }
+      probe.insns.insert(addr);
+      probe.lengths.emplace_back(addr, insn->length);
+      if (insn->mem_target &&
+          code.elf().is_code_address(*insn->mem_target)) {
+        probe.constants.insert(*insn->mem_target);
+      }
+      if (insn->imm && code.elf().is_code_address(*insn->imm)) {
+        probe.constants.insert(*insn->imm);
+      }
+
+      auto check_target = [&](std::uint64_t t) -> bool {
+        if (!code.is_code(t)) {
+          return false;
+        }
+        if (into_middle(t)) {
+          return false;  // error (iii)
+        }
+        return true;
+      };
+
+      bool fallthrough = false;
+      switch (insn->kind) {
+        case Kind::kCallDirect: {
+          if (!check_target(*insn->target)) {
+            return probe;
+          }
+          fallthrough = true;  // probing assumes callees return
+          break;
+        }
+        case Kind::kCallIndirect:
+          fallthrough = true;
+          break;
+        case Kind::kJmpDirect:
+        case Kind::kCondJmp: {
+          const std::uint64_t t = *insn->target;
+          if (!check_target(t)) {
+            return probe;
+          }
+          // Follow intra-probe flow, but stop at detected functions.
+          if (state.starts.count(t) == 0 && probe.insns.count(t) == 0 &&
+              state.insn_starts.count(t) == 0 && queued.insert(t).second) {
+            work.push_back(t);
+          }
+          fallthrough = insn->kind == Kind::kCondJmp;
+          break;
+        }
+        case Kind::kJmpIndirect:
+        case Kind::kRet:
+        case Kind::kUd2:
+        case Kind::kHlt:
+          break;
+        default:
+          fallthrough = true;
+          break;
+      }
+      if (!fallthrough) {
+        break;
+      }
+      addr += insn->length;
+      if (!code.is_code(addr)) {
+        return probe;  // ran off the end of the section
+      }
+    }
+  }
+
+  // Error (iv): calling-convention validation.
+  if (!analysis::meets_calling_convention(code, start)) {
+    return probe;
+  }
+  probe.legitimate = true;
+  return probe;
+}
+
+}  // namespace
+
+PointerDetectionResult detect_pointer_functions(
+    const disasm::CodeView& code, disasm::Result& state,
+    const disasm::Options& options,
+    const PointerDetectionOptions& scan_options) {
+  PointerDetectionResult result;
+
+  std::set<std::uint64_t> seen;
+  std::deque<std::uint64_t> queue;
+  for (const std::uint64_t p : analysis::collect_pointer_candidates(
+           code.elf(), state, scan_options.aligned_only)) {
+    if (seen.insert(p).second) {
+      queue.push_back(p);
+    }
+  }
+
+  while (!queue.empty()) {
+    const std::uint64_t p = queue.front();
+    queue.pop_front();
+    if (state.covered.contains(p) || state.starts.count(p) != 0) {
+      continue;  // already known code: not a new start
+    }
+    ++result.probed;
+    Probe probe = probe_pointer(code, state, p);
+    if (!probe.legitimate) {
+      continue;
+    }
+    result.accepted.insert(p);
+    state.starts.insert(p);
+    std::uint64_t max_end = 0;
+    for (const auto& [addr, len] : probe.lengths) {
+      state.covered.add(addr, addr + len);
+      state.insn_starts.insert(addr);
+      max_end = std::max(max_end, addr + len);
+    }
+    // Provisional structure; the detector rebuilds full per-function
+    // structure (jumps, tables) after the pointer loop finishes.
+    state.functions.emplace(
+        p, disasm::Function{p, std::move(probe.insns), max_end, {}, {}, false});
+    // New constants from the accepted code join the queue (§IV-E: "we will
+    // update the pointer collection based on the results of recursive
+    // disassembly from that pointer").
+    for (const std::uint64_t c : probe.constants) {
+      if (seen.insert(c).second) {
+        queue.push_back(c);
+      }
+    }
+    (void)options;
+  }
+  return result;
+}
+
+}  // namespace fetch::core

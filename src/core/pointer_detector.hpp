@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file pointer_detector.hpp
+/// Soundness-driven function-pointer detection (§IV-E). For every candidate
+/// pointer collected conservatively (sliding 8-byte windows + constants in
+/// code), probing validates legitimacy by running conservative recursive
+/// disassembly from the pointer and checking four error classes:
+///   (i)   invalid opcodes;
+///   (ii)  running into the middle of previously disassembled instructions;
+///   (iii) control transfers into the middle of previously detected
+///         functions;
+///   (iv)  invalid calling conventions (non-argument registers must be
+///         initialized before use).
+/// Pointers that survive become new function starts; their disassembly is
+/// merged into the global state and any constants they reveal join the
+/// candidate queue.
+
+#include <cstdint>
+#include <set>
+
+#include "disasm/code_view.hpp"
+#include "disasm/recursive.hpp"
+
+namespace fetch::core {
+
+struct PointerDetectionResult {
+  /// Candidates accepted as function starts.
+  std::set<std::uint64_t> accepted;
+  /// Number of candidates probed (for the "0.31 per binary" style stats).
+  std::size_t probed = 0;
+};
+
+struct PointerDetectionOptions {
+  /// Restrict the data scan to 8-byte-aligned slots (DESIGN.md ablation
+  /// #3). The paper's conservative superset keeps this false.
+  bool aligned_only = false;
+};
+
+/// Probes pointer candidates against (and mutating) \p state: accepted
+/// pointers add their coverage and xrefs to \p state so later probes see
+/// them. \p options carries the noreturn knowledge of the main pass.
+[[nodiscard]] PointerDetectionResult detect_pointer_functions(
+    const disasm::CodeView& code, disasm::Result& state,
+    const disasm::Options& options,
+    const PointerDetectionOptions& scan_options = {});
+
+}  // namespace fetch::core

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file code_view.hpp
+/// Decode-on-demand view of a binary's executable sections with instruction
+/// memoization. All disassembly passes share one CodeView per binary so an
+/// address is decoded at most once.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "elf/elf_file.hpp"
+#include "x86/decoder.hpp"
+#include "x86/insn.hpp"
+
+namespace fetch::disasm {
+
+class CodeView {
+ public:
+  explicit CodeView(const elf::ElfFile& elf) : elf_(elf) {}
+
+  [[nodiscard]] const elf::ElfFile& elf() const { return elf_; }
+
+  /// True if \p addr lies in an executable section.
+  [[nodiscard]] bool is_code(std::uint64_t addr) const {
+    return elf_.is_code_address(addr);
+  }
+
+  /// Decodes (with memoization) the instruction at \p addr.
+  /// std::nullopt when \p addr is not in code or the bytes are invalid.
+  [[nodiscard]] std::optional<x86::Insn> insn_at(std::uint64_t addr) const {
+    const auto it = cache_.find(addr);
+    if (it != cache_.end()) {
+      return it->second;
+    }
+    std::optional<x86::Insn> result;
+    const elf::Section* sec = elf_.section_at(addr);
+    if (sec != nullptr && sec->executable()) {
+      const std::uint64_t avail = sec->addr + sec->size - addr;
+      const auto bytes = elf_.bytes_at(addr, std::min<std::uint64_t>(avail, 15));
+      if (bytes) {
+        result = x86::decode(*bytes, addr);
+      }
+    }
+    cache_.emplace(addr, result);
+    return result;
+  }
+
+  /// Raw bytes at a virtual address (any allocated section).
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> bytes_at(
+      std::uint64_t addr, std::uint64_t len) const {
+    return elf_.bytes_at(addr, len);
+  }
+
+ private:
+  const elf::ElfFile& elf_;
+  mutable std::unordered_map<std::uint64_t, std::optional<x86::Insn>> cache_;
+};
+
+}  // namespace fetch::disasm

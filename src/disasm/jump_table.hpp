@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file jump_table.hpp
+/// Conservative jump-table resolution in the style of Dyninst (the approach
+/// the paper adopts for its "safe" recursive disassembly, §IV-C): only
+/// bounded, well-formed table patterns are resolved; anything else yields
+/// no targets rather than guesses.
+///
+/// Recognized shapes (I = index register, T = table base register):
+///   A (PIC, GCC/Clang -O2):   cmp I, N ; ja default
+///                             lea T, [rip + table]
+///                             movsxd X, dword [T + I*4]
+///                             add X, T
+///                             jmp X
+///   B (non-PIC absolute):     cmp I, N ; ja default
+///                             jmp qword [table + I*8]
+
+#include <cstdint>
+#include <vector>
+
+#include "disasm/code_view.hpp"
+#include "x86/insn.hpp"
+
+namespace fetch::disasm {
+
+struct JumpTable {
+  std::uint64_t jump_site = 0;
+  std::uint64_t table_addr = 0;
+  std::uint64_t entry_count = 0;
+  std::vector<std::uint64_t> targets;  // deduplicated, validated code addrs
+};
+
+/// Attempts to resolve the indirect jump at the end of \p window.
+/// \p window is the instruction sequence of the current basic block (in
+/// address order), whose last element must be the indirect jmp.
+/// Returns std::nullopt unless every component of the pattern (bound check,
+/// table base, entry loads) is found and all decoded targets land inside
+/// executable sections.
+[[nodiscard]] std::optional<JumpTable> resolve_jump_table(
+    const CodeView& code, const std::vector<x86::Insn>& window);
+
+}  // namespace fetch::disasm

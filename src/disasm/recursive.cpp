@@ -1,0 +1,421 @@
+#include "disasm/recursive.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace fetch::disasm {
+
+namespace {
+
+using x86::Insn;
+using x86::Kind;
+using x86::Reg;
+
+constexpr std::size_t kWindowLimit = 32;
+
+void push_window(std::vector<Insn>& window, const Insn& insn) {
+  if (window.size() >= kWindowLimit) {
+    window.erase(window.begin());
+  }
+  window.push_back(insn);
+}
+
+/// Backward slice of the first-argument register (edi) at a call site:
+/// returns true when edi provably holds zero. Used for the paper's
+/// `error`/`error_at_line` conditional-noreturn special case.
+bool first_arg_is_zero(const std::vector<Insn>& window) {
+  for (auto it = window.rbegin(); it != window.rend(); ++it) {
+    const Insn& insn = *it;
+    if ((insn.regs_written & reg_bit(Reg::kRdi)) == 0) {
+      continue;
+    }
+    if (insn.kind == Kind::kMov && insn.imm) {
+      return *insn.imm == 0;
+    }
+    // xor edi, edi: classified kOther, defines rdi without reading it.
+    if (insn.kind == Kind::kOther &&
+        (insn.regs_read & reg_bit(Reg::kRdi)) == 0 && !insn.mem) {
+      return true;
+    }
+    return false;  // written by something we cannot prove zero
+  }
+  return false;  // no definition in window: assume non-zero (conservative)
+}
+
+/// Does the call at \p site to \p callee fall through?
+bool call_returns(const Options& options, const std::vector<Insn>& window,
+                  std::uint64_t callee) {
+  if (options.noreturn_functions.count(callee) != 0) {
+    return false;
+  }
+  if (options.conditional_noreturn.count(callee) != 0) {
+    return first_arg_is_zero(window);
+  }
+  return true;
+}
+
+/// Records pointer-material references (RIP-relative targets and in-image
+/// immediates) for the xref index.
+void record_data_refs(const CodeView& code, const Insn& insn, XRefs& xrefs) {
+  if (insn.mem_target) {
+    xrefs.add(*insn.mem_target, insn.addr, RefKind::kMemory);
+  }
+  if (insn.imm) {
+    const std::uint64_t v = *insn.imm;
+    if (code.elf().section_at(v) != nullptr) {
+      xrefs.add(v, insn.addr, RefKind::kImmediate);
+    }
+  }
+}
+
+struct WorkItem {
+  std::uint64_t addr;
+  std::vector<Insn> window;
+};
+
+/// Phase 1: global discovery. Explores every reachable instruction once,
+/// collecting call targets, coverage, xrefs and jump tables.
+void discover(const CodeView& code, const std::vector<std::uint64_t>& seeds,
+              const Options& options, Result& result) {
+  std::set<std::uint64_t> visited;
+  std::deque<WorkItem> work;
+  std::set<std::uint64_t> queued;
+
+  auto enqueue = [&](std::uint64_t addr, std::vector<Insn> window) {
+    if (visited.count(addr) == 0 && queued.insert(addr).second) {
+      work.push_back({addr, std::move(window)});
+    }
+  };
+
+  for (const std::uint64_t seed : seeds) {
+    if (code.is_code(seed)) {
+      enqueue(seed, {});
+    }
+  }
+
+  while (!work.empty()) {
+    WorkItem item = std::move(work.front());
+    work.pop_front();
+    std::uint64_t addr = item.addr;
+    std::vector<Insn> window = std::move(item.window);
+
+    while (true) {
+      if (!visited.insert(addr).second) {
+        break;
+      }
+      const auto insn = code.insn_at(addr);
+      if (!insn) {
+        break;  // undecodable: stop this path
+      }
+      result.covered.add(addr, addr + insn->length);
+      result.insn_starts.insert(addr);
+      record_data_refs(code, *insn, result.xrefs);
+      push_window(window, *insn);
+
+      bool fallthrough = false;
+      switch (insn->kind) {
+        case Kind::kCallDirect: {
+          const std::uint64_t target = *insn->target;
+          result.xrefs.add(target, addr, RefKind::kCall);
+          if (code.is_code(target)) {
+            result.call_targets.insert(target);
+            enqueue(target, {});
+          }
+          fallthrough = call_returns(options, window, target);
+          break;
+        }
+        case Kind::kCallIndirect:
+          fallthrough = true;  // unknown callee: assume it returns
+          break;
+        case Kind::kJmpDirect: {
+          const std::uint64_t target = *insn->target;
+          result.xrefs.add(target, addr, RefKind::kJump);
+          if (code.is_code(target)) {
+            enqueue(target, window);
+          }
+          break;
+        }
+        case Kind::kCondJmp: {
+          const std::uint64_t target = *insn->target;
+          result.xrefs.add(target, addr, RefKind::kJump);
+          if (code.is_code(target)) {
+            enqueue(target, window);
+          }
+          fallthrough = true;
+          break;
+        }
+        case Kind::kJmpIndirect: {
+          if (options.resolve_jump_tables) {
+            if (auto table = resolve_jump_table(code, window)) {
+              for (const std::uint64_t t : table->targets) {
+                result.xrefs.add(t, addr, RefKind::kJumpTable);
+                enqueue(t, {});
+              }
+              result.jump_tables.push_back(std::move(*table));
+            }
+          }
+          break;
+        }
+        case Kind::kRet:
+        case Kind::kUd2:
+        case Kind::kHlt:
+          break;
+        default:
+          fallthrough = true;
+          break;
+      }
+      if (!fallthrough) {
+        break;
+      }
+      addr += insn->length;
+      if (!code.is_code(addr)) {
+        break;
+      }
+    }
+  }
+}
+
+/// Phase 2: builds one function's structure against the final start set.
+Function build_function(const CodeView& code, std::uint64_t entry,
+                        const std::set<std::uint64_t>& starts,
+                        const Options& options) {
+  Function fn;
+  fn.entry = entry;
+
+  std::deque<WorkItem> work;
+  std::set<std::uint64_t> queued;
+  work.push_back({entry, {}});
+  queued.insert(entry);
+
+  while (!work.empty()) {
+    WorkItem item = std::move(work.front());
+    work.pop_front();
+    std::uint64_t addr = item.addr;
+    std::vector<Insn> window = std::move(item.window);
+
+    while (true) {
+      if (fn.insn_addrs.count(addr) != 0) {
+        break;
+      }
+      if (fn.insn_addrs.size() >= options.max_insns_per_function) {
+        fn.truncated = true;
+        break;
+      }
+      const auto insn = code.insn_at(addr);
+      if (!insn) {
+        fn.truncated = true;
+        break;
+      }
+      fn.insn_addrs.insert(addr);
+      fn.max_end = std::max(fn.max_end, addr + insn->length);
+      push_window(window, *insn);
+
+      auto enqueue_local = [&](std::uint64_t t, std::vector<Insn> w) {
+        if (fn.insn_addrs.count(t) == 0 && queued.insert(t).second) {
+          work.push_back({t, std::move(w)});
+        }
+      };
+
+      bool fallthrough = false;
+      switch (insn->kind) {
+        case Kind::kCallDirect:
+          fallthrough = call_returns(options, window, *insn->target);
+          break;
+        case Kind::kCallIndirect:
+          fallthrough = true;
+          break;
+        case Kind::kJmpDirect:
+        case Kind::kCondJmp: {
+          const std::uint64_t target = *insn->target;
+          fn.jumps.push_back({addr, target, insn->kind == Kind::kCondJmp});
+          const bool other_function =
+              starts.count(target) != 0 && target != entry;
+          if (!other_function && code.is_code(target)) {
+            enqueue_local(target, window);
+          }
+          fallthrough = insn->kind == Kind::kCondJmp;
+          break;
+        }
+        case Kind::kJmpIndirect: {
+          if (options.resolve_jump_tables) {
+            if (auto table = resolve_jump_table(code, window)) {
+              for (const std::uint64_t t : table->targets) {
+                if (starts.count(t) == 0 || t == entry) {
+                  enqueue_local(t, {});
+                }
+              }
+              fn.tables.push_back(std::move(*table));
+            }
+          }
+          break;
+        }
+        case Kind::kRet:
+        case Kind::kUd2:
+        case Kind::kHlt:
+          break;
+        default:
+          fallthrough = true;
+          break;
+      }
+      if (!fallthrough) {
+        break;
+      }
+      addr += insn->length;
+      if (!code.is_code(addr)) {
+        break;
+      }
+    }
+  }
+  return fn;
+}
+
+}  // namespace
+
+Result explore(const CodeView& code, const std::vector<std::uint64_t>& seeds,
+               const Options& options) {
+  Result result;
+  discover(code, seeds, options, result);
+
+  for (const std::uint64_t seed : seeds) {
+    if (code.is_code(seed)) {
+      result.starts.insert(seed);
+    }
+  }
+  for (const std::uint64_t t : result.call_targets) {
+    result.starts.insert(t);
+  }
+
+  for (const std::uint64_t entry : result.starts) {
+    result.functions.emplace(
+        entry, build_function(code, entry, result.starts, options));
+  }
+  return result;
+}
+
+std::set<std::uint64_t> find_noreturn_functions(const CodeView& code,
+                                                const Result& result,
+                                                const Options& options) {
+  // Least fixpoint of "may return".
+  std::set<std::uint64_t> may_return;
+
+  auto path_reaches_ret = [&](const Function& fn) -> bool {
+    std::deque<WorkItem> work;
+    std::set<std::uint64_t> seen;
+    work.push_back({fn.entry, {}});
+    while (!work.empty()) {
+      WorkItem item = std::move(work.front());
+      work.pop_front();
+      std::uint64_t addr = item.addr;
+      std::vector<Insn> window = std::move(item.window);
+      while (true) {
+        if (!seen.insert(addr).second || fn.insn_addrs.count(addr) == 0) {
+          break;
+        }
+        const auto insn = code.insn_at(addr);
+        if (!insn) {
+          break;
+        }
+        push_window(window, *insn);
+        bool fallthrough = false;
+        switch (insn->kind) {
+          case Kind::kRet:
+            return true;
+          case Kind::kCallDirect: {
+            const std::uint64_t callee = *insn->target;
+            const bool internal = result.functions.count(callee) != 0;
+            if (options.noreturn_functions.count(callee) != 0 ||
+                (internal && may_return.count(callee) == 0)) {
+              break;  // callee (currently) known not to return
+            }
+            if (options.conditional_noreturn.count(callee) != 0) {
+              fallthrough = first_arg_is_zero(window);
+              break;
+            }
+            fallthrough = true;
+            break;
+          }
+          case Kind::kCallIndirect:
+            fallthrough = true;
+            break;
+          case Kind::kJmpDirect:
+          case Kind::kCondJmp: {
+            const std::uint64_t target = *insn->target;
+            if (fn.insn_addrs.count(target) != 0) {
+              work.push_back({target, window});
+            } else if (result.functions.count(target) != 0) {
+              // Escaping jump (tail-call shaped): f returns iff target may.
+              if (may_return.count(target) != 0) {
+                return true;
+              }
+            } else if (code.is_code(target)) {
+              return true;  // jump outside known functions: assume returns
+            }
+            fallthrough = insn->kind == Kind::kCondJmp;
+            break;
+          }
+          case Kind::kJmpIndirect:
+            // Resolved table targets are already in insn_addrs and get
+            // visited via the function's other paths; unresolved indirect
+            // jumps pessimistically end the path.
+            break;
+          case Kind::kUd2:
+          case Kind::kHlt:
+            break;
+          default:
+            fallthrough = true;
+            break;
+        }
+        if (!fallthrough) {
+          break;
+        }
+        addr += insn->length;
+      }
+    }
+    return false;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [entry, fn] : result.functions) {
+      if (may_return.count(entry) != 0) {
+        continue;
+      }
+      if (path_reaches_ret(fn)) {
+        may_return.insert(entry);
+        changed = true;
+      }
+    }
+  }
+
+  std::set<std::uint64_t> noreturn;
+  for (const auto& [entry, fn] : result.functions) {
+    if (may_return.count(entry) == 0) {
+      noreturn.insert(entry);
+    }
+  }
+  return noreturn;
+}
+
+Result analyze(const CodeView& code, const std::vector<std::uint64_t>& seeds,
+               const Options& options) {
+  Options opts = options;
+  Result result = explore(code, seeds, opts);
+  // Iterate the noreturn fixpoint against exploration until stable (two
+  // rounds suffice in practice; bound defensively).
+  for (int round = 0; round < 4; ++round) {
+    std::set<std::uint64_t> noreturn =
+        find_noreturn_functions(code, result, opts);
+    for (const std::uint64_t f : options.noreturn_functions) {
+      noreturn.insert(f);
+    }
+    if (noreturn == opts.noreturn_functions) {
+      break;
+    }
+    opts.noreturn_functions = std::move(noreturn);
+    result = explore(code, seeds, opts);
+  }
+  return result;
+}
+
+}  // namespace fetch::disasm

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file recursive.hpp
+/// Safe recursive disassembly (§IV-C of the paper). Starting from a seed
+/// set of function starts (FDE PC Begins, symbols, program entry), the
+/// disassembler follows direct control flow, resolves only well-formed
+/// jump tables (Dyninst-style), skips indirect calls, performs no tail-call
+/// guessing, and consults a non-returning-function analysis to avoid
+/// falling through into data after calls that never return.
+///
+/// The driver `analyze()` runs disassembly and the non-returning fixpoint
+/// to mutual stability, then derives per-function structure against the
+/// final set of known function starts.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "disasm/code_view.hpp"
+#include "disasm/jump_table.hpp"
+#include "util/interval_set.hpp"
+#include "x86/insn.hpp"
+
+namespace fetch::disasm {
+
+/// A direct jmp/jcc recorded during function construction whose target may
+/// or may not belong to the same function (Algorithm 1 re-examines these).
+struct FuncJump {
+  std::uint64_t site = 0;
+  std::uint64_t target = 0;
+  bool conditional = false;
+};
+
+struct Function {
+  std::uint64_t entry = 0;
+  /// Addresses of all instructions reached intra-procedurally.
+  std::set<std::uint64_t> insn_addrs;
+  /// One past the highest byte of any instruction in the function.
+  std::uint64_t max_end = 0;
+  /// All direct jmp/jcc instructions in the function.
+  std::vector<FuncJump> jumps;
+  /// Jump tables resolved inside this function.
+  std::vector<JumpTable> tables;
+  /// Whether exploration hit an undecodable byte (never happens for
+  /// compiler-emitted seeds; used as an error signal by pointer probing).
+  bool truncated = false;
+
+  [[nodiscard]] bool contains(std::uint64_t addr) const {
+    return insn_addrs.count(addr) != 0;
+  }
+};
+
+/// Where a reference to an address was observed.
+enum class RefKind : std::uint8_t {
+  kCall,       ///< direct call target
+  kJump,       ///< direct jmp/jcc target
+  kMemory,     ///< RIP-relative lea/load target
+  kImmediate,  ///< pointer-sized immediate operand
+  kJumpTable,  ///< resolved jump-table entry
+};
+
+struct Ref {
+  std::uint64_t site = 0;
+  RefKind kind = RefKind::kCall;
+};
+
+/// Reverse reference index over the disassembled code.
+class XRefs {
+ public:
+  void add(std::uint64_t target, std::uint64_t site, RefKind kind) {
+    refs_[target].push_back({site, kind});
+  }
+  [[nodiscard]] const std::vector<Ref>* at(std::uint64_t target) const {
+    const auto it = refs_.find(target);
+    return it == refs_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const std::map<std::uint64_t, std::vector<Ref>>& all() const {
+    return refs_;
+  }
+
+ private:
+  std::map<std::uint64_t, std::vector<Ref>> refs_;
+};
+
+struct Options {
+  /// Resolve bounded jump-table patterns (safe; on by default).
+  bool resolve_jump_tables = true;
+  /// Upper bound on instructions explored per seed (defensive).
+  std::size_t max_insns_per_function = 1u << 20;
+  /// Functions known to never return (call sites stop exploration).
+  std::set<std::uint64_t> noreturn_functions;
+  /// Functions that are non-returning unless their first argument (edi) is
+  /// provably zero at the call site — the paper's `error`/`error_at_line`
+  /// special case (§IV-C).
+  std::set<std::uint64_t> conditional_noreturn;
+};
+
+struct Result {
+  /// Final set of function starts: seeds plus discovered direct-call
+  /// targets (deduplicated, only addresses that decode).
+  std::set<std::uint64_t> starts;
+  /// Targets of direct calls (subset of starts not in the seed set counts
+  /// as "found by recursive disassembly").
+  std::set<std::uint64_t> call_targets;
+  /// Per-function structure keyed by entry.
+  std::map<std::uint64_t, Function> functions;
+  /// Every address at which an instruction was decoded (valid instruction
+  /// boundaries). Together with `covered`, lets callers detect control
+  /// transfers into the *middle* of known instructions (§IV-E error ii/iii).
+  std::set<std::uint64_t> insn_starts;
+  /// Union of all instruction ranges.
+  IntervalSet covered;
+  XRefs xrefs;
+  std::vector<JumpTable> jump_tables;
+};
+
+/// Runs the full safe-recursive pipeline: exploration from \p seeds,
+/// non-returning-function fixpoint, re-exploration, and per-function
+/// structure construction.
+[[nodiscard]] Result analyze(const CodeView& code,
+                             const std::vector<std::uint64_t>& seeds,
+                             const Options& options = {});
+
+/// Single exploration pass without the noreturn fixpoint (used internally
+/// and by baseline emulations that want a weaker pipeline).
+[[nodiscard]] Result explore(const CodeView& code,
+                             const std::vector<std::uint64_t>& seeds,
+                             const Options& options);
+
+/// Computes the may-return least fixpoint over \p result's functions:
+/// a function may return if some intra-procedural path from its entry
+/// reaches a `ret` (calls to may-return callees fall through; calls to
+/// not-yet-may-return callees block the path). Returns entries of functions
+/// that may NOT return.
+[[nodiscard]] std::set<std::uint64_t> find_noreturn_functions(
+    const CodeView& code, const Result& result, const Options& options);
+
+}  // namespace fetch::disasm

@@ -1,0 +1,326 @@
+#include "ehframe/cfi_eval.hpp"
+
+#include <algorithm>
+
+#include "util/byte_cursor.hpp"
+#include "util/error.hpp"
+
+namespace fetch::eh {
+
+namespace {
+
+struct State {
+  CfaRule cfa;
+  std::map<std::uint64_t, RegRule> regs;
+};
+
+/// Interprets one CFI instruction stream, mutating \p state and emitting a
+/// row whenever the location advances. Used for both the CIE's initial
+/// instructions (rows discarded) and the FDE body.
+class Interp {
+ public:
+  Interp(const Cie& cie, std::uint64_t pc_begin)
+      : cie_(cie), loc_(pc_begin) {}
+
+  void run(std::span<const std::uint8_t> program, State& state,
+           const State* initial, std::vector<CfiRow>* rows) {
+    ByteCursor cur(program);
+    while (!cur.empty()) {
+      step(cur, state, initial, rows);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t loc() const { return loc_; }
+
+ private:
+  void advance(std::uint64_t delta, const State& state,
+               std::vector<CfiRow>* rows) {
+    if (rows != nullptr) {
+      emit(state, rows);
+    }
+    loc_ += delta * cie_.code_alignment;
+  }
+
+  void emit(const State& state, std::vector<CfiRow>* rows) {
+    if (!rows->empty() && rows->back().pc == loc_) {
+      rows->back() = {loc_, state.cfa, state.regs};
+      return;
+    }
+    rows->push_back({loc_, state.cfa, state.regs});
+  }
+
+  void step(ByteCursor& cur, State& state, const State* initial,
+            std::vector<CfiRow>* rows) {
+    const std::uint8_t op = cur.u8();
+    const std::uint8_t primary = op & 0xc0;
+    const std::uint8_t low = op & 0x3f;
+
+    switch (primary) {
+      case cfi::kAdvanceLoc:
+        advance(low, state, rows);
+        return;
+      case cfi::kOffset: {
+        const std::int64_t factored =
+            static_cast<std::int64_t>(cur.uleb128()) * cie_.data_alignment;
+        state.regs[low] = {RegRule::Kind::kOffsetFromCfa, factored, 0};
+        return;
+      }
+      case cfi::kRestore: {
+        restore_reg(low, state, initial);
+        return;
+      }
+      default:
+        break;
+    }
+
+    switch (op) {
+      case cfi::kNop:
+        return;
+      case cfi::kSetLoc: {
+        // Target encoded with the CIE's FDE pointer encoding; we only
+        // support non-pcrel formats here (pcrel set_loc is unseen in
+        // practice and would need the in-section VA of this operand).
+        const std::uint8_t enc = cie_.fde_pointer_encoding & 0x0f;
+        std::uint64_t target = 0;
+        switch (enc) {
+          case pe::kAbsPtr:
+          case pe::kUdata8:
+            target = cur.u64();
+            break;
+          case pe::kUdata4:
+            target = cur.u32();
+            break;
+          case pe::kSdata4:
+            target = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(cur.i32()));
+            break;
+          default:
+            throw ParseError("CFI: unsupported set_loc encoding");
+        }
+        if (rows != nullptr) {
+          emit(state, rows);
+        }
+        loc_ = target;
+        return;
+      }
+      case cfi::kAdvanceLoc1:
+        advance(cur.u8(), state, rows);
+        return;
+      case cfi::kAdvanceLoc2:
+        advance(cur.u16(), state, rows);
+        return;
+      case cfi::kAdvanceLoc4:
+        advance(cur.u32(), state, rows);
+        return;
+      case cfi::kOffsetExtended: {
+        const std::uint64_t reg = cur.uleb128();
+        const std::int64_t factored =
+            static_cast<std::int64_t>(cur.uleb128()) * cie_.data_alignment;
+        state.regs[reg] = {RegRule::Kind::kOffsetFromCfa, factored, 0};
+        return;
+      }
+      case cfi::kRestoreExtended:
+        restore_reg(cur.uleb128(), state, initial);
+        return;
+      case cfi::kUndefined:
+        state.regs[cur.uleb128()] = {RegRule::Kind::kUndefined, 0, 0};
+        return;
+      case cfi::kSameValue:
+        state.regs[cur.uleb128()] = {RegRule::Kind::kSameValue, 0, 0};
+        return;
+      case cfi::kRegister: {
+        const std::uint64_t reg = cur.uleb128();
+        const std::uint64_t src = cur.uleb128();
+        state.regs[reg] = {RegRule::Kind::kRegister, 0, src};
+        return;
+      }
+      case cfi::kRememberState:
+        stack_.push_back(state);
+        return;
+      case cfi::kRestoreState:
+        if (stack_.empty()) {
+          throw ParseError("CFI: restore_state with empty stack");
+        }
+        state = stack_.back();
+        stack_.pop_back();
+        return;
+      case cfi::kDefCfa: {
+        const std::uint64_t reg = cur.uleb128();
+        const auto off = static_cast<std::int64_t>(cur.uleb128());
+        state.cfa = {CfaRule::Kind::kRegOffset, reg, off};
+        return;
+      }
+      case cfi::kDefCfaRegister: {
+        const std::uint64_t reg = cur.uleb128();
+        if (state.cfa.kind != CfaRule::Kind::kRegOffset) {
+          throw ParseError("CFI: def_cfa_register without reg+offset CFA");
+        }
+        state.cfa.reg = reg;
+        return;
+      }
+      case cfi::kDefCfaOffset: {
+        const auto off = static_cast<std::int64_t>(cur.uleb128());
+        if (state.cfa.kind != CfaRule::Kind::kRegOffset) {
+          throw ParseError("CFI: def_cfa_offset without reg+offset CFA");
+        }
+        state.cfa.offset = off;
+        return;
+      }
+      case cfi::kDefCfaExpression: {
+        skip_block(cur);
+        state.cfa = {CfaRule::Kind::kExpression, 0, 0};
+        return;
+      }
+      case cfi::kExpression:
+      case cfi::kValExpression: {
+        const std::uint64_t reg = cur.uleb128();
+        skip_block(cur);
+        state.regs[reg] = {RegRule::Kind::kExpression, 0, 0};
+        return;
+      }
+      case cfi::kOffsetExtendedSf: {
+        const std::uint64_t reg = cur.uleb128();
+        const std::int64_t factored = cur.sleb128() * cie_.data_alignment;
+        state.regs[reg] = {RegRule::Kind::kOffsetFromCfa, factored, 0};
+        return;
+      }
+      case cfi::kDefCfaSf: {
+        const std::uint64_t reg = cur.uleb128();
+        const std::int64_t off = cur.sleb128() * cie_.data_alignment;
+        state.cfa = {CfaRule::Kind::kRegOffset, reg, off};
+        return;
+      }
+      case cfi::kDefCfaOffsetSf: {
+        const std::int64_t off = cur.sleb128() * cie_.data_alignment;
+        if (state.cfa.kind != CfaRule::Kind::kRegOffset) {
+          throw ParseError("CFI: def_cfa_offset_sf without reg+offset CFA");
+        }
+        state.cfa.offset = off;
+        return;
+      }
+      case cfi::kValOffset:
+      case cfi::kValOffsetSf: {
+        const std::uint64_t reg = cur.uleb128();
+        if (op == cfi::kValOffset) {
+          cur.uleb128();
+        } else {
+          cur.sleb128();
+        }
+        state.regs[reg] = {RegRule::Kind::kExpression, 0, 0};
+        return;
+      }
+      case cfi::kGnuArgsSize:
+        cur.uleb128();  // informational; does not affect CFA
+        return;
+      default:
+        throw ParseError("CFI: unknown opcode " + std::to_string(op));
+    }
+  }
+
+  void restore_reg(std::uint64_t reg, State& state, const State* initial) {
+    if (initial == nullptr) {
+      throw ParseError("CFI: DW_CFA_restore in CIE initial instructions");
+    }
+    const auto it = initial->regs.find(reg);
+    if (it == initial->regs.end()) {
+      state.regs.erase(reg);
+    } else {
+      state.regs[reg] = it->second;
+    }
+  }
+
+  static void skip_block(ByteCursor& cur) {
+    const std::uint64_t len = cur.uleb128();
+    cur.skip(len);
+  }
+
+  const Cie& cie_;
+  std::uint64_t loc_;
+  std::vector<State> stack_;
+};
+
+}  // namespace
+
+CfiTable::CfiTable(std::vector<CfiRow> rows, std::uint64_t pc_begin,
+                   std::uint64_t pc_end)
+    : rows_(std::move(rows)), pc_begin_(pc_begin), pc_end_(pc_end) {}
+
+const CfiRow* CfiTable::row_at(std::uint64_t pc) const {
+  if (pc < pc_begin_ || pc >= pc_end_ || rows_.empty()) {
+    return nullptr;
+  }
+  auto it = std::upper_bound(
+      rows_.begin(), rows_.end(), pc,
+      [](std::uint64_t v, const CfiRow& r) { return v < r.pc; });
+  if (it == rows_.begin()) {
+    return nullptr;
+  }
+  return &*std::prev(it);
+}
+
+std::optional<std::int64_t> CfiTable::cfa_offset_at(std::uint64_t pc) const {
+  const CfiRow* row = row_at(pc);
+  if (row == nullptr || !row->cfa.is_rsp_based()) {
+    return std::nullopt;
+  }
+  return row->cfa.offset;
+}
+
+std::optional<std::int64_t> CfiTable::stack_height_at(std::uint64_t pc) const {
+  const auto off = cfa_offset_at(pc);
+  if (!off) {
+    return std::nullopt;
+  }
+  return *off - 8;
+}
+
+bool CfiTable::complete_stack_height() const {
+  if (rows_.empty()) {
+    return false;
+  }
+  const CfiRow& first = rows_.front();
+  if (first.pc != pc_begin_ || !first.cfa.is_rsp_based() ||
+      first.cfa.offset != 8) {
+    return false;
+  }
+  return all_rsp_based();
+}
+
+bool CfiTable::all_rsp_based() const {
+  return !rows_.empty() &&
+         std::all_of(rows_.begin(), rows_.end(), [](const CfiRow& r) {
+           return r.cfa.is_rsp_based();
+         });
+}
+
+std::optional<CfiTable> evaluate_cfi(const Cie& cie, const Fde& fde) {
+  try {
+    Interp init_interp(cie, fde.pc_begin);
+    State initial;
+    init_interp.run({cie.initial_instructions.data(),
+                     cie.initial_instructions.size()},
+                    initial, nullptr, nullptr);
+
+    State state = initial;
+    std::vector<CfiRow> rows;
+    Interp interp(cie, fde.pc_begin);
+    interp.run({fde.instructions.data(), fde.instructions.size()}, state,
+               &initial, &rows);
+    // Final region: from the last advance to pc_end.
+    if (rows.empty() || rows.back().pc != interp.loc()) {
+      rows.push_back({interp.loc(), state.cfa, state.regs});
+    } else {
+      rows.back() = {interp.loc(), state.cfa, state.regs};
+    }
+    // Rows must start at pc_begin; synthesize the entry row if the program
+    // advanced before any state change (pure-advance prologue).
+    if (rows.front().pc != fde.pc_begin) {
+      rows.insert(rows.begin(), {fde.pc_begin, initial.cfa, initial.regs});
+    }
+    return CfiTable(std::move(rows), fde.pc_begin, fde.pc_end());
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace fetch::eh

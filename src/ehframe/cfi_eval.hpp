@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file cfi_eval.hpp
+/// DWARF CFI program evaluator. Interprets a CIE's initial instructions and
+/// an FDE's instruction stream into a row table: for every PC region of the
+/// function, the CFA rule (and callee-saved register rules) in effect.
+///
+/// This provides the paper's two uses of CFIs:
+///  * stack height at any PC (CFA offset - 8 when the CFA is rsp-based),
+///    consumed by Algorithm 1's tail-call check (§V-B);
+///  * the completeness criterion of §V-B: the CFA must be rsp-based with a
+///    known offset across the whole function and start at rsp+8, otherwise
+///    the function is skipped by the merger.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ehframe/types.hpp"
+
+namespace fetch::eh {
+
+/// Rule describing how the Canonical Frame Address is computed.
+struct CfaRule {
+  enum class Kind : std::uint8_t {
+    kUndefined,   ///< no rule established yet
+    kRegOffset,   ///< CFA = reg + offset
+    kExpression,  ///< DWARF expression (opaque to us)
+  };
+  Kind kind = Kind::kUndefined;
+  std::uint64_t reg = 0;
+  std::int64_t offset = 0;
+
+  [[nodiscard]] bool is_rsp_based() const {
+    return kind == Kind::kRegOffset && reg == dwreg::kRsp;
+  }
+  friend bool operator==(const CfaRule&, const CfaRule&) = default;
+};
+
+/// Rule for recovering one callee-saved register.
+struct RegRule {
+  enum class Kind : std::uint8_t {
+    kUndefined,
+    kSameValue,
+    kOffsetFromCfa,  ///< saved at CFA + offset
+    kRegister,       ///< saved in another register
+    kExpression,
+  };
+  Kind kind = Kind::kUndefined;
+  std::int64_t offset = 0;
+  std::uint64_t reg = 0;
+  friend bool operator==(const RegRule&, const RegRule&) = default;
+};
+
+/// One row of the unwind table: the rules in effect from `pc` (inclusive)
+/// until the next row's pc (or the FDE's pc_end for the last row).
+struct CfiRow {
+  std::uint64_t pc = 0;
+  CfaRule cfa;
+  std::map<std::uint64_t, RegRule> regs;
+};
+
+/// Fully evaluated unwind table for one FDE.
+class CfiTable {
+ public:
+  CfiTable(std::vector<CfiRow> rows, std::uint64_t pc_begin,
+           std::uint64_t pc_end);
+
+  [[nodiscard]] const std::vector<CfiRow>& rows() const { return rows_; }
+  [[nodiscard]] std::uint64_t pc_begin() const { return pc_begin_; }
+  [[nodiscard]] std::uint64_t pc_end() const { return pc_end_; }
+
+  /// Row in effect at \p pc, or nullptr outside [pc_begin, pc_end).
+  [[nodiscard]] const CfiRow* row_at(std::uint64_t pc) const;
+
+  /// CFA offset from rsp at \p pc, when the rule there is rsp-based.
+  [[nodiscard]] std::optional<std::int64_t> cfa_offset_at(
+      std::uint64_t pc) const;
+
+  /// Stack height at \p pc: bytes of stack the function owns below the
+  /// return address, i.e. CFA_offset - 8. Height 0 means rsp points at the
+  /// return address — the tail-call precondition of Algorithm 1.
+  [[nodiscard]] std::optional<std::int64_t> stack_height_at(
+      std::uint64_t pc) const;
+
+  /// §V-B completeness: CFA starts as rsp+8 and remains rsp-based with a
+  /// known offset for the entire PC range. This is the right gate for an
+  /// FDE that begins at a *function entry*.
+  [[nodiscard]] bool complete_stack_height() const;
+
+  /// Weaker reliability gate for non-entry FDEs (the cold parts of
+  /// non-contiguous functions): every row is rsp-based with a known
+  /// offset, but the entry offset may exceed 8 (the part inherits the
+  /// parent's live frame).
+  [[nodiscard]] bool all_rsp_based() const;
+
+ private:
+  std::vector<CfiRow> rows_;
+  std::uint64_t pc_begin_;
+  std::uint64_t pc_end_;
+};
+
+/// Evaluates \p fde against its \p cie. Returns std::nullopt when the CFI
+/// byte stream is malformed (truncated opcode, bad operand, ...); callers
+/// treat such FDEs as "no stack-height information".
+[[nodiscard]] std::optional<CfiTable> evaluate_cfi(const Cie& cie,
+                                                   const Fde& fde);
+
+}  // namespace fetch::eh

@@ -1,0 +1,193 @@
+#include "ehframe/eh_builder.hpp"
+
+#include <algorithm>
+
+#include "util/byte_writer.hpp"
+#include "util/error.hpp"
+
+namespace fetch::eh {
+
+namespace {
+
+void encode_op(ByteWriter& w, const CfiOp& op) {
+  switch (op.kind) {
+    case CfiOp::Kind::kAdvanceLoc: {
+      const auto delta = static_cast<std::uint64_t>(op.value);
+      if (delta == 0) {
+        return;
+      }
+      if (delta < 0x40) {
+        w.u8(static_cast<std::uint8_t>(cfi::kAdvanceLoc | delta));
+      } else if (delta <= 0xff) {
+        w.u8(cfi::kAdvanceLoc1);
+        w.u8(static_cast<std::uint8_t>(delta));
+      } else if (delta <= 0xffff) {
+        w.u8(cfi::kAdvanceLoc2);
+        w.u16(static_cast<std::uint16_t>(delta));
+      } else {
+        w.u8(cfi::kAdvanceLoc4);
+        w.u32(static_cast<std::uint32_t>(delta));
+      }
+      return;
+    }
+    case CfiOp::Kind::kDefCfa:
+      w.u8(cfi::kDefCfa);
+      w.uleb128(op.reg);
+      w.uleb128(static_cast<std::uint64_t>(op.value));
+      return;
+    case CfiOp::Kind::kDefCfaOffset:
+      w.u8(cfi::kDefCfaOffset);
+      w.uleb128(static_cast<std::uint64_t>(op.value));
+      return;
+    case CfiOp::Kind::kDefCfaRegister:
+      w.u8(cfi::kDefCfaRegister);
+      w.uleb128(op.reg);
+      return;
+    case CfiOp::Kind::kOffset:
+      FETCH_ASSERT(op.reg < 0x40);
+      w.u8(static_cast<std::uint8_t>(cfi::kOffset | op.reg));
+      w.uleb128(static_cast<std::uint64_t>(op.value));
+      return;
+    case CfiOp::Kind::kRememberState:
+      w.u8(cfi::kRememberState);
+      return;
+    case CfiOp::Kind::kRestoreState:
+      w.u8(cfi::kRestoreState);
+      return;
+    case CfiOp::Kind::kDefCfaExpression:
+      w.u8(cfi::kDefCfaExpression);
+      w.uleb128(op.raw.size());
+      w.bytes({op.raw.data(), op.raw.size()});
+      return;
+    case CfiOp::Kind::kExpressionReg:
+      w.u8(cfi::kExpression);
+      w.uleb128(op.reg);
+      w.uleb128(op.raw.size());
+      w.bytes({op.raw.data(), op.raw.size()});
+      return;
+    case CfiOp::Kind::kNop:
+      w.u8(cfi::kNop);
+      return;
+  }
+}
+
+}  // namespace
+
+void EhFrameBuilder::add_fde(std::uint64_t pc_begin, std::uint64_t pc_range,
+                             std::vector<CfiOp> program) {
+  fdes_.push_back({pc_begin, pc_range, std::move(program), false, 0});
+}
+
+void EhFrameBuilder::add_fde_with_lsda(std::uint64_t pc_begin,
+                                       std::uint64_t pc_range,
+                                       std::vector<CfiOp> program,
+                                       std::uint64_t lsda) {
+  fdes_.push_back({pc_begin, pc_range, std::move(program), true, lsda});
+}
+
+namespace {
+
+/// Emits the shared CIE prologue fields after the id: version, the given
+/// augmentation string, alignment factors and the RA register.
+void write_cie_common(ByteWriter& w, const char* augmentation) {
+  w.u8(1);  // version
+  w.cstring(augmentation);
+  w.uleb128(1);      // code alignment
+  w.sleb128(-8);     // data alignment
+  w.u8(dwreg::kRa);  // return address register (16)
+}
+
+/// Emits the default initial instructions (CFA = rsp + 8, RA at CFA - 8).
+void write_cie_initial_insns(ByteWriter& w) {
+  w.u8(cfi::kDefCfa);
+  w.uleb128(dwreg::kRsp);
+  w.uleb128(8);
+  w.u8(static_cast<std::uint8_t>(cfi::kOffset | dwreg::kRa));
+  w.uleb128(1);
+  w.align(8, cfi::kNop);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EhFrameBuilder::build(
+    std::uint64_t section_addr) const {
+  ByteWriter w;
+
+  // --- CIE 0 (GCC-style "zR", used by plain FDEs) ---------------------------
+  const std::size_t plain_cie_offset = w.size();
+  {
+    const std::size_t len_pos = w.size();
+    w.u32(0);  // length, patched below
+    w.u32(0);  // CIE id
+    write_cie_common(w, "zR");
+    w.uleb128(1);                    // augmentation data length
+    w.u8(pe::kPcRel | pe::kSdata4);  // FDE pointer encoding
+    write_cie_initial_insns(w);
+    w.patch_u32(len_pos, static_cast<std::uint32_t>(w.size() - len_pos - 4));
+  }
+
+  // --- CIE 1 ("zPLR" with a personality routine, for C++ FDEs) --------------
+  const bool need_cxx =
+      std::any_of(fdes_.begin(), fdes_.end(),
+                  [](const PendingFde& f) { return f.cxx; });
+  std::size_t cxx_cie_offset = 0;
+  if (need_cxx) {
+    FETCH_ASSERT(personality_.has_value() &&
+                 "add_fde_with_lsda requires set_personality");
+    cxx_cie_offset = w.size();
+    const std::size_t len_pos = w.size();
+    w.u32(0);
+    w.u32(0);  // CIE id
+    write_cie_common(w, "zPLR");
+    w.uleb128(7);  // aug data: enc byte + 4-byte personality + L + R
+    w.u8(pe::kPcRel | pe::kSdata4);  // personality encoding
+    {
+      const std::uint64_t field_va = section_addr + w.size();
+      const std::int64_t rel = static_cast<std::int64_t>(*personality_) -
+                               static_cast<std::int64_t>(field_va);
+      FETCH_ASSERT(rel >= INT32_MIN && rel <= INT32_MAX);
+      w.i32(static_cast<std::int32_t>(rel));
+    }
+    w.u8(pe::kPcRel | pe::kSdata4);  // LSDA encoding
+    w.u8(pe::kPcRel | pe::kSdata4);  // FDE pointer encoding
+    write_cie_initial_insns(w);
+    w.patch_u32(len_pos, static_cast<std::uint32_t>(w.size() - len_pos - 4));
+  }
+
+  // --- FDEs -----------------------------------------------------------------
+  for (const PendingFde& fde : fdes_) {
+    const std::size_t cie_offset =
+        fde.cxx ? cxx_cie_offset : plain_cie_offset;
+    const std::size_t len_pos = w.size();
+    w.u32(0);  // length, patched below
+    const std::size_t id_pos = w.size();
+    w.u32(static_cast<std::uint32_t>(id_pos - cie_offset));  // CIE pointer
+    // pc_begin: pcrel|sdata4 relative to the VA of this field.
+    const std::uint64_t field_va = section_addr + w.size();
+    const std::int64_t rel = static_cast<std::int64_t>(fde.pc_begin) -
+                             static_cast<std::int64_t>(field_va);
+    FETCH_ASSERT(rel >= INT32_MIN && rel <= INT32_MAX);
+    w.i32(static_cast<std::int32_t>(rel));
+    w.i32(static_cast<std::int32_t>(fde.pc_range));
+    if (fde.cxx) {
+      w.uleb128(4);  // augmentation data: 4-byte LSDA pointer
+      const std::uint64_t lsda_va = section_addr + w.size();
+      const std::int64_t lsda_rel = static_cast<std::int64_t>(fde.lsda) -
+                                    static_cast<std::int64_t>(lsda_va);
+      FETCH_ASSERT(lsda_rel >= INT32_MIN && lsda_rel <= INT32_MAX);
+      w.i32(static_cast<std::int32_t>(lsda_rel));
+    } else {
+      w.uleb128(0);  // no augmentation data
+    }
+    for (const CfiOp& op : fde.program) {
+      encode_op(w, op);
+    }
+    w.align(8, cfi::kNop);
+    w.patch_u32(len_pos, static_cast<std::uint32_t>(w.size() - len_pos - 4));
+  }
+
+  w.u32(0);  // terminator
+  return w.take();
+}
+
+}  // namespace fetch::eh

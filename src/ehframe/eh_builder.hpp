@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file eh_builder.hpp
+/// .eh_frame section emitter. The corpus synthesizer uses it to produce
+/// byte-exact CIE/FDE records (with DW_EH_PE_pcrel|sdata4 pointers, like
+/// GCC/Clang emit) that the parser side consumes like any compiler output.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ehframe/types.hpp"
+
+namespace fetch::eh {
+
+/// One CFI instruction to be encoded into an FDE (or CIE initial program).
+/// Factory helpers keep call sites close to the DWARF vocabulary used in
+/// the paper's Figure 4b.
+struct CfiOp {
+  enum class Kind : std::uint8_t {
+    kAdvanceLoc,      ///< delta (bytes, code_align = 1)
+    kDefCfa,          ///< reg, offset
+    kDefCfaOffset,    ///< offset
+    kDefCfaRegister,  ///< reg
+    kOffset,          ///< reg saved at CFA + factored*data_align
+    kRememberState,
+    kRestoreState,
+    kDefCfaExpression,  ///< opaque expression of `raw` bytes
+    kExpressionReg,     ///< reg rule as opaque expression of `raw` bytes
+    kNop,
+  };
+  Kind kind = Kind::kNop;
+  std::uint64_t reg = 0;
+  std::int64_t value = 0;
+  std::vector<std::uint8_t> raw;
+
+  static CfiOp advance(std::uint64_t delta) {
+    return {Kind::kAdvanceLoc, 0, static_cast<std::int64_t>(delta), {}};
+  }
+  static CfiOp def_cfa(std::uint64_t reg, std::int64_t offset) {
+    return {Kind::kDefCfa, reg, offset, {}};
+  }
+  static CfiOp def_cfa_offset(std::int64_t offset) {
+    return {Kind::kDefCfaOffset, 0, offset, {}};
+  }
+  static CfiOp def_cfa_register(std::uint64_t reg) {
+    return {Kind::kDefCfaRegister, reg, 0, {}};
+  }
+  /// DW_CFA_offset: \p factored is the multiple of data_alignment (-8),
+  /// i.e. factored=2 means "saved at CFA-16".
+  static CfiOp offset(std::uint64_t reg, std::uint64_t factored) {
+    return {Kind::kOffset, reg, static_cast<std::int64_t>(factored), {}};
+  }
+  static CfiOp remember() { return {Kind::kRememberState, 0, 0, {}}; }
+  static CfiOp restore_state() { return {Kind::kRestoreState, 0, 0, {}}; }
+  static CfiOp cfa_expression(std::vector<std::uint8_t> expr) {
+    return {Kind::kDefCfaExpression, 0, 0, std::move(expr)};
+  }
+  static CfiOp reg_expression(std::uint64_t reg,
+                              std::vector<std::uint8_t> expr) {
+    return {Kind::kExpressionReg, reg, 0, std::move(expr)};
+  }
+  static CfiOp nop() { return {}; }
+};
+
+/// Builds one .eh_frame section with up to two CIEs:
+///  * a "zR" CIE (pointer encoding pcrel|sdata4, code_align 1,
+///    data_align -8, RA reg 16 — the GCC defaults for x86-64 C code);
+///  * optionally a "zPLR" CIE carrying a personality routine, used by
+///    FDEs registered with an LSDA (C++ exception-handling functions).
+class EhFrameBuilder {
+ public:
+  /// Registers a plain FDE covering [pc_begin, pc_begin+pc_range).
+  void add_fde(std::uint64_t pc_begin, std::uint64_t pc_range,
+               std::vector<CfiOp> program);
+
+  /// Registers a C++-style FDE: references the "zPLR" CIE and carries an
+  /// LSDA pointer. set_personality() must be called before build().
+  void add_fde_with_lsda(std::uint64_t pc_begin, std::uint64_t pc_range,
+                         std::vector<CfiOp> program, std::uint64_t lsda);
+
+  /// Personality routine address encoded into the "zPLR" CIE.
+  void set_personality(std::uint64_t personality) {
+    personality_ = personality;
+  }
+
+  [[nodiscard]] std::size_t fde_count() const { return fdes_.size(); }
+
+  /// Serializes the section for placement at virtual address
+  /// \p section_addr (pcrel pointers depend on it).
+  [[nodiscard]] std::vector<std::uint8_t> build(
+      std::uint64_t section_addr) const;
+
+ private:
+  struct PendingFde {
+    std::uint64_t pc_begin;
+    std::uint64_t pc_range;
+    std::vector<CfiOp> program;
+    bool cxx = false;
+    std::uint64_t lsda = 0;
+  };
+  std::vector<PendingFde> fdes_;
+  std::optional<std::uint64_t> personality_;
+};
+
+}  // namespace fetch::eh

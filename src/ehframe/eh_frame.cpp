@@ -1,0 +1,236 @@
+#include "ehframe/eh_frame.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "elf/elf_file.hpp"
+#include "util/byte_cursor.hpp"
+#include "util/error.hpp"
+
+namespace fetch::eh {
+
+namespace {
+
+/// Decodes one DW_EH_PE-encoded pointer. \p pc is the virtual address of
+/// the first encoded byte (for kPcRel application).
+std::uint64_t decode_pointer(ByteCursor& cur, std::uint8_t encoding,
+                             std::uint64_t pc) {
+  if (encoding == pe::kOmit) {
+    throw ParseError("eh_frame: decode of omitted pointer");
+  }
+  std::uint64_t value = 0;
+  switch (encoding & 0x0f) {
+    case pe::kAbsPtr:
+      value = cur.u64();
+      break;
+    case pe::kUleb128:
+      value = cur.uleb128();
+      break;
+    case pe::kUdata2:
+      value = cur.u16();
+      break;
+    case pe::kUdata4:
+      value = cur.u32();
+      break;
+    case pe::kUdata8:
+      value = cur.u64();
+      break;
+    case pe::kSleb128:
+      value = static_cast<std::uint64_t>(cur.sleb128());
+      break;
+    case pe::kSdata2:
+      value = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(cur.i16()));
+      break;
+    case pe::kSdata4:
+      value = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(cur.i32()));
+      break;
+    case pe::kSdata8:
+      value = static_cast<std::uint64_t>(cur.i64());
+      break;
+    default:
+      throw ParseError("eh_frame: unknown pointer format " +
+                       std::to_string(encoding & 0x0f));
+  }
+  switch (encoding & 0x70) {
+    case 0x00:  // absolute
+      break;
+    case pe::kPcRel:
+      value += pc;
+      break;
+    default:
+      throw ParseError("eh_frame: unsupported pointer application " +
+                       std::to_string(encoding & 0x70));
+  }
+  // kIndirect would require reading target memory; treat the address of the
+  // slot as the value (sufficient for personality pointers we never chase).
+  return value;
+}
+
+/// \p body_section_off is the section offset of body.offset()==0 (i.e. of
+/// the CIE id field, where the body cursor's span begins).
+Cie parse_cie(ByteCursor body, std::uint64_t record_offset,
+              std::uint64_t section_addr, std::uint64_t body_section_off) {
+  Cie cie;
+  cie.section_offset = record_offset;
+  cie.version = body.u8();
+  if (cie.version != 1 && cie.version != 3) {
+    throw ParseError("eh_frame: unsupported CIE version " +
+                     std::to_string(cie.version));
+  }
+  cie.augmentation = body.cstring();
+  cie.code_alignment = body.uleb128();
+  cie.data_alignment = body.sleb128();
+  cie.return_address_register =
+      (cie.version == 1) ? body.u8() : body.uleb128();
+
+  if (!cie.augmentation.empty() && cie.augmentation[0] == 'z') {
+    const std::uint64_t aug_len = body.uleb128();
+    ByteCursor aug = body.sub(aug_len);
+    // body.offset() has advanced past the aug data; its first byte sits at
+    // this section offset:
+    const std::uint64_t aug_data_off = body.offset() - aug_len;
+    for (std::size_t i = 1; i < cie.augmentation.size(); ++i) {
+      switch (cie.augmentation[i]) {
+        case 'R':
+          cie.fde_pointer_encoding = aug.u8();
+          break;
+        case 'L':
+          cie.lsda_encoding = aug.u8();
+          break;
+        case 'P': {
+          cie.personality_encoding = aug.u8();
+          const std::uint64_t pc =
+              section_addr + body_section_off + aug_data_off + aug.offset();
+          cie.personality =
+              decode_pointer(aug, cie.personality_encoding, pc);
+          break;
+        }
+        case 'S':
+          cie.is_signal_frame = true;
+          break;
+        default:
+          // Unknown augmentation chars after 'z' are skippable because the
+          // augmentation data length bounds them.
+          break;
+      }
+    }
+  } else if (!cie.augmentation.empty()) {
+    throw ParseError("eh_frame: non-'z' augmentation '" + cie.augmentation +
+                     "' not supported");
+  }
+
+  auto rest = body.bytes(body.remaining());
+  cie.initial_instructions.assign(rest.begin(), rest.end());
+  return cie;
+}
+
+}  // namespace
+
+EhFrame EhFrame::parse(std::span<const std::uint8_t> bytes,
+                       std::uint64_t section_addr) {
+  EhFrame out;
+  // Maps the section offset of each CIE to its index in out.cies_.
+  std::map<std::uint64_t, std::uint32_t> cie_at;
+
+  ByteCursor cur(bytes);
+  while (cur.remaining() >= 4) {
+    const std::uint64_t record_offset = cur.offset();
+    std::uint64_t length = cur.u32();
+    if (length == 0) {
+      break;  // terminator
+    }
+    std::size_t id_field_offset = cur.offset();
+    if (length == 0xffffffffu) {
+      length = cur.u64();
+      id_field_offset = cur.offset();
+    }
+    if (length > cur.remaining()) {
+      throw ParseError("eh_frame: record length exceeds section");
+    }
+    ByteCursor body = cur.sub(length);
+
+    const std::uint32_t id = body.u32();
+    if (id == 0) {
+      const Cie cie =
+          parse_cie(body, record_offset, section_addr, id_field_offset);
+      cie_at[record_offset] = static_cast<std::uint32_t>(out.cies_.size());
+      out.cies_.push_back(cie);
+      continue;
+    }
+
+    // FDE: id is the distance from this field back to the CIE.
+    const std::uint64_t cie_offset = id_field_offset - id;
+    const auto it = cie_at.find(cie_offset);
+    if (it == cie_at.end()) {
+      throw ParseError("eh_frame: FDE references unknown CIE at offset " +
+                       std::to_string(cie_offset));
+    }
+    const Cie& cie = out.cies_[it->second];
+
+    Fde fde;
+    fde.section_offset = record_offset;
+    fde.cie_index = it->second;
+
+    // `body` starts at the id field, so the VA of the cursor's current
+    // position is section_addr + id_field_offset + body.offset().
+    const std::uint64_t field_va =
+        section_addr + id_field_offset + body.offset();
+    fde.pc_begin = decode_pointer(body, cie.fde_pointer_encoding, field_va);
+    // pc_range uses the same format but no pc-relative application.
+    fde.pc_range = decode_pointer(
+        body, static_cast<std::uint8_t>(cie.fde_pointer_encoding & 0x0f), 0);
+
+    if (!cie.augmentation.empty() && cie.augmentation[0] == 'z') {
+      const std::uint64_t aug_len = body.uleb128();
+      ByteCursor aug = body.sub(aug_len);
+      if (cie.lsda_encoding != pe::kOmit && aug.remaining() > 0) {
+        const std::uint64_t lsda_va = section_addr + id_field_offset +
+                                      (body.offset() - aug_len) + aug.offset();
+        fde.lsda = decode_pointer(aug, cie.lsda_encoding, lsda_va);
+      }
+    }
+
+    auto rest = body.bytes(body.remaining());
+    fde.instructions.assign(rest.begin(), rest.end());
+    out.fdes_.push_back(std::move(fde));
+  }
+
+  std::sort(out.fdes_.begin(), out.fdes_.end(),
+            [](const Fde& a, const Fde& b) { return a.pc_begin < b.pc_begin; });
+  return out;
+}
+
+std::optional<EhFrame> EhFrame::from_elf(const elf::ElfFile& elf) {
+  const elf::Section* sec = elf.section(".eh_frame");
+  if (sec == nullptr) {
+    return std::nullopt;
+  }
+  return parse(elf.section_bytes(*sec), sec->addr);
+}
+
+const Fde* EhFrame::fde_covering(std::uint64_t pc) const {
+  // fdes_ are sorted by pc_begin; binary search for the candidate.
+  auto it = std::upper_bound(
+      fdes_.begin(), fdes_.end(), pc,
+      [](std::uint64_t v, const Fde& f) { return v < f.pc_begin; });
+  if (it == fdes_.begin()) {
+    return nullptr;
+  }
+  --it;
+  return it->covers(pc) ? &*it : nullptr;
+}
+
+std::vector<std::uint64_t> EhFrame::pc_begins() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(fdes_.size());
+  for (const Fde& f : fdes_) {
+    out.push_back(f.pc_begin);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace fetch::eh

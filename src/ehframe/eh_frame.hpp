@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file eh_frame.hpp
+/// .eh_frame section parser. Follows the LSB/Linux eh_frame format (a
+/// dialect of DWARF .debug_frame): a sequence of CIE and FDE records,
+/// terminated by a zero-length entry. Pointer fields are decoded according
+/// to the owning CIE's DW_EH_PE encoding.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ehframe/types.hpp"
+
+namespace fetch::elf {
+class ElfFile;
+}
+
+namespace fetch::eh {
+
+class EhFrame {
+ public:
+  /// Parses the raw section contents. \p section_addr is the virtual
+  /// address of the section (needed for DW_EH_PE_pcrel decoding).
+  /// Throws ParseError on malformed input.
+  static EhFrame parse(std::span<const std::uint8_t> bytes,
+                       std::uint64_t section_addr);
+
+  /// Convenience: locates .eh_frame in an ELF file and parses it.
+  /// Returns std::nullopt when the binary has no .eh_frame section.
+  static std::optional<EhFrame> from_elf(const elf::ElfFile& elf);
+
+  [[nodiscard]] const std::vector<Cie>& cies() const { return cies_; }
+  [[nodiscard]] const std::vector<Fde>& fdes() const { return fdes_; }
+
+  [[nodiscard]] const Cie& cie_for(const Fde& fde) const {
+    return cies_[fde.cie_index];
+  }
+
+  /// FDE covering \p pc, or nullptr (task T1 from the paper §III-B).
+  [[nodiscard]] const Fde* fde_covering(std::uint64_t pc) const;
+
+  /// All PC Begin values, sorted and deduplicated — the raw "function
+  /// starts according to call frames" set that §IV studies.
+  [[nodiscard]] std::vector<std::uint64_t> pc_begins() const;
+
+ private:
+  std::vector<Cie> cies_;
+  std::vector<Fde> fdes_;
+};
+
+}  // namespace fetch::eh

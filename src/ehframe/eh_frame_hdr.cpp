@@ -1,0 +1,168 @@
+#include "ehframe/eh_frame_hdr.hpp"
+
+#include <algorithm>
+
+#include "elf/elf_file.hpp"
+#include "util/byte_cursor.hpp"
+#include "util/byte_writer.hpp"
+#include "util/error.hpp"
+
+namespace fetch::eh {
+
+namespace {
+
+/// Decodes one DW_EH_PE pointer for the header's limited encoding set.
+/// \p field_va is the VA of the encoded bytes (pcrel); \p hdr_va the VA
+/// of the section start (datarel).
+std::uint64_t decode_hdr_pointer(ByteCursor& cur, std::uint8_t encoding,
+                                 std::uint64_t field_va,
+                                 std::uint64_t hdr_va) {
+  std::uint64_t value = 0;
+  switch (encoding & 0x0f) {
+    case pe::kAbsPtr:
+    case pe::kUdata8:
+      value = cur.u64();
+      break;
+    case pe::kUdata4:
+      value = cur.u32();
+      break;
+    case pe::kSdata4:
+      value =
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(cur.i32()));
+      break;
+    case pe::kSdata8:
+      value = static_cast<std::uint64_t>(cur.i64());
+      break;
+    case pe::kUleb128:
+      value = cur.uleb128();
+      break;
+    default:
+      throw ParseError("eh_frame_hdr: unsupported pointer format");
+  }
+  switch (encoding & 0x70) {
+    case 0x00:
+      break;
+    case pe::kPcRel:
+      value += field_va;
+      break;
+    case pe::kDataRel:
+      value += hdr_va;
+      break;
+    default:
+      throw ParseError("eh_frame_hdr: unsupported pointer application");
+  }
+  return value;
+}
+
+}  // namespace
+
+EhFrameHdr EhFrameHdr::parse(std::span<const std::uint8_t> bytes,
+                             std::uint64_t addr) {
+  EhFrameHdr out;
+  ByteCursor cur(bytes);
+  const std::uint8_t version = cur.u8();
+  if (version != 1) {
+    throw ParseError("eh_frame_hdr: unsupported version " +
+                     std::to_string(version));
+  }
+  const std::uint8_t eh_frame_ptr_enc = cur.u8();
+  const std::uint8_t fde_count_enc = cur.u8();
+  const std::uint8_t table_enc = cur.u8();
+
+  out.eh_frame_ptr_ = decode_hdr_pointer(cur, eh_frame_ptr_enc,
+                                         addr + cur.offset(), addr);
+  if (fde_count_enc == pe::kOmit || table_enc == pe::kOmit) {
+    return out;  // header without a search table
+  }
+  const std::uint64_t count =
+      decode_hdr_pointer(cur, fde_count_enc, addr + cur.offset(), addr);
+  out.entries_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    EhFrameHdrEntry entry;
+    entry.initial_location =
+        decode_hdr_pointer(cur, table_enc, addr + cur.offset(), addr);
+    entry.fde_address =
+        decode_hdr_pointer(cur, table_enc, addr + cur.offset(), addr);
+    out.entries_.push_back(entry);
+  }
+  if (!std::is_sorted(out.entries_.begin(), out.entries_.end(),
+                      [](const EhFrameHdrEntry& a, const EhFrameHdrEntry& b) {
+                        return a.initial_location < b.initial_location;
+                      })) {
+    throw ParseError("eh_frame_hdr: table not sorted");
+  }
+  return out;
+}
+
+std::optional<EhFrameHdr> EhFrameHdr::from_elf(const elf::ElfFile& elf) {
+  const elf::Section* sec = elf.section(".eh_frame_hdr");
+  if (sec == nullptr) {
+    return std::nullopt;
+  }
+  return parse(elf.section_bytes(*sec), sec->addr);
+}
+
+const EhFrameHdrEntry* EhFrameHdr::lookup(std::uint64_t pc) const {
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), pc,
+      [](std::uint64_t v, const EhFrameHdrEntry& e) {
+        return v < e.initial_location;
+      });
+  if (it == entries_.begin()) {
+    return nullptr;
+  }
+  return &*std::prev(it);
+}
+
+std::vector<std::uint64_t> EhFrameHdr::function_starts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(entries_.size());
+  for (const EhFrameHdrEntry& e : entries_) {
+    out.push_back(e.initial_location);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> build_eh_frame_hdr(const EhFrame& eh_frame,
+                                             std::uint64_t eh_frame_addr,
+                                             std::uint64_t hdr_addr) {
+  ByteWriter w;
+  w.u8(1);                            // version
+  w.u8(pe::kPcRel | pe::kSdata4);     // eh_frame_ptr encoding
+  w.u8(pe::kUdata4);                  // fde_count encoding
+  w.u8(pe::kDataRel | pe::kSdata4);   // table encoding
+
+  // eh_frame_ptr, pcrel to this field (offset 4 within the header).
+  const std::int64_t rel = static_cast<std::int64_t>(eh_frame_addr) -
+                           static_cast<std::int64_t>(hdr_addr + 4);
+  FETCH_ASSERT(rel >= INT32_MIN && rel <= INT32_MAX);
+  w.i32(static_cast<std::int32_t>(rel));
+
+  // Sorted (initial_location, fde_address) pairs, both datarel.
+  struct Pair {
+    std::uint64_t loc;
+    std::uint64_t fde;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(eh_frame.fdes().size());
+  for (const Fde& fde : eh_frame.fdes()) {
+    pairs.push_back({fde.pc_begin, eh_frame_addr + fde.section_offset});
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.loc < b.loc; });
+
+  w.u32(static_cast<std::uint32_t>(pairs.size()));
+  for (const Pair& p : pairs) {
+    const std::int64_t loc_rel = static_cast<std::int64_t>(p.loc) -
+                                 static_cast<std::int64_t>(hdr_addr);
+    const std::int64_t fde_rel = static_cast<std::int64_t>(p.fde) -
+                                 static_cast<std::int64_t>(hdr_addr);
+    FETCH_ASSERT(loc_rel >= INT32_MIN && loc_rel <= INT32_MAX);
+    FETCH_ASSERT(fde_rel >= INT32_MIN && fde_rel <= INT32_MAX);
+    w.i32(static_cast<std::int32_t>(loc_rel));
+    w.i32(static_cast<std::int32_t>(fde_rel));
+  }
+  return w.take();
+}
+
+}  // namespace fetch::eh

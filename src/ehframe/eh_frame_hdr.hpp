@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file eh_frame_hdr.hpp
+/// The .eh_frame_hdr section (LSB "Linux Standard Base" exception frame
+/// header): a sorted binary-search table mapping function start addresses
+/// to their FDEs. Real unwinders locate FDEs through it (task T1 of
+/// §III-B in O(log n)); for function detection it is a second, redundant
+/// source of FDE function starts, so parsing it lets the library
+/// cross-check .eh_frame and operate on binaries whose .eh_frame has been
+/// damaged but whose header survived.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ehframe/eh_frame.hpp"
+
+namespace fetch::elf {
+class ElfFile;
+}
+
+namespace fetch::eh {
+
+struct EhFrameHdrEntry {
+  std::uint64_t initial_location = 0;  ///< function start VA
+  std::uint64_t fde_address = 0;       ///< VA of the FDE record
+};
+
+class EhFrameHdr {
+ public:
+  /// Parses raw section contents located at virtual address \p addr.
+  /// Throws ParseError on malformed input.
+  static EhFrameHdr parse(std::span<const std::uint8_t> bytes,
+                          std::uint64_t addr);
+
+  /// Locates and parses .eh_frame_hdr in an ELF; nullopt when absent.
+  static std::optional<EhFrameHdr> from_elf(const elf::ElfFile& elf);
+
+  [[nodiscard]] std::uint64_t eh_frame_ptr() const { return eh_frame_ptr_; }
+  [[nodiscard]] const std::vector<EhFrameHdrEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Binary search: table entry with the greatest initial_location <= pc,
+  /// or nullptr (how the runtime performs T1).
+  [[nodiscard]] const EhFrameHdrEntry* lookup(std::uint64_t pc) const;
+
+  /// All initial locations — the header's independent copy of the FDE
+  /// function-start set.
+  [[nodiscard]] std::vector<std::uint64_t> function_starts() const;
+
+ private:
+  std::uint64_t eh_frame_ptr_ = 0;
+  std::vector<EhFrameHdrEntry> entries_;
+};
+
+/// Builds a GCC-compatible .eh_frame_hdr (version 1, pcrel|sdata4
+/// eh_frame pointer, udata4 count, datarel|sdata4 sorted table) for an
+/// .eh_frame that will live at \p eh_frame_addr. \p hdr_addr is where the
+/// header itself will be placed.
+[[nodiscard]] std::vector<std::uint8_t> build_eh_frame_hdr(
+    const EhFrame& eh_frame, std::uint64_t eh_frame_addr,
+    std::uint64_t hdr_addr);
+
+}  // namespace fetch::eh

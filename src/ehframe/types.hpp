@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file types.hpp
+/// Data model for the .eh_frame section: CIEs, FDEs, DW_EH_PE pointer
+/// encodings and DWARF CFI opcodes (the subset of the DWARF standard that
+/// the System-V x64 unwinder consumes).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fetch::eh {
+
+// --- DW_EH_PE pointer encodings -------------------------------------------
+namespace pe {
+constexpr std::uint8_t kOmit = 0xff;
+// Value format (low nibble).
+constexpr std::uint8_t kAbsPtr = 0x00;
+constexpr std::uint8_t kUleb128 = 0x01;
+constexpr std::uint8_t kUdata2 = 0x02;
+constexpr std::uint8_t kUdata4 = 0x03;
+constexpr std::uint8_t kUdata8 = 0x04;
+constexpr std::uint8_t kSleb128 = 0x09;
+constexpr std::uint8_t kSdata2 = 0x0a;
+constexpr std::uint8_t kSdata4 = 0x0b;
+constexpr std::uint8_t kSdata8 = 0x0c;
+// Application (high nibble).
+constexpr std::uint8_t kPcRel = 0x10;
+constexpr std::uint8_t kTextRel = 0x20;
+constexpr std::uint8_t kDataRel = 0x30;
+constexpr std::uint8_t kFuncRel = 0x40;
+constexpr std::uint8_t kAligned = 0x50;
+constexpr std::uint8_t kIndirect = 0x80;
+}  // namespace pe
+
+// --- DWARF CFI opcodes ------------------------------------------------------
+// Primary opcodes occupy the top two bits; extended opcodes use the full
+// byte with top bits zero.
+namespace cfi {
+constexpr std::uint8_t kAdvanceLoc = 0x40;  // +delta in low 6 bits
+constexpr std::uint8_t kOffset = 0x80;      // +reg in low 6 bits, uleb offset
+constexpr std::uint8_t kRestore = 0xc0;     // +reg in low 6 bits
+
+constexpr std::uint8_t kNop = 0x00;
+constexpr std::uint8_t kSetLoc = 0x01;
+constexpr std::uint8_t kAdvanceLoc1 = 0x02;
+constexpr std::uint8_t kAdvanceLoc2 = 0x03;
+constexpr std::uint8_t kAdvanceLoc4 = 0x04;
+constexpr std::uint8_t kOffsetExtended = 0x05;
+constexpr std::uint8_t kRestoreExtended = 0x06;
+constexpr std::uint8_t kUndefined = 0x07;
+constexpr std::uint8_t kSameValue = 0x08;
+constexpr std::uint8_t kRegister = 0x09;
+constexpr std::uint8_t kRememberState = 0x0a;
+constexpr std::uint8_t kRestoreState = 0x0b;
+constexpr std::uint8_t kDefCfa = 0x0c;
+constexpr std::uint8_t kDefCfaRegister = 0x0d;
+constexpr std::uint8_t kDefCfaOffset = 0x0e;
+constexpr std::uint8_t kDefCfaExpression = 0x0f;
+constexpr std::uint8_t kExpression = 0x10;
+constexpr std::uint8_t kOffsetExtendedSf = 0x11;
+constexpr std::uint8_t kDefCfaSf = 0x12;
+constexpr std::uint8_t kDefCfaOffsetSf = 0x13;
+constexpr std::uint8_t kValOffset = 0x14;
+constexpr std::uint8_t kValOffsetSf = 0x15;
+constexpr std::uint8_t kValExpression = 0x16;
+constexpr std::uint8_t kGnuArgsSize = 0x2e;
+}  // namespace cfi
+
+/// DWARF register numbers for x86-64 (System V psABI).
+namespace dwreg {
+constexpr std::uint64_t kRax = 0;
+constexpr std::uint64_t kRdx = 1;
+constexpr std::uint64_t kRcx = 2;
+constexpr std::uint64_t kRbx = 3;
+constexpr std::uint64_t kRsi = 4;
+constexpr std::uint64_t kRdi = 5;
+constexpr std::uint64_t kRbp = 6;
+constexpr std::uint64_t kRsp = 7;
+constexpr std::uint64_t kR8 = 8;   // r8..r15 are 8..15
+constexpr std::uint64_t kRa = 16;  // return address pseudo-register
+}  // namespace dwreg
+
+/// Parsed Common Information Entry.
+struct Cie {
+  std::uint64_t section_offset = 0;  // offset of the length field
+  std::uint8_t version = 1;
+  std::string augmentation;          // e.g. "zR", "zPLR"
+  std::uint64_t code_alignment = 1;
+  std::int64_t data_alignment = -8;
+  std::uint64_t return_address_register = dwreg::kRa;
+  std::uint8_t fde_pointer_encoding = pe::kAbsPtr;
+  std::uint8_t lsda_encoding = pe::kOmit;
+  std::uint8_t personality_encoding = pe::kOmit;
+  std::uint64_t personality = 0;  // decoded personality routine address
+  bool is_signal_frame = false;   // 'S' augmentation
+  std::vector<std::uint8_t> initial_instructions;
+};
+
+/// Parsed Frame Description Entry.
+struct Fde {
+  std::uint64_t section_offset = 0;  // offset of the length field
+  std::uint32_t cie_index = 0;       // index into EhFrame::cies()
+  std::uint64_t pc_begin = 0;
+  std::uint64_t pc_range = 0;
+  std::uint64_t lsda = 0;  // 0 when absent
+  std::vector<std::uint8_t> instructions;
+
+  [[nodiscard]] std::uint64_t pc_end() const { return pc_begin + pc_range; }
+  [[nodiscard]] bool covers(std::uint64_t pc) const {
+    return pc >= pc_begin && pc < pc_end();
+  }
+};
+
+}  // namespace fetch::eh

@@ -1,0 +1,206 @@
+#include "elf/elf_builder.hpp"
+
+#include <cstring>
+
+#include "util/byte_writer.hpp"
+#include "util/error.hpp"
+
+namespace fetch::elf {
+
+std::uint16_t ElfBuilder::add_section(std::string name, std::uint32_t type,
+                                      std::uint64_t flags, Addr addr,
+                                      std::vector<std::uint8_t> bytes,
+                                      std::uint64_t addralign) {
+  sections_.push_back(
+      {std::move(name), type, flags, addr, std::move(bytes), addralign});
+  // +1 accounts for the mandatory SHT_NULL section at index 0.
+  return static_cast<std::uint16_t>(sections_.size());
+}
+
+void ElfBuilder::add_symbol(std::string name, Addr value, std::uint64_t size,
+                            std::uint8_t info, std::uint16_t shndx) {
+  symbols_.push_back({std::move(name), value, size, info, shndx});
+}
+
+std::vector<std::uint8_t> ElfBuilder::build() const {
+  struct OutSection {
+    std::string name;
+    std::uint32_t type = 0;
+    std::uint64_t flags = 0;
+    Addr addr = 0;
+    std::vector<std::uint8_t> bytes;
+    std::uint32_t link = 0;
+    std::uint32_t info = 0;
+    std::uint64_t addralign = 1;
+    std::uint64_t entsize = 0;
+  };
+  std::vector<OutSection> out;
+  out.reserve(sections_.size() + 3);
+  for (const SectionData& s : sections_) {
+    OutSection o;
+    o.name = s.name;
+    o.type = s.type;
+    o.flags = s.flags;
+    o.addr = s.addr;
+    o.bytes = s.bytes;
+    o.addralign = s.addralign;
+    out.push_back(std::move(o));
+  }
+
+  if (emit_symtab_) {
+    ByteWriter strtab;
+    strtab.u8(0);  // index 0: empty string
+    ByteWriter symtab;
+    symtab.pad(sizeof(Sym));  // reserved null symbol
+    std::uint32_t local_count = 1;
+
+    auto emit_sym = [&](const SymbolData& sym) {
+      Sym raw{};
+      if (!sym.name.empty()) {
+        raw.name = static_cast<std::uint32_t>(strtab.size());
+        strtab.cstring(sym.name);
+      }
+      raw.info = sym.info;
+      raw.shndx = sym.shndx;
+      raw.value = sym.value;
+      raw.size = sym.size;
+      symtab.bytes({reinterpret_cast<const std::uint8_t*>(&raw), sizeof(raw)});
+    };
+    // gABI: local symbols must precede globals.
+    for (const SymbolData& sym : symbols_) {
+      if (sym_bind(sym.info) == kStbLocal) {
+        emit_sym(sym);
+        ++local_count;
+      }
+    }
+    for (const SymbolData& sym : symbols_) {
+      if (sym_bind(sym.info) != kStbLocal) {
+        emit_sym(sym);
+      }
+    }
+
+    OutSection symtab_sec;
+    symtab_sec.name = ".symtab";
+    symtab_sec.type = kShtSymtab;
+    symtab_sec.bytes = symtab.take();
+    // link = section header index of .strtab (emitted right after .symtab);
+    // +1 for the SHT_NULL section, +1 to step past .symtab itself.
+    symtab_sec.link = static_cast<std::uint32_t>(out.size() + 2);
+    symtab_sec.info = local_count;  // first non-local symbol index
+    symtab_sec.addralign = 8;
+    symtab_sec.entsize = sizeof(Sym);
+    out.push_back(std::move(symtab_sec));
+
+    OutSection strtab_sec;
+    strtab_sec.name = ".strtab";
+    strtab_sec.type = kShtStrtab;
+    strtab_sec.bytes = strtab.take();
+    out.push_back(std::move(strtab_sec));
+  }
+
+  // .shstrtab with all section names.
+  ByteWriter shstr;
+  shstr.u8(0);
+  std::vector<std::uint32_t> name_offsets;
+  name_offsets.reserve(out.size() + 1);
+  for (const OutSection& s : out) {
+    name_offsets.push_back(static_cast<std::uint32_t>(shstr.size()));
+    shstr.cstring(s.name);
+  }
+  const auto shstr_name_off = static_cast<std::uint32_t>(shstr.size());
+  shstr.cstring(".shstrtab");
+  OutSection shstr_sec;
+  shstr_sec.name = ".shstrtab";
+  shstr_sec.type = kShtStrtab;
+  shstr_sec.bytes = shstr.take();
+  out.push_back(std::move(shstr_sec));
+  name_offsets.push_back(shstr_name_off);
+
+  // Program headers: one PT_LOAD per allocated section.
+  std::vector<Phdr> phdrs;
+  std::vector<std::size_t> phdr_section;  // index into `out`
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const SectionData& s = sections_[i];
+    if ((s.flags & kShfAlloc) == 0) {
+      continue;
+    }
+    Phdr ph{};
+    ph.type = kPtLoad;
+    ph.flags = kPfR;
+    if ((s.flags & kShfExecinstr) != 0) {
+      ph.flags |= kPfX;
+    }
+    if ((s.flags & kShfWrite) != 0) {
+      ph.flags |= kPfW;
+    }
+    ph.vaddr = ph.paddr = s.addr;
+    ph.filesz = ph.memsz = s.bytes.size();
+    ph.align = 0x1000;
+    phdrs.push_back(ph);
+    phdr_section.push_back(i);
+  }
+
+  // Layout: Ehdr | Phdrs | section contents | Shdrs.
+  const std::size_t phoff = sizeof(Ehdr);
+  std::size_t cursor = phoff + phdrs.size() * sizeof(Phdr);
+  std::vector<Off> offsets(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint64_t align = std::max<std::uint64_t>(out[i].addralign, 1);
+    cursor = (cursor + align - 1) & ~(align - 1);
+    offsets[i] = cursor;
+    cursor += out[i].bytes.size();
+  }
+  const std::size_t shoff = (cursor + 7) & ~std::size_t{7};
+
+  ByteWriter w;
+  Ehdr ehdr{};
+  std::memcpy(ehdr.ident, kMagic, 4);
+  ehdr.ident[4] = static_cast<std::uint8_t>(Class::k64);
+  ehdr.ident[5] = static_cast<std::uint8_t>(Encoding::kLsb);
+  ehdr.ident[6] = 1;  // EV_CURRENT
+  ehdr.type = static_cast<std::uint16_t>(Type::kExec);
+  ehdr.machine = kMachineX86_64;
+  ehdr.version = 1;
+  ehdr.entry = entry_;
+  ehdr.phoff = phdrs.empty() ? 0 : phoff;
+  ehdr.shoff = shoff;
+  ehdr.ehsize = sizeof(Ehdr);
+  ehdr.phentsize = sizeof(Phdr);
+  ehdr.phnum = static_cast<std::uint16_t>(phdrs.size());
+  ehdr.shentsize = sizeof(Shdr);
+  ehdr.shnum = static_cast<std::uint16_t>(out.size() + 1);
+  ehdr.shstrndx = static_cast<std::uint16_t>(out.size());  // last section
+  w.bytes({reinterpret_cast<const std::uint8_t*>(&ehdr), sizeof(ehdr)});
+
+  for (std::size_t p = 0; p < phdrs.size(); ++p) {
+    Phdr ph = phdrs[p];
+    ph.offset = offsets[phdr_section[p]];
+    w.bytes({reinterpret_cast<const std::uint8_t*>(&ph), sizeof(ph)});
+  }
+
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    w.pad(offsets[i] - w.size());
+    w.bytes({out[i].bytes.data(), out[i].bytes.size()});
+  }
+  w.pad(shoff - w.size());
+
+  w.pad(sizeof(Shdr));  // SHT_NULL
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Shdr sh{};
+    sh.name = name_offsets[i];
+    sh.type = out[i].type;
+    sh.flags = out[i].flags;
+    sh.addr = out[i].addr;
+    sh.offset = offsets[i];
+    sh.size = out[i].bytes.size();
+    sh.link = out[i].link;
+    sh.info = out[i].info;
+    sh.addralign = out[i].addralign;
+    sh.entsize = out[i].entsize;
+    w.bytes({reinterpret_cast<const std::uint8_t*>(&sh), sizeof(sh)});
+  }
+
+  return w.take();
+}
+
+}  // namespace fetch::elf

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file elf_builder.hpp
+/// Minimal ELF64 executable writer. The corpus synthesizer uses it to emit
+/// genuine ELF images (code + data + .eh_frame + optional symbols) that the
+/// reader side (ElfFile) and all detectors consume exactly like binaries
+/// produced by a real compiler/linker.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "elf/types.hpp"
+
+namespace fetch::elf {
+
+class ElfBuilder {
+ public:
+  /// Adds a section with fixed virtual address and contents. Sections must
+  /// be added in increasing address order for allocated sections.
+  /// Returns the section header index (valid for add_symbol's shndx).
+  std::uint16_t add_section(std::string name, std::uint32_t type,
+                            std::uint64_t flags, Addr addr,
+                            std::vector<std::uint8_t> bytes,
+                            std::uint64_t addralign = 16);
+
+  /// Registers a symbol; symbols are emitted into .symtab/.strtab only if
+  /// emit_symtab(true) (the default). Call with the section index returned
+  /// by add_section.
+  void add_symbol(std::string name, Addr value, std::uint64_t size,
+                  std::uint8_t info, std::uint16_t shndx);
+
+  void set_entry(Addr entry) { entry_ = entry; }
+
+  /// When false, the output is a "stripped" binary: no .symtab/.strtab.
+  void emit_symtab(bool enabled) { emit_symtab_ = enabled; }
+
+  /// Serializes the image. The builder can be reused afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> build() const;
+
+ private:
+  struct SectionData {
+    std::string name;
+    std::uint32_t type;
+    std::uint64_t flags;
+    Addr addr;
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t addralign;
+  };
+  struct SymbolData {
+    std::string name;
+    Addr value;
+    std::uint64_t size;
+    std::uint8_t info;
+    std::uint16_t shndx;
+  };
+
+  Addr entry_ = 0;
+  bool emit_symtab_ = true;
+  std::vector<SectionData> sections_;
+  std::vector<SymbolData> symbols_;
+};
+
+}  // namespace fetch::elf

@@ -1,0 +1,197 @@
+#include "elf/elf_file.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "util/byte_cursor.hpp"
+#include "util/error.hpp"
+
+namespace fetch::elf {
+
+namespace {
+
+Ehdr read_ehdr(std::span<const std::uint8_t> image) {
+  if (image.size() < sizeof(Ehdr)) {
+    throw ParseError("ELF: image smaller than ELF header");
+  }
+  Ehdr ehdr;
+  std::memcpy(&ehdr, image.data(), sizeof(Ehdr));
+  if (std::memcmp(ehdr.ident, kMagic, 4) != 0) {
+    throw ParseError("ELF: bad magic");
+  }
+  if (ehdr.ident[4] != static_cast<std::uint8_t>(Class::k64)) {
+    throw ParseError("ELF: only ELFCLASS64 supported");
+  }
+  if (ehdr.ident[5] != static_cast<std::uint8_t>(Encoding::kLsb)) {
+    throw ParseError("ELF: only little-endian supported");
+  }
+  return ehdr;
+}
+
+}  // namespace
+
+ElfFile::ElfFile(std::span<const std::uint8_t> image)
+    : image_(image.begin(), image.end()) {
+  parse();
+}
+
+ElfFile ElfFile::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ParseError("ELF: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return ElfFile(bytes);
+}
+
+void ElfFile::parse() {
+  const Ehdr ehdr = read_ehdr({image_.data(), image_.size()});
+  type_ = static_cast<Type>(ehdr.type);
+  entry_ = ehdr.entry;
+
+  auto check_range = [&](Off off, std::uint64_t size, const char* what) {
+    if (off > image_.size() || size > image_.size() - off) {
+      throw ParseError(std::string("ELF: ") + what + " out of bounds");
+    }
+  };
+
+  // Program headers.
+  if (ehdr.phnum != 0) {
+    if (ehdr.phentsize < sizeof(Phdr)) {
+      throw ParseError("ELF: phentsize too small");
+    }
+    check_range(ehdr.phoff,
+                static_cast<std::uint64_t>(ehdr.phnum) * ehdr.phentsize,
+                "program headers");
+    for (std::uint16_t i = 0; i < ehdr.phnum; ++i) {
+      Phdr ph;
+      std::memcpy(&ph, image_.data() + ehdr.phoff + i * ehdr.phentsize,
+                  sizeof(Phdr));
+      segments_.push_back({ph.type, ph.flags, ph.offset, ph.vaddr, ph.filesz,
+                           ph.memsz});
+    }
+  }
+
+  // Section headers.
+  std::vector<Shdr> shdrs;
+  if (ehdr.shnum != 0) {
+    if (ehdr.shentsize < sizeof(Shdr)) {
+      throw ParseError("ELF: shentsize too small");
+    }
+    check_range(ehdr.shoff,
+                static_cast<std::uint64_t>(ehdr.shnum) * ehdr.shentsize,
+                "section headers");
+    shdrs.reserve(ehdr.shnum);
+    for (std::uint16_t i = 0; i < ehdr.shnum; ++i) {
+      Shdr sh;
+      std::memcpy(&sh, image_.data() + ehdr.shoff + i * ehdr.shentsize,
+                  sizeof(Shdr));
+      shdrs.push_back(sh);
+    }
+  }
+
+  // Section name string table.
+  std::span<const std::uint8_t> shstr;
+  if (ehdr.shstrndx < shdrs.size()) {
+    const Shdr& s = shdrs[ehdr.shstrndx];
+    if (s.type != kShtNobits) {
+      check_range(s.offset, s.size, "shstrtab");
+      shstr = {image_.data() + s.offset, s.size};
+    }
+  }
+  auto str_at = [&](std::span<const std::uint8_t> table,
+                    std::uint64_t off) -> std::string {
+    if (off >= table.size()) {
+      return {};
+    }
+    const auto* begin = table.data() + off;
+    const auto* end = table.data() + table.size();
+    const auto* nul = std::find(begin, end, std::uint8_t{0});
+    return std::string(reinterpret_cast<const char*>(begin),
+                       static_cast<std::size_t>(nul - begin));
+  };
+
+  for (const Shdr& sh : shdrs) {
+    if (sh.type != kShtNobits) {
+      check_range(sh.offset, sh.size, "section contents");
+    }
+    sections_.push_back({str_at(shstr, sh.name), sh.type, sh.flags, sh.addr,
+                         sh.offset, sh.size, sh.link, sh.entsize});
+  }
+
+  // Symbols: parse every SHT_SYMTAB section (normally at most one).
+  for (std::size_t i = 0; i < shdrs.size(); ++i) {
+    const Shdr& sh = shdrs[i];
+    if (sh.type != kShtSymtab) {
+      continue;
+    }
+    has_symtab_ = true;
+    if (sh.entsize < sizeof(Sym)) {
+      throw ParseError("ELF: symtab entsize too small");
+    }
+    std::span<const std::uint8_t> strtab;
+    if (sh.link < shdrs.size() && shdrs[sh.link].type == kShtStrtab) {
+      const Shdr& st = shdrs[sh.link];
+      check_range(st.offset, st.size, "symbol strtab");
+      strtab = {image_.data() + st.offset, st.size};
+    }
+    const std::uint64_t count = sh.size / sh.entsize;
+    for (std::uint64_t n = 0; n < count; ++n) {
+      Sym sym;
+      std::memcpy(&sym, image_.data() + sh.offset + n * sh.entsize,
+                  sizeof(Sym));
+      if (n == 0) {
+        continue;  // index 0 is the reserved undefined symbol
+      }
+      symbols_.push_back(
+          {str_at(strtab, sym.name), sym.value, sym.size, sym.info, sym.shndx});
+    }
+  }
+}
+
+const Section* ElfFile::section(std::string_view name) const {
+  for (const Section& s : sections_) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::span<const std::uint8_t> ElfFile::section_bytes(const Section& s) const {
+  if (s.type == kShtNobits) {
+    return {};
+  }
+  return {image_.data() + s.offset, s.size};
+}
+
+const Section* ElfFile::section_at(Addr addr) const {
+  for (const Section& s : sections_) {
+    if (s.contains(addr)) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::span<const std::uint8_t>> ElfFile::bytes_at(
+    Addr addr, std::uint64_t len) const {
+  const Section* s = section_at(addr);
+  if (s == nullptr || s->type == kShtNobits) {
+    return std::nullopt;
+  }
+  const std::uint64_t off = addr - s->addr;
+  if (len > s->size - off) {
+    return std::nullopt;
+  }
+  return std::span<const std::uint8_t>{image_.data() + s->offset + off, len};
+}
+
+bool ElfFile::is_code_address(Addr addr) const {
+  const Section* s = section_at(addr);
+  return s != nullptr && s->executable();
+}
+
+}  // namespace fetch::elf

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file elf_file.hpp
+/// Read-only view of an ELF64 image: sections, program headers, symbols,
+/// and virtual-address translation. This is the substrate every detector
+/// consumes; it never mutates the underlying bytes.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "elf/types.hpp"
+
+namespace fetch::elf {
+
+struct Section {
+  std::string name;
+  std::uint32_t type = 0;
+  std::uint64_t flags = 0;
+  Addr addr = 0;
+  Off offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t link = 0;
+  std::uint64_t entsize = 0;
+
+  [[nodiscard]] bool alloc() const { return (flags & kShfAlloc) != 0; }
+  [[nodiscard]] bool executable() const {
+    return (flags & kShfExecinstr) != 0;
+  }
+  [[nodiscard]] bool writable() const { return (flags & kShfWrite) != 0; }
+  [[nodiscard]] bool contains(Addr a) const {
+    return alloc() && a >= addr && a < addr + size;
+  }
+};
+
+struct Segment {
+  std::uint32_t type = 0;
+  std::uint32_t flags = 0;
+  Off offset = 0;
+  Addr vaddr = 0;
+  std::uint64_t filesz = 0;
+  std::uint64_t memsz = 0;
+};
+
+struct Symbol {
+  std::string name;
+  Addr value = 0;
+  std::uint64_t size = 0;
+  std::uint8_t info = 0;
+  std::uint16_t shndx = 0;
+
+  [[nodiscard]] bool is_function() const {
+    return sym_type(info) == kSttFunc;
+  }
+};
+
+/// Parsed ELF image. The constructor copies the input bytes, so an ElfFile
+/// owns its storage and remains valid independently of the source buffer.
+class ElfFile {
+ public:
+  /// Parses an in-memory image. Throws ParseError on malformed input.
+  explicit ElfFile(std::span<const std::uint8_t> image);
+
+  /// Loads and parses a file from disk. Throws ParseError on I/O failure
+  /// or malformed content.
+  static ElfFile load(const std::string& path);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] Addr entry() const { return entry_; }
+  [[nodiscard]] const std::vector<Section>& sections() const {
+    return sections_;
+  }
+  [[nodiscard]] const std::vector<Segment>& segments() const {
+    return segments_;
+  }
+  /// Function/object symbols from .symtab (empty when stripped).
+  [[nodiscard]] const std::vector<Symbol>& symbols() const { return symbols_; }
+  [[nodiscard]] bool has_symtab() const { return has_symtab_; }
+
+  /// First section with the given name, or nullptr.
+  [[nodiscard]] const Section* section(std::string_view name) const;
+
+  /// Raw bytes of a section (empty span for SHT_NOBITS).
+  [[nodiscard]] std::span<const std::uint8_t> section_bytes(
+      const Section& s) const;
+
+  /// Bytes at virtual address [addr, addr+len) via section mapping, or
+  /// nullopt if the range is not fully inside one allocated section.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> bytes_at(
+      Addr addr, std::uint64_t len) const;
+
+  /// The allocated section containing \p addr, or nullptr.
+  [[nodiscard]] const Section* section_at(Addr addr) const;
+
+  /// True if \p addr is inside an executable section.
+  [[nodiscard]] bool is_code_address(Addr addr) const;
+
+  /// Whole underlying image.
+  [[nodiscard]] std::span<const std::uint8_t> image() const {
+    return {image_.data(), image_.size()};
+  }
+
+ private:
+  void parse();
+
+  std::vector<std::uint8_t> image_;
+  Type type_ = Type::kNone;
+  Addr entry_ = 0;
+  std::vector<Section> sections_;
+  std::vector<Segment> segments_;
+  std::vector<Symbol> symbols_;
+  bool has_symtab_ = false;
+};
+
+}  // namespace fetch::elf

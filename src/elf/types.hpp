@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file types.hpp
+/// Self-contained ELF64 on-disk structures and constants (System V gABI).
+/// Defined locally instead of via <elf.h> so the library is byte-layout
+/// explicit and portable. Only the little-endian 64-bit class is supported,
+/// matching the paper's scope (System-V x64 binaries).
+
+#include <cstdint>
+
+namespace fetch::elf {
+
+using Addr = std::uint64_t;
+using Off = std::uint64_t;
+
+constexpr std::uint8_t kMagic[4] = {0x7f, 'E', 'L', 'F'};
+
+enum class Class : std::uint8_t { kNone = 0, k32 = 1, k64 = 2 };
+enum class Encoding : std::uint8_t { kNone = 0, kLsb = 1, kMsb = 2 };
+
+enum class Type : std::uint16_t {
+  kNone = 0,
+  kRel = 1,
+  kExec = 2,
+  kDyn = 3,
+  kCore = 4,
+};
+
+constexpr std::uint16_t kMachineX86_64 = 62;  // EM_X86_64
+
+#pragma pack(push, 1)
+
+struct Ehdr {
+  std::uint8_t ident[16];
+  std::uint16_t type;
+  std::uint16_t machine;
+  std::uint32_t version;
+  Addr entry;
+  Off phoff;
+  Off shoff;
+  std::uint32_t flags;
+  std::uint16_t ehsize;
+  std::uint16_t phentsize;
+  std::uint16_t phnum;
+  std::uint16_t shentsize;
+  std::uint16_t shnum;
+  std::uint16_t shstrndx;
+};
+static_assert(sizeof(Ehdr) == 64);
+
+struct Shdr {
+  std::uint32_t name;  // offset into .shstrtab
+  std::uint32_t type;
+  std::uint64_t flags;
+  Addr addr;
+  Off offset;
+  std::uint64_t size;
+  std::uint32_t link;
+  std::uint32_t info;
+  std::uint64_t addralign;
+  std::uint64_t entsize;
+};
+static_assert(sizeof(Shdr) == 64);
+
+struct Phdr {
+  std::uint32_t type;
+  std::uint32_t flags;
+  Off offset;
+  Addr vaddr;
+  Addr paddr;
+  std::uint64_t filesz;
+  std::uint64_t memsz;
+  std::uint64_t align;
+};
+static_assert(sizeof(Phdr) == 56);
+
+struct Sym {
+  std::uint32_t name;  // offset into the linked string table
+  std::uint8_t info;
+  std::uint8_t other;
+  std::uint16_t shndx;
+  Addr value;
+  std::uint64_t size;
+};
+static_assert(sizeof(Sym) == 24);
+
+#pragma pack(pop)
+
+// Section types.
+constexpr std::uint32_t kShtNull = 0;
+constexpr std::uint32_t kShtProgbits = 1;
+constexpr std::uint32_t kShtSymtab = 2;
+constexpr std::uint32_t kShtStrtab = 3;
+constexpr std::uint32_t kShtNobits = 8;
+
+// Section flags.
+constexpr std::uint64_t kShfWrite = 0x1;
+constexpr std::uint64_t kShfAlloc = 0x2;
+constexpr std::uint64_t kShfExecinstr = 0x4;
+
+// Program header types/flags.
+constexpr std::uint32_t kPtLoad = 1;
+constexpr std::uint32_t kPtGnuEhFrame = 0x6474e550;
+constexpr std::uint32_t kPfX = 0x1;
+constexpr std::uint32_t kPfW = 0x2;
+constexpr std::uint32_t kPfR = 0x4;
+
+// Symbol binding / type helpers (Sym::info packs binding<<4 | type).
+constexpr std::uint8_t kStbLocal = 0;
+constexpr std::uint8_t kStbGlobal = 1;
+constexpr std::uint8_t kSttNotype = 0;
+constexpr std::uint8_t kSttObject = 1;
+constexpr std::uint8_t kSttFunc = 2;
+
+constexpr std::uint8_t sym_info(std::uint8_t bind, std::uint8_t type) {
+  return static_cast<std::uint8_t>((bind << 4) | (type & 0xf));
+}
+constexpr std::uint8_t sym_bind(std::uint8_t info) { return info >> 4; }
+constexpr std::uint8_t sym_type(std::uint8_t info) { return info & 0xf; }
+
+}  // namespace fetch::elf

@@ -1,0 +1,57 @@
+#include "eval/gadget.hpp"
+
+namespace fetch::eval {
+
+namespace {
+
+using x86::Kind;
+
+/// Is there a gadget starting exactly at \p addr?
+bool gadget_at(const disasm::CodeView& code, std::uint64_t addr,
+               std::size_t max_insns) {
+  std::uint64_t pc = addr;
+  for (std::size_t i = 0; i < max_insns; ++i) {
+    const auto insn = code.insn_at(pc);
+    if (!insn) {
+      return false;
+    }
+    switch (insn->kind) {
+      case Kind::kRet:
+      case Kind::kJmpIndirect:
+      case Kind::kCallIndirect:
+        return true;
+      case Kind::kJmpDirect:
+      case Kind::kCondJmp:
+      case Kind::kCallDirect:
+      case Kind::kUd2:
+      case Kind::kHlt:
+        return false;  // direct transfers end attacker-useful sequences
+      default:
+        pc += insn->length;
+        break;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t count_gadgets_at(const disasm::CodeView& code,
+                             const std::set<std::uint64_t>& starts,
+                             const GadgetOptions& options) {
+  std::set<std::uint64_t> gadget_addrs;
+  for (const std::uint64_t start : starts) {
+    for (std::size_t off = 0; off < options.window_bytes; ++off) {
+      const std::uint64_t addr = start + off;
+      if (!code.is_code(addr)) {
+        break;
+      }
+      if (gadget_at(code, addr, options.max_insns)) {
+        gadget_addrs.insert(addr);
+      }
+    }
+  }
+  return gadget_addrs.size();
+}
+
+}  // namespace fetch::eval

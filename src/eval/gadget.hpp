@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file gadget.hpp
+/// ROP/JOP gadget enumeration — the reproduction's stand-in for ROPgadget
+/// in the §V-A security experiment: counting the gadgets that become
+/// "legitimate" indirect-control-flow targets when FDE-introduced false
+/// function starts are admitted into a CFI policy.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "disasm/code_view.hpp"
+
+namespace fetch::eval {
+
+struct GadgetOptions {
+  /// Maximum instructions per gadget (ROPgadget's default depth).
+  std::size_t max_insns = 5;
+  /// Bytes scanned forward from each start address.
+  std::size_t window_bytes = 64;
+};
+
+/// Counts distinct gadgets reachable from the basic blocks at the given
+/// start addresses: every decodable suffix (starting at any byte offset in
+/// the window) of ≤ max_insns instructions that ends in `ret`, `jmp reg`,
+/// or `call reg`.
+[[nodiscard]] std::size_t count_gadgets_at(
+    const disasm::CodeView& code, const std::set<std::uint64_t>& starts,
+    const GadgetOptions& options = {});
+
+}  // namespace fetch::eval

@@ -1,0 +1,50 @@
+#include "eval/metrics.hpp"
+
+namespace fetch::eval {
+
+BinaryEval evaluate_starts(const std::set<std::uint64_t>& detected,
+                           const synth::GroundTruth& truth) {
+  BinaryEval out;
+  out.true_count = truth.starts.size();
+  out.detected_count = detected.size();
+  for (const std::uint64_t s : detected) {
+    if (truth.starts.count(s) == 0) {
+      out.false_positives.insert(s);
+    }
+  }
+  for (const std::uint64_t s : truth.starts) {
+    if (detected.count(s) == 0) {
+      out.false_negatives.insert(s);
+    }
+  }
+  return out;
+}
+
+MissKind classify_miss(std::uint64_t addr, const synth::GroundTruth& truth) {
+  if (truth.unreachable.count(addr) != 0) {
+    return MissKind::kUnreachable;
+  }
+  if (truth.tail_only_single.count(addr) != 0) {
+    return MissKind::kTailOnlySingle;
+  }
+  if (truth.asm_functions.count(addr) != 0) {
+    return MissKind::kAssembly;
+  }
+  return MissKind::kOther;
+}
+
+const char* miss_kind_name(MissKind kind) {
+  switch (kind) {
+    case MissKind::kUnreachable:
+      return "unreachable-asm";
+    case MissKind::kTailOnlySingle:
+      return "tail-call-only";
+    case MissKind::kAssembly:
+      return "assembly";
+    case MissKind::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+}  // namespace fetch::eval

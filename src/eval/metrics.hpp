@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Ground-truth comparison and aggregation used by every experiment:
+/// false positives / false negatives per binary, the paper's "full
+/// coverage" (no FN) and "full accuracy" (no FP) binary counts, and
+/// classification of misses into the paper's harmless categories.
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "synth/spec.hpp"
+
+namespace fetch::eval {
+
+struct BinaryEval {
+  std::size_t true_count = 0;
+  std::size_t detected_count = 0;
+  std::set<std::uint64_t> false_positives;
+  std::set<std::uint64_t> false_negatives;
+
+  [[nodiscard]] std::size_t fp() const { return false_positives.size(); }
+  [[nodiscard]] std::size_t fn() const { return false_negatives.size(); }
+  [[nodiscard]] bool full_coverage() const { return fn() == 0; }
+  [[nodiscard]] bool full_accuracy() const { return fp() == 0; }
+};
+
+/// Compares a detected start set against ground truth. Cold-part starts
+/// are false positives (they are not source-level function starts).
+[[nodiscard]] BinaryEval evaluate_starts(
+    const std::set<std::uint64_t>& detected, const synth::GroundTruth& truth);
+
+/// Classification of one false negative (§IV-E / §V-C harmlessness
+/// discussion).
+enum class MissKind : std::uint8_t {
+  kUnreachable,     ///< dead assembly, referenced by nothing (harmless)
+  kTailOnlySingle,  ///< only reference is one function's tail call (inlining)
+  kAssembly,        ///< other hand-written assembly without FDE
+  kOther,
+};
+
+[[nodiscard]] MissKind classify_miss(std::uint64_t addr,
+                                     const synth::GroundTruth& truth);
+[[nodiscard]] const char* miss_kind_name(MissKind kind);
+
+/// Corpus-level aggregation.
+struct Aggregate {
+  std::size_t binaries = 0;
+  std::size_t true_total = 0;
+  std::size_t detected_total = 0;
+  std::size_t fp_total = 0;
+  std::size_t fn_total = 0;
+  std::size_t full_coverage = 0;
+  std::size_t full_accuracy = 0;
+
+  void add(const BinaryEval& e) {
+    ++binaries;
+    true_total += e.true_count;
+    detected_total += e.detected_count;
+    fp_total += e.fp();
+    fn_total += e.fn();
+    full_coverage += e.full_coverage() ? 1 : 0;
+    full_accuracy += e.full_accuracy() ? 1 : 0;
+  }
+};
+
+}  // namespace fetch::eval

@@ -1,0 +1,40 @@
+#include "eval/runner.hpp"
+
+namespace fetch::eval {
+
+Corpus Corpus::self_built() {
+  Corpus corpus;
+  for (synth::ProgramSpec& spec : synth::make_corpus()) {
+    corpus.entries_.emplace_back(synth::generate(spec));
+  }
+  return corpus;
+}
+
+Corpus Corpus::wild() {
+  Corpus corpus;
+  for (synth::ProgramSpec& spec : synth::make_wild_suite()) {
+    corpus.entries_.emplace_back(synth::generate(spec));
+  }
+  return corpus;
+}
+
+core::DetectorOptions fetch_options(const synth::GroundTruth& truth) {
+  core::DetectorOptions options;
+  options.disasm.conditional_noreturn = truth.error_like;
+  return options;
+}
+
+Aggregate run_strategy(const Corpus& corpus, const Strategy& strategy,
+                       std::map<std::string, Aggregate>* by_opt) {
+  Aggregate total;
+  for (const CorpusEntry& entry : corpus.entries()) {
+    const BinaryEval e = evaluate_starts(strategy(entry), entry.bin.truth);
+    total.add(e);
+    if (by_opt != nullptr) {
+      (*by_opt)[entry.bin.opt].add(e);
+    }
+  }
+  return total;
+}
+
+}  // namespace fetch::eval

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file runner.hpp
+/// Corpus materialization and strategy execution shared by the benchmark
+/// binaries. A Corpus owns the generated images and their parsed ELF
+/// views, so running many strategies (the Figure 5 ladders, Table III's
+/// nine tools) re-uses the same bytes.
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "elf/elf_file.hpp"
+#include "eval/metrics.hpp"
+#include "synth/codegen.hpp"
+#include "synth/corpus.hpp"
+
+namespace fetch::eval {
+
+struct CorpusEntry {
+  synth::SynthBinary bin;
+  elf::ElfFile elf;
+
+  explicit CorpusEntry(synth::SynthBinary b)
+      : bin(std::move(b)), elf(bin.image) {}
+};
+
+class Corpus {
+ public:
+  /// The self-built corpus (Table II): projects × compilers × opt levels.
+  [[nodiscard]] static Corpus self_built();
+  /// The wild suite (Table I).
+  [[nodiscard]] static Corpus wild();
+
+  [[nodiscard]] const std::vector<CorpusEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<CorpusEntry> entries_;
+};
+
+/// A detection strategy: binary in, start set out.
+using Strategy =
+    std::function<std::set<std::uint64_t>(const CorpusEntry&)>;
+
+/// Detector options for the FETCH pipeline on a corpus binary. The
+/// conditional-noreturn addresses (`error`-style functions) are passed in
+/// as configuration: in real binaries this knowledge comes from dynamic
+/// symbol names (error@plt), which survive stripping; our synthetic
+/// binaries have no PLT, so the harness supplies the addresses directly
+/// (see DESIGN.md, Substitutions).
+[[nodiscard]] core::DetectorOptions fetch_options(const synth::GroundTruth& truth);
+
+/// Runs \p strategy over the corpus, aggregating totals; when \p by_opt is
+/// non-null, also aggregates per optimization level.
+[[nodiscard]] Aggregate run_strategy(
+    const Corpus& corpus, const Strategy& strategy,
+    std::map<std::string, Aggregate>* by_opt = nullptr);
+
+}  // namespace fetch::eval

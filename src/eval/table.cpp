@@ -1,0 +1,56 @@
+#include "eval/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fetch::eval {
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cell;
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) {
+    total += w + 2;
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string fmt(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string fmt_k(std::size_t count) {
+  return fmt(static_cast<double>(count) / 1000.0, 2);
+}
+
+std::string fmt_pct(double numerator, double denominator) {
+  if (denominator == 0) {
+    return "n/a";
+  }
+  return fmt(100.0 * numerator / denominator, 2);
+}
+
+}  // namespace fetch::eval

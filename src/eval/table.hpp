@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table renderer for the benchmark harness — every bench
+/// binary prints the rows/series of the paper table or figure it
+/// regenerates through this.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fetch::eval {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats \p value with \p decimals digits (fixed).
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+/// Formats a count in thousands with two decimals (Table III style).
+[[nodiscard]] std::string fmt_k(std::size_t count);
+/// Formats a ratio as a percentage with two decimals.
+[[nodiscard]] std::string fmt_pct(double numerator, double denominator);
+
+}  // namespace fetch::eval

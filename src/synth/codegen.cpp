@@ -1,0 +1,867 @@
+#include "synth/codegen.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "ehframe/eh_builder.hpp"
+#include "ehframe/eh_frame.hpp"
+#include "ehframe/eh_frame_hdr.hpp"
+#include "elf/elf_builder.hpp"
+#include "util/byte_writer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "x86/assembler.hpp"
+
+namespace fetch::synth {
+
+namespace {
+
+using x86::Assembler;
+using x86::Cond;
+using x86::Label;
+using x86::MemRef;
+using x86::Reg;
+
+/// DWARF register number for an x86 GPR (System-V mapping).
+std::uint64_t dwarf_reg(Reg r) {
+  switch (r) {
+    case Reg::kRax:
+      return 0;
+    case Reg::kRdx:
+      return 1;
+    case Reg::kRcx:
+      return 2;
+    case Reg::kRbx:
+      return 3;
+    case Reg::kRsi:
+      return 4;
+    case Reg::kRdi:
+      return 5;
+    case Reg::kRbp:
+      return 6;
+    case Reg::kRsp:
+      return 7;
+    default:
+      return static_cast<std::uint64_t>(r);  // r8..r15 map to 8..15
+  }
+}
+
+/// Registers that filler code may freely clobber without violating the
+/// calling convention at any point (argument + caller-saved scratch).
+constexpr Reg kScratch[] = {Reg::kRax, Reg::kRcx, Reg::kRdx,
+                            Reg::kR8,  Reg::kR9,  Reg::kR10,
+                            Reg::kR11};
+
+/// Tracks one FDE's CFI program while its code is being emitted.
+class CfiTracker {
+ public:
+  CfiTracker(Assembler& a, std::uint64_t part_start, std::int64_t entry_height)
+      : asm_(a), last_pc_(part_start), height_(entry_height) {}
+
+  [[nodiscard]] std::int64_t height() const { return height_; }
+  [[nodiscard]] std::vector<eh::CfiOp> take_ops() { return std::move(ops_); }
+
+  /// Records the entry-state CFA for a cold part (CFA = rsp + h + 8) or a
+  /// frame-pointer regime (CFA = rbp + 16).
+  void set_entry_cfa_rsp() {
+    if (height_ != 0) {
+      ops_.push_back(eh::CfiOp::def_cfa_offset(height_ + 8));
+    }
+  }
+  void set_entry_cfa_rbp() {
+    ops_.push_back(eh::CfiOp::def_cfa(6 /*rbp*/, 16));
+    rbp_cfa_ = true;
+  }
+
+  /// Call after emitting an instruction that changed rsp by `-delta_down`
+  /// semantics: \p new_height is the stack height *after* the instruction.
+  void height_change(std::int64_t new_height) {
+    height_ = new_height;
+    if (rbp_cfa_) {
+      return;  // GCC stops tracking rsp once the CFA is rbp-based
+    }
+    advance();
+    ops_.push_back(eh::CfiOp::def_cfa_offset(height_ + 8));
+  }
+
+  /// Records a callee-save push of \p reg (call height_change first).
+  void save_reg(Reg reg) {
+    if (rbp_cfa_) {
+      return;
+    }
+    ops_.push_back(eh::CfiOp::offset(dwarf_reg(reg),
+                                     static_cast<std::uint64_t>(
+                                         (height_ + 8) / 8)));
+  }
+
+  /// Switches the CFA to rbp (frame-pointer functions; §V-B incomplete).
+  void switch_to_rbp() {
+    advance();
+    ops_.push_back(eh::CfiOp::def_cfa_register(6));
+    rbp_cfa_ = true;
+  }
+
+  /// Restores the rsp-based CFA after `leave` (epilogue of FP functions).
+  void back_to_rsp_after_leave() {
+    advance();
+    ops_.push_back(eh::CfiOp::def_cfa(7 /*rsp*/, 8));
+    rbp_cfa_ = false;
+    height_ = 0;
+  }
+
+  void remember() {
+    advance();
+    ops_.push_back(eh::CfiOp::remember());
+    saved_height_ = height_;
+    saved_rbp_ = rbp_cfa_;
+  }
+  void restore() {
+    advance();
+    ops_.push_back(eh::CfiOp::restore_state());
+    height_ = saved_height_;
+    rbp_cfa_ = saved_rbp_;
+  }
+
+ private:
+  void advance() {
+    const std::uint64_t pc = asm_.pc();
+    FETCH_ASSERT(pc >= last_pc_);
+    if (pc != last_pc_) {
+      ops_.push_back(eh::CfiOp::advance(pc - last_pc_));
+      last_pc_ = pc;
+    }
+  }
+
+  Assembler& asm_;
+  std::uint64_t last_pc_;
+  std::int64_t height_;
+  std::int64_t saved_height_ = 0;
+  bool rbp_cfa_ = false;
+  bool saved_rbp_ = false;
+  std::vector<eh::CfiOp> ops_;
+};
+
+struct PendingFdePart {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::vector<eh::CfiOp> ops;
+  bool cxx = false;       ///< reference the "zPLR" CIE
+  std::uint64_t lsda = 0; ///< language-specific data area (when cxx)
+};
+
+struct PendingTable {
+  std::uint64_t table_addr = 0;
+  std::vector<Label> targets;
+};
+
+struct PendingCold {
+  std::size_t fn_index = 0;
+  Label entry;        // bound when the cold part is emitted
+  Label resume;       // hot-part label the cold part jumps back to
+  std::int64_t height = 0;
+  bool frame_pointer = false;
+};
+
+/// Whole-program emission state.
+class Emitter {
+ public:
+  Emitter(const ProgramSpec& spec, const Layout& layout)
+      : spec_(spec), layout_(layout), rng_(spec.seed ^ 0x5eedf00dULL),
+        asm_(layout.text) {}
+
+  SynthBinary run();
+
+ private:
+  void emit_function(std::size_t index);
+  void emit_cold_part(const PendingCold& cold);
+  void emit_padding();
+  void emit_blob(const DataBlobSpec& blob);
+  void emit_filler(int count);
+  std::uint64_t alloc_table(std::size_t entries);
+
+  /// .data slot address holding the pointer to function \p fn_index
+  /// (which must be kIndirectOnly).
+  [[nodiscard]] std::uint64_t slot_addr(std::size_t fn_index) const {
+    for (std::size_t k = 0; k < indirect_slots_.size(); ++k) {
+      if (indirect_slots_[k] == fn_index) {
+        return layout_.data + slot_offsets_[k];
+      }
+    }
+    FETCH_ASSERT(false && "indirect callee is not kIndirectOnly");
+    return 0;
+  }
+
+  const ProgramSpec& spec_;
+  Layout layout_;
+  Rng rng_;
+  Assembler asm_;
+
+  std::vector<Label> entry_labels_;
+  std::vector<Label> epilogue_labels_;
+  std::vector<PendingFdePart> fde_parts_;
+  std::vector<PendingTable> tables_;
+  std::vector<PendingCold> colds_;
+  std::uint64_t rodata_cursor_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> cold_symbols_;
+  std::vector<std::uint64_t> fn_entries_;
+  std::vector<std::uint64_t> fn_ends_;  // hot-part end (for symbol sizes)
+  std::vector<std::size_t> indirect_slots_;   // fn index per .data slot
+  std::vector<std::uint64_t> slot_offsets_;   // .data offset per slot
+  std::vector<std::size_t> rel_callbacks_;   // fn index per rel-table entry
+  std::uint64_t rel_table_addr_ = 0;
+  GroundTruth truth_;
+};
+
+void Emitter::emit_padding() {
+  const std::uint32_t align = std::max<std::uint32_t>(spec_.alignment, 1);
+  const std::uint64_t misalign = asm_.pc() % align;
+  if (misalign == 0) {
+    return;
+  }
+  const auto pad = static_cast<std::size_t>(align - misalign);
+  if (spec_.int3_padding) {
+    for (std::size_t i = 0; i < pad; ++i) {
+      asm_.int3();
+    }
+  } else {
+    asm_.nop(pad);
+  }
+}
+
+void Emitter::emit_blob(const DataBlobSpec& blob) {
+  Rng rng(blob.seed ^ 0xb10bULL);
+  for (std::uint32_t i = 0; i < blob.size; ++i) {
+    // Mix in prologue-looking bytes to exercise the unsafe pattern
+    // matchers: 0x55 (push rbp), 0x53 (push rbx), 0x48 0x89 0xe5.
+    const std::uint64_t roll = rng.below(100);
+    if (roll < 12) {
+      asm_.raw({0x55});
+    } else if (roll < 20) {
+      asm_.raw({0x53});
+    } else if (roll < 26) {
+      asm_.raw({0x48});
+    } else {
+      asm_.raw({static_cast<std::uint8_t>(rng.below(256))});
+    }
+  }
+}
+
+void Emitter::emit_filler(int count) {
+  // Straight-line arithmetic over scratch registers only; reads only
+  // registers already written or argument registers, so generated
+  // functions always satisfy the calling convention.
+  std::uint16_t initialized =
+      reg_bit(Reg::kRdi) | reg_bit(Reg::kRsi) | reg_bit(Reg::kRdx) |
+      reg_bit(Reg::kRcx) | reg_bit(Reg::kR8) | reg_bit(Reg::kR9);
+  for (int i = 0; i < count; ++i) {
+    const Reg dst = kScratch[rng_.below(std::size(kScratch))];
+    switch (rng_.below(5)) {
+      case 0:
+        asm_.mov_ri32(dst, static_cast<std::uint32_t>(rng_.below(1 << 20)));
+        break;
+      case 1:
+        asm_.xor_rr(dst, dst);
+        break;
+      case 2: {
+        // Pick an initialized source.
+        Reg src = Reg::kRdi;
+        for (int tries = 0; tries < 8; ++tries) {
+          const Reg cand = kScratch[rng_.below(std::size(kScratch))];
+          if ((initialized & reg_bit(cand)) != 0) {
+            src = cand;
+            break;
+          }
+        }
+        asm_.mov_rr(dst, src);
+        break;
+      }
+      case 3:
+        asm_.mov_ri32(dst, static_cast<std::uint32_t>(rng_.below(255) + 1));
+        asm_.add_ri(dst, static_cast<std::int32_t>(rng_.below(64)));
+        break;
+      default:
+        asm_.mov_rr(dst, Reg::kRdi);
+        asm_.shl_ri(dst, static_cast<std::uint8_t>(rng_.below(4)));
+        break;
+    }
+    initialized |= reg_bit(dst);
+  }
+}
+
+std::uint64_t Emitter::alloc_table(std::size_t entries) {
+  const std::uint64_t addr = layout_.rodata + rodata_cursor_;
+  rodata_cursor_ += entries * 4;
+  return addr;
+}
+
+void Emitter::emit_function(std::size_t index) {
+  const FunctionSpec& fn = spec_.functions[index];
+  emit_padding();
+  asm_.bind(entry_labels_[index]);
+  const std::uint64_t entry = asm_.pc();
+  fn_entries_[index] = entry;
+  if (fn.nop_entry) {
+    asm_.nop(8);  // patchable-function-entry sled (part of the function)
+  }
+
+  truth_.starts.insert(entry);
+  truth_.named[fn.name] = entry;
+  if (fn.has_fde) {
+    truth_.fde_covered.insert(entry);
+  } else {
+    truth_.asm_functions.insert(entry);
+  }
+  switch (fn.role) {
+    case Role::kNoReturn:
+      truth_.noreturn.insert(entry);
+      break;
+    case Role::kErrorLike:
+      truth_.error_like.insert(entry);
+      break;
+    case Role::kIndirectOnly:
+      truth_.indirect_only.insert(entry);
+      break;
+    case Role::kUnreachable:
+      truth_.unreachable.insert(entry);
+      break;
+    default:
+      break;
+  }
+
+  CfiTracker cfi(asm_, entry, 0);
+
+  // --- Special tiny bodies ----------------------------------------------------
+  if (fn.role == Role::kNoReturn) {
+    // exit(2)-style: mov edi, code; mov eax, 60; syscall; ud2.
+    asm_.mov_ri32(Reg::kRdi, 1);
+    asm_.mov_ri32(Reg::kRax, 60);
+    asm_.syscall();
+    asm_.ud2();
+    fn_ends_[index] = asm_.pc();
+    if (fn.has_fde) {
+      fde_parts_.push_back({entry, asm_.pc(), cfi.take_ops()});
+    }
+    return;
+  }
+  if (fn.role == Role::kErrorLike) {
+    // error(status, ...): returns iff status (edi) == 0.
+    Label lret = asm_.label();
+    asm_.test_rr(Reg::kRdi, Reg::kRdi);
+    asm_.jcc(Cond::kE, lret);
+    asm_.mov_ri32(Reg::kRax, 60);
+    asm_.syscall();
+    asm_.ud2();
+    asm_.bind(lret);
+    asm_.ret();
+    fn_ends_[index] = asm_.pc();
+    if (fn.has_fde) {
+      fde_parts_.push_back({entry, asm_.pc(), cfi.take_ops()});
+    }
+    return;
+  }
+  if (fn.role == Role::kStdcallHelper) {
+    // Reads its two stack arguments and pops them on return (ret 16).
+    asm_.mov_rm(Reg::kRax, MemRef::at(Reg::kRsp, 8));
+    asm_.mov_rm(Reg::kRdx, MemRef::at(Reg::kRsp, 16));
+    asm_.add_rr(Reg::kRax, Reg::kRdx);
+    asm_.raw({0xc2, 0x10, 0x00});  // ret 16
+    fn_ends_[index] = asm_.pc();
+    if (fn.has_fde) {
+      fde_parts_.push_back({entry, asm_.pc(), cfi.take_ops()});
+    }
+    return;
+  }
+  if (fn.thunk_mid_target) {
+    // Shared-tail trampoline: a bare jump into another function's epilogue.
+    asm_.jmp(epilogue_labels_[*fn.thunk_mid_target]);
+    fn_ends_[index] = asm_.pc();
+    if (fn.has_fde) {
+      fde_parts_.push_back({entry, asm_.pc(), cfi.take_ops()});
+    }
+    return;
+  }
+
+  // --- Prologue ---------------------------------------------------------------
+  std::int64_t height = 0;
+  if (fn.frame_pointer) {
+    asm_.push(Reg::kRbp);
+    height += 8;
+    cfi.height_change(height);
+    cfi.save_reg(Reg::kRbp);
+    asm_.mov_rr(Reg::kRbp, Reg::kRsp);
+    cfi.switch_to_rbp();
+  }
+  for (const Reg save : fn.saves) {
+    asm_.push(save);
+    height += 8;
+    cfi.height_change(height);
+    cfi.save_reg(save);
+  }
+  if (fn.frame_size != 0) {
+    asm_.sub_ri(Reg::kRsp, static_cast<std::int32_t>(fn.frame_size));
+    height += fn.frame_size;
+    cfi.height_change(height);
+  }
+
+  // --- Body blocks -------------------------------------------------------------
+  const int blocks = std::max(fn.blocks, 1);
+  std::vector<Label> block_labels(static_cast<std::size_t>(blocks));
+  for (auto& l : block_labels) {
+    l = asm_.label();
+  }
+  const Label epilogue = epilogue_labels_[index];
+  Label exit_branch;   // bound after ret when used
+  Label cold_label;
+
+  // Distribute constructs across blocks deterministically.
+  const int call_block = blocks > 1 ? 0 : 0;
+  const int table_block = fn.jump_table_cases > 0 ? blocks / 2 : -1;
+  const int cold_block = fn.cold_part ? (blocks - 1) : -1;
+  const int stdcall_block = fn.stdcall_callee ? (blocks > 1 ? 1 : 0) : -1;
+  const int error_block = fn.error_callee ? (blocks - 1) : -1;
+  const bool has_exit_branch = fn.noreturn_callee.has_value();
+
+  if (fn.cold_part) {
+    cold_label = asm_.label();
+  }
+  if (has_exit_branch) {
+    exit_branch = asm_.label();
+  }
+
+  for (int b = 0; b < blocks; ++b) {
+    asm_.bind(block_labels[static_cast<std::size_t>(b)]);
+    emit_filler(static_cast<int>(rng_.range(2, 5)));
+
+    if (b == call_block) {
+      for (const std::size_t callee : fn.callees) {
+        FETCH_ASSERT(callee < spec_.functions.size());
+        asm_.call(entry_labels_[callee]);
+        emit_filler(1);
+      }
+      for (const std::size_t callee : fn.indirect_callees) {
+        if (spec_.functions[callee].via_rel_table) {
+          // PIC callback dispatch: index into the rel32 offset table.
+          std::size_t rel_index = 0;
+          for (std::size_t k = 0; k < rel_callbacks_.size(); ++k) {
+            if (rel_callbacks_[k] == callee) {
+              rel_index = k;
+              break;
+            }
+          }
+          asm_.mov_ri32(Reg::kRdi, static_cast<std::uint32_t>(rel_index));
+          asm_.lea(Reg::kRcx, MemRef::rip_abs(rel_table_addr_));
+          asm_.movsxd(Reg::kRdx, MemRef::sib(Reg::kRcx, Reg::kRdi, 4));
+          asm_.add_rr(Reg::kRdx, Reg::kRcx);
+          asm_.call_reg(Reg::kRdx);
+        } else {
+          asm_.mov_rm(Reg::kRax, MemRef::rip_abs(slot_addr(callee)));
+          asm_.call_reg(Reg::kRax);
+        }
+        emit_filler(1);
+      }
+    }
+
+    if (b == stdcall_block && fn.stdcall_callee) {
+      // Call to a callee that pops its own arguments (`ret 16`). Static
+      // stack analyses that do not model callee pops go wrong here: in
+      // the guarded variant the join of the two paths conflicts (ANGR
+      // loses recall, DYNINST keeps one — possibly wrong — value); in
+      // the unguarded variant every downstream height is simply wrong
+      // for both (Table IV's precision loss). CFI records the truth.
+      const bool guarded = rng_.chance(0.5);
+      Label skip;
+      if (guarded) {
+        skip = asm_.label();
+        asm_.test_rr(Reg::kRdi, Reg::kRdi);
+        asm_.jcc(Cond::kE, skip);
+      }
+      asm_.sub_ri(Reg::kRsp, 16);
+      height += 16;
+      cfi.height_change(height);
+      asm_.mov_mr(MemRef::at(Reg::kRsp, 0), Reg::kRdi);
+      asm_.mov_mr(MemRef::at(Reg::kRsp, 8), Reg::kRsi);
+      asm_.call(entry_labels_[*fn.stdcall_callee]);
+      height -= 16;  // callee popped the arguments (ret 16)
+      cfi.height_change(height);
+      if (guarded) {
+        asm_.bind(skip);
+      }
+    }
+
+    if (b == table_block) {
+      const int cases = fn.jump_table_cases;
+      const std::uint64_t table_addr =
+          alloc_table(static_cast<std::size_t>(cases));
+      std::vector<Label> case_labels(static_cast<std::size_t>(cases));
+      for (auto& l : case_labels) {
+        l = asm_.label();
+      }
+      Label join = asm_.label();
+      asm_.cmp_ri(Reg::kRdi, cases - 1);
+      asm_.jcc(Cond::kA, join);
+      asm_.lea(Reg::kRcx, MemRef::rip_abs(table_addr));
+      asm_.movsxd(Reg::kRdx, MemRef::sib(Reg::kRcx, Reg::kRdi, 4));
+      asm_.add_rr(Reg::kRdx, Reg::kRcx);
+      asm_.jmp_reg(Reg::kRdx);
+      for (int c = 0; c < cases; ++c) {
+        asm_.bind(case_labels[static_cast<std::size_t>(c)]);
+        emit_filler(2);
+        if (c + 1 != cases) {
+          asm_.jmp(join);
+        }
+      }
+      asm_.bind(join);
+      tables_.push_back({table_addr, std::move(case_labels)});
+    }
+
+    if (b == cold_block && fn.cold_part) {
+      // Conditional jump to the distant cold part (Figure 6a shape). The
+      // stack height here is nonzero, so Algorithm 1 can prove this is not
+      // a tail call and merge the parts.
+      Label resume = asm_.label();
+      asm_.test_rr(Reg::kRsi, Reg::kRsi);
+      asm_.jcc(Cond::kE, cold_label);
+      asm_.bind(resume);
+      colds_.push_back({index, cold_label, resume, height, fn.frame_pointer});
+    }
+
+    if (b == error_block && fn.error_callee) {
+      if (fn.error_arg_zero) {
+        // error(0, ...): provably returns; plain inline call.
+        asm_.mov_ri32(Reg::kRdi, 0);
+        asm_.call(entry_labels_[*fn.error_callee]);
+      } else {
+        // if (cond) error(2, ...): the call never returns, but the guard
+        // keeps the function itself returning (gcc's usual shape).
+        Label skip = asm_.label();
+        asm_.test_rr(Reg::kRdi, Reg::kRdi);
+        asm_.jcc(Cond::kE, skip);
+        asm_.mov_ri32(Reg::kRdi, 2);
+        asm_.call(entry_labels_[*fn.error_callee]);
+        asm_.bind(skip);
+      }
+    }
+
+    if (fn.long_backward_jump && b == 0) {
+      // do { ... } while-style loop with an unconditional backward jmp —
+      // fodder for the unsafe tail-call heuristics.
+      Label head = asm_.label();
+      Label out = asm_.label();
+      asm_.mov_ri32(Reg::kRcx, 8);
+      asm_.bind(head);
+      emit_filler(4);
+      asm_.sub_ri(Reg::kRcx, 1);
+      asm_.test_rr(Reg::kRcx, Reg::kRcx);
+      asm_.jcc_short(Cond::kE, out);
+      asm_.jmp(head);  // near form: the tail-call heuristics key on it
+      asm_.bind(out);
+    }
+
+    if (has_exit_branch && b == blocks / 2) {
+      asm_.test_rr(Reg::kRdx, Reg::kRdx);
+      asm_.jcc(Cond::kNe, exit_branch);
+    }
+
+    // Block chaining: occasionally a forward conditional edge, always a
+    // fall-through into the next block. Tests an argument register — a
+    // genuine function never reads an uninitialized non-argument register
+    // (the §IV-E calling-convention rule holds for compiler output).
+    if (b + 1 < blocks && rng_.chance(0.4)) {
+      asm_.test_rr(Reg::kR8, Reg::kR8);
+      asm_.jcc(Cond::kE,
+               block_labels[static_cast<std::size_t>(
+                   rng_.range(static_cast<std::uint64_t>(b) + 1,
+                              static_cast<std::uint64_t>(blocks) - 1))]);
+    }
+  }
+
+  // --- Epilogue ---------------------------------------------------------------
+  asm_.bind(epilogue);
+  const bool has_tail_region = has_exit_branch;
+  if (has_tail_region) {
+    cfi.remember();
+  }
+  if (fn.frame_size != 0) {
+    asm_.add_ri(Reg::kRsp, static_cast<std::int32_t>(fn.frame_size));
+    height -= fn.frame_size;
+    cfi.height_change(height);
+  }
+  for (auto it = fn.saves.rbegin(); it != fn.saves.rend(); ++it) {
+    asm_.pop(*it);
+    height -= 8;
+    cfi.height_change(height);
+  }
+  if (fn.frame_pointer) {
+    asm_.leave();
+    height = 0;
+    cfi.back_to_rsp_after_leave();
+  }
+  if (fn.tail_callee) {
+    asm_.jmp(entry_labels_[*fn.tail_callee]);  // stack height 0: tail call
+  } else {
+    asm_.xor_rr(Reg::kRax, Reg::kRax);
+    asm_.ret();
+  }
+
+  // --- Out-of-line exit branch (after ret; still inside the FDE) --------------
+  if (has_exit_branch) {
+    cfi.restore();
+    asm_.bind(exit_branch);
+    emit_filler(1);
+    asm_.call(entry_labels_[*fn.noreturn_callee]);
+    // Nothing follows: the callee never returns (padding comes next).
+  }
+
+  fn_ends_[index] = asm_.pc();
+  if (fn.has_fde) {
+    PendingFdePart part{entry, asm_.pc(), cfi.take_ops(), false, 0};
+    if (spec_.cxx && fn.error_callee) {
+      // Exception-handling function: "zPLR" CIE + LSDA (C++ style).
+      part.cxx = true;
+      part.lsda = alloc_table(2);  // 8 bytes of (empty) LSDA in .rodata
+    }
+    fde_parts_.push_back(std::move(part));
+  }
+}
+
+void Emitter::emit_cold_part(const PendingCold& cold) {
+  const FunctionSpec& fn = spec_.functions[cold.fn_index];
+  emit_padding();
+  asm_.bind(cold.entry);
+  const std::uint64_t start = asm_.pc();
+
+  truth_.cold_parts[start] = fn_entries_[cold.fn_index];
+  truth_.named[fn.name + ".cold"] = start;
+  if (fn.frame_pointer) {
+    truth_.incomplete_cfi_cold_parts.insert(start);
+  }
+
+  CfiTracker cfi(asm_, start, cold.height);
+  if (cold.frame_pointer) {
+    cfi.set_entry_cfa_rbp();
+  } else {
+    cfi.set_entry_cfa_rsp();
+  }
+
+  emit_filler(static_cast<int>(rng_.range(3, 8)));
+  asm_.jmp(cold.resume);
+
+  if (fn.has_fde) {
+    fde_parts_.push_back({start, asm_.pc(), cfi.take_ops()});
+  }
+  cold_symbols_.emplace_back(fn.name + ".cold", start);
+}
+
+SynthBinary Emitter::run() {
+  const std::size_t n = spec_.functions.size();
+  FETCH_ASSERT(n > 0);
+  entry_labels_.resize(n);
+  epilogue_labels_.resize(n);
+  fn_entries_.assign(n, 0);
+  fn_ends_.assign(n, 0);
+  for (auto& l : entry_labels_) {
+    l = asm_.label();
+  }
+  for (auto& l : epilogue_labels_) {
+    l = asm_.label();
+  }
+  // Pointer-slot / rel-table layout must be known before emission
+  // (RIP-relative loads reference them).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (spec_.functions[i].role == Role::kIndirectOnly) {
+      if (spec_.functions[i].via_rel_table) {
+        rel_callbacks_.push_back(i);
+      } else {
+        indirect_slots_.push_back(i);
+      }
+    }
+  }
+  // Slot layout: every third slot sits at an odd offset (packed-struct
+  // field) — only the sliding-window pointer scan can see those.
+  {
+    std::uint64_t cursor = 0;
+    for (std::size_t k = 0; k < indirect_slots_.size(); ++k) {
+      if (k % 3 == 1) {
+        cursor += 1;
+      }
+      slot_offsets_.push_back(cursor);
+      cursor += 8;
+    }
+  }
+  if (!rel_callbacks_.empty()) {
+    rel_table_addr_ = alloc_table(rel_callbacks_.size());
+    std::vector<Label> targets;
+    targets.reserve(rel_callbacks_.size());
+    for (const std::size_t idx : rel_callbacks_) {
+      targets.push_back(entry_labels_[idx]);
+    }
+    tables_.push_back({rel_table_addr_, std::move(targets)});
+  }
+
+  // Group blobs by position.
+  std::map<std::size_t, std::vector<const DataBlobSpec*>> blob_at;
+  for (const DataBlobSpec& blob : spec_.blobs) {
+    blob_at[blob.after_function].push_back(&blob);
+  }
+
+  // Hot parts in order, then cold parts (like .text.unlikely).
+  for (std::size_t i = 0; i < n; ++i) {
+    emit_function(i);
+    const auto it = blob_at.find(i);
+    if (it != blob_at.end()) {
+      for (const DataBlobSpec* blob : it->second) {
+        emit_padding();
+        emit_blob(*blob);
+      }
+    }
+  }
+  for (const PendingCold& cold : colds_) {
+    emit_cold_part(cold);
+  }
+  emit_padding();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    truth_.hot_ranges[fn_entries_[i]] = fn_ends_[i];
+  }
+
+  // Identify tail-call-only-single targets: referenced by exactly one
+  // function's tail jump and nothing else.
+  {
+    std::map<std::size_t, int> tail_refs;
+    std::map<std::size_t, int> other_refs;
+    for (const FunctionSpec& fn : spec_.functions) {
+      if (fn.tail_callee) {
+        ++tail_refs[*fn.tail_callee];
+      }
+      for (const std::size_t c : fn.callees) {
+        ++other_refs[c];
+      }
+      if (fn.noreturn_callee) {
+        ++other_refs[*fn.noreturn_callee];
+      }
+      if (fn.error_callee) {
+        ++other_refs[*fn.error_callee];
+      }
+      if (fn.stdcall_callee) {
+        ++other_refs[*fn.stdcall_callee];
+      }
+    }
+    for (const auto& [idx, count] : tail_refs) {
+      if (count == 1 && other_refs[idx] == 0 &&
+          spec_.functions[idx].role != Role::kIndirectOnly) {
+        truth_.tail_only_single.insert(fn_entries_[idx]);
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> text = asm_.finish();
+
+  // --- .rodata: jump tables (rel32 entries, PIC style) ------------------------
+  ByteWriter rodata;
+  rodata.pad(rodata_cursor_);
+  auto rodata_bytes = rodata.take();
+  for (const PendingTable& table : tables_) {
+    for (std::size_t e = 0; e < table.targets.size(); ++e) {
+      const std::uint64_t target = asm_.address_of(table.targets[e]);
+      const std::int64_t rel = static_cast<std::int64_t>(target) -
+                               static_cast<std::int64_t>(table.table_addr);
+      const auto v =
+          static_cast<std::uint32_t>(static_cast<std::int32_t>(rel));
+      const std::size_t off =
+          (table.table_addr - layout_.rodata) + e * 4;
+      std::memcpy(rodata_bytes.data() + off, &v, 4);
+    }
+  }
+
+  // --- .data: function-pointer slots + decoys ---------------------------------
+  ByteWriter data;
+  for (std::size_t k = 0; k < indirect_slots_.size(); ++k) {
+    data.pad(slot_offsets_[k] - data.size());
+    data.u64(fn_entries_[indirect_slots_[k]]);
+  }
+  // Decoy pointers that the probe must reject or skip: a mid-function
+  // address, a data-section address, and a non-address value.
+  if (!fn_entries_.empty() && fn_ends_[0] > fn_entries_[0] + 4) {
+    data.u64(fn_entries_[0] + 3);  // middle of an instruction, typically
+  }
+  data.u64(layout_.data);
+  data.u64(0x1122334455667788ULL);
+
+  // --- .eh_frame ----------------------------------------------------------------
+  eh::EhFrameBuilder ehb;
+  // Personality routine stand-in (__gxx_personality_v0 equivalent): the
+  // error-like library function.
+  ehb.set_personality(fn_entries_[2]);
+  std::sort(fde_parts_.begin(), fde_parts_.end(),
+            [](const PendingFdePart& a, const PendingFdePart& b) {
+              return a.start < b.start;
+            });
+  for (PendingFdePart& part : fde_parts_) {
+    if (part.cxx) {
+      ehb.add_fde_with_lsda(part.start, part.end - part.start,
+                            std::move(part.ops), part.lsda);
+    } else {
+      ehb.add_fde(part.start, part.end - part.start, std::move(part.ops));
+    }
+  }
+  std::vector<std::uint8_t> eh_bytes = ehb.build(layout_.eh_frame);
+  // .eh_frame_hdr: the binary-search index the runtime uses (T1).
+  const eh::EhFrame parsed_eh =
+      eh::EhFrame::parse({eh_bytes.data(), eh_bytes.size()},
+                         layout_.eh_frame);
+  std::vector<std::uint8_t> hdr_bytes = eh::build_eh_frame_hdr(
+      parsed_eh, layout_.eh_frame, layout_.eh_frame_hdr);
+
+  // --- ELF assembly ---------------------------------------------------------------
+  elf::ElfBuilder builder;
+  const std::uint16_t text_idx = builder.add_section(
+      ".text", elf::kShtProgbits, elf::kShfAlloc | elf::kShfExecinstr,
+      layout_.text, std::move(text), 16);
+  builder.add_section(".eh_frame_hdr", elf::kShtProgbits, elf::kShfAlloc,
+                      layout_.eh_frame_hdr, std::move(hdr_bytes), 4);
+  builder.add_section(".eh_frame", elf::kShtProgbits, elf::kShfAlloc,
+                      layout_.eh_frame, std::move(eh_bytes), 8);
+  if (!rodata_bytes.empty()) {
+    builder.add_section(".rodata", elf::kShtProgbits, elf::kShfAlloc,
+                        layout_.rodata, std::move(rodata_bytes), 8);
+  }
+  builder.add_section(".data", elf::kShtProgbits,
+                      elf::kShfAlloc | elf::kShfWrite, layout_.data,
+                      data.take(), 8);
+
+  builder.emit_symtab(!spec_.stripped);
+  if (!spec_.stripped) {
+    for (std::size_t i = 0; i < n; ++i) {
+      builder.add_symbol(spec_.functions[i].name, fn_entries_[i],
+                         fn_ends_[i] - fn_entries_[i],
+                         elf::sym_info(elf::kStbGlobal, elf::kSttFunc),
+                         text_idx);
+    }
+    for (const auto& [name, addr] : cold_symbols_) {
+      builder.add_symbol(name, addr, 0,
+                         elf::sym_info(elf::kStbLocal, elf::kSttFunc),
+                         text_idx);
+    }
+  }
+
+  // Entry point: main (function 0 by convention).
+  builder.set_entry(fn_entries_[0]);
+
+  SynthBinary out;
+  out.name = spec_.name;
+  out.compiler = spec_.compiler;
+  out.opt = spec_.opt;
+  out.image = builder.build();
+  out.truth = std::move(truth_);
+  return out;
+}
+
+}  // namespace
+
+SynthBinary generate(const ProgramSpec& spec, const Layout& layout) {
+  Emitter emitter(spec, layout);
+  return emitter.run();
+}
+
+}  // namespace fetch::synth

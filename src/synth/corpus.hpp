@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file corpus.hpp
+/// Corpus definitions mirroring the paper's datasets:
+///  * make_corpus() — the "self-built" set (Table II): one binary per
+///    project × compiler {gcc, llvm} × optimization {O2, O3, Os, Ofast},
+///    with per-project size/assembly characteristics and per-opt-level
+///    rates for the constructs the experiments measure (cold splitting,
+///    tail calls, frame pointers, ...).
+///  * make_wild_suite() — the "wild" set (Table I): assorted C/C++
+///    programs, some stripped of symbols.
+///
+/// Everything is deterministic: the spec for (project, compiler, opt) is a
+/// pure function of its fixed seed.
+
+#include <string>
+#include <vector>
+
+#include "synth/spec.hpp"
+
+namespace fetch::synth {
+
+/// Generation-rate profile (one per compiler × opt level, scaled by
+/// project factors).
+struct Profile {
+  std::string compiler = "gcc";
+  std::string opt = "O2";
+  double cold_prob = 0.06;        ///< P(function has a cold part)
+  double frame_ptr_prob = 0.10;   ///< P(frame pointer → incomplete CFI)
+  double tail_prob = 0.08;        ///< P(function ends in a tail call)
+  double tail_only_pair_rate = 0.002;  ///< fraction of tail-only pairs
+  double indirect_rate = 0.012;   ///< fraction of indirect-only functions
+  double unreachable_rate = 0.008; ///< × project asm_factor (0 for most)
+  double asm_prob = 0.005;        ///< P(function lacks an FDE) × project factor
+  double jump_table_prob = 0.08;
+  double noreturn_branch_prob = 0.12;
+  double error_call_prob = 0.06;
+  double stdcall_prob = 0.04;
+  double loop_prob = 0.25;
+  double blob_prob = 0.06;        ///< P(data blob after a function)
+  double thunk_prob = 0.012;      ///< P(shared-tail trampoline function)
+  double nop_entry_prob = 0.03;   ///< P(patchable nop-sled entry)
+  int min_funcs = 40;
+  int max_funcs = 90;
+  bool int3_padding = false;
+};
+
+/// Profile for a compiler/opt combination (paper's O2/O3/Os/Ofast × GCC/LLVM).
+[[nodiscard]] Profile profile_for(const std::string& compiler,
+                                  const std::string& opt);
+
+/// One project row of Table II.
+struct ProjectDef {
+  std::string name;
+  std::string type;     ///< Utilities / Client / Server / Library / Benchmark
+  std::string lang;     ///< C or C++
+  double size_factor;   ///< multiplies function counts
+  double asm_factor;    ///< multiplies asm_prob (0 = no hand-written asm)
+};
+
+[[nodiscard]] const std::vector<ProjectDef>& projects();
+
+/// Deterministically builds the ProgramSpec for one corpus binary.
+[[nodiscard]] ProgramSpec make_program(const ProjectDef& project,
+                                       const Profile& profile,
+                                       std::uint64_t seed);
+
+/// The full self-built corpus: projects() × {gcc,llvm} × {O2,O3,Os,Ofast}.
+[[nodiscard]] std::vector<ProgramSpec> make_corpus();
+
+/// One wild binary description (Table I).
+struct WildDef {
+  std::string name;
+  std::string lang;   ///< C or C++
+  bool open_source;
+  bool has_symbols;   ///< stripped when false
+};
+
+[[nodiscard]] const std::vector<WildDef>& wild_defs();
+[[nodiscard]] std::vector<ProgramSpec> make_wild_suite();
+
+}  // namespace fetch::synth

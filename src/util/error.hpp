@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file error.hpp
+/// Error primitives shared by all fetch libraries.
+///
+/// Policy (see DESIGN.md): exceptions are reserved for *malformed input*
+/// (truncated ELF, bad CFI opcode stream, ...). Programming errors are
+/// contract violations checked by FETCH_ASSERT. Recoverable "not found" or
+/// "cannot decode" conditions are expressed with std::optional in APIs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fetch {
+
+/// Thrown when input bytes cannot be parsed as the expected structure.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented API precondition.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "FETCH_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace fetch
+
+/// Contract check that stays enabled in release builds. Used for internal
+/// invariants whose violation indicates a bug in fetch itself.
+#define FETCH_ASSERT(expr)                                     \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::fetch::detail::assert_fail(#expr, __FILE__, __LINE__); \
+    }                                                          \
+  } while (false)

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file interval_set.hpp
+/// Ordered set of disjoint half-open address intervals [lo, hi).
+/// Used by the disassemblers to track covered code regions and compute the
+/// "gaps" that linear-scan style heuristics operate on.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fetch {
+
+class IntervalSet {
+ public:
+  struct Interval {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;  // exclusive
+    friend bool operator==(const Interval&, const Interval&) = default;
+  };
+
+  /// Inserts [lo, hi), coalescing with any overlapping or adjacent intervals.
+  void add(std::uint64_t lo, std::uint64_t hi) {
+    if (lo >= hi) {
+      return;
+    }
+    // Find the first interval that could overlap or touch [lo, hi).
+    auto it = map_.lower_bound(lo);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= lo) {
+        it = prev;
+      }
+    }
+    while (it != map_.end() && it->first <= hi) {
+      lo = std::min(lo, it->first);
+      hi = std::max(hi, it->second);
+      it = map_.erase(it);
+    }
+    map_.emplace(lo, hi);
+  }
+
+  /// True if \p addr lies inside some interval.
+  [[nodiscard]] bool contains(std::uint64_t addr) const {
+    auto it = map_.upper_bound(addr);
+    if (it == map_.begin()) {
+      return false;
+    }
+    --it;
+    return addr >= it->first && addr < it->second;
+  }
+
+  /// True if the whole range [lo, hi) is covered by a single interval.
+  [[nodiscard]] bool covers(std::uint64_t lo, std::uint64_t hi) const {
+    if (lo >= hi) {
+      return true;
+    }
+    auto it = map_.upper_bound(lo);
+    if (it == map_.begin()) {
+      return false;
+    }
+    --it;
+    return lo >= it->first && hi <= it->second;
+  }
+
+  /// True if [lo, hi) overlaps any interval.
+  [[nodiscard]] bool intersects(std::uint64_t lo, std::uint64_t hi) const {
+    if (lo >= hi) {
+      return false;
+    }
+    auto it = map_.upper_bound(lo);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > lo) {
+        return true;
+      }
+    }
+    return it != map_.end() && it->first < hi;
+  }
+
+  [[nodiscard]] std::vector<Interval> intervals() const {
+    std::vector<Interval> out;
+    out.reserve(map_.size());
+    for (const auto& [lo, hi] : map_) {
+      out.push_back({lo, hi});
+    }
+    return out;
+  }
+
+  /// Maximal sub-ranges of [lo, hi) not covered by any interval.
+  [[nodiscard]] std::vector<Interval> gaps(std::uint64_t lo,
+                                           std::uint64_t hi) const {
+    std::vector<Interval> out;
+    std::uint64_t cursor = lo;
+    for (const auto& [ilo, ihi] : map_) {
+      if (ihi <= cursor) {
+        continue;
+      }
+      if (ilo >= hi) {
+        break;
+      }
+      if (ilo > cursor) {
+        out.push_back({cursor, std::min(ilo, hi)});
+      }
+      cursor = std::max(cursor, ihi);
+      if (cursor >= hi) {
+        break;
+      }
+    }
+    if (cursor < hi) {
+      out.push_back({cursor, hi});
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+  [[nodiscard]] std::size_t count() const { return map_.size(); }
+
+  /// Total number of addresses covered.
+  [[nodiscard]] std::uint64_t covered_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& [lo, hi] : map_) {
+      total += hi - lo;
+    }
+    return total;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> map_;  // lo -> hi
+};
+
+}  // namespace fetch

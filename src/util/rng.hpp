@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic PRNG (xoshiro256**) used by the corpus synthesizer.
+/// All randomness in fetch flows through Rng seeded explicitly, so every
+/// experiment is reproducible bit-for-bit across runs and machines.
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace fetch {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). \p bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) {
+    FETCH_ASSERT(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      const std::uint64_t r = next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    FETCH_ASSERT(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// True with probability \p p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    // 53-bit uniform double in [0,1).
+    const double u =
+        static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    return u < p;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace fetch

@@ -1,0 +1,418 @@
+#include "x86/assembler.hpp"
+
+#include <cstring>
+
+namespace fetch::x86 {
+
+namespace {
+std::uint8_t lo3(Reg r) { return static_cast<std::uint8_t>(r) & 7; }
+bool hi(Reg r) { return static_cast<std::uint8_t>(r) >= 8; }
+}  // namespace
+
+void Assembler::u32(std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf_.insert(buf_.end(), p, p + 4);
+}
+
+void Assembler::u64(std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf_.insert(buf_.end(), p, p + 8);
+}
+
+void Assembler::rex(bool w, bool r, bool x, bool b, bool force) {
+  std::uint8_t v = 0x40;
+  if (w) {
+    v |= 8;
+  }
+  if (r) {
+    v |= 4;
+  }
+  if (x) {
+    v |= 2;
+  }
+  if (b) {
+    v |= 1;
+  }
+  if (v != 0x40 || force) {
+    u8(v);
+  }
+}
+
+void Assembler::modrm_reg(std::uint8_t reg, std::uint8_t rm) {
+  u8(static_cast<std::uint8_t>(0xc0 | ((reg & 7) << 3) | (rm & 7)));
+}
+
+void Assembler::rex_rm(bool w, std::uint8_t reg, const MemRef& m) {
+  const bool r = (reg & 8) != 0;
+  const bool x = m.index && hi(*m.index);
+  const bool b = m.base && hi(*m.base);
+  rex(w, r, x, b);
+}
+
+void Assembler::modrm_mem(std::uint8_t reg, const MemRef& m) {
+  reg &= 7;
+  if (m.rip) {
+    u8(static_cast<std::uint8_t>((reg << 3) | 5));  // mod=00 rm=101
+    if (m.rip_label.valid()) {
+      fixups_.push_back({buf_.size(), m.rip_label.id, FixKind::kRel32});
+      u32(0);
+    } else {
+      // disp32 = target - next_insn_end; the displacement field is the last
+      // 4 bytes of the instruction for every form we emit (no trailing imm
+      // with RIP operands in this assembler except mov_mi32, handled there).
+      fixups_.push_back({buf_.size(), label_at(m.rip_target).id,
+                         FixKind::kRel32});
+      u32(0);
+    }
+    return;
+  }
+
+  FETCH_ASSERT(m.base.has_value());  // absolute [disp32] form not needed
+  const std::uint8_t base = lo3(*m.base);
+  const bool need_sib = m.index.has_value() || base == 4;  // rsp/r12
+  // rbp/r13 base with mod=00 means disp32/rip, so force disp8=0.
+  const bool need_disp8_zero = (base == 5) && m.disp == 0;
+
+  std::uint8_t mod;
+  if (m.disp == 0 && !need_disp8_zero) {
+    mod = 0;
+  } else if (m.disp >= -128 && m.disp <= 127) {
+    mod = 1;
+  } else {
+    mod = 2;
+  }
+
+  if (need_sib) {
+    u8(static_cast<std::uint8_t>((mod << 6) | (reg << 3) | 4));
+    std::uint8_t scale_bits = 0;
+    switch (m.scale) {
+      case 1:
+        scale_bits = 0;
+        break;
+      case 2:
+        scale_bits = 1;
+        break;
+      case 4:
+        scale_bits = 2;
+        break;
+      case 8:
+        scale_bits = 3;
+        break;
+      default:
+        FETCH_ASSERT(false && "bad scale");
+    }
+    const std::uint8_t index = m.index ? lo3(*m.index) : 4;
+    u8(static_cast<std::uint8_t>((scale_bits << 6) | (index << 3) | base));
+  } else {
+    u8(static_cast<std::uint8_t>((mod << 6) | (reg << 3) | base));
+  }
+
+  if (mod == 1) {
+    u8(static_cast<std::uint8_t>(m.disp));
+  } else if (mod == 2) {
+    u32(static_cast<std::uint32_t>(m.disp));
+  }
+}
+
+void Assembler::rel32_to(Label l) {
+  FETCH_ASSERT(l.valid());
+  fixups_.push_back({buf_.size(), l.id, FixKind::kRel32});
+  u32(0);
+}
+
+std::vector<std::uint8_t> Assembler::finish() {
+  for (const Fixup& f : fixups_) {
+    FETCH_ASSERT(labels_[f.label] != kUnbound);
+    const std::uint64_t target = labels_[f.label];
+    switch (f.kind) {
+      case FixKind::kRel32: {
+        // rel is computed from the end of the displacement field, which for
+        // all emitted forms is the end of the instruction.
+        const std::uint64_t next = base_ + f.offset + 4;
+        const std::int64_t rel =
+            static_cast<std::int64_t>(target) - static_cast<std::int64_t>(next);
+        FETCH_ASSERT(rel >= INT32_MIN && rel <= INT32_MAX);
+        const auto v = static_cast<std::uint32_t>(static_cast<std::int32_t>(rel));
+        std::memcpy(buf_.data() + f.offset, &v, 4);
+        break;
+      }
+      case FixKind::kRel8: {
+        const std::uint64_t next = base_ + f.offset + 1;
+        const std::int64_t rel =
+            static_cast<std::int64_t>(target) - static_cast<std::int64_t>(next);
+        FETCH_ASSERT(rel >= -128 && rel <= 127);
+        buf_[f.offset] = static_cast<std::uint8_t>(static_cast<std::int8_t>(rel));
+        break;
+      }
+      case FixKind::kAbs64: {
+        std::memcpy(buf_.data() + f.offset, &target, 8);
+        break;
+      }
+    }
+  }
+  fixups_.clear();
+  return std::move(buf_);
+}
+
+void Assembler::push(Reg r) {
+  rex(false, false, false, hi(r));
+  u8(static_cast<std::uint8_t>(0x50 + lo3(r)));
+}
+
+void Assembler::pop(Reg r) {
+  rex(false, false, false, hi(r));
+  u8(static_cast<std::uint8_t>(0x58 + lo3(r)));
+}
+
+void Assembler::mov_ri64(Reg r, std::uint64_t imm) {
+  rex(true, false, false, hi(r));
+  u8(static_cast<std::uint8_t>(0xb8 + lo3(r)));
+  u64(imm);
+}
+
+void Assembler::mov_ri32(Reg r, std::uint32_t imm) {
+  rex(false, false, false, hi(r));
+  u8(static_cast<std::uint8_t>(0xb8 + lo3(r)));
+  u32(imm);
+}
+
+void Assembler::mov_rr(Reg dst, Reg src) {
+  rex(true, hi(src), false, hi(dst));
+  u8(0x89);
+  modrm_reg(lo3(src), lo3(dst));
+}
+
+void Assembler::mov_rm(Reg dst, const MemRef& m) {
+  rex_rm(true, static_cast<std::uint8_t>(dst), m);
+  u8(0x8b);
+  modrm_mem(lo3(dst), m);
+}
+
+void Assembler::mov_rm32(Reg dst, const MemRef& m) {
+  rex_rm(false, static_cast<std::uint8_t>(dst), m);
+  u8(0x8b);
+  modrm_mem(lo3(dst), m);
+}
+
+void Assembler::mov_mr(const MemRef& m, Reg src) {
+  rex_rm(true, static_cast<std::uint8_t>(src), m);
+  u8(0x89);
+  modrm_mem(lo3(src), m);
+}
+
+void Assembler::mov_mi32(const MemRef& m, std::uint32_t imm) {
+  // RIP-relative displacement with a trailing immediate needs the fixup to
+  // account for the 4 imm bytes; forbid that form to keep fixups uniform.
+  FETCH_ASSERT(!m.rip);
+  rex_rm(false, 0, m);
+  u8(0xc7);
+  modrm_mem(0, m);
+  u32(imm);
+}
+
+void Assembler::lea(Reg dst, const MemRef& m) {
+  rex_rm(true, static_cast<std::uint8_t>(dst), m);
+  u8(0x8d);
+  modrm_mem(lo3(dst), m);
+}
+
+void Assembler::movsxd(Reg dst, const MemRef& m) {
+  rex_rm(true, static_cast<std::uint8_t>(dst), m);
+  u8(0x63);
+  modrm_mem(lo3(dst), m);
+}
+
+void Assembler::xor_rr(Reg dst, Reg src) {
+  rex(false, hi(src), false, hi(dst));
+  u8(0x31);
+  modrm_reg(lo3(src), lo3(dst));
+}
+
+void Assembler::add_rr(Reg dst, Reg src) {
+  rex(true, hi(src), false, hi(dst));
+  u8(0x01);
+  modrm_reg(lo3(src), lo3(dst));
+}
+
+void Assembler::sub_rr(Reg dst, Reg src) {
+  rex(true, hi(src), false, hi(dst));
+  u8(0x29);
+  modrm_reg(lo3(src), lo3(dst));
+}
+
+namespace {
+constexpr std::uint8_t kGroup1Add = 0;
+constexpr std::uint8_t kGroup1Sub = 5;
+constexpr std::uint8_t kGroup1Cmp = 7;
+}  // namespace
+
+void Assembler::add_ri(Reg r, std::int32_t imm) {
+  rex(true, false, false, hi(r));
+  if (imm >= -128 && imm <= 127) {
+    u8(0x83);
+    modrm_reg(kGroup1Add, lo3(r));
+    u8(static_cast<std::uint8_t>(imm));
+  } else {
+    u8(0x81);
+    modrm_reg(kGroup1Add, lo3(r));
+    u32(static_cast<std::uint32_t>(imm));
+  }
+}
+
+void Assembler::sub_ri(Reg r, std::int32_t imm) {
+  rex(true, false, false, hi(r));
+  if (imm >= -128 && imm <= 127) {
+    u8(0x83);
+    modrm_reg(kGroup1Sub, lo3(r));
+    u8(static_cast<std::uint8_t>(imm));
+  } else {
+    u8(0x81);
+    modrm_reg(kGroup1Sub, lo3(r));
+    u32(static_cast<std::uint32_t>(imm));
+  }
+}
+
+void Assembler::cmp_ri(Reg r, std::int32_t imm) {
+  rex(true, false, false, hi(r));
+  if (imm >= -128 && imm <= 127) {
+    u8(0x83);
+    modrm_reg(kGroup1Cmp, lo3(r));
+    u8(static_cast<std::uint8_t>(imm));
+  } else {
+    u8(0x81);
+    modrm_reg(kGroup1Cmp, lo3(r));
+    u32(static_cast<std::uint32_t>(imm));
+  }
+}
+
+void Assembler::cmp_rr(Reg a, Reg b) {
+  rex(true, hi(b), false, hi(a));
+  u8(0x39);
+  modrm_reg(lo3(b), lo3(a));
+}
+
+void Assembler::test_rr(Reg a, Reg b) {
+  rex(true, hi(b), false, hi(a));
+  u8(0x85);
+  modrm_reg(lo3(b), lo3(a));
+}
+
+void Assembler::imul_rr(Reg dst, Reg src) {
+  rex(true, hi(dst), false, hi(src));
+  u8(0x0f);
+  u8(0xaf);
+  modrm_reg(lo3(dst), lo3(src));
+}
+
+void Assembler::shl_ri(Reg r, std::uint8_t imm) {
+  rex(true, false, false, hi(r));
+  u8(0xc1);
+  modrm_reg(4, lo3(r));
+  u8(imm);
+}
+
+void Assembler::call(Label target) {
+  u8(0xe8);
+  rel32_to(target);
+}
+
+void Assembler::call_abs(std::uint64_t target) { call(label_at(target)); }
+
+void Assembler::call_reg(Reg r) {
+  rex(false, false, false, hi(r));
+  u8(0xff);
+  modrm_reg(2, lo3(r));
+}
+
+void Assembler::call_mem(const MemRef& m) {
+  rex_rm(false, 2, m);
+  u8(0xff);
+  modrm_mem(2, m);
+}
+
+void Assembler::jmp(Label target) {
+  u8(0xe9);
+  rel32_to(target);
+}
+
+void Assembler::jmp_abs(std::uint64_t target) { jmp(label_at(target)); }
+
+void Assembler::jmp_short(Label target) {
+  FETCH_ASSERT(target.valid());
+  u8(0xeb);
+  fixups_.push_back({buf_.size(), target.id, FixKind::kRel8});
+  u8(0);
+}
+
+void Assembler::jcc_short(Cond cc, Label target) {
+  FETCH_ASSERT(target.valid());
+  u8(static_cast<std::uint8_t>(0x70 + static_cast<std::uint8_t>(cc)));
+  fixups_.push_back({buf_.size(), target.id, FixKind::kRel8});
+  u8(0);
+}
+
+void Assembler::jmp_reg(Reg r) {
+  rex(false, false, false, hi(r));
+  u8(0xff);
+  modrm_reg(4, lo3(r));
+}
+
+void Assembler::jcc(Cond cc, Label target) {
+  u8(0x0f);
+  u8(static_cast<std::uint8_t>(0x80 + static_cast<std::uint8_t>(cc)));
+  rel32_to(target);
+}
+
+void Assembler::ret() { u8(0xc3); }
+void Assembler::leave() { u8(0xc9); }
+
+void Assembler::nop(std::size_t bytes) {
+  // Canonical multi-byte nop sequences, as emitted by GNU as.
+  while (bytes > 0) {
+    switch (bytes) {
+      case 1:
+        raw({0x90});
+        return;
+      case 2:
+        raw({0x66, 0x90});
+        return;
+      case 3:
+        raw({0x0f, 0x1f, 0x00});
+        return;
+      case 4:
+        raw({0x0f, 0x1f, 0x40, 0x00});
+        return;
+      case 5:
+        raw({0x0f, 0x1f, 0x44, 0x00, 0x00});
+        return;
+      case 6:
+        raw({0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00});
+        return;
+      case 7:
+        raw({0x0f, 0x1f, 0x80, 0x00, 0x00, 0x00, 0x00});
+        return;
+      default:
+        raw({0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00});
+        bytes -= 8;
+        break;
+    }
+  }
+}
+
+void Assembler::int3() { u8(0xcc); }
+
+void Assembler::ud2() {
+  u8(0x0f);
+  u8(0x0b);
+}
+
+void Assembler::hlt() { u8(0xf4); }
+
+void Assembler::endbr64() { raw({0xf3, 0x0f, 0x1e, 0xfa}); }
+
+void Assembler::syscall() {
+  u8(0x0f);
+  u8(0x05);
+}
+
+}  // namespace fetch::x86

@@ -1,0 +1,1210 @@
+#include "x86/decoder.hpp"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+
+namespace fetch::x86 {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Opcode attribute tables.
+// ---------------------------------------------------------------------------
+
+enum : std::uint16_t {
+  kInvalid = 1u << 0,   // not a valid opcode in 64-bit mode
+  kModRM = 1u << 1,     // has ModRM byte
+  kImm8 = 1u << 2,      // 1-byte immediate
+  kImm16 = 1u << 3,     // 2-byte immediate
+  kImmZ = 1u << 4,      // 4-byte imm (2 with 66 prefix)
+  kImmV = 1u << 5,      // B8+r style: 8 with REX.W, 2 with 66, else 4
+  kRel8 = 1u << 6,      // 1-byte relative branch displacement
+  kRel32 = 1u << 7,     // 4-byte relative branch displacement
+  kMoffs = 1u << 8,     // 8-byte absolute moffs (A0-A3 in 64-bit mode)
+  kImm16_8 = 1u << 9,   // enter: imm16 + imm8
+  kPrefix = 1u << 10,   // legacy prefix byte (consumed before opcode)
+};
+
+using Attr = std::uint16_t;
+
+// One-byte opcode map.
+constexpr std::array<Attr, 256> make_map1() {
+  std::array<Attr, 256> t{};
+  // 00-3F: eight arithmetic groups of the pattern
+  //   /r Eb,Gb | /r Ev,Gv | /r Gb,Eb | /r Gv,Ev | AL,ib | rAX,iz | inv | inv
+  for (int g = 0; g < 8; ++g) {
+    const int base = g * 8;
+    t[base + 0] = kModRM;
+    t[base + 1] = kModRM;
+    t[base + 2] = kModRM;
+    t[base + 3] = kModRM;
+    t[base + 4] = kImm8;
+    t[base + 5] = kImmZ;
+    t[base + 6] = kInvalid;  // push es/... removed in 64-bit
+    t[base + 7] = kInvalid;
+  }
+  // 26/2E/36/3E are segment-override prefixes (valid), 27/2F/37/3F invalid.
+  t[0x26] = kPrefix;
+  t[0x2e] = kPrefix;
+  t[0x36] = kPrefix;
+  t[0x3e] = kPrefix;
+  t[0x27] = kInvalid;
+  t[0x2f] = kInvalid;
+  t[0x37] = kInvalid;
+  t[0x3f] = kInvalid;
+  // 40-4F REX: handled as prefixes before table lookup; mark invalid here so
+  // a REX byte in opcode position (i.e. after another REX) fails cleanly.
+  for (int i = 0x40; i <= 0x4f; ++i) {
+    t[i] = kInvalid;
+  }
+  for (int i = 0x50; i <= 0x5f; ++i) {
+    t[i] = 0;  // push/pop r64
+  }
+  t[0x60] = kInvalid;
+  t[0x61] = kInvalid;
+  t[0x62] = kInvalid;  // EVEX not supported
+  t[0x63] = kModRM;    // movsxd
+  t[0x64] = kPrefix;   // fs
+  t[0x65] = kPrefix;   // gs
+  t[0x66] = kPrefix;   // operand size
+  t[0x67] = kPrefix;   // address size
+  t[0x68] = kImmZ;     // push iz
+  t[0x69] = kModRM | kImmZ;
+  t[0x6a] = kImm8;  // push ib
+  t[0x6b] = kModRM | kImm8;
+  t[0x6c] = 0;  // ins/outs
+  t[0x6d] = 0;
+  t[0x6e] = 0;
+  t[0x6f] = 0;
+  for (int i = 0x70; i <= 0x7f; ++i) {
+    t[i] = kRel8;  // jcc rel8
+  }
+  t[0x80] = kModRM | kImm8;
+  t[0x81] = kModRM | kImmZ;
+  t[0x82] = kInvalid;
+  t[0x83] = kModRM | kImm8;
+  t[0x84] = kModRM;
+  t[0x85] = kModRM;
+  t[0x86] = kModRM;
+  t[0x87] = kModRM;
+  t[0x88] = kModRM;
+  t[0x89] = kModRM;
+  t[0x8a] = kModRM;
+  t[0x8b] = kModRM;
+  t[0x8c] = kModRM;
+  t[0x8d] = kModRM;  // lea
+  t[0x8e] = kModRM;
+  t[0x8f] = kModRM;  // pop r/m
+  for (int i = 0x90; i <= 0x97; ++i) {
+    t[i] = 0;  // xchg rAX / nop
+  }
+  t[0x98] = 0;
+  t[0x99] = 0;
+  t[0x9a] = kInvalid;
+  t[0x9b] = 0;
+  t[0x9c] = 0;
+  t[0x9d] = 0;
+  t[0x9e] = 0;
+  t[0x9f] = 0;
+  t[0xa0] = kMoffs;
+  t[0xa1] = kMoffs;
+  t[0xa2] = kMoffs;
+  t[0xa3] = kMoffs;
+  t[0xa4] = 0;  // movs
+  t[0xa5] = 0;
+  t[0xa6] = 0;  // cmps
+  t[0xa7] = 0;
+  t[0xa8] = kImm8;  // test al, ib
+  t[0xa9] = kImmZ;  // test rAX, iz
+  t[0xaa] = 0;
+  t[0xab] = 0;
+  t[0xac] = 0;
+  t[0xad] = 0;
+  t[0xae] = 0;
+  t[0xaf] = 0;
+  for (int i = 0xb0; i <= 0xb7; ++i) {
+    t[i] = kImm8;  // mov r8, ib
+  }
+  for (int i = 0xb8; i <= 0xbf; ++i) {
+    t[i] = kImmV;  // mov r, iv
+  }
+  t[0xc0] = kModRM | kImm8;
+  t[0xc1] = kModRM | kImm8;
+  t[0xc2] = kImm16;  // ret iw
+  t[0xc3] = 0;       // ret
+  t[0xc4] = kInvalid;  // VEX: handled before table lookup
+  t[0xc5] = kInvalid;  // VEX
+  t[0xc6] = kModRM | kImm8;
+  t[0xc7] = kModRM | kImmZ;
+  t[0xc8] = kImm16_8;  // enter
+  t[0xc9] = 0;         // leave
+  t[0xca] = kImm16;
+  t[0xcb] = 0;
+  t[0xcc] = 0;  // int3
+  t[0xcd] = kImm8;
+  t[0xce] = kInvalid;
+  t[0xcf] = 0;  // iret
+  t[0xd0] = kModRM;
+  t[0xd1] = kModRM;
+  t[0xd2] = kModRM;
+  t[0xd3] = kModRM;
+  t[0xd4] = kInvalid;
+  t[0xd5] = kInvalid;
+  t[0xd6] = kInvalid;
+  t[0xd7] = 0;  // xlat
+  for (int i = 0xd8; i <= 0xdf; ++i) {
+    t[i] = kModRM;  // x87
+  }
+  t[0xe0] = kRel8;  // loopne
+  t[0xe1] = kRel8;  // loope
+  t[0xe2] = kRel8;  // loop
+  t[0xe3] = kRel8;  // jrcxz
+  t[0xe4] = kImm8;  // in
+  t[0xe5] = kImm8;
+  t[0xe6] = kImm8;  // out
+  t[0xe7] = kImm8;
+  t[0xe8] = kRel32;  // call
+  t[0xe9] = kRel32;  // jmp
+  t[0xea] = kInvalid;
+  t[0xeb] = kRel8;  // jmp short
+  t[0xec] = 0;
+  t[0xed] = 0;
+  t[0xee] = 0;
+  t[0xef] = 0;
+  t[0xf0] = kPrefix;  // lock
+  t[0xf1] = 0;        // int1
+  t[0xf2] = kPrefix;
+  t[0xf3] = kPrefix;
+  t[0xf4] = 0;  // hlt
+  t[0xf5] = 0;
+  t[0xf6] = kModRM;  // group3: /0,/1 take ib (handled specially)
+  t[0xf7] = kModRM;  // group3: /0,/1 take iz (handled specially)
+  t[0xf8] = 0;
+  t[0xf9] = 0;
+  t[0xfa] = 0;
+  t[0xfb] = 0;
+  t[0xfc] = 0;
+  t[0xfd] = 0;
+  t[0xfe] = kModRM;
+  t[0xff] = kModRM;  // group5
+  return t;
+}
+
+// Two-byte (0F xx) opcode map.
+constexpr std::array<Attr, 256> make_map2() {
+  std::array<Attr, 256> t{};
+  // Default: most of the map is ModRM-bearing SSE/system instructions.
+  for (auto& a : t) {
+    a = kModRM;
+  }
+  t[0x04] = kInvalid;
+  t[0x05] = 0;  // syscall
+  t[0x06] = 0;  // clts
+  t[0x07] = 0;  // sysret
+  t[0x08] = 0;
+  t[0x09] = 0;
+  t[0x0a] = kInvalid;
+  t[0x0b] = 0;  // ud2
+  t[0x0c] = kInvalid;
+  t[0x0e] = 0;
+  t[0x0f] = kInvalid;  // 3DNow! unsupported
+  t[0x26] = kInvalid;
+  t[0x30] = 0;  // wrmsr
+  t[0x31] = 0;  // rdtsc
+  t[0x32] = 0;  // rdmsr
+  t[0x33] = 0;  // rdpmc
+  t[0x34] = 0;  // sysenter
+  t[0x35] = 0;  // sysexit
+  t[0x36] = kInvalid;
+  t[0x37] = 0;  // getsec
+  t[0x38] = kInvalid;  // escape: handled before lookup
+  t[0x39] = kInvalid;
+  t[0x3a] = kInvalid;  // escape: handled before lookup
+  t[0x3b] = kInvalid;
+  t[0x3c] = kInvalid;
+  t[0x3d] = kInvalid;
+  t[0x3e] = kInvalid;
+  t[0x3f] = kInvalid;
+  t[0x70] = kModRM | kImm8;  // pshufw/pshufd
+  t[0x71] = kModRM | kImm8;  // group12
+  t[0x72] = kModRM | kImm8;  // group13
+  t[0x73] = kModRM | kImm8;  // group14
+  t[0x77] = 0;               // emms
+  for (int i = 0x80; i <= 0x8f; ++i) {
+    t[i] = kRel32;  // jcc rel32
+  }
+  t[0xa0] = 0;  // push fs
+  t[0xa1] = 0;  // pop fs
+  t[0xa2] = 0;  // cpuid
+  t[0xa4] = kModRM | kImm8;  // shld ib
+  t[0xa6] = kInvalid;
+  t[0xa7] = kInvalid;
+  t[0xa8] = 0;  // push gs
+  t[0xa9] = 0;  // pop gs
+  t[0xaa] = 0;  // rsm
+  t[0xac] = kModRM | kImm8;  // shrd ib
+  t[0xb8] = kModRM;          // popcnt (F3) / jmpe
+  t[0xba] = kModRM | kImm8;  // group8 bt
+  t[0xc2] = kModRM | kImm8;  // cmpps
+  t[0xc4] = kModRM | kImm8;  // pinsrw
+  t[0xc5] = kModRM | kImm8;  // pextrw
+  t[0xc6] = kModRM | kImm8;  // shufps
+  for (int i = 0xc8; i <= 0xcf; ++i) {
+    t[i] = 0;  // bswap
+  }
+  t[0xff] = kInvalid;  // ud0
+  return t;
+}
+
+constexpr std::array<Attr, 256> kMap1 = make_map1();
+constexpr std::array<Attr, 256> kMap2 = make_map2();
+
+struct Prefixes {
+  bool opsize66 = false;
+  bool addr67 = false;
+  bool rep_f3 = false;
+  bool repn_f2 = false;
+  bool lock = false;
+  std::uint8_t rex = 0;  // 0 when absent
+
+  [[nodiscard]] bool rex_w() const { return (rex & 0x08) != 0; }
+  [[nodiscard]] bool rex_r() const { return (rex & 0x04) != 0; }
+  [[nodiscard]] bool rex_x() const { return (rex & 0x02) != 0; }
+  [[nodiscard]] bool rex_b() const { return (rex & 0x01) != 0; }
+};
+
+struct ModRM {
+  std::uint8_t mod = 0;
+  std::uint8_t reg = 0;  // includes REX.R extension
+  std::uint8_t rm = 0;   // includes REX.B extension (register form only)
+  bool has_mem = false;
+  MemOperand mem;
+};
+
+/// Streaming byte reader local to the decoder (never throws; reports
+/// truncation through ok()).
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+  std::uint8_t u8() {
+    if (pos_ + 1 > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16() { return fetch<std::uint16_t>(); }
+  std::uint32_t u32() { return fetch<std::uint32_t>(); }
+  std::uint64_t u64() { return fetch<std::uint64_t>(); }
+
+  std::uint8_t peek() {
+    if (pos_ >= bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return bytes_[pos_];
+  }
+
+ private:
+  template <class T>
+  T fetch() {
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::optional<ModRM> parse_modrm(Reader& r, const Prefixes& pfx) {
+  ModRM out;
+  const std::uint8_t byte = r.u8();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  out.mod = byte >> 6;
+  out.reg = ((byte >> 3) & 7) | (pfx.rex_r() ? 8 : 0);
+  const std::uint8_t rm_low = byte & 7;
+
+  if (out.mod == 3) {
+    out.rm = rm_low | (pfx.rex_b() ? 8 : 0);
+    return out;
+  }
+
+  out.has_mem = true;
+  MemOperand& m = out.mem;
+
+  std::uint8_t base_low = rm_low;
+  if (rm_low == 4) {
+    // SIB byte.
+    const std::uint8_t sib = r.u8();
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+    const std::uint8_t scale_bits = sib >> 6;
+    const std::uint8_t index = ((sib >> 3) & 7) | (pfx.rex_x() ? 8 : 0);
+    base_low = sib & 7;
+    if (index != 4) {  // index==4 (rsp) means "no index"
+      m.index = static_cast<Reg>(index);
+      m.scale = static_cast<std::uint8_t>(1u << scale_bits);
+    }
+    if (base_low == 5 && out.mod == 0) {
+      // disp32, no base.
+      m.disp = static_cast<std::int32_t>(r.u32());
+      if (!r.ok()) {
+        return std::nullopt;
+      }
+      return out;
+    }
+    m.base = static_cast<Reg>(base_low | (pfx.rex_b() ? 8 : 0));
+  } else if (rm_low == 5 && out.mod == 0) {
+    // RIP-relative.
+    m.rip_relative = true;
+    m.disp = static_cast<std::int32_t>(r.u32());
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+    return out;
+  } else {
+    m.base = static_cast<Reg>(base_low | (pfx.rex_b() ? 8 : 0));
+  }
+
+  if (out.mod == 1) {
+    m.disp = static_cast<std::int8_t>(r.u8());
+  } else if (out.mod == 2) {
+    m.disp = static_cast<std::int32_t>(r.u32());
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+Reg gpr(std::uint8_t n) { return static_cast<Reg>(n & 15); }
+
+void mark_read(Insn& insn, Reg r) { insn.regs_read |= reg_bit(r); }
+void mark_write(Insn& insn, Reg r) { insn.regs_written |= reg_bit(r); }
+
+void mark_mem_regs(Insn& insn, const MemOperand& m) {
+  if (m.base) {
+    mark_read(insn, *m.base);
+  }
+  if (m.index) {
+    mark_read(insn, *m.index);
+  }
+}
+
+}  // namespace
+
+std::optional<Insn> decode(std::span<const std::uint8_t> bytes,
+                           std::uint64_t addr) {
+  if (bytes.empty()) {
+    return std::nullopt;
+  }
+  if (bytes.size() > 15) {
+    bytes = bytes.first(15);  // architectural instruction length limit
+  }
+
+  Reader r(bytes);
+  Prefixes pfx;
+
+  // --- Legacy and REX prefixes ---------------------------------------------
+  bool saw_prefix = true;
+  while (saw_prefix) {
+    const std::uint8_t b = r.peek();
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+    switch (b) {
+      case 0x66:
+        pfx.opsize66 = true;
+        r.u8();
+        break;
+      case 0x67:
+        pfx.addr67 = true;
+        r.u8();
+        break;
+      case 0xf0:
+        pfx.lock = true;
+        r.u8();
+        break;
+      case 0xf2:
+        pfx.repn_f2 = true;
+        r.u8();
+        break;
+      case 0xf3:
+        pfx.rep_f3 = true;
+        r.u8();
+        break;
+      case 0x26:
+      case 0x2e:
+      case 0x36:
+      case 0x3e:
+      case 0x64:
+      case 0x65:
+        r.u8();  // segment overrides: consumed, no semantic effect here
+        break;
+      default:
+        saw_prefix = false;
+        break;
+    }
+  }
+  // REX must be the last prefix before the opcode.
+  if ((r.peek() & 0xf0) == 0x40 && r.ok()) {
+    pfx.rex = r.u8();
+  }
+
+  // --- VEX prefixes (length decode only) -----------------------------------
+  std::uint8_t opcode = r.u8();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+
+  int map = 1;
+  bool vex = false;
+  if (pfx.rex == 0 && (opcode == 0xc4 || opcode == 0xc5)) {
+    vex = true;
+    if (opcode == 0xc4) {
+      const std::uint8_t b1 = r.u8();
+      r.u8();  // VEX byte 2 (vvvv/L/pp)
+      if (!r.ok()) {
+        return std::nullopt;
+      }
+      map = b1 & 0x1f;
+      if ((b1 & 0x20) == 0) {
+        pfx.rex |= 0x02;  // ~X
+      }
+      if ((b1 & 0x80) == 0) {
+        pfx.rex |= 0x04;  // ~R
+      }
+      if ((b1 & 0x40) == 0) {
+        pfx.rex |= 0x01;  // ~B: VEX stores inverted
+      }
+      if (map != 1 && map != 2 && map != 3) {
+        return std::nullopt;
+      }
+    } else {
+      const std::uint8_t b1 = r.u8();
+      if (!r.ok()) {
+        return std::nullopt;
+      }
+      if ((b1 & 0x80) == 0) {
+        pfx.rex |= 0x04;
+      }
+      map = 1;
+    }
+    opcode = r.u8();
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+  }
+
+  // --- Escape bytes ---------------------------------------------------------
+  bool two_byte = false;
+  int three_byte_map = 0;  // 0x38 or 0x3a
+  if (!vex && opcode == 0x0f) {
+    two_byte = true;
+    opcode = r.u8();
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+    if (opcode == 0x38 || opcode == 0x3a) {
+      three_byte_map = opcode;
+      opcode = r.u8();
+      if (!r.ok()) {
+        return std::nullopt;
+      }
+    }
+  } else if (vex) {
+    two_byte = (map >= 1);
+    if (map == 2) {
+      three_byte_map = 0x38;
+    } else if (map == 3) {
+      three_byte_map = 0x3a;
+    }
+  }
+
+  // --- Attribute lookup -----------------------------------------------------
+  Attr attr;
+  if (three_byte_map == 0x38) {
+    attr = kModRM;  // all of 0F38 is ModRM, no immediate
+  } else if (three_byte_map == 0x3a) {
+    attr = kModRM | kImm8;  // all of 0F3A is ModRM + ib
+  } else if (two_byte) {
+    attr = kMap2[opcode];
+  } else {
+    attr = kMap1[opcode];
+  }
+  if (attr & (kInvalid | kPrefix)) {
+    return std::nullopt;
+  }
+
+  Insn insn;
+  insn.addr = addr;
+
+  // --- ModRM ----------------------------------------------------------------
+  std::optional<ModRM> modrm;
+  if (attr & kModRM) {
+    modrm = parse_modrm(r, pfx);
+    if (!modrm) {
+      return std::nullopt;
+    }
+  }
+
+  // Group 3 (F6/F7): /0 and /1 (test) carry an immediate.
+  if (!two_byte && (opcode == 0xf6 || opcode == 0xf7) && modrm &&
+      (modrm->reg & 7) <= 1) {
+    attr |= (opcode == 0xf6) ? kImm8 : kImmZ;
+  }
+
+  // --- Immediates -----------------------------------------------------------
+  std::optional<std::uint64_t> imm;
+  std::optional<std::int64_t> rel;
+  if (attr & kImm8) {
+    imm = static_cast<std::uint64_t>(r.u8());
+  }
+  if (attr & kImm16) {
+    imm = static_cast<std::uint64_t>(r.u16());
+  }
+  if (attr & kImmZ) {
+    imm = pfx.opsize66 ? static_cast<std::uint64_t>(r.u16())
+                       : static_cast<std::uint64_t>(r.u32());
+  }
+  if (attr & kImmV) {
+    if (pfx.rex_w()) {
+      imm = r.u64();
+    } else if (pfx.opsize66) {
+      imm = static_cast<std::uint64_t>(r.u16());
+    } else {
+      imm = static_cast<std::uint64_t>(r.u32());
+    }
+  }
+  if (attr & kMoffs) {
+    imm = pfx.addr67 ? static_cast<std::uint64_t>(r.u32()) : r.u64();
+  }
+  if (attr & kImm16_8) {
+    imm = static_cast<std::uint64_t>(r.u16());
+    r.u8();
+  }
+  if (attr & kRel8) {
+    rel = static_cast<std::int8_t>(r.u8());
+  }
+  if (attr & kRel32) {
+    rel = static_cast<std::int32_t>(r.u32());
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+
+  insn.length = static_cast<std::uint8_t>(r.pos());
+  insn.imm = imm;
+  if (rel) {
+    insn.target = addr + insn.length + static_cast<std::uint64_t>(*rel);
+  }
+
+  // --- Operand bookkeeping --------------------------------------------------
+  if (modrm) {
+    if (modrm->has_mem) {
+      insn.mem = modrm->mem;
+      if (modrm->mem.rip_relative) {
+        insn.mem_target =
+            addr + insn.length + static_cast<std::uint64_t>(modrm->mem.disp);
+      }
+    } else {
+      insn.rm_reg = gpr(modrm->rm);
+    }
+    insn.reg_op = gpr(modrm->reg);
+  }
+
+  // --- Semantic classification ----------------------------------------------
+  const std::uint8_t reg_field = modrm ? (modrm->reg & 7) : 0;
+
+  auto classify_mov_rm = [&](bool reg_is_dst) {
+    insn.kind = Kind::kMov;
+    if (modrm->has_mem) {
+      mark_mem_regs(insn, modrm->mem);
+      if (reg_is_dst) {
+        mark_write(insn, gpr(modrm->reg));
+      } else {
+        mark_read(insn, gpr(modrm->reg));
+      }
+    } else {
+      if (reg_is_dst) {
+        mark_read(insn, gpr(modrm->rm));
+        mark_write(insn, gpr(modrm->reg));
+      } else {
+        mark_read(insn, gpr(modrm->reg));
+        mark_write(insn, gpr(modrm->rm));
+      }
+    }
+    // Track writes to rsp: mov rsp, ... clobbers the stack pointer.
+    if ((insn.regs_written & reg_bit(Reg::kRsp)) != 0) {
+      insn.rsp_clobbered = true;
+    }
+  };
+
+  if (vex || three_byte_map != 0) {
+    // Vector/extension instruction: length-only decode, no GPR semantics.
+    if (modrm && modrm->has_mem) {
+      insn.mem = modrm->mem;
+    }
+    return insn;
+  }
+
+  if (!two_byte) {
+    switch (opcode) {
+      // Arithmetic /r forms: dst depends on direction bit (bit 1).
+      case 0x00:
+      case 0x01:
+      case 0x08:
+      case 0x09:
+      case 0x10:
+      case 0x11:
+      case 0x18:
+      case 0x19:
+      case 0x20:
+      case 0x21:
+      case 0x28:
+      case 0x29:
+      case 0x30:
+      case 0x31: {
+        // op r/m, r : r/m is destination (also read), reg is source.
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+          mark_read(insn, gpr(modrm->reg));
+        } else {
+          mark_read(insn, gpr(modrm->reg));
+          mark_read(insn, gpr(modrm->rm));
+          mark_write(insn, gpr(modrm->rm));
+          // xor r, r zeroes the register: it *defines* without reading.
+          if ((opcode == 0x30 || opcode == 0x31) &&
+              modrm->reg == modrm->rm) {
+            insn.regs_read &= ~reg_bit(gpr(modrm->rm));
+          }
+          if (gpr(modrm->rm) == Reg::kRsp) {
+            insn.rsp_clobbered = true;
+          }
+        }
+        insn.kind = Kind::kOther;
+        // add/sub rsp handled via 81/83 below (imm forms); /r forms with
+        // rsp destination are clobbers (handled above).
+        break;
+      }
+      case 0x02:
+      case 0x03:
+      case 0x0a:
+      case 0x0b:
+      case 0x12:
+      case 0x13:
+      case 0x1a:
+      case 0x1b:
+      case 0x22:
+      case 0x23:
+      case 0x2a:
+      case 0x2b:
+      case 0x32:
+      case 0x33: {
+        // op r, r/m : reg is destination (also read).
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+        } else {
+          mark_read(insn, gpr(modrm->rm));
+        }
+        mark_read(insn, gpr(modrm->reg));
+        mark_write(insn, gpr(modrm->reg));
+        if ((opcode == 0x32 || opcode == 0x33) && !modrm->has_mem &&
+            modrm->reg == modrm->rm) {
+          insn.regs_read &= ~reg_bit(gpr(modrm->reg));
+        }
+        if (gpr(modrm->reg) == Reg::kRsp) {
+          insn.rsp_clobbered = true;
+        }
+        break;
+      }
+      case 0x38:
+      case 0x39:
+      case 0x3a:
+      case 0x3b: {  // cmp: reads only
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+          mark_read(insn, gpr(modrm->reg));
+        } else {
+          mark_read(insn, gpr(modrm->reg));
+          mark_read(insn, gpr(modrm->rm));
+        }
+        break;
+      }
+      case 0x63: {  // movsxd r64, r/m32
+        classify_mov_rm(/*reg_is_dst=*/true);
+        break;
+      }
+      case 0x68:  // push iz
+        insn.kind = Kind::kPush;
+        insn.rsp_delta = -8;
+        mark_read(insn, Reg::kRsp);
+        mark_write(insn, Reg::kRsp);
+        break;
+      case 0x6a:  // push ib
+        insn.kind = Kind::kPush;
+        insn.rsp_delta = -8;
+        mark_read(insn, Reg::kRsp);
+        mark_write(insn, Reg::kRsp);
+        break;
+      case 0x69:
+      case 0x6b: {  // imul r, r/m, imm
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+        } else {
+          mark_read(insn, gpr(modrm->rm));
+        }
+        mark_write(insn, gpr(modrm->reg));
+        break;
+      }
+      case 0x84:
+      case 0x85: {  // test r/m, r
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+        } else {
+          mark_read(insn, gpr(modrm->rm));
+        }
+        mark_read(insn, gpr(modrm->reg));
+        break;
+      }
+      case 0x86:
+      case 0x87: {  // xchg
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+          mark_read(insn, gpr(modrm->reg));
+          mark_write(insn, gpr(modrm->reg));
+        } else {
+          mark_read(insn, gpr(modrm->reg));
+          mark_read(insn, gpr(modrm->rm));
+          mark_write(insn, gpr(modrm->reg));
+          mark_write(insn, gpr(modrm->rm));
+        }
+        break;
+      }
+      case 0x88:
+      case 0x89:
+        classify_mov_rm(/*reg_is_dst=*/false);
+        break;
+      case 0x8a:
+      case 0x8b:
+        classify_mov_rm(/*reg_is_dst=*/true);
+        break;
+      case 0x8d: {  // lea
+        insn.kind = Kind::kLea;
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+        }
+        mark_write(insn, gpr(modrm->reg));
+        if (gpr(modrm->reg) == Reg::kRsp) {
+          insn.rsp_clobbered = true;
+        }
+        break;
+      }
+      case 0x8f: {  // pop r/m
+        insn.kind = Kind::kPop;
+        insn.rsp_delta = 8;
+        mark_read(insn, Reg::kRsp);
+        mark_write(insn, Reg::kRsp);
+        if (!modrm->has_mem) {
+          mark_write(insn, gpr(modrm->rm));
+        } else {
+          mark_mem_regs(insn, modrm->mem);
+        }
+        break;
+      }
+      case 0x90:
+        // xchg rax,rax = nop; with REX.B it is xchg rax,r8 (not padding).
+        insn.kind = pfx.rex_b() ? Kind::kOther : Kind::kNop;
+        break;
+      case 0x98:  // cdqe: rax <- sign-extended eax
+        mark_read(insn, Reg::kRax);
+        mark_write(insn, Reg::kRax);
+        break;
+      case 0x99:  // cqo: rdx:rax
+        mark_read(insn, Reg::kRax);
+        mark_write(insn, Reg::kRdx);
+        break;
+      case 0xc2:  // ret imm16
+        insn.kind = Kind::kRet;
+        insn.rsp_delta =
+            8 + static_cast<std::int64_t>(imm.value_or(0));
+        mark_read(insn, Reg::kRsp);
+        mark_write(insn, Reg::kRsp);
+        break;
+      case 0xc3:
+        insn.kind = Kind::kRet;
+        insn.rsp_delta = 8;
+        mark_read(insn, Reg::kRsp);
+        mark_write(insn, Reg::kRsp);
+        break;
+      case 0xc6:
+      case 0xc7: {  // mov r/m, imm
+        insn.kind = Kind::kMov;
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+        } else {
+          mark_write(insn, gpr(modrm->rm));
+          if (gpr(modrm->rm) == Reg::kRsp) {
+            insn.rsp_clobbered = true;
+          }
+        }
+        break;
+      }
+      case 0xc9:  // leave: rsp <- rbp; pop rbp
+        insn.kind = Kind::kLeave;
+        insn.rsp_clobbered = true;
+        mark_read(insn, Reg::kRbp);
+        mark_write(insn, Reg::kRsp);
+        mark_write(insn, Reg::kRbp);
+        break;
+      case 0xcc:
+        insn.kind = Kind::kInt3;
+        break;
+      case 0xe8:
+        insn.kind = Kind::kCallDirect;
+        break;
+      case 0xe9:
+      case 0xeb:
+        insn.kind = Kind::kJmpDirect;
+        break;
+      case 0xe0:
+      case 0xe1:
+      case 0xe2:
+      case 0xe3:
+        insn.kind = Kind::kCondJmp;
+        mark_read(insn, Reg::kRcx);
+        break;
+      case 0xf4:
+        insn.kind = Kind::kHlt;
+        break;
+      case 0xf6:
+      case 0xf7: {  // group3: test/not/neg/mul/imul/div/idiv
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+        } else {
+          mark_read(insn, gpr(modrm->rm));
+          if ((modrm->reg & 7) >= 2) {  // not/neg/mul/... write rm
+            mark_write(insn, gpr(modrm->rm));
+          }
+        }
+        if ((modrm->reg & 7) >= 4) {  // mul/imul/div/idiv use rax/rdx
+          mark_read(insn, Reg::kRax);
+          mark_write(insn, Reg::kRax);
+          mark_write(insn, Reg::kRdx);
+          if ((modrm->reg & 7) >= 6) {
+            mark_read(insn, Reg::kRdx);
+          }
+        }
+        break;
+      }
+      case 0xfe: {  // inc/dec r/m8
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+        } else {
+          mark_read(insn, gpr(modrm->rm));
+          mark_write(insn, gpr(modrm->rm));
+        }
+        break;
+      }
+      case 0xff: {  // group5
+        switch (reg_field) {
+          case 0:
+          case 1:  // inc/dec
+            if (modrm->has_mem) {
+              mark_mem_regs(insn, modrm->mem);
+            } else {
+              mark_read(insn, gpr(modrm->rm));
+              mark_write(insn, gpr(modrm->rm));
+            }
+            break;
+          case 2:  // call r/m
+          case 3:
+            insn.kind = Kind::kCallIndirect;
+            if (modrm->has_mem) {
+              mark_mem_regs(insn, modrm->mem);
+            } else {
+              mark_read(insn, gpr(modrm->rm));
+            }
+            break;
+          case 4:  // jmp r/m
+          case 5:
+            insn.kind = Kind::kJmpIndirect;
+            if (modrm->has_mem) {
+              mark_mem_regs(insn, modrm->mem);
+            } else {
+              mark_read(insn, gpr(modrm->rm));
+            }
+            break;
+          case 6:  // push r/m
+            insn.kind = Kind::kPush;
+            insn.rsp_delta = -8;
+            mark_read(insn, Reg::kRsp);
+            mark_write(insn, Reg::kRsp);
+            if (modrm->has_mem) {
+              mark_mem_regs(insn, modrm->mem);
+            } else {
+              mark_read(insn, gpr(modrm->rm));
+            }
+            break;
+          default:
+            return std::nullopt;  // /7 undefined
+        }
+        break;
+      }
+      case 0x80:
+      case 0x81:
+      case 0x83: {  // group1: arithmetic r/m, imm
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+        } else {
+          const Reg rm = gpr(modrm->rm);
+          mark_read(insn, rm);
+          if (reg_field != 7) {  // cmp does not write
+            mark_write(insn, rm);
+          }
+          if (rm == Reg::kRsp && opcode != 0x80) {
+            // add/sub/and rsp, imm
+            const auto value = static_cast<std::int64_t>(
+                opcode == 0x83
+                    ? static_cast<std::int64_t>(
+                          static_cast<std::int8_t>(imm.value_or(0)))
+                    : static_cast<std::int64_t>(
+                          static_cast<std::int32_t>(imm.value_or(0))));
+            if (reg_field == 0) {  // add
+              insn.rsp_delta = value;
+            } else if (reg_field == 5) {  // sub
+              insn.rsp_delta = -value;
+            } else if (reg_field != 7) {  // and/or/... clobber
+              insn.rsp_clobbered = true;
+            }
+          }
+        }
+        break;
+      }
+      case 0xc0:
+      case 0xc1:
+      case 0xd0:
+      case 0xd1:
+      case 0xd2:
+      case 0xd3: {  // shifts
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+        } else {
+          mark_read(insn, gpr(modrm->rm));
+          mark_write(insn, gpr(modrm->rm));
+        }
+        if (opcode == 0xd2 || opcode == 0xd3) {
+          mark_read(insn, Reg::kRcx);
+        }
+        break;
+      }
+      default:
+        if (opcode >= 0x50 && opcode <= 0x57) {
+          insn.kind = Kind::kPush;
+          insn.rsp_delta = -8;
+          const Reg r64 = gpr((opcode - 0x50) | (pfx.rex_b() ? 8 : 0));
+          mark_read(insn, r64);
+          mark_read(insn, Reg::kRsp);
+          mark_write(insn, Reg::kRsp);
+        } else if (opcode >= 0x58 && opcode <= 0x5f) {
+          insn.kind = Kind::kPop;
+          insn.rsp_delta = 8;
+          const Reg r64 = gpr((opcode - 0x58) | (pfx.rex_b() ? 8 : 0));
+          mark_write(insn, r64);
+          mark_read(insn, Reg::kRsp);
+          mark_write(insn, Reg::kRsp);
+          if (r64 == Reg::kRsp) {
+            insn.rsp_clobbered = true;
+            insn.rsp_delta.reset();
+          }
+        } else if (opcode >= 0x70 && opcode <= 0x7f) {
+          insn.kind = Kind::kCondJmp;
+        } else if (opcode >= 0xb8 && opcode <= 0xbf) {
+          insn.kind = Kind::kMov;
+          mark_write(insn, gpr((opcode - 0xb8) | (pfx.rex_b() ? 8 : 0)));
+        } else if (opcode >= 0xb0 && opcode <= 0xb7) {
+          insn.kind = Kind::kMov;
+          mark_write(insn, gpr((opcode - 0xb0) | (pfx.rex_b() ? 8 : 0)));
+        }
+        break;
+    }
+    return insn;
+  }
+
+  // Two-byte map semantics.
+  switch (opcode) {
+    case 0x05:
+      insn.kind = Kind::kSyscall;
+      break;
+    case 0x0b:
+      insn.kind = Kind::kUd2;
+      break;
+    case 0x1e:
+      // F3 0F 1E FA = endbr64; F3 0F 1E FB = endbr32.
+      if (pfx.rep_f3 && modrm && !modrm->has_mem &&
+          (modrm->rm & 7) == 2 && modrm->mod == 3 && (modrm->reg & 7) == 7) {
+        insn.kind = Kind::kEndbr;
+      }
+      break;
+    case 0x1f:
+      insn.kind = Kind::kNop;  // multi-byte nop
+      if (modrm && modrm->has_mem) {
+        insn.mem = modrm->mem;
+      }
+      break;
+    case 0xa2:  // cpuid
+      mark_read(insn, Reg::kRax);
+      mark_read(insn, Reg::kRcx);
+      mark_write(insn, Reg::kRax);
+      mark_write(insn, Reg::kRbx);
+      mark_write(insn, Reg::kRcx);
+      mark_write(insn, Reg::kRdx);
+      break;
+    case 0xaf: {  // imul r, r/m
+      if (modrm->has_mem) {
+        mark_mem_regs(insn, modrm->mem);
+      } else {
+        mark_read(insn, gpr(modrm->rm));
+      }
+      mark_read(insn, gpr(modrm->reg));
+      mark_write(insn, gpr(modrm->reg));
+      break;
+    }
+    case 0xb6:
+    case 0xb7:
+    case 0xbe:
+    case 0xbf: {  // movzx/movsx r, r/m
+      insn.kind = Kind::kMov;
+      if (modrm->has_mem) {
+        mark_mem_regs(insn, modrm->mem);
+      } else {
+        mark_read(insn, gpr(modrm->rm));
+      }
+      mark_write(insn, gpr(modrm->reg));
+      break;
+    }
+    case 0xbc:
+    case 0xbd: {  // bsf/bsr
+      if (modrm->has_mem) {
+        mark_mem_regs(insn, modrm->mem);
+      } else {
+        mark_read(insn, gpr(modrm->rm));
+      }
+      mark_write(insn, gpr(modrm->reg));
+      break;
+    }
+    default:
+      if (opcode >= 0x80 && opcode <= 0x8f) {
+        insn.kind = Kind::kCondJmp;
+      } else if (opcode >= 0x40 && opcode <= 0x4f) {  // cmov
+        insn.kind = Kind::kMov;
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+        } else {
+          mark_read(insn, gpr(modrm->rm));
+        }
+        mark_read(insn, gpr(modrm->reg));  // cmov may keep the old value
+        mark_write(insn, gpr(modrm->reg));
+      } else if (opcode >= 0x90 && opcode <= 0x9f) {  // setcc
+        if (modrm->has_mem) {
+          mark_mem_regs(insn, modrm->mem);
+        } else {
+          mark_write(insn, gpr(modrm->rm));
+        }
+      } else if (modrm && modrm->has_mem) {
+        mark_mem_regs(insn, modrm->mem);
+      }
+      break;
+  }
+  return insn;
+}
+
+const char* reg_name(Reg r) {
+  static constexpr const char* kNames[16] = {
+      "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+      "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15"};
+  return kNames[static_cast<unsigned>(r) & 15];
+}
+
+std::string Insn::to_string() const {
+  std::ostringstream os;
+  os << std::hex << addr << ": ";
+  switch (kind) {
+    case Kind::kOther:
+      os << "insn";
+      break;
+    case Kind::kNop:
+      os << "nop";
+      break;
+    case Kind::kInt3:
+      os << "int3";
+      break;
+    case Kind::kHlt:
+      os << "hlt";
+      break;
+    case Kind::kUd2:
+      os << "ud2";
+      break;
+    case Kind::kSyscall:
+      os << "syscall";
+      break;
+    case Kind::kEndbr:
+      os << "endbr64";
+      break;
+    case Kind::kPush:
+      os << "push";
+      break;
+    case Kind::kPop:
+      os << "pop";
+      break;
+    case Kind::kLea:
+      os << "lea";
+      break;
+    case Kind::kMov:
+      os << "mov";
+      break;
+    case Kind::kCallDirect:
+      os << "call";
+      break;
+    case Kind::kCallIndirect:
+      os << "call*";
+      break;
+    case Kind::kJmpDirect:
+      os << "jmp";
+      break;
+    case Kind::kJmpIndirect:
+      os << "jmp*";
+      break;
+    case Kind::kCondJmp:
+      os << "jcc";
+      break;
+    case Kind::kRet:
+      os << "ret";
+      break;
+    case Kind::kLeave:
+      os << "leave";
+      break;
+  }
+  if (target) {
+    os << " -> " << std::hex << *target;
+  }
+  os << " (len " << std::dec << static_cast<int>(length) << ")";
+  return os.str();
+}
+
+}  // namespace fetch::x86

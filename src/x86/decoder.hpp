@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file decoder.hpp
+/// Table-driven x86-64 instruction decoder. Covers the full one-byte and
+/// two-byte (0F) opcode maps plus the 0F38/0F3A escapes and VEX prefixes
+/// for *length* decoding, and recovers detailed semantics (branch targets,
+/// rsp deltas, operand registers, RIP-relative targets, immediates) for the
+/// instruction subset relevant to function detection.
+///
+/// decode() never throws: undecodable bytes yield std::nullopt, which the
+/// callers (recursive disassembler, pointer validator) treat as the
+/// "invalid opcode" error class from the paper (§IV-E).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "x86/insn.hpp"
+
+namespace fetch::x86 {
+
+/// Decodes one instruction at virtual address \p addr from \p bytes.
+/// Returns std::nullopt when the bytes do not form a valid instruction
+/// (unknown opcode, truncated, >15 bytes of prefixes, ...).
+[[nodiscard]] std::optional<Insn> decode(std::span<const std::uint8_t> bytes,
+                                         std::uint64_t addr);
+
+}  // namespace fetch::x86

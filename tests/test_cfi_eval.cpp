@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "ehframe/cfi_eval.hpp"
+#include "ehframe/eh_builder.hpp"
+#include "ehframe/eh_frame.hpp"
+
+namespace fetch::eh {
+namespace {
+
+constexpr std::uint64_t kSectionAddr = 0x500000;
+
+/// Builds one FDE through the builder and returns its evaluated table.
+std::optional<CfiTable> eval_program(std::uint64_t pc_begin,
+                                     std::uint64_t pc_range,
+                                     std::vector<CfiOp> ops) {
+  EhFrameBuilder builder;
+  builder.add_fde(pc_begin, pc_range, std::move(ops));
+  const auto bytes = builder.build(kSectionAddr);
+  const EhFrame eh =
+      EhFrame::parse({bytes.data(), bytes.size()}, kSectionAddr);
+  return evaluate_cfi(eh.cie_for(eh.fdes()[0]), eh.fdes()[0]);
+}
+
+TEST(CfiEval, Figure4bProgram) {
+  // The FDE from the paper's Figure 4b (addresses b0..e8, simplified):
+  //   def_cfa rsp+8 (CIE); advance 1; offset 16; save rbp at cfa-16;
+  //   advance 12; offset 24; save rbx; advance 11; offset 32;
+  //   advance 29; offset 24; advance 1; offset 16; advance 1; offset 8.
+  const std::uint64_t b = 0x4000b0;
+  auto table = eval_program(
+      b, 0x56,
+      {CfiOp::advance(1), CfiOp::def_cfa_offset(16),
+       CfiOp::offset(dwreg::kRbp, 2), CfiOp::advance(12),
+       CfiOp::def_cfa_offset(24), CfiOp::offset(dwreg::kRbx, 3),
+       CfiOp::advance(11), CfiOp::def_cfa_offset(32), CfiOp::advance(29),
+       CfiOp::def_cfa_offset(24), CfiOp::advance(1),
+       CfiOp::def_cfa_offset(16), CfiOp::advance(1),
+       CfiOp::def_cfa_offset(8)});
+  ASSERT_TRUE(table);
+
+  // CFA offsets per region, matching the paper's walkthrough.
+  EXPECT_EQ(table->cfa_offset_at(b + 0x0), 8);    // b0: entry
+  EXPECT_EQ(table->cfa_offset_at(b + 0x1), 16);   // b1 after push rbp
+  EXPECT_EQ(table->cfa_offset_at(b + 0xc), 16);   // bc still
+  EXPECT_EQ(table->cfa_offset_at(b + 0xd), 24);   // bd after push rbx
+  EXPECT_EQ(table->cfa_offset_at(b + 0x18), 32);  // c8 after sub rsp,8
+  EXPECT_EQ(table->cfa_offset_at(b + 0x35), 24);  // e5 after add rsp,8
+  EXPECT_EQ(table->cfa_offset_at(b + 0x36), 16);  // e6 after pop rbx
+  EXPECT_EQ(table->cfa_offset_at(b + 0x37), 8);   // e7 after pop rbp
+  EXPECT_FALSE(table->cfa_offset_at(b + 0x56).has_value());  // past the end
+
+  // Stack heights are CFA offset - 8.
+  EXPECT_EQ(table->stack_height_at(b), 0);
+  EXPECT_EQ(table->stack_height_at(b + 0x18), 24);
+  EXPECT_EQ(table->stack_height_at(b + 0x37), 0);
+
+  // Saved-register rules: rbp at cfa-16 from b1 on.
+  const CfiRow* row = table->row_at(b + 0x20);
+  ASSERT_NE(row, nullptr);
+  const auto rbp = row->regs.find(dwreg::kRbp);
+  ASSERT_NE(rbp, row->regs.end());
+  EXPECT_EQ(rbp->second.kind, RegRule::Kind::kOffsetFromCfa);
+  EXPECT_EQ(rbp->second.offset, -16);
+
+  // This program keeps the CFA rsp-based throughout: complete per §V-B.
+  EXPECT_TRUE(table->complete_stack_height());
+}
+
+TEST(CfiEval, FramePointerSwitchIsIncomplete) {
+  // push rbp; mov rbp,rsp → def_cfa_register(rbp): GCC stops tracking rsp.
+  auto table = eval_program(
+      0x401000, 0x40,
+      {CfiOp::advance(1), CfiOp::def_cfa_offset(16),
+       CfiOp::offset(dwreg::kRbp, 2), CfiOp::advance(3),
+       CfiOp::def_cfa_register(dwreg::kRbp)});
+  ASSERT_TRUE(table);
+  EXPECT_FALSE(table->complete_stack_height());
+  EXPECT_EQ(table->stack_height_at(0x401000), 0);
+  EXPECT_EQ(table->stack_height_at(0x401002), 8);
+  // After the switch the height is unknown (CFA not rsp-based).
+  EXPECT_FALSE(table->stack_height_at(0x401010).has_value());
+}
+
+TEST(CfiEval, CfaExpressionIsIncomplete) {
+  auto table = eval_program(
+      0x401000, 0x20,
+      {CfiOp::advance(2), CfiOp::cfa_expression({0x77 /*DW_OP_breg7*/, 16})});
+  ASSERT_TRUE(table);
+  EXPECT_FALSE(table->complete_stack_height());
+  EXPECT_FALSE(table->stack_height_at(0x401008).has_value());
+}
+
+TEST(CfiEval, RegExpressionDoesNotSpoilCompleteness) {
+  // Figure 6b style: register rules via expressions, CFA untouched.
+  auto table = eval_program(
+      0x401000, 0x20,
+      {CfiOp::reg_expression(8, {0x77, 40}),
+       CfiOp::reg_expression(9, {0x77, 48})});
+  ASSERT_TRUE(table);
+  EXPECT_TRUE(table->complete_stack_height());
+  EXPECT_EQ(table->stack_height_at(0x401010), 0);
+}
+
+TEST(CfiEval, RememberRestoreState) {
+  // Epilogue with out-of-line tail (GCC remember/restore idiom):
+  //   advance 4; offset 24; remember; advance 4; offset 8 (epilogue done);
+  //   advance 4; restore (the out-of-line region is back at offset 24).
+  auto table = eval_program(
+      0x401000, 0x40,
+      {CfiOp::advance(4), CfiOp::def_cfa_offset(24), CfiOp::remember(),
+       CfiOp::advance(4), CfiOp::def_cfa_offset(8), CfiOp::advance(4),
+       CfiOp::restore_state()});
+  ASSERT_TRUE(table);
+  EXPECT_EQ(table->cfa_offset_at(0x401004), 24);
+  EXPECT_EQ(table->cfa_offset_at(0x401008), 8);
+  EXPECT_EQ(table->cfa_offset_at(0x40100c), 24);  // restored
+  EXPECT_TRUE(table->complete_stack_height());
+}
+
+TEST(CfiEval, RestoreWithoutRememberIsMalformed) {
+  auto table =
+      eval_program(0x401000, 0x20, {CfiOp::restore_state()});
+  EXPECT_FALSE(table.has_value());
+}
+
+TEST(CfiEval, EmptyProgramUsesCieDefaults) {
+  auto table = eval_program(0x401000, 0x10, {});
+  ASSERT_TRUE(table);
+  EXPECT_TRUE(table->complete_stack_height());
+  EXPECT_EQ(table->stack_height_at(0x401000), 0);
+  EXPECT_EQ(table->stack_height_at(0x40100f), 0);
+}
+
+TEST(CfiEval, RowLookupBoundaries) {
+  auto table = eval_program(
+      0x401000, 0x10, {CfiOp::advance(8), CfiOp::def_cfa_offset(16)});
+  ASSERT_TRUE(table);
+  EXPECT_EQ(table->row_at(0x400fff), nullptr);
+  ASSERT_NE(table->row_at(0x401000), nullptr);
+  EXPECT_EQ(table->cfa_offset_at(0x401007), 8);
+  EXPECT_EQ(table->cfa_offset_at(0x401008), 16);
+  EXPECT_EQ(table->row_at(0x401010), nullptr);
+}
+
+TEST(CfiEval, ColdPartEntryOffset) {
+  // A cold-part FDE starts at the parent's mid-body height: its program
+  // begins with def_cfa_offset (no advance).
+  auto table = eval_program(0x402000, 0x20, {CfiOp::def_cfa_offset(40)});
+  ASSERT_TRUE(table);
+  EXPECT_EQ(table->stack_height_at(0x402000), 32);
+  // Entry CFA is not rsp+8, so the §V-B completeness gate rejects it...
+  EXPECT_FALSE(table->complete_stack_height());
+}
+
+TEST(CfiEval, TruncatedInstructionStreamIsRejected) {
+  EhFrameBuilder builder;
+  builder.add_fde(0x401000, 0x20, {CfiOp::advance(4)});
+  auto bytes = builder.build(kSectionAddr);
+  EhFrame eh = EhFrame::parse({bytes.data(), bytes.size()}, kSectionAddr);
+  Fde fde = eh.fdes()[0];
+  // A dangling DW_CFA_advance_loc1 with no operand.
+  fde.instructions = {cfi::kAdvanceLoc1};
+  EXPECT_FALSE(evaluate_cfi(eh.cie_for(fde), fde).has_value());
+}
+
+}  // namespace
+}  // namespace fetch::eh

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "ehframe/cfi_eval.hpp"
+#include "ehframe/eh_builder.hpp"
+#include "ehframe/eh_frame.hpp"
+#include "util/rng.hpp"
+
+namespace fetch::eh {
+namespace {
+
+constexpr std::uint64_t kSectionAddr = 0x500000;
+constexpr std::uint64_t kPcBegin = 0x401000;
+
+/// Randomized roundtrip: generate a random (but well-formed, rsp-based)
+/// CFI program while tracking expected heights with a trivial reference
+/// model; build → parse → evaluate must reproduce the reference exactly
+/// at every instruction boundary.
+class CfiRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CfiRandom, EvaluatorMatchesReferenceModel) {
+  Rng rng(GetParam() * 104729 + 17);
+
+  std::vector<CfiOp> ops;
+  // reference: height at [region_start, region_end) recorded per region.
+  struct Region {
+    std::uint64_t pc;
+    std::int64_t height;
+  };
+  std::vector<Region> expected;
+  std::uint64_t pc = kPcBegin;
+  std::int64_t height = 0;
+  expected.push_back({pc, height});
+
+  std::vector<std::pair<std::int64_t, std::size_t>> remember_stack;
+  const int steps = static_cast<int>(rng.range(3, 40));
+  for (int i = 0; i < steps; ++i) {
+    switch (rng.below(5)) {
+      case 0:
+      case 1: {  // advance + height change (push/sub style)
+        const std::uint64_t delta = rng.range(1, 300);
+        pc += delta;
+        const std::int64_t change = 8 * static_cast<std::int64_t>(
+            rng.range(1, 6));
+        height = rng.chance(0.5) && height >= change ? height - change
+                                                     : height + change;
+        ops.push_back(CfiOp::advance(delta));
+        ops.push_back(CfiOp::def_cfa_offset(height + 8));
+        expected.push_back({pc, height});
+        break;
+      }
+      case 2: {  // register save (no height effect)
+        ops.push_back(CfiOp::offset(3 /*rbx*/, rng.range(1, 4)));
+        break;
+      }
+      case 3: {  // remember
+        ops.push_back(CfiOp::remember());
+        remember_stack.push_back({height, expected.size()});
+        break;
+      }
+      default: {  // restore (only when the stack is nonempty)
+        if (remember_stack.empty()) {
+          ops.push_back(CfiOp::nop());
+          break;
+        }
+        const std::uint64_t delta = rng.range(1, 50);
+        pc += delta;
+        ops.push_back(CfiOp::advance(delta));
+        ops.push_back(CfiOp::restore_state());
+        height = remember_stack.back().first;
+        remember_stack.pop_back();
+        expected.push_back({pc, height});
+        break;
+      }
+    }
+  }
+  const std::uint64_t pc_range = (pc - kPcBegin) + rng.range(1, 64);
+
+  EhFrameBuilder builder;
+  builder.add_fde(kPcBegin, pc_range, ops);
+  const auto bytes = builder.build(kSectionAddr);
+  const EhFrame eh =
+      EhFrame::parse({bytes.data(), bytes.size()}, kSectionAddr);
+  const auto table = evaluate_cfi(eh.cie_for(eh.fdes()[0]), eh.fdes()[0]);
+  ASSERT_TRUE(table.has_value());
+  EXPECT_TRUE(table->complete_stack_height());
+
+  // Check the height at the start of every region and one byte before the
+  // next region boundary.
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const Region& r = expected[i];
+    ASSERT_EQ(table->stack_height_at(r.pc), r.height)
+        << "region " << i << " at " << std::hex << r.pc;
+    const std::uint64_t region_end = (i + 1 < expected.size())
+                                         ? expected[i + 1].pc
+                                         : kPcBegin + pc_range;
+    if (region_end > r.pc + 1 && region_end - 1 < kPcBegin + pc_range) {
+      ASSERT_EQ(table->stack_height_at(region_end - 1), r.height)
+          << "region tail " << i;
+    }
+  }
+  // Out of range: no height.
+  EXPECT_FALSE(table->stack_height_at(kPcBegin + pc_range).has_value());
+  EXPECT_FALSE(table->stack_height_at(kPcBegin - 1).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CfiRandom,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace fetch::eh

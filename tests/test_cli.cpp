@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "synth/codegen.hpp"
+#include "synth/corpus.hpp"
+
+namespace fetch {
+namespace {
+
+/// End-user smoke tests of the fetch-cli binary (path injected by CMake).
+
+#ifndef FETCH_CLI_PATH
+#define FETCH_CLI_PATH "fetch-cli"
+#endif
+
+struct CommandResult {
+  int status = -1;
+  std::string output;
+};
+
+CommandResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(FETCH_CLI_PATH) + " " + args + " 2>&1";
+  std::unique_ptr<FILE, int (*)(FILE*)> pipe(popen(cmd.c_str(), "r"),
+                                             &pclose);
+  CommandResult result;
+  if (!pipe) {
+    return result;
+  }
+  std::array<char, 4096> chunk;
+  std::size_t n;
+  while ((n = fread(chunk.data(), 1, chunk.size(), pipe.get())) > 0) {
+    result.output.append(chunk.data(), n);
+  }
+  // pclose status handled via the deleter; rerun for the exit code.
+  result.status = 0;
+  return result;
+}
+
+std::string write_sample_binary() {
+  const auto spec = synth::make_program(
+      synth::projects()[0], synth::profile_for("gcc", "O2"), 2121);
+  const synth::SynthBinary bin = synth::generate(spec);
+  const std::string path = ::testing::TempDir() + "/fetch_cli_sample.bin";
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bin.image.data()),
+            static_cast<std::streamsize>(bin.image.size()));
+  return path;
+}
+
+bool cli_available() {
+  std::ifstream probe(FETCH_CLI_PATH, std::ios::binary);
+  return static_cast<bool>(probe);
+}
+
+TEST(Cli, DetectPrintsProvenanceTaggedStarts) {
+  if (!cli_available()) {
+    GTEST_SKIP() << "fetch-cli not built at " << FETCH_CLI_PATH;
+  }
+  const std::string path = write_sample_binary();
+  const CommandResult r = run_cli("detect " + path);
+  EXPECT_NE(r.output.find("provenance"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("   fde"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("function starts"), std::string::npos);
+}
+
+TEST(Cli, FdeListsCompleteness) {
+  if (!cli_available()) {
+    GTEST_SKIP() << "fetch-cli not built";
+  }
+  const std::string path = write_sample_binary();
+  const CommandResult r = run_cli("fde " + path);
+  EXPECT_NE(r.output.find("pc_begin"), std::string::npos);
+  EXPECT_NE(r.output.find("yes"), std::string::npos);
+  EXPECT_NE(r.output.find("FDEs"), std::string::npos);
+}
+
+TEST(Cli, UnwindReportsStackHeight) {
+  if (!cli_available()) {
+    GTEST_SKIP() << "fetch-cli not built";
+  }
+  const std::string path = write_sample_binary();
+  // 0x401000 is the entry function; its entry row is CFA=rsp+8, height 0.
+  const CommandResult r = run_cli("unwind " + path + " 0x401000");
+  EXPECT_NE(r.output.find("CFA: r7 + 8"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("stack height: 0"), std::string::npos);
+}
+
+TEST(Cli, CompareListsAllStrategies) {
+  if (!cli_available()) {
+    GTEST_SKIP() << "fetch-cli not built";
+  }
+  const std::string path = write_sample_binary();
+  const CommandResult r = run_cli("compare " + path);
+  for (const char* name : {"FDE", "FDE+Rec", "FETCH (full)", "DYNINST",
+                           "NUCLEUS", "GHIDRA-like", "ANGR-like"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, AuditReportsRemovedTargets) {
+  if (!cli_available()) {
+    GTEST_SKIP() << "fetch-cli not built";
+  }
+  const std::string path = write_sample_binary();
+  const CommandResult r = run_cli("audit " + path);
+  EXPECT_NE(r.output.find("false targets removed"), std::string::npos);
+}
+
+TEST(Cli, BadUsageAndBadFile) {
+  if (!cli_available()) {
+    GTEST_SKIP() << "fetch-cli not built";
+  }
+  const CommandResult usage = run_cli("detect");
+  EXPECT_NE(usage.output.find("usage"), std::string::npos);
+  const CommandResult bad = run_cli("detect /nonexistent-file");
+  EXPECT_NE(bad.output.find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fetch

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "ehframe/eh_frame.hpp"
+#include "ehframe/eh_frame_hdr.hpp"
+#include "eval/metrics.hpp"
+#include "eval/runner.hpp"
+#include "synth/codegen.hpp"
+#include "synth/corpus.hpp"
+
+namespace fetch {
+namespace {
+
+/// Exhaustive sweep: the paper's headline invariants must hold on EVERY
+/// binary of the corpus, not just the sampled ones — one parameterized
+/// instance per (project, compiler, opt) triple.
+struct SweepCase {
+  std::size_t project;
+  std::size_t compiler;  // 0 = gcc, 1 = llvm
+  std::size_t opt;       // index into kOpts
+};
+
+constexpr const char* kCompilers[] = {"gcc", "llvm"};
+constexpr const char* kOpts[] = {"O2", "O3", "Os", "Ofast"};
+
+class CorpusSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static synth::SynthBinary make(const SweepCase& c) {
+    auto spec = synth::make_program(
+        synth::projects()[c.project],
+        synth::profile_for(kCompilers[c.compiler], kOpts[c.opt]),
+        0xfe7c4ULL + c.project * 131 + c.compiler * 17 + c.opt);
+    spec.stripped = true;
+    return synth::generate(spec);
+  }
+};
+
+TEST_P(CorpusSweep, FetchInvariantsHold) {
+  const synth::SynthBinary bin = make(GetParam());
+  const elf::ElfFile elf(bin.image);
+  core::FunctionDetector detector(elf);
+  const auto result = detector.run(eval::fetch_options(bin.truth));
+  const auto e = eval::evaluate_starts(result.starts(), bin.truth);
+
+  // Invariant 1: every FP is an incomplete-CFI cold part.
+  for (const std::uint64_t fp : e.false_positives) {
+    ASSERT_TRUE(bin.truth.incomplete_cfi_cold_parts.count(fp))
+        << bin.name << " FP " << std::hex << fp;
+  }
+  // Invariant 2: every FN is harmless (unreachable / tail-only /
+  // unreferenced assembly).
+  for (const std::uint64_t fn : e.false_negatives) {
+    ASSERT_NE(eval::classify_miss(fn, bin.truth), eval::MissKind::kOther)
+        << bin.name << " FN " << std::hex << fn;
+  }
+  // Invariant 3: merged parts map to their true parents.
+  for (const auto& [part, parent] : result.merged_parts) {
+    const auto it = bin.truth.cold_parts.find(part);
+    if (it != bin.truth.cold_parts.end()) {
+      ASSERT_EQ(it->second, parent) << bin.name;
+    }
+  }
+  // Invariant 4: the .eh_frame_hdr agrees with .eh_frame.
+  const auto eh = eh::EhFrame::from_elf(elf);
+  const auto hdr = eh::EhFrameHdr::from_elf(elf);
+  ASSERT_TRUE(eh.has_value());
+  ASSERT_TRUE(hdr.has_value());
+  ASSERT_EQ(hdr->function_starts(), eh->pc_begins()) << bin.name;
+}
+
+std::vector<SweepCase> all_cases() {
+  std::vector<SweepCase> cases;
+  for (std::size_t p = 0; p < synth::projects().size(); ++p) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      for (std::size_t o = 0; o < 4; ++o) {
+        cases.push_back({p, c, o});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinaries, CorpusSweep, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      std::string name = synth::projects()[info.param.project].name;
+      for (char& ch : name) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return name + "_" + kCompilers[info.param.compiler] + "_" +
+             kOpts[info.param.opt];
+    });
+
+}  // namespace
+}  // namespace fetch

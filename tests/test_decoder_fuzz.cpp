@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "x86/decoder.hpp"
+
+namespace fetch::x86 {
+namespace {
+
+/// Robustness sweep: the decoder must never crash, never report a length
+/// of zero or beyond the input, and must behave deterministically on
+/// arbitrary byte soup. (The §IV-E pointer prober feeds it exactly that.)
+class DecoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecoderFuzz, RandomBytesNeverMisbehave) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+  std::vector<std::uint8_t> buf(64);
+  for (int round = 0; round < 2000; ++round) {
+    for (auto& b : buf) {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{15}, std::size_t{16}, buf.size()}) {
+      const auto insn = decode({buf.data(), len}, 0x400000);
+      if (insn) {
+        EXPECT_GT(insn->length, 0);
+        EXPECT_LE(static_cast<std::size_t>(insn->length), len);
+        EXPECT_LE(insn->length, 15);
+        // Determinism.
+        const auto again = decode({buf.data(), len}, 0x400000);
+        ASSERT_TRUE(again.has_value());
+        EXPECT_EQ(again->length, insn->length);
+        EXPECT_EQ(again->kind, insn->kind);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+/// Truncation property: if a byte string decodes to an instruction of
+/// length L, every prefix shorter than L must fail to decode or decode to
+/// something no longer than the prefix.
+TEST(DecoderFuzz, PrefixesNeverOverrun) {
+  Rng rng(0xfeedULL);
+  std::vector<std::uint8_t> buf(16);
+  for (int round = 0; round < 3000; ++round) {
+    for (auto& b : buf) {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    const auto full = decode({buf.data(), buf.size()}, 0);
+    if (!full) {
+      continue;
+    }
+    for (std::size_t cut = 0; cut < full->length; ++cut) {
+      const auto part = decode({buf.data(), cut}, 0);
+      if (part) {
+        EXPECT_LE(static_cast<std::size_t>(part->length), cut);
+      }
+    }
+  }
+}
+
+/// Address independence: the decode of the same bytes at two addresses
+/// differs only in addr/target fields, never in length or class.
+TEST(DecoderFuzz, AddressOnlyAffectsTargets) {
+  Rng rng(0xabcdULL);
+  std::vector<std::uint8_t> buf(16);
+  for (int round = 0; round < 3000; ++round) {
+    for (auto& b : buf) {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    const auto a = decode({buf.data(), buf.size()}, 0x1000);
+    const auto b = decode({buf.data(), buf.size()}, 0x2000);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_EQ(a->length, b->length);
+      EXPECT_EQ(a->kind, b->kind);
+      EXPECT_EQ(a->regs_read, b->regs_read);
+      EXPECT_EQ(a->regs_written, b->regs_written);
+      if (a->target) {
+        EXPECT_EQ(*a->target + 0x1000, *b->target);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fetch::x86

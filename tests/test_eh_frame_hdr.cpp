@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "ehframe/eh_builder.hpp"
+#include "ehframe/eh_frame.hpp"
+#include "ehframe/eh_frame_hdr.hpp"
+#include "elf/elf_file.hpp"
+#include "util/error.hpp"
+
+namespace fetch::eh {
+namespace {
+
+constexpr std::uint64_t kEhAddr = 0x500000;
+constexpr std::uint64_t kHdrAddr = 0x4ff000;
+
+EhFrame sample_eh_frame() {
+  EhFrameBuilder builder;
+  builder.add_fde(0x403000, 0x20, {});
+  builder.add_fde(0x401000, 0x10, {});
+  builder.add_fde(0x402000, 0x30, {});
+  static std::vector<std::uint8_t> bytes;  // keep alive for spans
+  bytes = builder.build(kEhAddr);
+  return EhFrame::parse({bytes.data(), bytes.size()}, kEhAddr);
+}
+
+TEST(EhFrameHdr, RoundtripBuildParse) {
+  const EhFrame eh = sample_eh_frame();
+  const auto hdr_bytes = build_eh_frame_hdr(eh, kEhAddr, kHdrAddr);
+  const EhFrameHdr hdr =
+      EhFrameHdr::parse({hdr_bytes.data(), hdr_bytes.size()}, kHdrAddr);
+
+  EXPECT_EQ(hdr.eh_frame_ptr(), kEhAddr);
+  ASSERT_EQ(hdr.entries().size(), 3u);
+  EXPECT_EQ(hdr.entries()[0].initial_location, 0x401000u);
+  EXPECT_EQ(hdr.entries()[1].initial_location, 0x402000u);
+  EXPECT_EQ(hdr.entries()[2].initial_location, 0x403000u);
+
+  // FDE addresses must point at the actual records inside .eh_frame.
+  for (const EhFrameHdrEntry& e : hdr.entries()) {
+    bool found = false;
+    for (const Fde& fde : eh.fdes()) {
+      if (kEhAddr + fde.section_offset == e.fde_address &&
+          fde.pc_begin == e.initial_location) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << std::hex << e.initial_location;
+  }
+}
+
+TEST(EhFrameHdr, LookupSemantics) {
+  const EhFrame eh = sample_eh_frame();
+  const auto hdr_bytes = build_eh_frame_hdr(eh, kEhAddr, kHdrAddr);
+  const EhFrameHdr hdr =
+      EhFrameHdr::parse({hdr_bytes.data(), hdr_bytes.size()}, kHdrAddr);
+
+  EXPECT_EQ(hdr.lookup(0x400fff), nullptr);
+  ASSERT_NE(hdr.lookup(0x401000), nullptr);
+  EXPECT_EQ(hdr.lookup(0x401000)->initial_location, 0x401000u);
+  EXPECT_EQ(hdr.lookup(0x401fff)->initial_location, 0x401000u);
+  EXPECT_EQ(hdr.lookup(0x402005)->initial_location, 0x402000u);
+  EXPECT_EQ(hdr.lookup(0xffffffff)->initial_location, 0x403000u);
+}
+
+TEST(EhFrameHdr, FunctionStartsMatchEhFrame) {
+  const EhFrame eh = sample_eh_frame();
+  const auto hdr_bytes = build_eh_frame_hdr(eh, kEhAddr, kHdrAddr);
+  const EhFrameHdr hdr =
+      EhFrameHdr::parse({hdr_bytes.data(), hdr_bytes.size()}, kHdrAddr);
+  EXPECT_EQ(hdr.function_starts(), eh.pc_begins());
+}
+
+TEST(EhFrameHdr, RejectsBadVersion) {
+  const EhFrame eh = sample_eh_frame();
+  auto bytes = build_eh_frame_hdr(eh, kEhAddr, kHdrAddr);
+  bytes[0] = 2;
+  EXPECT_THROW(EhFrameHdr::parse({bytes.data(), bytes.size()}, kHdrAddr),
+               ParseError);
+}
+
+TEST(EhFrameHdr, RejectsUnsortedTable) {
+  const EhFrame eh = sample_eh_frame();
+  auto bytes = build_eh_frame_hdr(eh, kEhAddr, kHdrAddr);
+  // Swap the first two 8-byte table entries (table starts at offset 12).
+  for (int i = 0; i < 8; ++i) {
+    std::swap(bytes[12 + i], bytes[20 + i]);
+  }
+  EXPECT_THROW(EhFrameHdr::parse({bytes.data(), bytes.size()}, kHdrAddr),
+               ParseError);
+}
+
+TEST(EhFrameHdr, RealSystemBinaryIfPresent) {
+  std::ifstream probe("/bin/ls", std::ios::binary);
+  if (!probe) {
+    GTEST_SKIP() << "/bin/ls not available";
+  }
+  const elf::ElfFile elf = elf::ElfFile::load("/bin/ls");
+  const auto hdr = EhFrameHdr::from_elf(elf);
+  if (!hdr) {
+    GTEST_SKIP() << "no .eh_frame_hdr in /bin/ls";
+  }
+  const auto eh = EhFrame::from_elf(elf);
+  ASSERT_TRUE(eh.has_value());
+  // The header's start set must agree with the .eh_frame itself.
+  EXPECT_EQ(hdr->function_starts(), eh->pc_begins());
+  // And every fde_address must resolve to an FDE whose pc_begin matches.
+  const elf::Section* eh_sec = elf.section(".eh_frame");
+  ASSERT_NE(eh_sec, nullptr);
+  std::size_t checked = 0;
+  for (const EhFrameHdrEntry& entry : hdr->entries()) {
+    for (const Fde& fde : eh->fdes()) {
+      if (eh_sec->addr + fde.section_offset == entry.fde_address) {
+        EXPECT_EQ(fde.pc_begin, entry.initial_location);
+        ++checked;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+}  // namespace
+}  // namespace fetch::eh

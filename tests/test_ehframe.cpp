@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+
+#include "ehframe/eh_builder.hpp"
+#include "ehframe/eh_frame.hpp"
+#include "elf/elf_file.hpp"
+#include "util/error.hpp"
+
+namespace fetch::eh {
+namespace {
+
+constexpr std::uint64_t kSectionAddr = 0x500000;
+
+EhFrame build_and_parse(EhFrameBuilder& builder) {
+  const auto bytes = builder.build(kSectionAddr);
+  return EhFrame::parse({bytes.data(), bytes.size()}, kSectionAddr);
+}
+
+TEST(EhFrameRoundtrip, SingleFde) {
+  EhFrameBuilder builder;
+  builder.add_fde(0x401000, 0x56, {CfiOp::advance(1), CfiOp::def_cfa_offset(16)});
+  const EhFrame eh = build_and_parse(builder);
+
+  ASSERT_EQ(eh.cies().size(), 1u);
+  ASSERT_EQ(eh.fdes().size(), 1u);
+  const Cie& cie = eh.cies()[0];
+  EXPECT_EQ(cie.version, 1);
+  EXPECT_EQ(cie.augmentation, "zR");
+  EXPECT_EQ(cie.code_alignment, 1u);
+  EXPECT_EQ(cie.data_alignment, -8);
+  EXPECT_EQ(cie.return_address_register, dwreg::kRa);
+  EXPECT_EQ(cie.fde_pointer_encoding, pe::kPcRel | pe::kSdata4);
+
+  const Fde& fde = eh.fdes()[0];
+  EXPECT_EQ(fde.pc_begin, 0x401000u);
+  EXPECT_EQ(fde.pc_range, 0x56u);
+  EXPECT_EQ(fde.pc_end(), 0x401056u);
+}
+
+TEST(EhFrameRoundtrip, ManyFdesSortedAndCovering) {
+  EhFrameBuilder builder;
+  // Added out of order: the parser returns them sorted by pc_begin.
+  builder.add_fde(0x403000, 0x20, {});
+  builder.add_fde(0x401000, 0x10, {});
+  builder.add_fde(0x402000, 0x30, {});
+  const EhFrame eh = build_and_parse(builder);
+
+  ASSERT_EQ(eh.fdes().size(), 3u);
+  EXPECT_EQ(eh.fdes()[0].pc_begin, 0x401000u);
+  EXPECT_EQ(eh.fdes()[1].pc_begin, 0x402000u);
+  EXPECT_EQ(eh.fdes()[2].pc_begin, 0x403000u);
+
+  EXPECT_EQ(eh.fde_covering(0x401005)->pc_begin, 0x401000u);
+  EXPECT_EQ(eh.fde_covering(0x40202f)->pc_begin, 0x402000u);
+  EXPECT_EQ(eh.fde_covering(0x402030), nullptr);  // one past the range
+  EXPECT_EQ(eh.fde_covering(0x400fff), nullptr);
+  EXPECT_EQ(eh.fde_covering(0x401010), nullptr);  // gap between FDEs
+
+  const auto begins = eh.pc_begins();
+  ASSERT_EQ(begins.size(), 3u);
+  EXPECT_EQ(begins[0], 0x401000u);
+}
+
+TEST(EhFrameRoundtrip, LargeAdvanceEncodings) {
+  // Deltas that need advance_loc1/2/4 forms.
+  EhFrameBuilder builder;
+  builder.add_fde(0x401000, 0x100000,
+                  {CfiOp::advance(0x50), CfiOp::def_cfa_offset(16),
+                   CfiOp::advance(0x300), CfiOp::def_cfa_offset(24),
+                   CfiOp::advance(0x20000), CfiOp::def_cfa_offset(8)});
+  const EhFrame eh = build_and_parse(builder);
+  ASSERT_EQ(eh.fdes().size(), 1u);
+  // The instruction stream must round-trip byte-exactly through the
+  // evaluator; checked in test_cfi_eval. Here: it must be non-empty.
+  EXPECT_FALSE(eh.fdes()[0].instructions.empty());
+}
+
+TEST(EhFrameParse, EmptySectionIsEmpty) {
+  const std::uint8_t terminator[4] = {0, 0, 0, 0};
+  const EhFrame eh = EhFrame::parse({terminator, 4}, kSectionAddr);
+  EXPECT_TRUE(eh.cies().empty());
+  EXPECT_TRUE(eh.fdes().empty());
+}
+
+TEST(EhFrameParse, TruncatedRecordThrows) {
+  EhFrameBuilder builder;
+  builder.add_fde(0x401000, 0x10, {});
+  auto bytes = builder.build(kSectionAddr);
+  bytes.resize(bytes.size() / 2);
+  // Either a hard throw or a clean stop is acceptable for a *trailing*
+  // truncation; a length larger than the remaining bytes must throw.
+  bytes[0] = 0xf0;  // corrupt the CIE length to exceed the section
+  EXPECT_THROW(EhFrame::parse({bytes.data(), bytes.size()}, kSectionAddr),
+               ParseError);
+}
+
+TEST(EhFrameParse, FdeWithUnknownCieThrows) {
+  EhFrameBuilder builder;
+  builder.add_fde(0x401000, 0x10, {});
+  auto bytes = builder.build(kSectionAddr);
+  // The FDE's CIE pointer is at the FDE's id field; corrupt it.
+  // CIE is first; find the FDE: scan records.
+  std::size_t off = 0;
+  std::uint32_t len;
+  std::memcpy(&len, bytes.data(), 4);
+  off = 4 + len;  // start of FDE record
+  std::uint32_t bogus = 0xfffffff0u;
+  std::memcpy(bytes.data() + off + 4, &bogus, 4);
+  EXPECT_THROW(EhFrame::parse({bytes.data(), bytes.size()}, kSectionAddr),
+               ParseError);
+}
+
+TEST(EhFrameParse, PcRelPointerDependsOnSectionAddress) {
+  EhFrameBuilder builder;
+  builder.add_fde(0x401000, 0x10, {});
+  const auto bytes = builder.build(kSectionAddr);
+  // Parsing at a different section address shifts the decoded pc_begin by
+  // the same amount (pcrel encoding).
+  const EhFrame shifted =
+      EhFrame::parse({bytes.data(), bytes.size()}, kSectionAddr + 0x100);
+  ASSERT_EQ(shifted.fdes().size(), 1u);
+  EXPECT_EQ(shifted.fdes()[0].pc_begin, 0x401100u);
+}
+
+TEST(EhFrameParse, DuplicatePcBeginsDeduplicated) {
+  EhFrameBuilder builder;
+  builder.add_fde(0x401000, 0x10, {});
+  builder.add_fde(0x401000, 0x10, {});
+  const EhFrame eh = build_and_parse(builder);
+  EXPECT_EQ(eh.fdes().size(), 2u);
+  EXPECT_EQ(eh.pc_begins().size(), 1u);
+}
+
+TEST(EhFrameParse, RealSystemBinaryIfPresent) {
+  std::ifstream probe("/bin/ls", std::ios::binary);
+  if (!probe) {
+    GTEST_SKIP() << "/bin/ls not available";
+  }
+  const elf::ElfFile elf = elf::ElfFile::load("/bin/ls");
+  const auto eh = EhFrame::from_elf(elf);
+  if (!eh) {
+    GTEST_SKIP() << "/bin/ls has no .eh_frame";
+  }
+  EXPECT_GT(eh->fdes().size(), 10u);
+  // Every FDE's range must land inside an executable section.
+  const elf::Section* text = elf.section(".text");
+  ASSERT_NE(text, nullptr);
+  std::size_t inside = 0;
+  for (const Fde& fde : eh->fdes()) {
+    if (elf.is_code_address(fde.pc_begin)) {
+      ++inside;
+    }
+  }
+  // Nearly all FDEs describe code (a few cover PLT stubs / init sections,
+  // which are also executable, so the expectation is strict).
+  EXPECT_EQ(inside, eh->fdes().size());
+}
+
+}  // namespace
+}  // namespace fetch::eh

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+
+#include "elf/elf_builder.hpp"
+#include "elf/elf_file.hpp"
+#include "util/error.hpp"
+
+namespace fetch::elf {
+namespace {
+
+std::vector<std::uint8_t> text_bytes() {
+  return {0x55, 0x48, 0x89, 0xe5, 0xc3};  // push rbp; mov rbp,rsp; ret
+}
+
+ElfBuilder simple_builder() {
+  ElfBuilder b;
+  const std::uint16_t text = b.add_section(
+      ".text", kShtProgbits, kShfAlloc | kShfExecinstr, 0x401000,
+      text_bytes(), 16);
+  b.add_section(".data", kShtProgbits, kShfAlloc | kShfWrite, 0x500000,
+                {1, 2, 3, 4, 5, 6, 7, 8}, 8);
+  b.add_symbol("f", 0x401000, 5, sym_info(kStbGlobal, kSttFunc), text);
+  b.add_symbol("local_obj", 0x500000, 8, sym_info(kStbLocal, kSttObject),
+               text + 1);
+  b.set_entry(0x401000);
+  return b;
+}
+
+TEST(ElfRoundtrip, HeaderAndSections) {
+  const auto image = simple_builder().build();
+  ElfFile elf(image);
+  EXPECT_EQ(elf.type(), Type::kExec);
+  EXPECT_EQ(elf.entry(), 0x401000u);
+  ASSERT_NE(elf.section(".text"), nullptr);
+  ASSERT_NE(elf.section(".data"), nullptr);
+  ASSERT_NE(elf.section(".shstrtab"), nullptr);
+  EXPECT_EQ(elf.section(".text")->addr, 0x401000u);
+  EXPECT_EQ(elf.section(".text")->size, 5u);
+  EXPECT_TRUE(elf.section(".text")->executable());
+  EXPECT_FALSE(elf.section(".data")->executable());
+  EXPECT_TRUE(elf.section(".data")->writable());
+}
+
+TEST(ElfRoundtrip, SectionContents) {
+  const auto image = simple_builder().build();
+  ElfFile elf(image);
+  const auto bytes = elf.section_bytes(*elf.section(".text"));
+  ASSERT_EQ(bytes.size(), 5u);
+  EXPECT_EQ(bytes[0], 0x55u);
+  EXPECT_EQ(bytes[4], 0xc3u);
+}
+
+TEST(ElfRoundtrip, Symbols) {
+  const auto image = simple_builder().build();
+  ElfFile elf(image);
+  ASSERT_TRUE(elf.has_symtab());
+  ASSERT_EQ(elf.symbols().size(), 2u);
+  // Locals are emitted before globals per the gABI.
+  EXPECT_EQ(elf.symbols()[0].name, "local_obj");
+  EXPECT_FALSE(elf.symbols()[0].is_function());
+  EXPECT_EQ(elf.symbols()[1].name, "f");
+  EXPECT_TRUE(elf.symbols()[1].is_function());
+  EXPECT_EQ(elf.symbols()[1].value, 0x401000u);
+  EXPECT_EQ(elf.symbols()[1].size, 5u);
+}
+
+TEST(ElfRoundtrip, StrippedBinaryHasNoSymtab) {
+  ElfBuilder b = simple_builder();
+  b.emit_symtab(false);
+  ElfFile elf(b.build());
+  EXPECT_FALSE(elf.has_symtab());
+  EXPECT_TRUE(elf.symbols().empty());
+  // Sections must still be intact.
+  EXPECT_NE(elf.section(".text"), nullptr);
+  EXPECT_EQ(elf.section(".symtab"), nullptr);
+}
+
+TEST(ElfRoundtrip, ProgramHeadersCoverAllocSections) {
+  const auto image = simple_builder().build();
+  ElfFile elf(image);
+  ASSERT_EQ(elf.segments().size(), 2u);
+  EXPECT_EQ(elf.segments()[0].vaddr, 0x401000u);
+  EXPECT_EQ(elf.segments()[0].type, kPtLoad);
+  EXPECT_NE(elf.segments()[0].flags & kPfX, 0u);
+  EXPECT_NE(elf.segments()[1].flags & kPfW, 0u);
+}
+
+TEST(ElfAddressing, BytesAtAndSectionAt) {
+  const auto image = simple_builder().build();
+  ElfFile elf(image);
+  const auto bytes = elf.bytes_at(0x401001, 3);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ((*bytes)[0], 0x48u);
+  EXPECT_FALSE(elf.bytes_at(0x401003, 10).has_value());  // crosses the end
+  EXPECT_FALSE(elf.bytes_at(0x700000, 1).has_value());   // unmapped
+  EXPECT_TRUE(elf.is_code_address(0x401004));
+  EXPECT_FALSE(elf.is_code_address(0x401005));
+  EXPECT_FALSE(elf.is_code_address(0x500000));
+  ASSERT_NE(elf.section_at(0x500004), nullptr);
+  EXPECT_EQ(elf.section_at(0x500004)->name, ".data");
+}
+
+TEST(ElfParse, RejectsBadMagic) {
+  auto image = simple_builder().build();
+  image[0] = 0x00;
+  EXPECT_THROW(ElfFile{image}, ParseError);
+}
+
+TEST(ElfParse, RejectsTruncatedHeader) {
+  auto image = simple_builder().build();
+  image.resize(30);
+  EXPECT_THROW(ElfFile{image}, ParseError);
+}
+
+TEST(ElfParse, Rejects32Bit) {
+  auto image = simple_builder().build();
+  image[4] = 1;  // ELFCLASS32
+  EXPECT_THROW(ElfFile{image}, ParseError);
+}
+
+TEST(ElfParse, RejectsOutOfBoundsSectionHeaders) {
+  auto image = simple_builder().build();
+  // shoff lives at offset 40 in the ELF header.
+  const std::uint64_t bogus = image.size() + 1000;
+  std::memcpy(image.data() + 40, &bogus, 8);
+  EXPECT_THROW(ElfFile{image}, ParseError);
+}
+
+TEST(ElfParse, LoadFromDiskRoundtrip) {
+  const auto image = simple_builder().build();
+  const std::string path = ::testing::TempDir() + "/fetch_elf_test.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+  }
+  const ElfFile elf = ElfFile::load(path);
+  EXPECT_EQ(elf.entry(), 0x401000u);
+  EXPECT_THROW(ElfFile::load(path + ".does-not-exist"), ParseError);
+}
+
+TEST(ElfParse, RealSystemBinaryIfPresent) {
+  // Pure-parsing integration check against a real compiler/linker output.
+  std::ifstream probe("/bin/ls", std::ios::binary);
+  if (!probe) {
+    GTEST_SKIP() << "/bin/ls not available";
+  }
+  const ElfFile elf = ElfFile::load("/bin/ls");
+  EXPECT_FALSE(elf.sections().empty());
+  const Section* text = elf.section(".text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_TRUE(text->executable());
+  EXPECT_GT(text->size, 0u);
+}
+
+}  // namespace
+}  // namespace fetch::elf

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "eval/runner.hpp"
+#include "synth/codegen.hpp"
+#include "synth/corpus.hpp"
+
+namespace fetch::core {
+namespace {
+
+/// Function-extent properties over corpus binaries: every detected true
+/// start carries an extent that covers at least the ground-truth hot
+/// range, and merged non-contiguous functions extend past it.
+class ExtentsOnCorpus : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExtentsOnCorpus, ExtentsCoverHotRanges) {
+  const auto spec =
+      synth::make_program(synth::projects()[GetParam()],
+                          synth::profile_for("gcc", "O2"), GetParam() + 808);
+  const synth::SynthBinary bin = synth::generate(spec);
+  const elf::ElfFile elf(bin.image);
+  FunctionDetector detector(elf);
+  const DetectionResult result =
+      detector.run(eval::fetch_options(bin.truth));
+
+  std::size_t checked = 0;
+  for (const auto& [entry, extent] : result.extents) {
+    EXPECT_EQ(extent.entry, entry);
+    EXPECT_GT(extent.end, entry);
+    EXPECT_GT(extent.instructions, 0u);
+    const auto it = bin.truth.hot_ranges.find(entry);
+    if (it == bin.truth.hot_ranges.end()) {
+      continue;  // not a true start (residual FP) — no truth range
+    }
+    ++checked;
+    // The detected extent must reach at least to the hot part's end.
+    // (Functions ending in a tail call stop at the jmp, which is the
+    // last hot byte, so >= holds there too.)
+    EXPECT_GE(extent.end, it->second) << std::hex << entry;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST_P(ExtentsOnCorpus, MergedFunctionsExtendPastHotRange) {
+  const auto spec =
+      synth::make_program(synth::projects()[GetParam()],
+                          synth::profile_for("gcc", "Ofast"), GetParam() + 99);
+  const synth::SynthBinary bin = synth::generate(spec);
+  const elf::ElfFile elf(bin.image);
+  FunctionDetector detector(elf);
+  const DetectionResult result =
+      detector.run(eval::fetch_options(bin.truth));
+
+  for (const auto& [part, parent] : result.merged_parts) {
+    if (bin.truth.cold_parts.count(part) == 0) {
+      continue;  // tail-only inlining, not a cold part
+    }
+    const auto it = result.extents.find(parent);
+    ASSERT_NE(it, result.extents.end());
+    // The parent's extent must now include the (distant) cold part.
+    EXPECT_GT(it->second.end, part) << std::hex << parent;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Projects, ExtentsOnCorpus,
+                         ::testing::Values(0, 4, 9, 13, 15));
+
+TEST(Extents, AbsentWithoutRecursion) {
+  const auto spec = synth::make_program(
+      synth::projects()[0], synth::profile_for("gcc", "O2"), 5);
+  const synth::SynthBinary bin = synth::generate(spec);
+  const elf::ElfFile elf(bin.image);
+  FunctionDetector detector(elf);
+  DetectorOptions options;
+  options.recursive = false;
+  options.pointer_detection = false;
+  options.fix_fde_errors = false;
+  EXPECT_TRUE(detector.run(options).extents.empty());
+}
+
+}  // namespace
+}  // namespace fetch::core

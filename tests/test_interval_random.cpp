@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/interval_set.hpp"
+#include "util/rng.hpp"
+
+namespace fetch {
+namespace {
+
+/// Differential testing of IntervalSet against a naive reference model
+/// (a std::set of covered addresses) under random operation sequences.
+class IntervalRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalRandom, MatchesNaiveModel) {
+  Rng rng(GetParam() * 7919 + 3);
+  IntervalSet fast;
+  std::set<std::uint64_t> slow;
+  constexpr std::uint64_t kSpace = 512;
+
+  for (int op = 0; op < 400; ++op) {
+    const std::uint64_t lo = rng.below(kSpace);
+    const std::uint64_t hi = lo + rng.below(24);
+    fast.add(lo, hi);
+    for (std::uint64_t a = lo; a < hi; ++a) {
+      slow.insert(a);
+    }
+
+    // Point queries.
+    for (int q = 0; q < 8; ++q) {
+      const std::uint64_t a = rng.below(kSpace + 16);
+      ASSERT_EQ(fast.contains(a), slow.count(a) != 0)
+          << "addr " << a << " after op " << op;
+    }
+    // Range queries.
+    const std::uint64_t qlo = rng.below(kSpace);
+    const std::uint64_t qhi = qlo + rng.below(32);
+    bool all = true;
+    bool any = false;
+    for (std::uint64_t a = qlo; a < qhi; ++a) {
+      const bool in = slow.count(a) != 0;
+      all &= in;
+      any |= in;
+    }
+    if (qlo < qhi) {
+      ASSERT_EQ(fast.covers(qlo, qhi), all) << qlo << ".." << qhi;
+      ASSERT_EQ(fast.intersects(qlo, qhi), any) << qlo << ".." << qhi;
+    }
+    ASSERT_EQ(fast.covered_bytes(), slow.size());
+  }
+
+  // Gap computation must partition the uncovered space exactly.
+  const auto gaps = fast.gaps(0, kSpace);
+  std::set<std::uint64_t> gap_addrs;
+  for (const auto& g : gaps) {
+    for (std::uint64_t a = g.lo; a < g.hi; ++a) {
+      ASSERT_TRUE(gap_addrs.insert(a).second) << "gap overlap at " << a;
+    }
+  }
+  for (std::uint64_t a = 0; a < kSpace; ++a) {
+    ASSERT_EQ(gap_addrs.count(a) != 0, slow.count(a) == 0) << a;
+  }
+  // Intervals must be maximal (no two adjacent or overlapping).
+  const auto intervals = fast.intervals();
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    ASSERT_GT(intervals[i].lo, intervals[i - 1].hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalRandom,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace fetch

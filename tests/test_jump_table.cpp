@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "disasm/code_view.hpp"
+#include "disasm/recursive.hpp"
+#include "helpers.hpp"
+
+namespace fetch::disasm {
+namespace {
+
+using test::kRodataAddr;
+using test::kTextAddr;
+using test::MiniBinary;
+using x86::Assembler;
+using x86::Cond;
+using x86::Label;
+using x86::MemRef;
+using x86::Reg;
+
+/// Emits the canonical PIC dispatch: cmp/ja bound check, lea table,
+/// movsxd entry, add, jmp reg. Returns the case labels (bound later).
+struct Switch {
+  Label def;
+  std::vector<Label> cases;
+};
+
+Switch emit_switch(Assembler& a, int n, std::uint64_t table_addr) {
+  Switch sw;
+  sw.def = a.label();
+  for (int i = 0; i < n; ++i) {
+    sw.cases.push_back(a.label());
+  }
+  a.cmp_ri(Reg::kRdi, n - 1);
+  a.jcc(Cond::kA, sw.def);
+  a.lea(Reg::kRcx, MemRef::rip_abs(table_addr));
+  a.movsxd(Reg::kRdx, MemRef::sib(Reg::kRcx, Reg::kRdi, 4));
+  a.add_rr(Reg::kRdx, Reg::kRcx);
+  a.jmp_reg(Reg::kRdx);
+  return sw;
+}
+
+std::vector<std::uint8_t> rel32_table(const Assembler& a,
+                                      const std::vector<Label>& targets,
+                                      std::uint64_t table_addr) {
+  std::vector<std::uint8_t> bytes;
+  for (const Label& l : targets) {
+    const std::int64_t rel = static_cast<std::int64_t>(a.address_of(l)) -
+                             static_cast<std::int64_t>(table_addr);
+    const auto v = static_cast<std::uint32_t>(static_cast<std::int32_t>(rel));
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  return bytes;
+}
+
+TEST(JumpTable, ResolvesPicForm) {
+  Assembler a(kTextAddr);
+  Switch sw = emit_switch(a, 4, kRodataAddr);
+  for (Label& c : sw.cases) {
+    a.bind(c);
+    a.mov_ri32(Reg::kRax, 7);
+    a.jmp(sw.def);
+  }
+  a.bind(sw.def);
+  a.ret();
+
+  const elf::ElfFile elf =
+      MiniBinary(a).rodata(rel32_table(a, sw.cases, kRodataAddr)).build();
+  CodeView code(elf);
+  const Result r = analyze(code, {kTextAddr}, {});
+
+  const Function& fn = r.functions.at(kTextAddr);
+  ASSERT_EQ(fn.tables.size(), 1u);
+  const JumpTable& table = fn.tables[0];
+  EXPECT_EQ(table.entry_count, 4u);
+  EXPECT_EQ(table.table_addr, kRodataAddr);
+  ASSERT_EQ(table.targets.size(), 4u);
+  // Every case block must be explored.
+  for (const Label& c : sw.cases) {
+    EXPECT_TRUE(fn.contains(a.address_of(c)));
+  }
+}
+
+TEST(JumpTable, ResolvesAbsoluteForm) {
+  Assembler a(kTextAddr);
+  Label def = a.label();
+  Label case0 = a.label();
+  Label case1 = a.label();
+  a.cmp_ri(Reg::kRsi, 1);
+  a.jcc(Cond::kA, def);
+  // jmp qword [table + rsi*8]: FF /4, SIB scale=8 index=rsi no-base.
+  a.raw({0xff, 0x24, 0xf5});
+  {
+    const auto v = static_cast<std::uint32_t>(kRodataAddr);
+    a.raw({static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+           static_cast<std::uint8_t>(v >> 16),
+           static_cast<std::uint8_t>(v >> 24)});
+  }
+  a.bind(case0);
+  a.nop(1);
+  a.bind(def);
+  a.ret();
+  a.bind(case1);
+  a.ret();
+
+  std::vector<std::uint8_t> table;
+  test::put_u64(table, a.address_of(case0));
+  test::put_u64(table, a.address_of(case1));
+
+  const elf::ElfFile elf = MiniBinary(a).rodata(std::move(table)).build();
+  CodeView code(elf);
+  const Result r = analyze(code, {kTextAddr}, {});
+  const Function& fn = r.functions.at(kTextAddr);
+  ASSERT_EQ(fn.tables.size(), 1u);
+  EXPECT_EQ(fn.tables[0].entry_count, 2u);
+  EXPECT_TRUE(fn.contains(a.address_of(case1)));
+}
+
+TEST(JumpTable, MissingBoundCheckGivesUp) {
+  Assembler a(kTextAddr);
+  a.lea(Reg::kRcx, MemRef::rip_abs(kRodataAddr));
+  a.movsxd(Reg::kRdx, MemRef::sib(Reg::kRcx, Reg::kRdi, 4));
+  a.add_rr(Reg::kRdx, Reg::kRcx);
+  a.jmp_reg(Reg::kRdx);
+  const elf::ElfFile elf =
+      MiniBinary(a).rodata(std::vector<std::uint8_t>(64, 0)).build();
+  CodeView code(elf);
+  const Result r = analyze(code, {kTextAddr}, {});
+  EXPECT_TRUE(r.functions.at(kTextAddr).tables.empty());
+}
+
+TEST(JumpTable, BadEntryPoisonsWholeTable) {
+  Assembler a(kTextAddr);
+  Switch sw = emit_switch(a, 2, kRodataAddr);
+  a.bind(sw.cases[0]);
+  a.nop(1);
+  a.bind(sw.cases[1]);
+  a.nop(1);
+  a.bind(sw.def);
+  a.ret();
+
+  auto table = rel32_table(a, sw.cases, kRodataAddr);
+  // Corrupt entry 1 to point into .rodata (not code).
+  const std::int32_t bad = 0;  // table_addr + 0 = .rodata itself
+  std::memcpy(table.data() + 4, &bad, 4);
+
+  const elf::ElfFile elf = MiniBinary(a).rodata(std::move(table)).build();
+  CodeView code(elf);
+  const Result r = analyze(code, {kTextAddr}, {});
+  EXPECT_TRUE(r.functions.at(kTextAddr).tables.empty());
+}
+
+TEST(JumpTable, IndexRedefinedBetweenCheckAndJumpGivesUp) {
+  Assembler a(kTextAddr);
+  Label def = a.label();
+  a.cmp_ri(Reg::kRdi, 3);
+  a.jcc(Cond::kA, def);
+  a.mov_ri32(Reg::kRdi, 0);  // index clobbered: bound no longer applies
+  a.lea(Reg::kRcx, MemRef::rip_abs(kRodataAddr));
+  a.movsxd(Reg::kRdx, MemRef::sib(Reg::kRcx, Reg::kRdi, 4));
+  a.add_rr(Reg::kRdx, Reg::kRcx);
+  a.jmp_reg(Reg::kRdx);
+  a.bind(def);
+  a.ret();
+  const elf::ElfFile elf =
+      MiniBinary(a).rodata(std::vector<std::uint8_t>(16, 0)).build();
+  CodeView code(elf);
+  const Result r = analyze(code, {kTextAddr}, {});
+  EXPECT_TRUE(r.functions.at(kTextAddr).tables.empty());
+}
+
+}  // namespace
+}  // namespace fetch::disasm

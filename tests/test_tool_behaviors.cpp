@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "baselines/tools.hpp"
+#include "disasm/code_view.hpp"
+#include "disasm/recursive.hpp"
+#include "elf/elf_builder.hpp"
+#include "helpers.hpp"
+
+namespace fetch::baselines {
+namespace {
+
+using test::kDataAddr;
+using test::kTextAddr;
+using test::MiniBinary;
+using x86::Assembler;
+using x86::Cond;
+using x86::Label;
+using x86::MemRef;
+using x86::Reg;
+
+/// Builds the canonical three-function binary used by several tests:
+///   main (entry) calls helper; hidden sits in a gap unreferenced.
+struct TriBinary {
+  elf::ElfFile elf;
+  std::uint64_t helper;
+  std::uint64_t hidden;
+};
+
+TriBinary make_tri(bool hidden_has_prologue) {
+  Assembler a(kTextAddr);
+  Label helper = a.label();
+  a.call(helper);
+  a.ret();
+  a.nop(8);
+  a.bind(helper);
+  a.push(Reg::kRbx);
+  a.pop(Reg::kRbx);
+  a.ret();
+  a.nop(16 - (a.size() % 16));
+  const std::uint64_t hidden = a.pc();
+  if (hidden_has_prologue) {
+    a.push(Reg::kRbp);
+    a.mov_rr(Reg::kRbp, Reg::kRsp);
+    a.leave();
+  } else {
+    a.mov_rr(Reg::kRax, Reg::kRdi);
+  }
+  a.ret();
+  return {MiniBinary(a).build(), a.address_of(helper), hidden};
+}
+
+TEST(ToolBehaviors, DyninstFindsPrologueGapFunctions) {
+  const TriBinary t = make_tri(/*hidden_has_prologue=*/true);
+  const auto starts = dyninst_like(t.elf);
+  EXPECT_TRUE(starts.count(kTextAddr));   // entry
+  EXPECT_TRUE(starts.count(t.helper));    // call target
+  EXPECT_TRUE(starts.count(t.hidden));    // strict prologue match
+}
+
+TEST(ToolBehaviors, DyninstMissesPlainGapFunctions) {
+  const TriBinary t = make_tri(/*hidden_has_prologue=*/false);
+  const auto starts = dyninst_like(t.elf);
+  EXPECT_TRUE(starts.count(t.helper));
+  EXPECT_FALSE(starts.count(t.hidden));  // no pattern, no reference
+}
+
+TEST(ToolBehaviors, NinjaChasesUnalignedDataPointers) {
+  Assembler a(kTextAddr);
+  a.ret();
+  a.nop(15);
+  const std::uint64_t hidden = a.pc();
+  a.mov_rr(Reg::kRax, Reg::kRdi);
+  a.ret();
+
+  std::vector<std::uint8_t> data;
+  data.push_back(0x00);  // misalign
+  test::put_u64(data, hidden);
+  const elf::ElfFile elf = MiniBinary(a).data(std::move(data)).build();
+
+  EXPECT_TRUE(ninja_like(elf).count(hidden));
+  // IDA only follows aligned slots in writable data: misses this one.
+  EXPECT_FALSE(ida_like(elf).count(hidden));
+}
+
+TEST(ToolBehaviors, IdaFollowsAlignedDataPointers) {
+  Assembler a(kTextAddr);
+  a.ret();
+  a.nop(15);
+  const std::uint64_t hidden = a.pc();
+  a.mov_rr(Reg::kRax, Reg::kRdi);
+  a.ret();
+
+  std::vector<std::uint8_t> data;
+  test::put_u64(data, hidden);  // aligned slot
+  const elf::ElfFile elf = MiniBinary(a).data(std::move(data)).build();
+  EXPECT_TRUE(ida_like(elf).count(hidden));
+}
+
+TEST(ToolBehaviors, NucleusMergesAcrossNoReturnTail) {
+  // f ends with `call exit_fn`; nop padding; g follows, only referenced
+  // through data. NUCLEUS's fall-through grouping swallows g.
+  Assembler a(kTextAddr);
+  Label exit_fn = a.label();
+  a.call(exit_fn);  // never returns (but NUCLEUS cannot know)
+  a.nop(11);
+  const std::uint64_t g = a.pc();
+  a.xor_rr(Reg::kRax, Reg::kRax);
+  a.ret();
+  a.bind(exit_fn);
+  a.mov_ri32(Reg::kRax, 60);
+  a.syscall();
+  a.ud2();
+  std::vector<std::uint8_t> data;
+  test::put_u64(data, g);
+  const elf::ElfFile elf = MiniBinary(a).data(std::move(data)).build();
+  const auto starts = nucleus_like(elf);
+  EXPECT_FALSE(starts.count(g)) << "group head should swallow g";
+}
+
+TEST(ToolBehaviors, NucleusKeepsFunctionsBehindTerminators) {
+  // f ends with ret; g follows: ret breaks the group, g is found.
+  Assembler a(kTextAddr);
+  a.xor_rr(Reg::kRax, Reg::kRax);
+  a.ret();
+  a.nop(9);
+  const std::uint64_t g = a.pc();
+  a.mov_ri32(Reg::kRax, 2);
+  a.ret();
+  const elf::ElfFile elf = MiniBinary(a).build();
+  EXPECT_TRUE(nucleus_like(elf).count(g));
+}
+
+TEST(ToolBehaviors, Radare2FindsProloguesAfterPadding) {
+  const TriBinary t = make_tri(/*hidden_has_prologue=*/true);
+  const auto starts = radare2_like(t.elf);
+  EXPECT_TRUE(starts.count(t.helper));  // call target from the sweep
+  EXPECT_TRUE(starts.count(t.hidden));  // push after padding
+}
+
+TEST(ToolBehaviors, BapLooseMatchingIsASuperset) {
+  const TriBinary t = make_tri(/*hidden_has_prologue=*/true);
+  const auto bap = bap_like(t.elf);
+  const auto dyninst = dyninst_like(t.elf);
+  for (const std::uint64_t s : dyninst) {
+    EXPECT_TRUE(bap.count(s)) << std::hex << s;
+  }
+}
+
+TEST(ToolBehaviors, GhidraWithoutFdesLosesCoverage) {
+  // On a binary whose only evidence for a function is its FDE, disabling
+  // FDE use must lose it.
+  Assembler a(kTextAddr);
+  a.ret();
+  a.nop(15);
+  const std::uint64_t hidden = a.pc();
+  a.mov_rr(Reg::kRax, Reg::kRdi);  // no prologue, no references
+  a.ret();
+  const std::uint64_t hidden_end = a.pc();
+
+  eh::EhFrameBuilder ehb;
+  ehb.add_fde(kTextAddr, 1, {});
+  ehb.add_fde(hidden, hidden_end - hidden, {});
+  const elf::ElfFile elf = MiniBinary(a).eh_frame(ehb).build();
+
+  GhidraOptions with_fde;
+  with_fde.cfr = false;
+  GhidraOptions without_fde = with_fde;
+  without_fde.use_fde = false;
+  EXPECT_TRUE(ghidra_like(elf, with_fde).count(hidden));
+  EXPECT_FALSE(ghidra_like(elf, without_fde).count(hidden));
+}
+
+}  // namespace
+}  // namespace fetch::baselines

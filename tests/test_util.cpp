@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "util/byte_cursor.hpp"
+#include "util/byte_writer.hpp"
+#include "util/interval_set.hpp"
+#include "util/rng.hpp"
+
+namespace fetch {
+namespace {
+
+TEST(ByteCursor, ReadsScalarsLittleEndian) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03, 0x04, 0x05,
+                               0x06, 0x07, 0x08, 0x09};
+  ByteCursor cur({data, sizeof(data)});
+  EXPECT_EQ(cur.u8(), 0x01u);
+  EXPECT_EQ(cur.u16(), 0x0302u);
+  EXPECT_EQ(cur.u32(), 0x07060504u);
+  EXPECT_EQ(cur.remaining(), 2u);
+}
+
+TEST(ByteCursor, ThrowsOnTruncatedRead) {
+  const std::uint8_t data[] = {0x01, 0x02};
+  ByteCursor cur({data, sizeof(data)});
+  cur.u8();
+  EXPECT_THROW(cur.u32(), ParseError);
+}
+
+TEST(ByteCursor, SeekAndSkipBounds) {
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  ByteCursor cur({data, sizeof(data)});
+  cur.seek(4);
+  EXPECT_TRUE(cur.empty());
+  EXPECT_THROW(cur.seek(5), ParseError);
+  cur.seek(0);
+  cur.skip(3);
+  EXPECT_EQ(cur.remaining(), 1u);
+  EXPECT_THROW(cur.skip(2), ParseError);
+}
+
+TEST(ByteCursor, CstringStopsAtNul) {
+  const std::uint8_t data[] = {'z', 'R', 0, 7};
+  ByteCursor cur({data, sizeof(data)});
+  EXPECT_EQ(cur.cstring(), "zR");
+  EXPECT_EQ(cur.u8(), 7u);
+}
+
+TEST(ByteCursor, CstringThrowsWhenUnterminated) {
+  const std::uint8_t data[] = {'a', 'b'};
+  ByteCursor cur({data, sizeof(data)});
+  EXPECT_THROW(cur.cstring(), ParseError);
+}
+
+class Leb128Roundtrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(Leb128Roundtrip, Signed) {
+  const std::int64_t value = GetParam();
+  ByteWriter w;
+  w.sleb128(value);
+  auto bytes = w.take();
+  ByteCursor cur({bytes.data(), bytes.size()});
+  EXPECT_EQ(cur.sleb128(), value);
+  EXPECT_TRUE(cur.empty());
+}
+
+TEST_P(Leb128Roundtrip, UnsignedOfAbs) {
+  const auto value =
+      static_cast<std::uint64_t>(GetParam() < 0 ? -GetParam() : GetParam());
+  ByteWriter w;
+  w.uleb128(value);
+  auto bytes = w.take();
+  ByteCursor cur({bytes.data(), bytes.size()});
+  EXPECT_EQ(cur.uleb128(), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, Leb128Roundtrip,
+                         ::testing::Values(0, 1, -1, 63, 64, -64, -65, 127,
+                                           128, -128, 0x7fff, -0x8000,
+                                           0x12345678, -0x12345678,
+                                           INT64_MAX, INT64_MIN + 1));
+
+TEST(ByteWriter, PatchingAndAlignment) {
+  ByteWriter w;
+  w.u32(0);
+  w.cstring("ab");  // 3 bytes incl. NUL -> size 7, one padding byte
+  w.align(8, 0xcc);
+  EXPECT_EQ(w.size() % 8, 0u);
+  w.patch_u32(0, 0xdeadbeef);
+  const auto bytes = w.take();
+  std::uint32_t v;
+  std::memcpy(&v, bytes.data(), 4);
+  EXPECT_EQ(v, 0xdeadbeefu);
+  EXPECT_EQ(bytes[7], 0xccu);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(IntervalSet, AddAndCoalesce) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  EXPECT_EQ(s.count(), 2u);
+  s.add(20, 30);  // bridges the gap
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.covers(10, 40));
+  EXPECT_EQ(s.covered_bytes(), 30u);
+}
+
+TEST(IntervalSet, ContainsBoundaries) {
+  IntervalSet s;
+  s.add(10, 20);
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_TRUE(s.contains(19));
+  EXPECT_FALSE(s.contains(20));
+  EXPECT_FALSE(s.contains(9));
+}
+
+TEST(IntervalSet, OverlapAdds) {
+  IntervalSet s;
+  s.add(10, 30);
+  s.add(5, 15);
+  s.add(25, 35);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.covers(5, 35));
+}
+
+TEST(IntervalSet, EmptyRangeIgnored) {
+  IntervalSet s;
+  s.add(10, 10);
+  s.add(10, 9);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, Gaps) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  const auto gaps = s.gaps(0, 50);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0].lo, 0u);
+  EXPECT_EQ(gaps[0].hi, 10u);
+  EXPECT_EQ(gaps[1].lo, 20u);
+  EXPECT_EQ(gaps[1].hi, 30u);
+  EXPECT_EQ(gaps[2].lo, 40u);
+  EXPECT_EQ(gaps[2].hi, 50u);
+}
+
+TEST(IntervalSet, GapsInsideCoveredRange) {
+  IntervalSet s;
+  s.add(0, 100);
+  EXPECT_TRUE(s.gaps(10, 90).empty());
+}
+
+TEST(IntervalSet, Intersects) {
+  IntervalSet s;
+  s.add(10, 20);
+  EXPECT_TRUE(s.intersects(15, 25));
+  EXPECT_TRUE(s.intersects(5, 11));
+  EXPECT_FALSE(s.intersects(20, 30));
+  EXPECT_FALSE(s.intersects(0, 10));
+}
+
+}  // namespace
+}  // namespace fetch

@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include "x86/assembler.hpp"
+#include "x86/decoder.hpp"
+
+namespace fetch::x86 {
+namespace {
+
+std::optional<Insn> decode_bytes(std::initializer_list<std::uint8_t> bytes,
+                                 std::uint64_t addr = 0x1000) {
+  std::vector<std::uint8_t> buf(bytes);
+  return decode({buf.data(), buf.size()}, addr);
+}
+
+TEST(Decoder, PushPopRegisters) {
+  auto insn = decode_bytes({0x55});  // push rbp
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kPush);
+  EXPECT_EQ(insn->length, 1);
+  EXPECT_EQ(insn->rsp_delta, -8);
+
+  insn = decode_bytes({0x41, 0x54});  // push r12
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kPush);
+  EXPECT_NE(insn->regs_read & reg_bit(Reg::kR12), 0);
+
+  insn = decode_bytes({0x5d});  // pop rbp
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kPop);
+  EXPECT_EQ(insn->rsp_delta, 8);
+  EXPECT_NE(insn->regs_written & reg_bit(Reg::kRbp), 0);
+}
+
+TEST(Decoder, PopRspIsClobber) {
+  auto insn = decode_bytes({0x5c});  // pop rsp
+  ASSERT_TRUE(insn);
+  EXPECT_TRUE(insn->rsp_clobbered);
+  EXPECT_FALSE(insn->rsp_delta.has_value());
+}
+
+TEST(Decoder, SubAddRspImmediates) {
+  auto insn = decode_bytes({0x48, 0x83, 0xec, 0x18});  // sub rsp, 0x18
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->length, 4);
+  EXPECT_EQ(insn->rsp_delta, -0x18);
+
+  insn = decode_bytes({0x48, 0x81, 0xc4, 0x00, 0x01, 0x00, 0x00});
+  ASSERT_TRUE(insn);  // add rsp, 0x100
+  EXPECT_EQ(insn->rsp_delta, 0x100);
+
+  insn = decode_bytes({0x48, 0x83, 0xe4, 0xf0});  // and rsp, -16
+  ASSERT_TRUE(insn);
+  EXPECT_TRUE(insn->rsp_clobbered);
+}
+
+TEST(Decoder, CallAndJumpTargets) {
+  // call rel32 = e8 <rel>; at 0x1000 with rel 0x20 → target 0x1025.
+  auto insn = decode_bytes({0xe8, 0x20, 0x00, 0x00, 0x00});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kCallDirect);
+  EXPECT_EQ(insn->target, 0x1025u);
+
+  insn = decode_bytes({0xeb, 0xfe});  // jmp short -2 (self)
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kJmpDirect);
+  EXPECT_EQ(insn->target, 0x1000u);
+
+  insn = decode_bytes({0x0f, 0x84, 0x10, 0x00, 0x00, 0x00});  // je rel32
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kCondJmp);
+  EXPECT_EQ(insn->target, 0x1016u);
+
+  insn = decode_bytes({0x74, 0x02});  // je rel8
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kCondJmp);
+  EXPECT_EQ(insn->target, 0x1004u);
+}
+
+TEST(Decoder, IndirectControlFlow) {
+  auto insn = decode_bytes({0xff, 0xe0});  // jmp rax
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kJmpIndirect);
+  EXPECT_EQ(insn->rm_reg, Reg::kRax);
+
+  insn = decode_bytes({0xff, 0xd2});  // call rdx
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kCallIndirect);
+
+  insn = decode_bytes({0xff, 0x24, 0xc5, 0x00, 0x10, 0x60, 0x00});
+  ASSERT_TRUE(insn);  // jmp [rax*8 + 0x601000]
+  EXPECT_EQ(insn->kind, Kind::kJmpIndirect);
+  ASSERT_TRUE(insn->mem);
+  EXPECT_FALSE(insn->mem->base.has_value());
+  EXPECT_EQ(insn->mem->index, Reg::kRax);
+  EXPECT_EQ(insn->mem->scale, 8);
+  EXPECT_EQ(insn->mem->disp, 0x601000);
+}
+
+TEST(Decoder, RetVariants) {
+  auto insn = decode_bytes({0xc3});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kRet);
+  EXPECT_EQ(insn->rsp_delta, 8);
+
+  insn = decode_bytes({0xc2, 0x10, 0x00});  // ret 16
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kRet);
+  EXPECT_EQ(insn->rsp_delta, 24);  // 8 for the return address + 16
+}
+
+TEST(Decoder, RipRelativeLea) {
+  // lea rcx, [rip + 0x2000] at 0x1000; length 7 → target 0x3007.
+  auto insn = decode_bytes({0x48, 0x8d, 0x0d, 0x00, 0x20, 0x00, 0x00});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kLea);
+  EXPECT_EQ(insn->length, 7);
+  EXPECT_EQ(insn->mem_target, 0x3007u);
+  EXPECT_EQ(insn->reg_op, Reg::kRcx);
+}
+
+TEST(Decoder, MovImmediateCapturesValue) {
+  auto insn = decode_bytes({0xbf, 0x2a, 0x00, 0x00, 0x00});  // mov edi, 42
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kMov);
+  EXPECT_EQ(insn->imm, 42u);
+  EXPECT_NE(insn->regs_written & reg_bit(Reg::kRdi), 0);
+
+  // movabs rax, 0x401000
+  insn = decode_bytes(
+      {0x48, 0xb8, 0x00, 0x10, 0x40, 0x00, 0x00, 0x00, 0x00, 0x00});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->length, 10);
+  EXPECT_EQ(insn->imm, 0x401000u);
+}
+
+TEST(Decoder, XorZeroingIdiomDefinesWithoutReading) {
+  auto insn = decode_bytes({0x31, 0xff});  // xor edi, edi
+  ASSERT_TRUE(insn);
+  EXPECT_NE(insn->regs_written & reg_bit(Reg::kRdi), 0);
+  EXPECT_EQ(insn->regs_read & reg_bit(Reg::kRdi), 0);
+
+  insn = decode_bytes({0x31, 0xc7});  // xor edi, eax: a real read
+  ASSERT_TRUE(insn);
+  EXPECT_NE(insn->regs_read & reg_bit(Reg::kRax), 0);
+}
+
+TEST(Decoder, PaddingAndTraps) {
+  EXPECT_EQ(decode_bytes({0x90})->kind, Kind::kNop);
+  EXPECT_EQ(decode_bytes({0xcc})->kind, Kind::kInt3);
+  EXPECT_EQ(decode_bytes({0xf4})->kind, Kind::kHlt);
+  EXPECT_EQ(decode_bytes({0x0f, 0x0b})->kind, Kind::kUd2);
+  EXPECT_EQ(decode_bytes({0x0f, 0x05})->kind, Kind::kSyscall);
+  EXPECT_EQ(decode_bytes({0xc9})->kind, Kind::kLeave);
+  EXPECT_EQ(decode_bytes({0xf3, 0x0f, 0x1e, 0xfa})->kind, Kind::kEndbr);
+}
+
+TEST(Decoder, MultibyteNopLengths) {
+  // The canonical GNU as nop sequences, 1..9 bytes.
+  Assembler a(0);
+  for (std::size_t n = 1; n <= 9; ++n) {
+    a.nop(n);
+  }
+  const auto bytes = a.finish();
+  std::size_t off = 0;
+  for (std::size_t n = 1; n <= 9; ++n) {
+    const auto insn =
+        decode({bytes.data() + off, bytes.size() - off}, 0x1000 + off);
+    ASSERT_TRUE(insn) << "nop of size " << n;
+    EXPECT_EQ(insn->kind, Kind::kNop);
+    if (n <= 8) {
+      EXPECT_EQ(insn->length, n);
+    }
+    off += insn->length;
+  }
+}
+
+TEST(Decoder, Rex90IsNotNop) {
+  // 41 90 = xchg rax, r8 — must not be treated as padding.
+  auto insn = decode_bytes({0x41, 0x90});
+  ASSERT_TRUE(insn);
+  EXPECT_NE(insn->kind, Kind::kNop);
+}
+
+TEST(Decoder, InvalidOpcodesRejected) {
+  EXPECT_FALSE(decode_bytes({0x06}));        // removed in 64-bit
+  EXPECT_FALSE(decode_bytes({0xea}));        // far jmp removed
+  EXPECT_FALSE(decode_bytes({}));            // empty
+  EXPECT_FALSE(decode_bytes({0x48}));        // lone REX prefix
+  EXPECT_FALSE(decode_bytes({0xe8, 0x01}));  // truncated call
+  EXPECT_FALSE(decode_bytes({0xff, 0xf8}));  // group5 /7 undefined
+}
+
+TEST(Decoder, PrefixLimit) {
+  // 16 operand-size prefixes exceed the 15-byte instruction limit.
+  std::vector<std::uint8_t> bytes(16, 0x66);
+  bytes.push_back(0x90);
+  EXPECT_FALSE(decode({bytes.data(), bytes.size()}, 0));
+}
+
+TEST(Decoder, MovsxdForm) {
+  // movsxd rdx, dword [rcx + rdi*4]
+  auto insn = decode_bytes({0x48, 0x63, 0x14, 0xb9});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->kind, Kind::kMov);
+  ASSERT_TRUE(insn->mem);
+  EXPECT_EQ(insn->mem->base, Reg::kRcx);
+  EXPECT_EQ(insn->mem->index, Reg::kRdi);
+  EXPECT_EQ(insn->mem->scale, 4);
+  EXPECT_EQ(insn->reg_op, Reg::kRdx);
+}
+
+TEST(Decoder, RbpBaseNeedsDisp8) {
+  // mov rax, [rbp] must encode as mod=01 disp8=0: 48 8b 45 00.
+  auto insn = decode_bytes({0x48, 0x8b, 0x45, 0x00});
+  ASSERT_TRUE(insn);
+  ASSERT_TRUE(insn->mem);
+  EXPECT_EQ(insn->mem->base, Reg::kRbp);
+  EXPECT_EQ(insn->mem->disp, 0);
+}
+
+TEST(Decoder, MoffsUses64BitAddress) {
+  // mov al, [moffs64]: a0 + 8-byte address.
+  auto insn = decode_bytes(
+      {0xa0, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->length, 9);
+}
+
+TEST(Decoder, Group3TestHasImmediate) {
+  // f7 c0 <imm32>: test eax, imm32.
+  auto insn = decode_bytes({0xf7, 0xc0, 0x01, 0x00, 0x00, 0x00});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->length, 6);
+  // f7 d0: not eax (no immediate).
+  insn = decode_bytes({0xf7, 0xd0});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->length, 2);
+}
+
+TEST(Decoder, SseAndVexLengthDecoding) {
+  // movaps xmm0, xmm1: 0f 28 c1.
+  auto insn = decode_bytes({0x0f, 0x28, 0xc1});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->length, 3);
+  // VEX2 vmovaps xmm0, xmm1: c5 f8 28 c1.
+  insn = decode_bytes({0xc5, 0xf8, 0x28, 0xc1});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->length, 4);
+  // VEX3 map2 (0F38) vpshufb: c4 e2 71 00 c2.
+  insn = decode_bytes({0xc4, 0xe2, 0x71, 0x00, 0xc2});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->length, 5);
+  // 0F3A always has an immediate: vpalignr c4 e3 71 0f c2 04.
+  insn = decode_bytes({0xc4, 0xe3, 0x71, 0x0f, 0xc2, 0x04});
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->length, 6);
+}
+
+TEST(Decoder, CmpWritesNothing) {
+  auto insn = decode_bytes({0x48, 0x83, 0xff, 0x05});  // cmp rdi, 5
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->regs_written, 0);
+  EXPECT_NE(insn->regs_read & reg_bit(Reg::kRdi), 0);
+  EXPECT_EQ(insn->imm, 5u);
+  EXPECT_EQ(insn->rm_reg, Reg::kRdi);
+}
+
+// --- Encode/decode roundtrip over the assembler's full vocabulary -----------
+
+struct RoundtripCase {
+  const char* name;
+  void (*emit)(Assembler&);
+  Kind kind;
+};
+
+void rt_push(Assembler& a) { a.push(Reg::kR13); }
+void rt_pop(Assembler& a) { a.pop(Reg::kRbx); }
+void rt_mov64(Assembler& a) { a.mov_ri64(Reg::kR9, 0x123456789abcULL); }
+void rt_mov32(Assembler& a) { a.mov_ri32(Reg::kRsi, 77); }
+void rt_movrr(Assembler& a) { a.mov_rr(Reg::kRbp, Reg::kRsp); }
+void rt_movrm(Assembler& a) { a.mov_rm(Reg::kRax, MemRef::at(Reg::kRsp, 8)); }
+void rt_movmr(Assembler& a) {
+  a.mov_mr(MemRef::sib(Reg::kRdi, Reg::kRcx, 8, -4), Reg::kRdx);
+}
+void rt_lea(Assembler& a) { a.lea(Reg::kR12, MemRef::at(Reg::kRbp, -16)); }
+void rt_movsxd(Assembler& a) {
+  a.movsxd(Reg::kRdx, MemRef::sib(Reg::kRcx, Reg::kRdi, 4));
+}
+void rt_xor(Assembler& a) { a.xor_rr(Reg::kRax, Reg::kRax); }
+void rt_add(Assembler& a) { a.add_rr(Reg::kRdx, Reg::kRcx); }
+void rt_sub(Assembler& a) { a.sub_rr(Reg::kR8, Reg::kR9); }
+void rt_addi(Assembler& a) { a.add_ri(Reg::kRsp, 0x18); }
+void rt_subi(Assembler& a) { a.sub_ri(Reg::kRsp, 0x218); }
+void rt_cmpi(Assembler& a) { a.cmp_ri(Reg::kRdi, 9); }
+void rt_cmprr(Assembler& a) { a.cmp_rr(Reg::kRbp, Reg::kRbx); }
+void rt_test(Assembler& a) { a.test_rr(Reg::kRdi, Reg::kRdi); }
+void rt_imul(Assembler& a) { a.imul_rr(Reg::kRax, Reg::kRdx); }
+void rt_shl(Assembler& a) { a.shl_ri(Reg::kRcx, 3); }
+void rt_callreg(Assembler& a) { a.call_reg(Reg::kRax); }
+void rt_jmpreg(Assembler& a) { a.jmp_reg(Reg::kRdx); }
+void rt_ret(Assembler& a) { a.ret(); }
+void rt_leave(Assembler& a) { a.leave(); }
+void rt_int3(Assembler& a) { a.int3(); }
+void rt_ud2(Assembler& a) { a.ud2(); }
+void rt_hlt(Assembler& a) { a.hlt(); }
+void rt_endbr(Assembler& a) { a.endbr64(); }
+void rt_syscall(Assembler& a) { a.syscall(); }
+
+class EncodeDecodeRoundtrip : public ::testing::TestWithParam<RoundtripCase> {
+};
+
+TEST_P(EncodeDecodeRoundtrip, LengthAndKindSurvive) {
+  const RoundtripCase& c = GetParam();
+  Assembler a(0x400000);
+  c.emit(a);
+  const auto bytes = a.finish();
+  const auto insn = decode({bytes.data(), bytes.size()}, 0x400000);
+  ASSERT_TRUE(insn) << c.name;
+  EXPECT_EQ(insn->length, bytes.size()) << c.name;
+  EXPECT_EQ(insn->kind, c.kind) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllForms, EncodeDecodeRoundtrip,
+    ::testing::Values(
+        RoundtripCase{"push", rt_push, Kind::kPush},
+        RoundtripCase{"pop", rt_pop, Kind::kPop},
+        RoundtripCase{"mov_ri64", rt_mov64, Kind::kMov},
+        RoundtripCase{"mov_ri32", rt_mov32, Kind::kMov},
+        RoundtripCase{"mov_rr", rt_movrr, Kind::kMov},
+        RoundtripCase{"mov_rm", rt_movrm, Kind::kMov},
+        RoundtripCase{"mov_mr", rt_movmr, Kind::kMov},
+        RoundtripCase{"lea", rt_lea, Kind::kLea},
+        RoundtripCase{"movsxd", rt_movsxd, Kind::kMov},
+        RoundtripCase{"xor_rr", rt_xor, Kind::kOther},
+        RoundtripCase{"add_rr", rt_add, Kind::kOther},
+        RoundtripCase{"sub_rr", rt_sub, Kind::kOther},
+        RoundtripCase{"add_ri", rt_addi, Kind::kOther},
+        RoundtripCase{"sub_ri", rt_subi, Kind::kOther},
+        RoundtripCase{"cmp_ri", rt_cmpi, Kind::kOther},
+        RoundtripCase{"cmp_rr", rt_cmprr, Kind::kOther},
+        RoundtripCase{"test_rr", rt_test, Kind::kOther},
+        RoundtripCase{"imul", rt_imul, Kind::kOther},
+        RoundtripCase{"shl", rt_shl, Kind::kOther},
+        RoundtripCase{"call_reg", rt_callreg, Kind::kCallIndirect},
+        RoundtripCase{"jmp_reg", rt_jmpreg, Kind::kJmpIndirect},
+        RoundtripCase{"ret", rt_ret, Kind::kRet},
+        RoundtripCase{"leave", rt_leave, Kind::kLeave},
+        RoundtripCase{"int3", rt_int3, Kind::kInt3},
+        RoundtripCase{"ud2", rt_ud2, Kind::kUd2},
+        RoundtripCase{"hlt", rt_hlt, Kind::kHlt},
+        RoundtripCase{"endbr64", rt_endbr, Kind::kEndbr},
+        RoundtripCase{"syscall", rt_syscall, Kind::kSyscall}),
+    [](const ::testing::TestParamInfo<RoundtripCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(Assembler, LabelFixupsForwardAndBackward) {
+  Assembler a(0x1000);
+  Label back = a.label();
+  a.bind(back);
+  a.nop(1);
+  Label fwd = a.label();
+  a.jmp(fwd);      // forward
+  a.jcc(Cond::kE, back);  // backward
+  a.bind(fwd);
+  a.ret();
+  const auto bytes = a.finish();
+
+  // Instruction 2 (offset 1): e9 rel32 to fwd.
+  const auto jmp = decode({bytes.data() + 1, bytes.size() - 1}, 0x1001);
+  ASSERT_TRUE(jmp);
+  EXPECT_EQ(jmp->kind, Kind::kJmpDirect);
+  const std::uint64_t fwd_addr = 0x1001 + 5 + 6;
+  EXPECT_EQ(jmp->target, fwd_addr);
+
+  const auto jcc = decode({bytes.data() + 6, bytes.size() - 6}, 0x1006);
+  ASSERT_TRUE(jcc);
+  EXPECT_EQ(jcc->kind, Kind::kCondJmp);
+  EXPECT_EQ(jcc->target, 0x1000u);
+}
+
+TEST(Assembler, GoldenBytes) {
+  Assembler a(0);
+  a.push(Reg::kRbp);
+  a.mov_rr(Reg::kRbp, Reg::kRsp);
+  a.leave();
+  a.ret();
+  const auto bytes = a.finish();
+  const std::vector<std::uint8_t> expected = {0x55, 0x48, 0x89, 0xe5,
+                                              0xc9, 0xc3};
+  EXPECT_EQ(bytes, expected);
+}
+
+TEST(Assembler, RipAbsoluteResolvesDisplacement) {
+  Assembler a(0x401000);
+  a.lea(Reg::kRcx, MemRef::rip_abs(0x601000));
+  const auto bytes = a.finish();
+  const auto insn = decode({bytes.data(), bytes.size()}, 0x401000);
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->mem_target, 0x601000u);
+}
+
+}  // namespace
+}  // namespace fetch::x86

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "ehframe/cfi_eval.hpp"
+#include "ehframe/eh_builder.hpp"
+#include "ehframe/eh_frame.hpp"
+#include "elf/elf_file.hpp"
+#include "synth/codegen.hpp"
+#include "synth/corpus.hpp"
+
+namespace fetch::eh {
+namespace {
+
+constexpr std::uint64_t kSectionAddr = 0x500000;
+
+TEST(ZplrCie, RoundtripPersonalityAndLsda) {
+  EhFrameBuilder builder;
+  builder.set_personality(0x401234);
+  builder.add_fde(0x401000, 0x10, {});  // plain "zR"
+  builder.add_fde_with_lsda(0x402000, 0x20,
+                            {CfiOp::advance(1), CfiOp::def_cfa_offset(16)},
+                            0x600040);
+  const auto bytes = builder.build(kSectionAddr);
+  const EhFrame eh =
+      EhFrame::parse({bytes.data(), bytes.size()}, kSectionAddr);
+
+  ASSERT_EQ(eh.cies().size(), 2u);
+  const Cie& plain = eh.cies()[0];
+  const Cie& cxx = eh.cies()[1];
+  EXPECT_EQ(plain.augmentation, "zR");
+  EXPECT_EQ(plain.personality_encoding, pe::kOmit);
+  EXPECT_EQ(cxx.augmentation, "zPLR");
+  EXPECT_EQ(cxx.personality, 0x401234u);
+  EXPECT_NE(cxx.lsda_encoding, pe::kOmit);
+
+  ASSERT_EQ(eh.fdes().size(), 2u);
+  const Fde& plain_fde = eh.fdes()[0];
+  const Fde& cxx_fde = eh.fdes()[1];
+  EXPECT_EQ(plain_fde.pc_begin, 0x401000u);
+  EXPECT_EQ(plain_fde.lsda, 0u);
+  EXPECT_EQ(cxx_fde.pc_begin, 0x402000u);
+  EXPECT_EQ(cxx_fde.lsda, 0x600040u);
+  EXPECT_EQ(&eh.cie_for(cxx_fde), &cxx);
+  EXPECT_EQ(&eh.cie_for(plain_fde), &plain);
+}
+
+TEST(ZplrCie, CfiEvaluationUnaffectedByAugmentation) {
+  EhFrameBuilder builder;
+  builder.set_personality(0x401234);
+  builder.add_fde_with_lsda(0x402000, 0x20,
+                            {CfiOp::advance(4), CfiOp::def_cfa_offset(24)},
+                            0x600040);
+  const auto bytes = builder.build(kSectionAddr);
+  const EhFrame eh =
+      EhFrame::parse({bytes.data(), bytes.size()}, kSectionAddr);
+  const auto table = evaluate_cfi(eh.cie_for(eh.fdes()[0]), eh.fdes()[0]);
+  ASSERT_TRUE(table);
+  EXPECT_EQ(table->stack_height_at(0x402000), 0);
+  EXPECT_EQ(table->stack_height_at(0x402004), 16);
+  EXPECT_TRUE(table->complete_stack_height());
+}
+
+TEST(ZplrCie, CxxCorpusBinariesCarryPersonalities) {
+  // C++-flavored projects must produce binaries whose exception-handling
+  // functions reference a "zPLR" CIE with an in-binary personality.
+  const auto spec = synth::make_program(
+      synth::projects()[4],  // d8: C++
+      synth::profile_for("gcc", "O2"), 515);
+  ASSERT_TRUE(spec.cxx);
+  const synth::SynthBinary bin = synth::generate(spec);
+  const elf::ElfFile elf(bin.image);
+  const auto eh = EhFrame::from_elf(elf);
+  ASSERT_TRUE(eh.has_value());
+
+  bool saw_zplr = false;
+  for (const Cie& cie : eh->cies()) {
+    if (cie.augmentation == "zPLR") {
+      saw_zplr = true;
+      EXPECT_TRUE(elf.is_code_address(cie.personality));
+    }
+  }
+  bool saw_lsda = false;
+  for (const Fde& fde : eh->fdes()) {
+    if (fde.lsda != 0) {
+      saw_lsda = true;
+      // LSDA must land in .rodata.
+      const elf::Section* sec = elf.section_at(fde.lsda);
+      ASSERT_NE(sec, nullptr);
+      EXPECT_EQ(sec->name, ".rodata");
+    }
+  }
+  EXPECT_TRUE(saw_zplr);
+  EXPECT_TRUE(saw_lsda);
+}
+
+TEST(ZplrCie, CCorpusBinariesStayPlain) {
+  const auto spec = synth::make_program(
+      synth::projects()[7],  // zsh: C
+      synth::profile_for("gcc", "O2"), 516);
+  ASSERT_FALSE(spec.cxx);
+  const synth::SynthBinary bin = synth::generate(spec);
+  const elf::ElfFile elf(bin.image);
+  const auto eh = EhFrame::from_elf(elf);
+  ASSERT_TRUE(eh.has_value());
+  for (const Cie& cie : eh->cies()) {
+    EXPECT_EQ(cie.augmentation, "zR");
+  }
+}
+
+}  // namespace
+}  // namespace fetch::eh

@@ -1,0 +1,213 @@
+/// \file fetch_cli.cpp
+/// Command-line front end for the library:
+///
+///   fetch-cli detect <elf>        detect function starts (full pipeline)
+///   fetch-cli fde <elf>           list raw FDE PC Begin/Range entries
+///   fetch-cli unwind <elf> <pc>   unwind info (CFA rule, stack height) at pc
+///   fetch-cli compare <elf>       run every strategy ladder step + tools
+///   fetch-cli audit <elf>         CFI-policy gadget exposure of raw FDE
+///                                 starts vs repaired starts
+
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+
+#include "baselines/tools.hpp"
+#include "core/detector.hpp"
+#include "disasm/code_view.hpp"
+#include "ehframe/cfi_eval.hpp"
+#include "ehframe/eh_frame.hpp"
+#include "elf/elf_file.hpp"
+#include "eval/gadget.hpp"
+#include "eval/table.hpp"
+
+namespace {
+
+using namespace fetch;
+
+int cmd_detect(const elf::ElfFile& elf) {
+  core::FunctionDetector detector(elf);
+  const core::DetectionResult result = detector.run();
+  std::cout << "# start            provenance\n";
+  for (const auto& [addr, provenance] : result.functions) {
+    std::cout << "0x" << std::hex << std::setw(12) << std::setfill('0')
+              << addr << std::dec << "   "
+              << core::provenance_name(provenance) << "\n";
+  }
+  std::cerr << result.functions.size() << " function starts ("
+            << result.fde_starts.size() << " from FDEs, "
+            << result.pointer_starts.size() << " from pointers, "
+            << result.merged_parts.size() << " parts merged, "
+            << result.invalid_fde_starts.size()
+            << " invalid FDE starts removed)\n";
+  return 0;
+}
+
+int cmd_fde(const elf::ElfFile& elf) {
+  const auto eh = eh::EhFrame::from_elf(elf);
+  if (!eh) {
+    std::cerr << "no .eh_frame section\n";
+    return 1;
+  }
+  std::cout << "# pc_begin         pc_range  complete_stack_height\n";
+  for (const eh::Fde& fde : eh->fdes()) {
+    const auto table = eh::evaluate_cfi(eh->cie_for(fde), fde);
+    std::cout << "0x" << std::hex << std::setw(12) << std::setfill('0')
+              << fde.pc_begin << "   0x" << std::setw(6) << fde.pc_range
+              << std::dec << "   "
+              << (table && table->complete_stack_height() ? "yes" : "no")
+              << "\n";
+  }
+  std::cerr << eh->fdes().size() << " FDEs, " << eh->cies().size()
+            << " CIEs\n";
+  return 0;
+}
+
+int cmd_unwind(const elf::ElfFile& elf, std::uint64_t pc) {
+  const auto eh = eh::EhFrame::from_elf(elf);
+  if (!eh) {
+    std::cerr << "no .eh_frame section\n";
+    return 1;
+  }
+  const eh::Fde* fde = eh->fde_covering(pc);
+  if (fde == nullptr) {
+    std::cerr << "no FDE covers 0x" << std::hex << pc << "\n";
+    return 1;
+  }
+  std::cout << "FDE [0x" << std::hex << fde->pc_begin << ", 0x"
+            << fde->pc_end() << ")\n";
+  const auto table = eh::evaluate_cfi(eh->cie_for(*fde), *fde);
+  if (!table) {
+    std::cerr << "CFI program malformed\n";
+    return 1;
+  }
+  const eh::CfiRow* row = table->row_at(pc);
+  if (row == nullptr) {
+    std::cerr << "no unwind row at 0x" << std::hex << pc << "\n";
+    return 1;
+  }
+  std::cout << "CFA: ";
+  if (row->cfa.kind == eh::CfaRule::Kind::kRegOffset) {
+    std::cout << "r" << std::dec << row->cfa.reg << " + " << row->cfa.offset;
+  } else {
+    std::cout << "<expression>";
+  }
+  const auto height = table->stack_height_at(pc);
+  if (height) {
+    std::cout << "   stack height: " << *height;
+  }
+  std::cout << "\nsaved registers:";
+  for (const auto& [reg, rule] : row->regs) {
+    if (rule.kind == eh::RegRule::Kind::kOffsetFromCfa) {
+      std::cout << "  r" << reg << "@cfa" << rule.offset;
+    }
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_compare(const elf::ElfFile& elf) {
+  core::FunctionDetector detector(elf);
+  eval::TextTable table({"strategy", "starts"});
+
+  core::DetectorOptions fde_only;
+  fde_only.recursive = false;
+  fde_only.pointer_detection = false;
+  fde_only.fix_fde_errors = false;
+  fde_only.use_entry_point = false;
+  table.add_row(
+      {"FDE", std::to_string(detector.run(fde_only).functions.size())});
+
+  core::DetectorOptions rec;
+  rec.pointer_detection = false;
+  rec.fix_fde_errors = false;
+  table.add_row(
+      {"FDE+Rec", std::to_string(detector.run(rec).functions.size())});
+
+  core::DetectorOptions xref;
+  xref.fix_fde_errors = false;
+  table.add_row(
+      {"FDE+Rec+Xref", std::to_string(detector.run(xref).functions.size())});
+
+  table.add_row(
+      {"FETCH (full)", std::to_string(detector.run({}).functions.size())});
+
+  for (const baselines::ToolSpec& tool : baselines::conventional_tools()) {
+    table.add_row({tool.name, std::to_string(tool.run(elf).size())});
+  }
+  table.add_row(
+      {"GHIDRA-like",
+       std::to_string(baselines::ghidra_like(elf, {}).size())});
+  table.add_row(
+      {"ANGR-like", std::to_string(baselines::angr_like(elf, {}).size())});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_audit(const elf::ElfFile& elf) {
+  core::FunctionDetector detector(elf);
+  core::DetectorOptions raw;
+  raw.fix_fde_errors = false;
+  const auto before = detector.run(raw);
+  const auto after = detector.run({});
+
+  // False-start candidates = starts Algorithm 1 removed.
+  std::set<std::uint64_t> removed;
+  for (const auto& [part, parent] : after.merged_parts) {
+    removed.insert(part);
+  }
+  for (const std::uint64_t s : after.invalid_fde_starts) {
+    removed.insert(s);
+  }
+  const disasm::CodeView code(elf);
+  const std::size_t gadgets = eval::count_gadgets_at(code, removed);
+
+  std::cout << "CFI policy audit:\n";
+  std::cout << "  targets before repair: " << before.functions.size()
+            << "\n";
+  std::cout << "  targets after repair:  " << after.functions.size() << "\n";
+  std::cout << "  false targets removed: " << removed.size() << "\n";
+  std::cout << "  ROP/JOP gadgets no longer whitelisted: " << gadgets
+            << "\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: fetch-cli <detect|fde|unwind|compare|audit> "
+               "<elf> [pc]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string cmd = argv[1];
+  try {
+    const elf::ElfFile elf = elf::ElfFile::load(argv[2]);
+    if (cmd == "detect") {
+      return cmd_detect(elf);
+    }
+    if (cmd == "fde") {
+      return cmd_fde(elf);
+    }
+    if (cmd == "unwind") {
+      if (argc < 4) {
+        return usage();
+      }
+      return cmd_unwind(elf, std::strtoull(argv[3], nullptr, 0));
+    }
+    if (cmd == "compare") {
+      return cmd_compare(elf);
+    }
+    if (cmd == "audit") {
+      return cmd_audit(elf);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
