@@ -13,40 +13,43 @@
 #include "baselines/tools.hpp"
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fetch;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_header("Figure 5a — GHIDRA strategy ladder",
                       "full-coverage / full-accuracy binary counts per "
                       "strategy combination");
 
-  const eval::Corpus corpus = eval::Corpus::self_built();
+  const eval::Corpus corpus = bench::self_built_corpus(opts);
   eval::TextTable table(
       {"Strategy", "FullCov", "FullAcc", "FP-total", "FN-total"});
 
-  auto run_ghidra = [&corpus](const baselines::GhidraOptions& options) {
-    return eval::run_strategy(
-        corpus, [&options](const eval::CorpusEntry& entry) {
-          return baselines::ghidra_like(entry.elf, options);
-        });
+  auto ghidra_with = [](const baselines::GhidraOptions& options) {
+    return [options](const eval::CorpusEntry& entry) {
+      return baselines::ghidra_like(entry.elf, options);
+    };
   };
 
-  bench::add_ladder_row(table, "FDE",
-                        eval::run_strategy(corpus, bench::run_fde_only));
-
   baselines::GhidraOptions with_cfr;  // GHIDRA defaults: CFR on
-  bench::add_ladder_row(table, "FDE+Rec+CFR", run_ghidra(with_cfr));
-
   baselines::GhidraOptions no_cfr;
   no_cfr.cfr = false;
-  bench::add_ladder_row(table, "FDE+Rec", run_ghidra(no_cfr));
-
   baselines::GhidraOptions fsig = no_cfr;
   fsig.fsig = true;
-  bench::add_ladder_row(table, "FDE+Rec+Fsig", run_ghidra(fsig));
-
   baselines::GhidraOptions tcall = no_cfr;
   tcall.tcall = true;
-  bench::add_ladder_row(table, "FDE+Rec+Tcall", run_ghidra(tcall));
+
+  // All (entry × ladder-step) cells run concurrently on one pool.
+  const std::vector<eval::StrategySpec> ladder = {
+      {"FDE", bench::run_fde_only},
+      {"FDE+Rec+CFR", ghidra_with(with_cfr)},
+      {"FDE+Rec", ghidra_with(no_cfr)},
+      {"FDE+Rec+Fsig", ghidra_with(fsig)},
+      {"FDE+Rec+Tcall", ghidra_with(tcall)},
+  };
+  for (const eval::StrategyOutcome& out :
+       eval::run_matrix(corpus, ladder, opts.jobs)) {
+    bench::add_ladder_row(table, out.name, out.total);
+  }
 
   table.print(std::cout);
   std::cout << "\nExpected shape: CFR reduces coverage below plain "

@@ -13,44 +13,46 @@
 #include "baselines/tools.hpp"
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fetch;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_header("Figure 5b — ANGR strategy ladder",
                       "full-coverage / full-accuracy binary counts per "
                       "strategy combination");
 
-  const eval::Corpus corpus = eval::Corpus::self_built();
+  const eval::Corpus corpus = bench::self_built_corpus(opts);
   eval::TextTable table(
       {"Strategy", "FullCov", "FullAcc", "FP-total", "FN-total"});
 
-  auto run_angr = [&corpus](const baselines::AngrOptions& options) {
-    return eval::run_strategy(
-        corpus, [&options](const eval::CorpusEntry& entry) {
-          return baselines::angr_like(entry.elf, options);
-        });
+  auto angr_with = [](const baselines::AngrOptions& options) {
+    return [options](const eval::CorpusEntry& entry) {
+      return baselines::angr_like(entry.elf, options);
+    };
   };
 
-  bench::add_ladder_row(table, "FDE",
-                        eval::run_strategy(corpus, bench::run_fde_only));
-
   baselines::AngrOptions with_fmerge;  // ANGR defaults: Fmerg on
-  bench::add_ladder_row(table, "FDE+Rec+Fmerg", run_angr(with_fmerge));
-
   baselines::AngrOptions base;
   base.fmerge = false;
-  bench::add_ladder_row(table, "FDE+Rec", run_angr(base));
-
   baselines::AngrOptions fsig = base;
   fsig.fsig = true;
-  bench::add_ladder_row(table, "FDE+Rec+Fsig", run_angr(fsig));
-
   baselines::AngrOptions tcall = base;
   tcall.tcall = true;
-  bench::add_ladder_row(table, "FDE+Rec+Tcall", run_angr(tcall));
-
   baselines::AngrOptions scan = base;
   scan.scan = true;
-  bench::add_ladder_row(table, "FDE+Rec+Scan", run_angr(scan));
+
+  // All (entry × ladder-step) cells run concurrently on one pool.
+  const std::vector<eval::StrategySpec> ladder = {
+      {"FDE", bench::run_fde_only},
+      {"FDE+Rec+Fmerg", angr_with(with_fmerge)},
+      {"FDE+Rec", angr_with(base)},
+      {"FDE+Rec+Fsig", angr_with(fsig)},
+      {"FDE+Rec+Tcall", angr_with(tcall)},
+      {"FDE+Rec+Scan", angr_with(scan)},
+  };
+  for (const eval::StrategyOutcome& out :
+       eval::run_matrix(corpus, ladder, opts.jobs)) {
+    bench::add_ladder_row(table, out.name, out.total);
+  }
 
   table.print(std::cout);
   std::cout << "\nExpected shape: Fmerg reduces coverage; Fsig/Tcall/Scan "

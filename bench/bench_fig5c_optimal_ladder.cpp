@@ -15,43 +15,61 @@
 #include "disasm/code_view.hpp"
 #include "ehframe/eh_frame.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fetch;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_header("Figure 5c — optimal strategies ladder + §IV-E",
                       "coverage/accuracy of the FETCH pipeline stages");
 
-  const eval::Corpus corpus = eval::Corpus::self_built();
+  const eval::Corpus corpus = bench::self_built_corpus(opts);
   eval::TextTable table(
       {"Strategy", "FullCov", "FullAcc", "FP-total", "FN-total"});
 
-  bench::add_ladder_row(table, "FDE",
-                        eval::run_strategy(corpus, bench::run_fde_only));
-  bench::add_ladder_row(table, "FDE+Rec",
-                        eval::run_strategy(corpus, bench::run_fde_rec));
-  bench::add_ladder_row(table, "FDE+Rec+Xref",
-                        eval::run_strategy(corpus, bench::run_fde_rec_xref));
-  bench::add_ladder_row(table, "FDE+Rec+Xref+Tcall",
-                        eval::run_strategy(corpus, bench::run_fetch));
+  const std::vector<eval::StrategySpec> ladder = {
+      {"FDE", bench::run_fde_only},
+      {"FDE+Rec", bench::run_fde_rec},
+      {"FDE+Rec+Xref", bench::run_fde_rec_xref},
+      {"FDE+Rec+Xref+Tcall", bench::run_fetch},
+  };
+  for (const eval::StrategyOutcome& out :
+       eval::run_matrix(corpus, ladder, opts.jobs)) {
+    bench::add_ladder_row(table, out.name, out.total);
+  }
   table.print(std::cout);
 
   // --- §IV-E detail: what Xref adds and what remains missed ----------------
+  // Per-entry partials filled concurrently, reduced serially in entry
+  // order so the totals match a serial run exactly.
+  struct XrefDetail {
+    std::size_t added = 0;
+    std::size_t fps = 0;
+    std::map<eval::MissKind, std::size_t> residual;
+  };
+  const auto details = util::parallel_map<XrefDetail>(
+      opts.effective_jobs(), corpus.size(), [&](std::size_t i) {
+        const eval::CorpusEntry& entry = corpus.entries()[i];
+        core::DetectorOptions options = eval::fetch_options(entry.bin.truth);
+        options.fix_fde_errors = false;
+        const core::DetectionResult result = entry.detector().run(options);
+        XrefDetail d;
+        for (const std::uint64_t p : result.pointer_starts) {
+          ++d.added;
+          d.fps += entry.bin.truth.starts.count(p) == 0 ? 1 : 0;
+        }
+        const auto e = eval::evaluate_starts(result.starts(), entry.bin.truth);
+        for (const std::uint64_t fn : e.false_negatives) {
+          ++d.residual[eval::classify_miss(fn, entry.bin.truth)];
+        }
+        return d;
+      });
   std::size_t xref_added = 0;
   std::size_t xref_fps = 0;
-  std::size_t probed = 0;
   std::map<eval::MissKind, std::size_t> residual;
-  for (const eval::CorpusEntry& entry : corpus.entries()) {
-    core::FunctionDetector detector(entry.elf);
-    core::DetectorOptions options = eval::fetch_options(entry.bin.truth);
-    options.fix_fde_errors = false;
-    const core::DetectionResult result = detector.run(options);
-    for (const std::uint64_t p : result.pointer_starts) {
-      ++xref_added;
-      xref_fps += entry.bin.truth.starts.count(p) == 0 ? 1 : 0;
-    }
-    probed += result.pointer_starts.size();
-    const auto e = eval::evaluate_starts(result.starts(), entry.bin.truth);
-    for (const std::uint64_t fn : e.false_negatives) {
-      ++residual[eval::classify_miss(fn, entry.bin.truth)];
+  for (const XrefDetail& d : details) {
+    xref_added += d.added;
+    xref_fps += d.fps;
+    for (const auto& [kind, count] : d.residual) {
+      residual[kind] += count;
     }
   }
   std::cout << "\n§IV-E — pointer detection over " << corpus.size()
@@ -69,23 +87,38 @@ int main() {
                "both harmless]\n";
 
   // --- Ablation (DESIGN.md #3): sliding window vs aligned-only scan ---------
+  struct ScanCounts {
+    std::size_t sliding = 0;
+    std::size_t aligned = 0;
+  };
+  const auto scans = util::parallel_map<ScanCounts>(
+      opts.effective_jobs(), corpus.size(), [&](std::size_t i) {
+        const eval::CorpusEntry& entry = corpus.entries()[i];
+        ScanCounts counts;
+        const auto& eh = entry.detector().eh_frame();
+        if (!eh) {
+          return counts;
+        }
+        const disasm::CodeView& code = entry.detector().code();
+        for (const bool aligned_only : {false, true}) {
+          disasm::Options dopts;
+          dopts.conditional_noreturn = entry.bin.truth.error_like;
+          disasm::Result state =
+              disasm::analyze(code, eh->pc_begins(), dopts);
+          core::PointerDetectionOptions scan;
+          scan.aligned_only = aligned_only;
+          const auto pd =
+              core::detect_pointer_functions(code, state, dopts, scan);
+          (aligned_only ? counts.aligned : counts.sliding) +=
+              pd.accepted.size();
+        }
+        return counts;
+      });
   std::size_t sliding_found = 0;
   std::size_t aligned_found = 0;
-  for (const eval::CorpusEntry& entry : corpus.entries()) {
-    for (const bool aligned_only : {false, true}) {
-      disasm::CodeView code(entry.elf);
-      const auto eh = eh::EhFrame::from_elf(entry.elf);
-      if (!eh) {
-        continue;
-      }
-      disasm::Options dopts;
-      dopts.conditional_noreturn = entry.bin.truth.error_like;
-      disasm::Result state = disasm::analyze(code, eh->pc_begins(), dopts);
-      core::PointerDetectionOptions scan;
-      scan.aligned_only = aligned_only;
-      const auto pd = core::detect_pointer_functions(code, state, dopts, scan);
-      (aligned_only ? aligned_found : sliding_found) += pd.accepted.size();
-    }
+  for (const ScanCounts& s : scans) {
+    sliding_found += s.sliding;
+    aligned_found += s.aligned;
   }
   std::cout << "\nAblation (DESIGN.md #3) — pointer-candidate scan:\n";
   std::cout << "  sliding 8-byte window (paper's superset): "

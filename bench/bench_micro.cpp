@@ -7,7 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "core/detector.hpp"
+#include "util/thread_pool.hpp"
 #include "disasm/code_view.hpp"
 #include "ehframe/cfi_eval.hpp"
 #include "ehframe/eh_frame.hpp"
@@ -104,4 +110,42 @@ BENCHMARK(BM_FetchPipeline);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// Custom main instead of BENCHMARK_MAIN(): accepts the harness-wide
+/// --smoke/--jobs flags (ctest passes them to every bench) before handing
+/// the remaining arguments to google-benchmark. --smoke shrinks the
+/// measurement time so the smoke test is a compile-and-run check, not a
+/// measurement.
+int main(int argc, char** argv) {
+  std::vector<char*> args = {argv[0]};
+  bool smoke = false;
+  // The micro benchmarks are single-threaded, so --jobs is validated and
+  // then ignored.
+  std::size_t ignored_jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      if (!fetch::util::parse_jobs(argv[++i], &ignored_jobs)) {
+        std::fprintf(stderr, "usage: %s [--smoke] [--jobs N]\n", argv[0]);
+        return 2;
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!fetch::util::parse_jobs(arg.substr(7), &ignored_jobs)) {
+        std::fprintf(stderr, "usage: %s [--smoke] [--jobs N]\n", argv[0]);
+        return 2;
+      }
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) {
+    args.push_back(min_time.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,13 +12,14 @@
 #include "disasm/code_view.hpp"
 #include "eval/gadget.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fetch;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_header("§V-A — errors introduced by FDEs",
                       "FDE false starts from non-contiguous functions + "
                       "ROP gadget exposure");
 
-  const eval::Corpus corpus = eval::Corpus::self_built();
+  const eval::Corpus corpus = bench::self_built_corpus(opts);
 
   std::size_t fde_fps = 0;
   std::size_t noncontig_fps = 0;
@@ -27,26 +28,40 @@ int main() {
   std::string max_name;
   std::size_t gadgets = 0;
 
-  for (const eval::CorpusEntry& entry : corpus.entries()) {
-    const auto fde_starts = bench::run_fde_only(entry);
-    const auto e = eval::evaluate_starts(fde_starts, entry.bin.truth);
-    fde_fps += e.fp();
-    std::size_t noncontig_here = 0;
-    for (const std::uint64_t fp : e.false_positives) {
-      noncontig_here +=
-          entry.bin.truth.cold_parts.count(fp) != 0 ? 1 : 0;
-    }
-    noncontig_fps += noncontig_here;
-    if (e.fp() > 0) {
+  // Per-entry stats run concurrently; the worst-binary scan below stays
+  // serial and in entry order, so ties resolve exactly as before.
+  struct EntryErrors {
+    std::size_t fps = 0;
+    std::size_t noncontig = 0;
+    std::size_t gadgets = 0;
+  };
+  const auto partials = util::parallel_map<EntryErrors>(
+      opts.effective_jobs(), corpus.size(), [&](std::size_t i) {
+        const eval::CorpusEntry& entry = corpus.entries()[i];
+        const auto fde_starts = bench::run_fde_only(entry);
+        const auto e = eval::evaluate_starts(fde_starts, entry.bin.truth);
+        EntryErrors p;
+        p.fps = e.fp();
+        for (const std::uint64_t fp : e.false_positives) {
+          p.noncontig += entry.bin.truth.cold_parts.count(fp) != 0 ? 1 : 0;
+        }
+        // ROP gadgets reachable from the blocks at the false starts.
+        p.gadgets = eval::count_gadgets_at(entry.detector().code(),
+                                           e.false_positives);
+        return p;
+      });
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    const EntryErrors& p = partials[i];
+    fde_fps += p.fps;
+    noncontig_fps += p.noncontig;
+    gadgets += p.gadgets;
+    if (p.fps > 0) {
       ++affected_bins;
-      if (e.fp() > max_in_one) {
-        max_in_one = e.fp();
-        max_name = entry.bin.name;
+      if (p.fps > max_in_one) {
+        max_in_one = p.fps;
+        max_name = corpus.entries()[i].bin.name;
       }
     }
-    // ROP gadgets reachable from the blocks at the false starts.
-    const disasm::CodeView code(entry.elf);
-    gadgets += eval::count_gadgets_at(code, e.false_positives);
   }
 
   std::cout << "FDE-introduced false starts: " << fde_fps
@@ -61,16 +76,28 @@ int main() {
             << "  [paper: 99,932]\n";
 
   // Symbols share the problem: cold parts carry their own symbols.
+  std::vector<synth::ProgramSpec> specs = synth::make_corpus();
+  if (opts.smoke && specs.size() > bench::kSmokeEntries) {
+    specs.resize(bench::kSmokeEntries);
+  }
+  const auto sym_fp_counts = util::parallel_map<std::size_t>(
+      opts.effective_jobs(), specs.size(), [&](std::size_t i) {
+        synth::ProgramSpec spec = specs[i];
+        spec.stripped = false;  // need the symbol table
+        const synth::SynthBinary bin = synth::generate(spec);
+        const elf::ElfFile elf(bin.image);
+        std::size_t fps = 0;
+        for (const elf::Symbol& sym : elf.symbols()) {
+          if (sym.is_function() &&
+              bin.truth.cold_parts.count(sym.value) != 0) {
+            ++fps;
+          }
+        }
+        return fps;
+      });
   std::size_t sym_fps = 0;
-  for (synth::ProgramSpec spec : synth::make_corpus()) {
-    spec.stripped = false;  // need the symbol table
-    const synth::SynthBinary bin = synth::generate(spec);
-    const elf::ElfFile elf(bin.image);
-    for (const elf::Symbol& sym : elf.symbols()) {
-      if (sym.is_function() && bin.truth.cold_parts.count(sym.value) != 0) {
-        ++sym_fps;
-      }
-    }
+  for (const std::size_t n : sym_fp_counts) {
+    sym_fps += n;
   }
   std::cout << "Symbol-introduced false starts (same mechanism): "
             << sym_fps << "  [paper: symbols introduce the same 34,769]\n";

@@ -18,46 +18,65 @@
 #include "disasm/code_view.hpp"
 #include "ehframe/eh_frame.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fetch;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_header("§V-C — Algorithm 1 evaluation + ablations",
                       "FDE false-positive repair by tail-call detection "
                       "and function merging");
 
-  const eval::Corpus corpus = eval::Corpus::self_built();
+  const eval::Corpus corpus = bench::self_built_corpus(opts);
 
   // --- Headline numbers: before/after Algorithm 1 ---------------------------
-  const eval::Aggregate before =
-      eval::run_strategy(corpus, bench::run_fde_rec_xref);
-  const eval::Aggregate after =
-      eval::run_strategy(corpus, bench::run_fetch);
+  const std::vector<eval::StrategyOutcome> stages = eval::run_matrix(
+      corpus,
+      {{"before", bench::run_fde_rec_xref}, {"after", bench::run_fetch}},
+      opts.jobs);
+  const eval::Aggregate& before = stages[0].total;
+  const eval::Aggregate& after = stages[1].total;
 
+  struct EntryResiduals {
+    std::size_t incomplete = 0;
+    std::size_t other = 0;
+    std::size_t tail_only = 0;
+    std::size_t new_other = 0;
+  };
+  const auto partials = util::parallel_map<EntryResiduals>(
+      opts.effective_jobs(), corpus.size(), [&](std::size_t i) {
+        const eval::CorpusEntry& entry = corpus.entries()[i];
+        const auto pre = eval::evaluate_starts(
+            bench::run_fde_rec_xref(entry), entry.bin.truth);
+        const auto post =
+            eval::evaluate_starts(bench::run_fetch(entry), entry.bin.truth);
+        EntryResiduals p;
+        for (const std::uint64_t fp : post.false_positives) {
+          if (entry.bin.truth.incomplete_cfi_cold_parts.count(fp) != 0) {
+            ++p.incomplete;
+          } else {
+            ++p.other;
+          }
+        }
+        for (const std::uint64_t fn : post.false_negatives) {
+          if (pre.false_negatives.count(fn) != 0) {
+            continue;  // missed before Algorithm 1 too
+          }
+          if (entry.bin.truth.tail_only_single.count(fn) != 0) {
+            ++p.tail_only;
+          } else {
+            ++p.new_other;
+          }
+        }
+        return p;
+      });
   std::size_t residual_incomplete = 0;
   std::size_t residual_other = 0;
   std::size_t new_fns_tail_only = 0;
   std::size_t new_fns_other = 0;
-  for (const eval::CorpusEntry& entry : corpus.entries()) {
-    const auto pre = eval::evaluate_starts(
-        bench::run_fde_rec_xref(entry), entry.bin.truth);
-    const auto post =
-        eval::evaluate_starts(bench::run_fetch(entry), entry.bin.truth);
-    for (const std::uint64_t fp : post.false_positives) {
-      if (entry.bin.truth.incomplete_cfi_cold_parts.count(fp) != 0) {
-        ++residual_incomplete;
-      } else {
-        ++residual_other;
-      }
-    }
-    for (const std::uint64_t fn : post.false_negatives) {
-      if (pre.false_negatives.count(fn) != 0) {
-        continue;  // missed before Algorithm 1 too
-      }
-      if (entry.bin.truth.tail_only_single.count(fn) != 0) {
-        ++new_fns_tail_only;
-      } else {
-        ++new_fns_other;
-      }
-    }
+  for (const EntryResiduals& p : partials) {
+    residual_incomplete += p.incomplete;
+    residual_other += p.other;
+    new_fns_tail_only += p.tail_only;
+    new_fns_other += p.new_other;
   }
 
   eval::TextTable table({"Stage", "FullCov", "FullAcc", "FP", "FN"});
@@ -86,15 +105,20 @@ int main() {
   std::cout << "\nAblation — Algorithm 1 with static stack heights instead "
                "of CFI (DESIGN.md #1):\n";
   for (const bool dyninst_like : {true, false}) {
-    std::size_t merges = 0;
-    std::size_t wrong_merges = 0;
-    std::size_t unverifiable = 0;  // merged where CFI had no answer
-    std::size_t site_disagreements = 0;
-    for (const eval::CorpusEntry& entry : corpus.entries()) {
-      disasm::CodeView code(entry.elf);
-      const auto eh = eh::EhFrame::from_elf(entry.elf);
+    struct AblationCounts {
+      std::size_t merges = 0;
+      std::size_t wrong_merges = 0;
+      std::size_t unverifiable = 0;  // merged where CFI had no answer
+      std::size_t site_disagreements = 0;
+    };
+    const auto per_entry = util::parallel_map<AblationCounts>(
+        opts.effective_jobs(), corpus.size(), [&](std::size_t idx) {
+      const eval::CorpusEntry& entry = corpus.entries()[idx];
+      AblationCounts acc;
+      const disasm::CodeView& code = entry.detector().code();
+      const auto& eh = entry.detector().eh_frame();
       if (!eh) {
-        continue;
+        return acc;
       }
       std::vector<std::uint64_t> seeds = eh->pc_begins();
       disasm::Options dopts;
@@ -120,7 +144,7 @@ int main() {
           const auto cfi_h = table->stack_height_at(j.site);
           if (it != heights.end() && it->second && cfi_h &&
               *it->second != *cfi_h) {
-            ++site_disagreements;
+            ++acc.site_disagreements;
           }
         }
       }
@@ -133,15 +157,26 @@ int main() {
       const core::MergeOutcome mo = core::merge_noncontiguous_functions(
           code, state, *eh, data_refs, fde_starts, mopts);
       for (const auto& [part, parent] : mo.merged) {
-        ++merges;
+        ++acc.merges;
         if (entry.bin.truth.cold_parts.count(part) == 0 &&
             entry.bin.truth.tail_only_single.count(part) == 0) {
-          ++wrong_merges;
+          ++acc.wrong_merges;
         }
         if (entry.bin.truth.incomplete_cfi_cold_parts.count(part) != 0) {
-          ++unverifiable;  // decided without a trustworthy height source
+          ++acc.unverifiable;  // decided without a trustworthy height source
         }
       }
+      return acc;
+    });
+    std::size_t merges = 0;
+    std::size_t wrong_merges = 0;
+    std::size_t unverifiable = 0;
+    std::size_t site_disagreements = 0;
+    for (const AblationCounts& acc : per_entry) {
+      merges += acc.merges;
+      wrong_merges += acc.wrong_merges;
+      unverifiable += acc.unverifiable;
+      site_disagreements += acc.site_disagreements;
     }
     std::cout << "  " << (dyninst_like ? "DYNINST" : "ANGR")
               << "-style heights: " << merges << " merges ("

@@ -8,13 +8,14 @@
 #include "bench/common.hpp"
 #include "ehframe/eh_frame.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fetch;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_header("Table I — wild binaries",
                       "EHF/Sym presence and FDE-vs-symbol coverage ratio "
                       "(paper: avg 99.99)");
 
-  const eval::Corpus wild = eval::Corpus::wild();
+  const eval::Corpus wild = bench::wild_corpus(opts);
   eval::TextTable table({"Software", "Lang", "EHF", "Sym", "FDE%"});
 
   double ratio_sum = 0;

@@ -8,14 +8,15 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fetch;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_header(
       "Table II / §IV-B (Q1) — FDE coverage on the self-built corpus",
       "FDE-alone coverage 99.87%, misses concentrated in assembly "
       "functions, 33/1352 binaries with gaps");
 
-  const eval::Corpus corpus = eval::Corpus::self_built();
+  const eval::Corpus corpus = bench::self_built_corpus(opts);
 
   struct ProjectAgg {
     std::string type;
@@ -32,37 +33,50 @@ int main() {
   std::size_t missed_asm = 0;
   std::size_t missed_other = 0;
 
-  for (const eval::CorpusEntry& entry : corpus.entries()) {
-    const auto fde_starts = bench::run_fde_only(entry);
-    // Project key: the longest project name that prefixes the binary name
-    // (binary names are "<project>-<compiler>-<opt>").
+  // Per-entry detection runs concurrently; the accounting below stays
+  // serial and in entry order.
+  struct EntryCoverage {
     std::string key;
-    for (const synth::ProjectDef& def : synth::projects()) {
-      if (entry.bin.name.rfind(def.name + "-", 0) == 0 &&
-          def.name.size() > key.size()) {
-        key = def.name;
-      }
-    }
-    ProjectAgg& agg = by_project[key];
-    ++agg.binaries;
-
-    std::size_t miss_here = 0;
-    for (const std::uint64_t s : entry.bin.truth.starts) {
-      ++agg.truth;
-      ++total_truth;
-      if (fde_starts.count(s) != 0) {
-        ++agg.covered;
-        ++total_covered;
-      } else {
-        ++miss_here;
-        if (entry.bin.truth.asm_functions.count(s) != 0) {
-          ++missed_asm;
-        } else {
-          ++missed_other;
+    std::size_t truth = 0;
+    std::size_t covered = 0;
+    std::size_t missed_asm = 0;
+    std::size_t missed_other = 0;
+  };
+  const auto partials = util::parallel_map<EntryCoverage>(
+      opts.effective_jobs(), corpus.size(), [&](std::size_t i) {
+        const eval::CorpusEntry& entry = corpus.entries()[i];
+        const auto fde_starts = bench::run_fde_only(entry);
+        EntryCoverage p;
+        // Project key: the longest project name that prefixes the binary
+        // name (binary names are "<project>-<compiler>-<opt>").
+        for (const synth::ProjectDef& def : synth::projects()) {
+          if (entry.bin.name.rfind(def.name + "-", 0) == 0 &&
+              def.name.size() > p.key.size()) {
+            p.key = def.name;
+          }
         }
-      }
-    }
-    bins_with_misses += miss_here > 0 ? 1 : 0;
+        for (const std::uint64_t s : entry.bin.truth.starts) {
+          ++p.truth;
+          if (fde_starts.count(s) != 0) {
+            ++p.covered;
+          } else if (entry.bin.truth.asm_functions.count(s) != 0) {
+            ++p.missed_asm;
+          } else {
+            ++p.missed_other;
+          }
+        }
+        return p;
+      });
+  for (const EntryCoverage& p : partials) {
+    ProjectAgg& agg = by_project[p.key];
+    ++agg.binaries;
+    agg.truth += p.truth;
+    agg.covered += p.covered;
+    total_truth += p.truth;
+    total_covered += p.covered;
+    missed_asm += p.missed_asm;
+    missed_other += p.missed_other;
+    bins_with_misses += p.truth > p.covered ? 1 : 0;
   }
   for (const synth::ProjectDef& def : synth::projects()) {
     by_project[def.name].type = def.type;

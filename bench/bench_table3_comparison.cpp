@@ -10,20 +10,17 @@
 #include "baselines/tools.hpp"
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fetch;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
   bench::print_header("Table III — FETCH vs existing tools",
                       "FP#/FN# (thousands in the paper; raw counts here) "
                       "per optimization level");
 
-  const eval::Corpus corpus = eval::Corpus::self_built();
+  const eval::Corpus corpus = bench::self_built_corpus(options);
   const std::vector<std::string> opts = {"O2", "O3", "Os", "Ofast"};
 
-  struct Row {
-    std::string name;
-    eval::Strategy strategy;
-  };
-  std::vector<Row> rows;
+  std::vector<eval::StrategySpec> rows;
   for (const baselines::ToolSpec& tool : baselines::conventional_tools()) {
     rows.push_back({tool.name, [run = tool.run](const eval::CorpusEntry& e) {
                       return run(e.elf);
@@ -37,16 +34,15 @@ int main() {
                   }});
   rows.push_back({"FETCH", bench::run_fetch});
 
+  // Every (entry × tool) cell runs concurrently on one pool; only the
+  // per-opt-level breakdown is printed (the overall aggregate is the sum
+  // of the four rows).
   eval::TextTable table({"Tool", "OPT", "FP#", "FN#", "FullCov", "FullAcc"});
-  for (const Row& row : rows) {
-    std::map<std::string, eval::Aggregate> by_opt;
-    // Only the per-opt-level breakdown is printed; the overall aggregate
-    // is the sum of the four rows.
-    [[maybe_unused]] const eval::Aggregate total =
-        eval::run_strategy(corpus, row.strategy, &by_opt);
+  for (eval::StrategyOutcome& out :
+       eval::run_matrix(corpus, rows, options.jobs)) {
     for (const std::string& opt : opts) {
-      const eval::Aggregate& agg = by_opt[opt];
-      table.add_row({row.name, opt, std::to_string(agg.fp_total),
+      const eval::Aggregate& agg = out.by_opt[opt];
+      table.add_row({out.name, opt, std::to_string(agg.fp_total),
                      std::to_string(agg.fn_total),
                      std::to_string(agg.full_coverage),
                      std::to_string(agg.full_accuracy)});

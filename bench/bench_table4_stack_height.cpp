@@ -36,23 +36,29 @@ struct PrCounts {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fetch;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
   bench::print_header("Table IV — static stack-height analyses vs CFI",
                       "precision/recall per optimization level, Full and "
                       "Jump-site views");
 
-  const eval::Corpus corpus = eval::Corpus::self_built();
+  const eval::Corpus corpus = bench::self_built_corpus(opts);
 
-  // counts[tool][opt][view]
-  std::map<std::string, std::map<std::string, std::map<std::string, PrCounts>>>
-      counts;
+  // counts[tool][opt][view]; per-entry partials are tallied concurrently
+  // and merged serially in entry order below.
+  using CountMap =
+      std::map<std::string, std::map<std::string, std::map<std::string, PrCounts>>>;
+  CountMap counts;
 
-  for (const eval::CorpusEntry& entry : corpus.entries()) {
-    disasm::CodeView code(entry.elf);
-    const auto eh = eh::EhFrame::from_elf(entry.elf);
+  const auto partials = util::parallel_map<CountMap>(
+      opts.effective_jobs(), corpus.size(), [&](std::size_t idx) {
+    const eval::CorpusEntry& entry = corpus.entries()[idx];
+    CountMap my_counts;
+    const disasm::CodeView& code = entry.detector().code();
+    const auto& eh = entry.detector().eh_frame();
     if (!eh) {
-      continue;
+      return my_counts;
     }
     disasm::Options dopts;
     dopts.conditional_noreturn = entry.bin.truth.error_like;
@@ -88,7 +94,7 @@ int main() {
             continue;
           }
           auto tally = [&](const char* view) {
-            PrCounts& c = counts[tool][entry.bin.opt][view];
+            PrCounts& c = my_counts[tool][entry.bin.opt][view];
             ++c.baseline;
             if (h.has_value()) {
               ++c.reported;
@@ -99,6 +105,19 @@ int main() {
           if (jump_sites.count(addr) != 0) {
             tally("Jump");
           }
+        }
+      }
+    }
+    return my_counts;
+  });
+  for (const CountMap& partial : partials) {
+    for (const auto& [tool, by_opt] : partial) {
+      for (const auto& [opt, by_view] : by_opt) {
+        for (const auto& [view, c] : by_view) {
+          PrCounts& total = counts[tool][opt][view];
+          total.reported += c.reported;
+          total.correct += c.correct;
+          total.baseline += c.baseline;
         }
       }
     }

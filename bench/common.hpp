@@ -2,55 +2,107 @@
 
 /// \file common.hpp
 /// Shared scaffolding for the per-table/figure benchmark binaries: corpus
-/// loading, the FETCH strategy-ladder configurations, and aggregate
-/// printing. Every bench is standalone: it generates the corpus, runs its
+/// loading, the FETCH strategy-ladder configurations, aggregate printing,
+/// and the command-line knobs every bench understands:
+///
+///   --jobs N    worker threads for the (entry × strategy) cells
+///               (default: FETCH_JOBS env, else hardware concurrency)
+///   --smoke     reduced corpus — compile/run verification for ctest
+///
+/// Every bench is standalone: it generates the corpus, runs its
 /// strategies, and prints the rows of the paper artifact it regenerates.
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 
 #include "core/detector.hpp"
 #include "eval/metrics.hpp"
 #include "eval/runner.hpp"
 #include "eval/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fetch::bench {
 
+struct BenchOptions {
+  std::size_t jobs = 0;  ///< 0 → util::default_jobs()
+  bool smoke = false;
+
+  [[nodiscard]] std::size_t effective_jobs() const {
+    return jobs == 0 ? util::default_jobs() : jobs;
+  }
+};
+
+/// Entries kept by --smoke runs: enough to exercise every opt level of
+/// the first project without paying for the full corpus.
+inline constexpr std::size_t kSmokeEntries = 8;
+
+inline BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions options;
+  auto usage = [&]() {
+    std::cerr << "usage: " << argv[0] << " [--smoke] [--jobs N]\n";
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      if (!util::parse_jobs(argv[++i], &options.jobs)) {
+        usage();
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!util::parse_jobs(arg.substr(7), &options.jobs)) {
+        usage();
+      }
+    } else {
+      usage();
+    }
+  }
+  return options;
+}
+
+inline eval::Corpus self_built_corpus(const BenchOptions& options) {
+  return eval::Corpus::self_built(options.smoke ? kSmokeEntries : 0,
+                                  options.jobs);
+}
+
+inline eval::Corpus wild_corpus(const BenchOptions& options) {
+  return eval::Corpus::wild(options.smoke ? kSmokeEntries : 0, options.jobs);
+}
+
 /// FDE-only detection (§IV-B): raw PC Begin values.
 inline std::set<std::uint64_t> run_fde_only(const eval::CorpusEntry& entry) {
-  core::FunctionDetector detector(entry.elf);
   core::DetectorOptions options;
   options.recursive = false;
   options.pointer_detection = false;
   options.fix_fde_errors = false;
   options.use_entry_point = false;
-  return detector.run(options).starts();
+  return entry.detector().run(options).starts();
 }
 
 /// FDE + safe recursive disassembly (§IV-C).
 inline std::set<std::uint64_t> run_fde_rec(const eval::CorpusEntry& entry) {
-  core::FunctionDetector detector(entry.elf);
   core::DetectorOptions options = eval::fetch_options(entry.bin.truth);
   options.pointer_detection = false;
   options.fix_fde_errors = false;
-  return detector.run(options).starts();
+  return entry.detector().run(options).starts();
 }
 
 /// FDE + recursion + function-pointer detection (§IV-E, "Xref").
 inline std::set<std::uint64_t> run_fde_rec_xref(
     const eval::CorpusEntry& entry) {
-  core::FunctionDetector detector(entry.elf);
   core::DetectorOptions options = eval::fetch_options(entry.bin.truth);
   options.fix_fde_errors = false;
-  return detector.run(options).starts();
+  return entry.detector().run(options).starts();
 }
 
 /// The full FETCH pipeline (§VI).
 inline std::set<std::uint64_t> run_fetch(const eval::CorpusEntry& entry) {
-  core::FunctionDetector detector(entry.elf);
-  return detector.run(eval::fetch_options(entry.bin.truth)).starts();
+  return entry.detector().run(eval::fetch_options(entry.bin.truth)).starts();
 }
 
 /// Prints one "Figure 5" style ladder row.

@@ -3,9 +3,12 @@
 /// \file code_view.hpp
 /// Decode-on-demand view of a binary's executable sections with instruction
 /// memoization. All disassembly passes share one CodeView per binary so an
-/// address is decoded at most once.
+/// address is decoded at most once. The memo table is internally locked:
+/// concurrent strategy cells of the parallel evaluation engine share one
+/// CodeView per corpus entry (see DESIGN.md, "Parallel evaluation").
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -29,10 +32,14 @@ class CodeView {
 
   /// Decodes (with memoization) the instruction at \p addr.
   /// std::nullopt when \p addr is not in code or the bytes are invalid.
+  /// Safe to call from multiple threads.
   [[nodiscard]] std::optional<x86::Insn> insn_at(std::uint64_t addr) const {
-    const auto it = cache_.find(addr);
-    if (it != cache_.end()) {
-      return it->second;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = cache_.find(addr);
+      if (it != cache_.end()) {
+        return it->second;
+      }
     }
     std::optional<x86::Insn> result;
     const elf::Section* sec = elf_.section_at(addr);
@@ -43,6 +50,7 @@ class CodeView {
         result = x86::decode(*bytes, addr);
       }
     }
+    const std::lock_guard<std::mutex> lock(mu_);
     cache_.emplace(addr, result);
     return result;
   }
@@ -55,6 +63,7 @@ class CodeView {
 
  private:
   const elf::ElfFile& elf_;
+  mutable std::mutex mu_;
   mutable std::unordered_map<std::uint64_t, std::optional<x86::Insn>> cache_;
 };
 

@@ -76,6 +76,30 @@ EhFrameHdr EhFrameHdr::parse(std::span<const std::uint8_t> bytes,
   }
   const std::uint64_t count =
       decode_hdr_pointer(cur, fde_count_enc, addr + cur.offset(), addr);
+  // The declared count is attacker-controlled; bound it by the bytes that
+  // are actually left in the section before reserving, so a malformed
+  // header cannot force a multi-GB allocation. Every table entry encodes
+  // two pointers of at least min_entry_bytes total.
+  std::uint64_t min_entry_bytes = 2;  // two ULEB128s, one byte each
+  switch (table_enc & 0x0f) {
+    case pe::kUdata4:
+    case pe::kSdata4:
+      min_entry_bytes = 8;
+      break;
+    case pe::kAbsPtr:
+    case pe::kUdata8:
+    case pe::kSdata8:
+      min_entry_bytes = 16;
+      break;
+    default:
+      break;
+  }
+  const std::uint64_t remaining = bytes.size() - cur.offset();
+  if (count > remaining / min_entry_bytes) {
+    throw ParseError("eh_frame_hdr: declared fde_count " +
+                     std::to_string(count) + " exceeds the " +
+                     std::to_string(remaining) + " remaining section bytes");
+  }
   out.entries_.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     EhFrameHdrEntry entry;

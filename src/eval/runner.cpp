@@ -1,21 +1,35 @@
 #include "eval/runner.hpp"
 
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
 namespace fetch::eval {
 
-Corpus Corpus::self_built() {
+Corpus Corpus::materialize(std::vector<synth::ProgramSpec> specs,
+                           std::size_t max_entries, std::size_t jobs) {
+  if (max_entries != 0 && specs.size() > max_entries) {
+    specs.resize(max_entries);
+  }
+  // Generate into stable slots so the job count cannot reorder entries.
+  std::vector<std::optional<CorpusEntry>> slots(specs.size());
+  util::parallel_for(jobs, specs.size(), [&](std::size_t i) {
+    slots[i].emplace(synth::generate(specs[i]));
+  });
   Corpus corpus;
-  for (synth::ProgramSpec& spec : synth::make_corpus()) {
-    corpus.entries_.emplace_back(synth::generate(spec));
+  corpus.entries_.reserve(slots.size());
+  for (std::optional<CorpusEntry>& slot : slots) {
+    corpus.entries_.push_back(std::move(*slot));
   }
   return corpus;
 }
 
-Corpus Corpus::wild() {
-  Corpus corpus;
-  for (synth::ProgramSpec& spec : synth::make_wild_suite()) {
-    corpus.entries_.emplace_back(synth::generate(spec));
-  }
-  return corpus;
+Corpus Corpus::self_built(std::size_t max_entries, std::size_t jobs) {
+  return materialize(synth::make_corpus(), max_entries, jobs);
+}
+
+Corpus Corpus::wild(std::size_t max_entries, std::size_t jobs) {
+  return materialize(synth::make_wild_suite(), max_entries, jobs);
 }
 
 core::DetectorOptions fetch_options(const synth::GroundTruth& truth) {
@@ -25,16 +39,42 @@ core::DetectorOptions fetch_options(const synth::GroundTruth& truth) {
 }
 
 Aggregate run_strategy(const Corpus& corpus, const Strategy& strategy,
-                       std::map<std::string, Aggregate>* by_opt) {
-  Aggregate total;
-  for (const CorpusEntry& entry : corpus.entries()) {
-    const BinaryEval e = evaluate_starts(strategy(entry), entry.bin.truth);
-    total.add(e);
-    if (by_opt != nullptr) {
-      (*by_opt)[entry.bin.opt].add(e);
+                       std::map<std::string, Aggregate>* by_opt,
+                       std::size_t jobs) {
+  std::vector<StrategyOutcome> outcomes =
+      run_matrix(corpus, {{"", strategy}}, jobs);
+  if (by_opt != nullptr) {
+    *by_opt = std::move(outcomes[0].by_opt);
+  }
+  return outcomes[0].total;
+}
+
+std::vector<StrategyOutcome> run_matrix(
+    const Corpus& corpus, const std::vector<StrategySpec>& strategies,
+    std::size_t jobs) {
+  const std::size_t n_entries = corpus.size();
+  const std::size_t n_strategies = strategies.size();
+
+  // Every (strategy, entry) cell lands in its own slot; the reduction
+  // below walks the slots serially in entry order, so the aggregates are
+  // identical to a serial run for any job count.
+  std::vector<BinaryEval> cells(n_entries * n_strategies);
+  util::parallel_for(jobs, cells.size(), [&](std::size_t i) {
+    const std::size_t s = i / n_entries;
+    const CorpusEntry& entry = corpus.entries()[i % n_entries];
+    cells[i] = evaluate_starts(strategies[s].run(entry), entry.bin.truth);
+  });
+
+  std::vector<StrategyOutcome> outcomes(n_strategies);
+  for (std::size_t s = 0; s < n_strategies; ++s) {
+    outcomes[s].name = strategies[s].name;
+    for (std::size_t e = 0; e < n_entries; ++e) {
+      const BinaryEval& cell = cells[s * n_entries + e];
+      outcomes[s].total.add(cell);
+      outcomes[s].by_opt[corpus.entries()[e].bin.opt].add(cell);
     }
   }
-  return total;
+  return outcomes;
 }
 
 }  // namespace fetch::eval

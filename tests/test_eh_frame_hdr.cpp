@@ -79,6 +79,31 @@ TEST(EhFrameHdr, RejectsBadVersion) {
                ParseError);
 }
 
+TEST(EhFrameHdr, RejectsHugeDeclaredFdeCount) {
+  const EhFrame eh = sample_eh_frame();
+  auto bytes = build_eh_frame_hdr(eh, kEhAddr, kHdrAddr);
+  // fde_count is a udata4 at offset 8. Declare ~2 billion entries while
+  // the section only holds three: parse must reject the count against the
+  // remaining bytes (and in particular must not reserve gigabytes for the
+  // table) instead of trusting the header.
+  bytes[8] = 0xff;
+  bytes[9] = 0xff;
+  bytes[10] = 0xff;
+  bytes[11] = 0x7f;
+  EXPECT_THROW(EhFrameHdr::parse({bytes.data(), bytes.size()}, kHdrAddr),
+               ParseError);
+}
+
+TEST(EhFrameHdr, RejectsCountJustPastSectionEnd) {
+  const EhFrame eh = sample_eh_frame();
+  auto bytes = build_eh_frame_hdr(eh, kEhAddr, kHdrAddr);
+  // One more entry than the table bytes can hold (entries are 8 bytes
+  // with the sdata4 encoding the builder emits).
+  bytes[8] = 4;
+  EXPECT_THROW(EhFrameHdr::parse({bytes.data(), bytes.size()}, kHdrAddr),
+               ParseError);
+}
+
 TEST(EhFrameHdr, RejectsUnsortedTable) {
   const EhFrame eh = sample_eh_frame();
   auto bytes = build_eh_frame_hdr(eh, kEhAddr, kHdrAddr);

@@ -4,6 +4,7 @@
 
 #include "eval/gadget.hpp"
 #include "eval/metrics.hpp"
+#include "eval/runner.hpp"
 #include "eval/table.hpp"
 #include "helpers.hpp"
 
@@ -87,6 +88,78 @@ TEST(Table, Formatting) {
   EXPECT_EQ(fmt_k(34772), "34.77");
   EXPECT_EQ(fmt_pct(999, 1000), "99.90");
   EXPECT_EQ(fmt_pct(1, 0), "n/a");
+}
+
+void expect_same_aggregate(const Aggregate& a, const Aggregate& b) {
+  EXPECT_EQ(a.binaries, b.binaries);
+  EXPECT_EQ(a.true_total, b.true_total);
+  EXPECT_EQ(a.detected_total, b.detected_total);
+  EXPECT_EQ(a.fp_total, b.fp_total);
+  EXPECT_EQ(a.fn_total, b.fn_total);
+  EXPECT_EQ(a.full_coverage, b.full_coverage);
+  EXPECT_EQ(a.full_accuracy, b.full_accuracy);
+}
+
+const Strategy kFetchStrategy = [](const CorpusEntry& entry) {
+  return entry.detector().run(fetch_options(entry.bin.truth)).starts();
+};
+
+TEST(Runner, CorpusLimitAndGenerationJobsAreDeterministic) {
+  const Corpus serial = Corpus::self_built(4, 1);
+  const Corpus parallel = Corpus::self_built(4, 4);
+  ASSERT_EQ(serial.size(), 4u);
+  ASSERT_EQ(parallel.size(), 4u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.entries()[i].bin.name, parallel.entries()[i].bin.name);
+    EXPECT_EQ(serial.entries()[i].bin.image, parallel.entries()[i].bin.image);
+  }
+}
+
+TEST(Runner, ParallelStrategyRunMatchesSerial) {
+  const Corpus corpus = Corpus::self_built(6);
+  std::map<std::string, Aggregate> by_opt_serial;
+  std::map<std::string, Aggregate> by_opt_parallel;
+  const Aggregate serial =
+      run_strategy(corpus, kFetchStrategy, &by_opt_serial, 1);
+  const Aggregate parallel =
+      run_strategy(corpus, kFetchStrategy, &by_opt_parallel, 4);
+  expect_same_aggregate(serial, parallel);
+  ASSERT_EQ(by_opt_serial.size(), by_opt_parallel.size());
+  for (const auto& [opt, agg] : by_opt_serial) {
+    ASSERT_TRUE(by_opt_parallel.count(opt)) << opt;
+    expect_same_aggregate(agg, by_opt_parallel.at(opt));
+  }
+}
+
+TEST(Runner, MatrixCellsMatchIndependentRuns) {
+  const Corpus corpus = Corpus::self_built(4);
+  const Strategy fde_only = [](const CorpusEntry& entry) {
+    core::DetectorOptions options;
+    options.recursive = false;
+    options.pointer_detection = false;
+    options.fix_fde_errors = false;
+    options.use_entry_point = false;
+    return entry.detector().run(options).starts();
+  };
+  const std::vector<StrategySpec> specs = {{"fde", fde_only},
+                                           {"fetch", kFetchStrategy}};
+  const std::vector<StrategyOutcome> matrix = run_matrix(corpus, specs, 4);
+  ASSERT_EQ(matrix.size(), 2u);
+  EXPECT_EQ(matrix[0].name, "fde");
+  EXPECT_EQ(matrix[1].name, "fetch");
+  expect_same_aggregate(matrix[0].total,
+                        run_strategy(corpus, fde_only, nullptr, 1));
+  expect_same_aggregate(matrix[1].total,
+                        run_strategy(corpus, kFetchStrategy, nullptr, 1));
+}
+
+TEST(Runner, SharedDetectorStartSetsAreStableAcrossRepeatedRuns) {
+  const Corpus corpus = Corpus::self_built(2);
+  const CorpusEntry& entry = corpus.entries()[0];
+  const auto first = kFetchStrategy(entry);
+  const auto second = kFetchStrategy(entry);  // memoized CodeView path
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
 }
 
 TEST(Gadget, FindsRetTerminatedSequences) {

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
 #include "util/byte_cursor.hpp"
 #include "util/byte_writer.hpp"
 #include "util/interval_set.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fetch {
 namespace {
@@ -203,6 +210,93 @@ TEST(IntervalSet, Intersects) {
   EXPECT_TRUE(s.intersects(5, 11));
   EXPECT_FALSE(s.intersects(20, 30));
   EXPECT_FALSE(s.intersects(0, 10));
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    util::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor drains the queue and joins
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> hits(257);
+    util::parallel_for(jobs, hits.size(),
+                       [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const std::atomic<int>& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForSlotWritesMatchSerial) {
+  std::vector<std::uint64_t> serial(1000);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    serial[i] = i * i;
+  }
+  std::vector<std::uint64_t> parallel(serial.size());
+  util::parallel_for(8, parallel.size(),
+                     [&](std::size_t i) { parallel[i] = i * i; });
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  EXPECT_THROW(
+      util::parallel_for(4, 64,
+                         [](std::size_t i) {
+                           if (i % 7 == 3) {
+                             throw std::runtime_error("boom");
+                           }
+                         }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOneItems) {
+  int runs = 0;
+  util::parallel_for(4, 0, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+  util::parallel_for(4, 1, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPool, ParallelMapMatchesSerial) {
+  const auto squares = util::parallel_map<std::uint64_t>(
+      4, 100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ThreadPool, ParseJobsAcceptsOnlyPlainNonNegativeIntegers) {
+  std::size_t jobs = 99;
+  EXPECT_TRUE(util::parse_jobs("4", &jobs));
+  EXPECT_EQ(jobs, 4u);
+  EXPECT_TRUE(util::parse_jobs("0", &jobs));
+  EXPECT_EQ(jobs, 0u);
+  jobs = 99;
+  EXPECT_FALSE(util::parse_jobs("-1", &jobs));
+  EXPECT_FALSE(util::parse_jobs("+1", &jobs));
+  EXPECT_FALSE(util::parse_jobs("", &jobs));
+  EXPECT_FALSE(util::parse_jobs("4x", &jobs));
+  EXPECT_FALSE(util::parse_jobs(" 4", &jobs));
+  EXPECT_FALSE(util::parse_jobs("banana", &jobs));
+  EXPECT_EQ(jobs, 99u);  // rejected inputs leave the output untouched
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvVariable) {
+  ::setenv("FETCH_JOBS", "3", 1);
+  EXPECT_EQ(util::default_jobs(), 3u);
+  ::setenv("FETCH_JOBS", "not-a-number", 1);
+  EXPECT_GE(util::default_jobs(), 1u);
+  ::unsetenv("FETCH_JOBS");
+  EXPECT_GE(util::default_jobs(), 1u);
 }
 
 }  // namespace

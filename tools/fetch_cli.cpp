@@ -1,16 +1,26 @@
 /// \file fetch_cli.cpp
 /// Command-line front end for the library:
 ///
-///   fetch-cli detect <elf>        detect function starts (full pipeline)
-///   fetch-cli fde <elf>           list raw FDE PC Begin/Range entries
-///   fetch-cli unwind <elf> <pc>   unwind info (CFA rule, stack height) at pc
-///   fetch-cli compare <elf>       run every strategy ladder step + tools
-///   fetch-cli audit <elf>         CFI-policy gadget exposure of raw FDE
-///                                 starts vs repaired starts
+///   fetch-cli [--jobs N] detect <elf>   detect function starts (full pipeline)
+///   fetch-cli [--jobs N] fde <elf>      list raw FDE PC Begin/Range entries
+///   fetch-cli [--jobs N] unwind <elf> <pc>  unwind info (CFA rule, stack
+///                                       height) at pc
+///   fetch-cli [--jobs N] compare <elf>  run every strategy ladder step +
+///                                       tools, concurrently on N workers
+///   fetch-cli [--jobs N] audit <elf>    CFI-policy gadget exposure of raw
+///                                       FDE starts vs repaired starts
+///
+/// --jobs defaults to the FETCH_JOBS environment variable, else the
+/// hardware concurrency.
 
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iomanip>
 #include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "baselines/tools.hpp"
 #include "core/detector.hpp"
@@ -20,6 +30,7 @@
 #include "elf/elf_file.hpp"
 #include "eval/gadget.hpp"
 #include "eval/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -106,40 +117,53 @@ int cmd_unwind(const elf::ElfFile& elf, std::uint64_t pc) {
   return 0;
 }
 
-int cmd_compare(const elf::ElfFile& elf) {
+int cmd_compare(const elf::ElfFile& elf, std::size_t jobs) {
   core::FunctionDetector detector(elf);
-  eval::TextTable table({"strategy", "starts"});
 
   core::DetectorOptions fde_only;
   fde_only.recursive = false;
   fde_only.pointer_detection = false;
   fde_only.fix_fde_errors = false;
   fde_only.use_entry_point = false;
-  table.add_row(
-      {"FDE", std::to_string(detector.run(fde_only).functions.size())});
 
   core::DetectorOptions rec;
   rec.pointer_detection = false;
   rec.fix_fde_errors = false;
-  table.add_row(
-      {"FDE+Rec", std::to_string(detector.run(rec).functions.size())});
 
   core::DetectorOptions xref;
   xref.fix_fde_errors = false;
-  table.add_row(
-      {"FDE+Rec+Xref", std::to_string(detector.run(xref).functions.size())});
 
-  table.add_row(
-      {"FETCH (full)", std::to_string(detector.run({}).functions.size())});
-
+  // All ladder steps and tool emulations run concurrently; the detector's
+  // decode cache is shared across the FETCH rows. Rows print in the fixed
+  // order below regardless of completion order.
+  struct Row {
+    std::string name;
+    std::function<std::size_t()> run;
+  };
+  std::vector<Row> rows = {
+      {"FDE", [&] { return detector.run(fde_only).functions.size(); }},
+      {"FDE+Rec", [&] { return detector.run(rec).functions.size(); }},
+      {"FDE+Rec+Xref", [&] { return detector.run(xref).functions.size(); }},
+      {"FETCH (full)", [&] { return detector.run({}).functions.size(); }},
+  };
   for (const baselines::ToolSpec& tool : baselines::conventional_tools()) {
-    table.add_row({tool.name, std::to_string(tool.run(elf).size())});
+    rows.push_back({tool.name, [&elf, run = tool.run] {
+                      return run(elf).size();
+                    }});
   }
-  table.add_row(
-      {"GHIDRA-like",
-       std::to_string(baselines::ghidra_like(elf, {}).size())});
-  table.add_row(
-      {"ANGR-like", std::to_string(baselines::angr_like(elf, {}).size())});
+  rows.push_back(
+      {"GHIDRA-like", [&elf] { return baselines::ghidra_like(elf, {}).size(); }});
+  rows.push_back(
+      {"ANGR-like", [&elf] { return baselines::angr_like(elf, {}).size(); }});
+
+  std::vector<std::size_t> counts(rows.size());
+  util::parallel_for(jobs, rows.size(),
+                     [&](std::size_t i) { counts[i] = rows[i].run(); });
+
+  eval::TextTable table({"strategy", "starts"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_row({rows[i].name, std::to_string(counts[i])});
+  }
   table.print(std::cout);
   return 0;
 }
@@ -173,20 +197,38 @@ int cmd_audit(const elf::ElfFile& elf) {
 }
 
 int usage() {
-  std::cerr << "usage: fetch-cli <detect|fde|unwind|compare|audit> "
-               "<elf> [pc]\n";
+  std::cerr << "usage: fetch-cli [--jobs N] "
+               "<detect|fde|unwind|compare|audit> <elf> [pc]\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  std::size_t jobs = 0;  // 0 → FETCH_JOBS env / hardware default
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jobs") {
+      if (i + 1 >= argc || !util::parse_jobs(argv[++i], &jobs)) {
+        return usage();
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!util::parse_jobs(arg.substr(7), &jobs)) {
+        return usage();
+      }
+    } else if (!arg.empty() && arg.front() == '-') {
+      return usage();  // unknown flags must not pass as positionals
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) {
     return usage();
   }
-  const std::string cmd = argv[1];
+  const std::string cmd = args[0];
   try {
-    const elf::ElfFile elf = elf::ElfFile::load(argv[2]);
+    const elf::ElfFile elf = elf::ElfFile::load(args[1]);
     if (cmd == "detect") {
       return cmd_detect(elf);
     }
@@ -194,13 +236,13 @@ int main(int argc, char** argv) {
       return cmd_fde(elf);
     }
     if (cmd == "unwind") {
-      if (argc < 4) {
+      if (args.size() < 3) {
         return usage();
       }
-      return cmd_unwind(elf, std::strtoull(argv[3], nullptr, 0));
+      return cmd_unwind(elf, std::strtoull(args[2], nullptr, 0));
     }
     if (cmd == "compare") {
-      return cmd_compare(elf);
+      return cmd_compare(elf, jobs);
     }
     if (cmd == "audit") {
       return cmd_audit(elf);
