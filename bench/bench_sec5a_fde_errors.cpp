@@ -75,11 +75,11 @@ int main(int argc, char** argv) {
   std::cout << "ROP gadgets at false starts (CFI exposure): " << gadgets
             << "  [paper: 99,932]\n";
 
-  // Symbols share the problem: cold parts carry their own symbols.
-  std::vector<synth::ProgramSpec> specs = synth::make_corpus();
-  if (opts.smoke && specs.size() > bench::kSmokeEntries) {
-    specs.resize(bench::kSmokeEntries);
-  }
+  // Symbols share the problem: cold parts carry their own symbols. This
+  // needs unstripped re-generation, so it expands the spec at the bench's
+  // scale rather than reusing the (stripped) corpus above.
+  std::vector<synth::ProgramSpec> specs =
+      synth::CorpusSpec::self_built(opts.scale).expand();
   const auto sym_fp_counts = util::parallel_map<std::size_t>(
       opts.effective_jobs(), specs.size(), [&](std::size_t i) {
         synth::ProgramSpec spec = specs[i];

@@ -48,11 +48,14 @@ int main(int argc, char** argv) {
         const auto fde_starts = bench::run_fde_only(entry);
         EntryCoverage p;
         // Project key: the longest project name that prefixes the binary
-        // name (binary names are "<project>-<compiler>-<opt>").
-        for (const synth::ProjectDef& def : synth::projects()) {
-          if (entry.bin.name.rfind(def.name + "-", 0) == 0 &&
-              def.name.size() > p.key.size()) {
-            p.key = def.name;
+        // name (binary names are "<project>-<compiler>-<opt>[-vN]").
+        for (const auto* defs : {&synth::projects(),
+                                 &synth::extended_projects()}) {
+          for (const synth::ProjectDef& def : *defs) {
+            if (entry.bin.name.rfind(def.name + "-", 0) == 0 &&
+                def.name.size() > p.key.size()) {
+              p.key = def.name;
+            }
           }
         }
         for (const std::uint64_t s : entry.bin.truth.starts) {
@@ -78,9 +81,13 @@ int main(int argc, char** argv) {
     missed_other += p.missed_other;
     bins_with_misses += p.truth > p.covered ? 1 : 0;
   }
-  for (const synth::ProjectDef& def : synth::projects()) {
-    by_project[def.name].type = def.type;
-    by_project[def.name].lang = def.lang;
+  for (const auto* defs : {&synth::projects(), &synth::extended_projects()}) {
+    for (const synth::ProjectDef& def : *defs) {
+      if (by_project.count(def.name) != 0) {
+        by_project[def.name].type = def.type;
+        by_project[def.name].lang = def.lang;
+      }
+    }
   }
 
   eval::TextTable table({"Project", "Type", "Lang", "Bins", "FDE%"});

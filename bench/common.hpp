@@ -5,12 +5,21 @@
 /// loading, the FETCH strategy-ladder configurations, aggregate printing,
 /// and the command-line knobs every bench understands:
 ///
-///   --jobs N    worker threads for the (entry × strategy) cells
-///               (default: FETCH_JOBS env, else hardware concurrency)
-///   --smoke     reduced corpus — compile/run verification for ctest
+///   --jobs N         worker threads for corpus generation and the
+///                    (entry × strategy) cells (default: FETCH_JOBS env,
+///                    else hardware concurrency)
+///   --scale S        corpus population: smoke (8 entries), default (176),
+///                    full (the paper-scale 1,632 ≥ 1,352 set)
+///   --smoke          alias for --scale smoke (ctest smoke runs)
+///   --cache-dir D    content-addressed corpus cache root (default: the
+///                    FETCH_CACHE_DIR env var; unset/empty = no cache).
+///                    Repeated runs with the same spec load instead of
+///                    regenerate. Unusable paths are rejected up front.
 ///
-/// Every bench is standalone: it generates the corpus, runs its
-/// strategies, and prints the rows of the paper artifact it regenerates.
+/// Every bench is standalone: it materializes the corpus (cache or
+/// generation), runs its strategies, and prints the rows of the paper
+/// artifact it regenerates. Corpus provenance goes to stderr so stdout
+/// stays byte-comparable across job counts and cache states.
 
 #include <cstdlib>
 #include <iostream>
@@ -23,33 +32,49 @@
 #include "eval/metrics.hpp"
 #include "eval/runner.hpp"
 #include "eval/table.hpp"
+#include "util/fs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fetch::bench {
 
 struct BenchOptions {
   std::size_t jobs = 0;  ///< 0 → util::default_jobs()
-  bool smoke = false;
+  synth::Scale scale = synth::Scale::kDefault;
+  std::string cache_dir;  ///< validated; empty = caching disabled
 
   [[nodiscard]] std::size_t effective_jobs() const {
     return jobs == 0 ? util::default_jobs() : jobs;
   }
-};
 
-/// Entries kept by --smoke runs: enough to exercise every opt level of
-/// the first project without paying for the full corpus.
-inline constexpr std::size_t kSmokeEntries = 8;
+  [[nodiscard]] eval::CorpusOptions corpus_options() const {
+    return {scale, jobs, cache_dir};
+  }
+};
 
 inline BenchOptions parse_args(int argc, char** argv) {
   BenchOptions options;
+  options.cache_dir = util::default_cache_dir();
   auto usage = [&]() {
-    std::cerr << "usage: " << argv[0] << " [--smoke] [--jobs N]\n";
+    std::cerr << "usage: " << argv[0]
+              << " [--smoke] [--scale smoke|default|full] [--jobs N]"
+                 " [--cache-dir DIR]\n";
     std::exit(2);
+  };
+  auto set_scale = [&](std::string_view text) {
+    const auto scale = synth::parse_scale(text);
+    if (!scale) {
+      usage();
+    }
+    options.scale = *scale;
   };
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--smoke") {
-      options.smoke = true;
+      options.scale = synth::Scale::kSmoke;
+    } else if (arg == "--scale" && i + 1 < argc) {
+      set_scale(argv[++i]);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      set_scale(arg.substr(8));
     } else if (arg == "--jobs" && i + 1 < argc) {
       if (!util::parse_jobs(argv[++i], &options.jobs)) {
         usage();
@@ -58,20 +83,43 @@ inline BenchOptions parse_args(int argc, char** argv) {
       if (!util::parse_jobs(arg.substr(7), &options.jobs)) {
         usage();
       }
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      options.cache_dir = argv[++i];
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      options.cache_dir = arg.substr(12);
     } else {
       usage();
+    }
+  }
+  // Validate the cache directory (flag or FETCH_CACHE_DIR) up front, the
+  // same way --jobs is validated: fail loudly before any work happens.
+  if (!options.cache_dir.empty()) {
+    std::string error;
+    if (!util::prepare_cache_dir(&options.cache_dir, &error)) {
+      std::cerr << argv[0] << ": --cache-dir/FETCH_CACHE_DIR: " << error
+                << "\n";
+      std::exit(2);
     }
   }
   return options;
 }
 
+inline void note_provenance(const eval::Corpus& corpus) {
+  std::cerr << "corpus: " << corpus.size() << " entries ("
+            << (corpus.from_cache() ? "loaded from cache" : "generated")
+            << ")\n";
+}
+
 inline eval::Corpus self_built_corpus(const BenchOptions& options) {
-  return eval::Corpus::self_built(options.smoke ? kSmokeEntries : 0,
-                                  options.jobs);
+  eval::Corpus corpus = eval::Corpus::self_built(options.corpus_options());
+  note_provenance(corpus);
+  return corpus;
 }
 
 inline eval::Corpus wild_corpus(const BenchOptions& options) {
-  return eval::Corpus::wild(options.smoke ? kSmokeEntries : 0, options.jobs);
+  eval::Corpus corpus = eval::Corpus::wild(options.corpus_options());
+  note_provenance(corpus);
+  return corpus;
 }
 
 /// FDE-only detection (§IV-B): raw PC Begin values.

@@ -1,0 +1,63 @@
+# Runs ${BENCH_BIN} --scale smoke three ways — without a cache, with a
+# fresh cache directory (populate), and again against the populated cache
+# (load) — and fails unless all three succeed with byte-identical stdout
+# and the second run actually wrote a corpus file. Together with
+# smoke_equality.cmake (serial vs parallel) this is the ctest-level
+# guarantee that cached, sharded, and serial corpus materialization
+# cannot change any reported number.
+
+if(NOT DEFINED BENCH_BIN)
+  message(FATAL_ERROR "BENCH_BIN not set")
+endif()
+if(NOT DEFINED CACHE_DIR)
+  message(FATAL_ERROR "CACHE_DIR not set")
+endif()
+
+file(REMOVE_RECURSE ${CACHE_DIR})
+
+# Neutralize any ambient FETCH_CACHE_DIR: the baseline run must really
+# regenerate, or this test degrades to comparing the cache with itself.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env FETCH_CACHE_DIR=
+                        ${BENCH_BIN} --scale smoke --jobs 2
+                OUTPUT_VARIABLE nocache_out
+                RESULT_VARIABLE nocache_rc)
+if(NOT nocache_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH_BIN} --scale smoke failed: ${nocache_rc}")
+endif()
+
+execute_process(COMMAND ${BENCH_BIN} --scale smoke --jobs 2
+                        --cache-dir ${CACHE_DIR}
+                OUTPUT_VARIABLE populate_out
+                RESULT_VARIABLE populate_rc)
+if(NOT populate_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH_BIN} --scale smoke --cache-dir (populate) failed: "
+          "${populate_rc}")
+endif()
+
+file(GLOB corpus_files ${CACHE_DIR}/*/corpus.bin)
+if(corpus_files STREQUAL "")
+  message(FATAL_ERROR "populate run left no corpus.bin under ${CACHE_DIR}")
+endif()
+
+execute_process(COMMAND ${BENCH_BIN} --scale smoke --jobs 2
+                        --cache-dir ${CACHE_DIR}
+                OUTPUT_VARIABLE cached_out
+                RESULT_VARIABLE cached_rc)
+if(NOT cached_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH_BIN} --scale smoke --cache-dir (load) failed: ${cached_rc}")
+endif()
+
+if(NOT nocache_out STREQUAL populate_out)
+  message(FATAL_ERROR "cache-populating output differs from uncached:\n"
+                      "--- uncached ---\n${nocache_out}\n"
+                      "--- populate ---\n${populate_out}")
+endif()
+if(NOT nocache_out STREQUAL cached_out)
+  message(FATAL_ERROR "cache-loaded output differs from uncached:\n"
+                      "--- uncached ---\n${nocache_out}\n"
+                      "--- cached ---\n${cached_out}")
+endif()
+
+file(REMOVE_RECURSE ${CACHE_DIR})

@@ -14,11 +14,13 @@
 
 namespace fetch::eval {
 
+/// Per-binary comparison of one strategy's detected start set against
+/// ground truth (one "cell" of a matrix run).
 struct BinaryEval {
-  std::size_t true_count = 0;
-  std::size_t detected_count = 0;
-  std::set<std::uint64_t> false_positives;
-  std::set<std::uint64_t> false_negatives;
+  std::size_t true_count = 0;      ///< ground-truth function starts
+  std::size_t detected_count = 0;  ///< starts the strategy reported
+  std::set<std::uint64_t> false_positives;  ///< reported but not true
+  std::set<std::uint64_t> false_negatives;  ///< true but not reported
 
   [[nodiscard]] std::size_t fp() const { return false_positives.size(); }
   [[nodiscard]] std::size_t fn() const { return false_negatives.size(); }
@@ -44,15 +46,17 @@ enum class MissKind : std::uint8_t {
                                      const synth::GroundTruth& truth);
 [[nodiscard]] const char* miss_kind_name(MissKind kind);
 
-/// Corpus-level aggregation.
+/// Corpus-level aggregation: the numbers every paper table/figure is
+/// built from. "Full coverage"/"full accuracy" count *binaries* (the
+/// paper's per-binary success metric), the totals count *functions*.
 struct Aggregate {
-  std::size_t binaries = 0;
-  std::size_t true_total = 0;
-  std::size_t detected_total = 0;
-  std::size_t fp_total = 0;
-  std::size_t fn_total = 0;
-  std::size_t full_coverage = 0;
-  std::size_t full_accuracy = 0;
+  std::size_t binaries = 0;        ///< corpus entries folded in
+  std::size_t true_total = 0;      ///< Σ ground-truth starts
+  std::size_t detected_total = 0;  ///< Σ reported starts
+  std::size_t fp_total = 0;        ///< Σ false positives
+  std::size_t fn_total = 0;        ///< Σ false negatives
+  std::size_t full_coverage = 0;   ///< binaries with zero FNs
+  std::size_t full_accuracy = 0;   ///< binaries with zero FPs
 
   void add(const BinaryEval& e) {
     ++binaries;

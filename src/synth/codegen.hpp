@@ -12,6 +12,14 @@
 
 namespace fetch::synth {
 
+/// Version of the generated-binary format. Every corpus spec hash folds
+/// this in, so on-disk corpus caches (synth::CorpusStore) invalidate
+/// automatically when generation output changes. Bump it on ANY codegen
+/// or layout change that can alter the emitted bytes or ground truth for
+/// an unchanged ProgramSpec; spec-level changes (new axes, new fields)
+/// are hashed directly and need no bump.
+inline constexpr std::uint32_t kGeneratorVersion = 2;
+
 /// Section layout used by all generated binaries.
 struct Layout {
   std::uint64_t text = 0x401000;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <functional>
 
+#include "synth/codegen.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace fetch::synth {
@@ -15,20 +17,99 @@ using x86::Reg;
 constexpr Reg kCalleeSaved[] = {Reg::kRbx, Reg::kR12, Reg::kR13, Reg::kR14,
                                 Reg::kR15};
 
-std::uint64_t project_seed(const std::string& project,
-                           const std::string& compiler,
-                           const std::string& opt) {
-  // FNV-1a over the identifying triple; stable across platforms.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const std::string* s : {&project, &compiler, &opt}) {
-    for (const char c : *s) {
-      h ^= static_cast<std::uint8_t>(c);
-      h *= 0x100000001b3ULL;
-    }
-    h ^= '|';
-    h *= 0x100000001b3ULL;
+/// Hash of the spec axes that determine entry *identity* (and therefore
+/// per-entry RNG seeds). Deliberately excludes `limit`: a truncated corpus
+/// (smoke) is a byte-identical prefix of the untruncated one.
+std::uint64_t axes_hash(const CorpusSpec& spec) {
+  util::Fnv1a h;
+  h.value(kGeneratorVersion);
+  h.value(spec.kind);
+  h.value(spec.compilers.size());
+  for (const std::string& c : spec.compilers) {
+    h.str(c);
   }
-  return h;
+  h.value(spec.opts.size());
+  for (const std::string& o : spec.opts) {
+    h.str(o);
+  }
+  h.value(spec.variants);
+  return h.digest();
+}
+
+/// Independent per-entry RNG stream: chain the axes hash with the entry's
+/// own coordinates. No two entries of a corpus share a seed, and a given
+/// entry's seed does not depend on how many other entries exist or on how
+/// generation is sharded.
+std::uint64_t entry_seed(std::uint64_t axes, const std::string& project,
+                         const std::string& compiler, const std::string& opt,
+                         int variant) {
+  util::Fnv1a h(axes);
+  h.str(project);
+  h.str(compiler);
+  h.str(opt);
+  h.value(variant);
+  return h.digest();
+}
+
+template <typename T>
+void hash_optional(util::Fnv1a& h, const std::optional<T>& v) {
+  h.value(v.has_value());
+  if (v.has_value()) {
+    h.value(*v);
+  }
+}
+
+void hash_function(util::Fnv1a& h, const FunctionSpec& fn) {
+  h.str(fn.name);
+  h.value(fn.role);
+  h.value(fn.has_fde);
+  h.value(fn.frame_pointer);
+  h.value(fn.cold_part);
+  h.value(fn.blocks);
+  h.value(fn.saves.size());
+  for (const Reg r : fn.saves) {
+    h.value(r);
+  }
+  h.value(fn.frame_size);
+  h.value(fn.callees.size());
+  for (const std::size_t c : fn.callees) {
+    h.value(c);
+  }
+  h.value(fn.indirect_callees.size());
+  for (const std::size_t c : fn.indirect_callees) {
+    h.value(c);
+  }
+  hash_optional(h, fn.tail_callee);
+  h.value(fn.jump_table_cases);
+  hash_optional(h, fn.noreturn_callee);
+  hash_optional(h, fn.error_callee);
+  h.value(fn.error_arg_zero);
+  hash_optional(h, fn.stdcall_callee);
+  h.value(fn.long_backward_jump);
+  hash_optional(h, fn.thunk_mid_target);
+  h.value(fn.nop_entry);
+  h.value(fn.via_rel_table);
+}
+
+void hash_program(util::Fnv1a& h, const ProgramSpec& spec) {
+  h.str(spec.name);
+  h.str(spec.compiler);
+  h.str(spec.opt);
+  h.value(spec.seed);
+  h.value(spec.functions.size());
+  for (const FunctionSpec& fn : spec.functions) {
+    hash_function(h, fn);
+  }
+  h.value(spec.blobs.size());
+  for (const DataBlobSpec& blob : spec.blobs) {
+    h.value(blob.after_function);
+    h.value(blob.size);
+    h.value(blob.seed);
+  }
+  h.value(spec.cxx);
+  h.value(spec.stripped);
+  h.value(spec.int3_padding);
+  h.value(spec.alignment);
 }
 
 }  // namespace
@@ -37,7 +118,30 @@ Profile profile_for(const std::string& compiler, const std::string& opt) {
   Profile p;
   p.compiler = compiler;
   p.opt = opt;
-  if (opt == "O2") {
+  if (opt == "O0") {
+    // No optimization: no hot/cold splitting, no sibling-call (tail)
+    // optimization, frame pointers everywhere — CFI switches the CFA to
+    // rbp in nearly every function, the paper's incomplete-height class.
+    p.cold_prob = 0.0;
+    p.frame_ptr_prob = 0.92;
+    p.tail_prob = 0.0;
+    p.tail_only_pair_rate = 0.0;
+    p.jump_table_prob = 0.06;
+    p.nop_entry_prob = 0.0;
+    p.loop_prob = 0.30;
+    p.min_funcs = 45;
+    p.max_funcs = 95;
+  } else if (opt == "O1") {
+    // Light optimization: most frame pointers gone, a little splitting.
+    p.cold_prob = 0.02;
+    p.frame_ptr_prob = 0.35;
+    p.tail_prob = 0.03;
+    p.tail_only_pair_rate = 0.001;
+    p.jump_table_prob = 0.07;
+    p.nop_entry_prob = 0.01;
+    p.min_funcs = 45;
+    p.max_funcs = 92;
+  } else if (opt == "O2") {
     p.cold_prob = 0.06;
     p.tail_prob = 0.08;
     p.min_funcs = 45;
@@ -66,12 +170,18 @@ Profile profile_for(const std::string& compiler, const std::string& opt) {
   } else {
     throw ContractError("unknown optimization level: " + opt);
   }
-  if (compiler == "llvm") {
+  if (compiler == "gcc") {
+    // GCC idiom: 32-byte function alignment at the aggressive levels
+    // (-falign-functions=32 territory).
+    if (opt == "O3" || opt == "Ofast") {
+      p.alignment = 32;
+    }
+  } else if (compiler == "llvm") {
     // LLVM splits less aggressively and pads with int3 less often.
     p.cold_prob *= 0.8;
     p.frame_ptr_prob *= 0.9;
     p.int3_padding = true;
-  } else if (compiler != "gcc") {
+  } else {
     throw ContractError("unknown compiler: " + compiler);
   }
   return p;
@@ -105,6 +215,27 @@ const std::vector<ProjectDef>& projects() {
   return kProjects;
 }
 
+const std::vector<ProjectDef>& extended_projects() {
+  // Full-scale-only templates. These exercise the per-project
+  // function-count/size distribution axis: explicit min/max function
+  // counts and body-block scale factors instead of the profile defaults.
+  static const std::vector<ProjectDef> kExtended = {
+      {"sqlite", "Library", "C", 1.2, 0.0, 60, 130, 1.3},
+      {"redis", "Server", "C", 1.0, 0.1, 50, 110, 1.1},
+      {"ffmpeg", "Client", "C", 1.6, 1.5, 70, 150, 1.2},
+      {"curl", "Client", "C", 0.8, 0.0, 40, 90, 1.0},
+      {"postgres", "Server", "C", 1.5, 0.2, 60, 140, 1.2},
+      {"vim", "Client", "C", 1.1, 0.0, 50, 120, 1.0},
+      {"tmux", "Client", "C", 0.7, 0.0, 35, 80, 0.9},
+      {"cpython", "Client", "C", 1.3, 0.3, 55, 125, 1.1},
+      {"perl", "Client", "C", 1.1, 0.2, 50, 115, 1.0},
+      {"node", "Client", "C++", 1.6, 0.4, 70, 150, 1.3},
+      {"clang", "Client", "C++", 1.7, 0.3, 75, 160, 1.4},
+      {"libstdcxx", "Library", "C++", 0.9, 0.6, 40, 100, 0.8},
+  };
+  return kExtended;
+}
+
 ProgramSpec make_program(const ProjectDef& project, const Profile& profile,
                          std::uint64_t seed) {
   Rng rng(seed);
@@ -114,12 +245,25 @@ ProgramSpec make_program(const ProjectDef& project, const Profile& profile,
   spec.opt = profile.opt;
   spec.seed = seed;
   spec.int3_padding = profile.int3_padding;
+  spec.alignment = profile.alignment;
   spec.cxx = project.lang.find('+') != std::string::npos;
 
+  // Function-count distribution: the project's own bounds when it defines
+  // them, else the profile's, always scaled by the project size factor.
+  const int min_funcs =
+      project.min_funcs > 0 ? project.min_funcs : profile.min_funcs;
+  const int max_funcs = std::max(
+      min_funcs, project.max_funcs > 0 ? project.max_funcs : profile.max_funcs);
   const int base = static_cast<int>(
-      rng.range(static_cast<std::uint64_t>(profile.min_funcs),
-                static_cast<std::uint64_t>(profile.max_funcs)));
+      rng.range(static_cast<std::uint64_t>(min_funcs),
+                static_cast<std::uint64_t>(max_funcs)));
   const int n = std::max(12, static_cast<int>(base * project.size_factor));
+
+  // Per-function body-size distribution, scaled per project.
+  auto draw_blocks = [&rng, &project] {
+    return std::max(1, static_cast<int>(static_cast<double>(rng.range(1, 5)) *
+                                        project.block_factor));
+  };
 
   spec.functions.resize(static_cast<std::size_t>(n));
 
@@ -144,7 +288,7 @@ ProgramSpec make_program(const ProjectDef& project, const Profile& profile,
   for (std::size_t i = 4; i < spec.functions.size(); ++i) {
     FunctionSpec& fn = spec.functions[i];
     fn.name = "fn_" + std::to_string(i);
-    fn.blocks = static_cast<int>(rng.range(1, 5));
+    fn.blocks = draw_blocks();
     const int save_count = static_cast<int>(rng.below(4));
     for (int s = 0; s < save_count; ++s) {
       const Reg r = kCalleeSaved[rng.below(std::size(kCalleeSaved))];
@@ -348,23 +492,159 @@ ProgramSpec make_program(const ProjectDef& project, const Profile& profile,
   return spec;
 }
 
-std::vector<ProgramSpec> make_corpus() {
+const char* scale_name(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kDefault:
+      return "default";
+    case Scale::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+std::optional<Scale> parse_scale(std::string_view text) {
+  if (text == "smoke") {
+    return Scale::kSmoke;
+  }
+  if (text == "default") {
+    return Scale::kDefault;
+  }
+  if (text == "full") {
+    return Scale::kFull;
+  }
+  return std::nullopt;
+}
+
+CorpusSpec CorpusSpec::self_built(Scale scale) {
+  CorpusSpec spec;
+  spec.kind = Kind::kSelfBuilt;
+  spec.scale = scale;
+  spec.compilers = {"gcc", "llvm"};
+  switch (scale) {
+    case Scale::kSmoke:
+      spec.opts = {"O2", "O3", "Os", "Ofast"};
+      spec.limit = 8;  // first project × both compilers × all opt levels
+      break;
+    case Scale::kDefault:
+      spec.opts = {"O2", "O3", "Os", "Ofast"};
+      break;
+    case Scale::kFull:
+      // Paper-scale population: widen the opt-level axis to the whole
+      // -O{0,1,2,3,s,fast} ladder, add the extended project templates,
+      // and generate four seed variants per cell:
+      // 34 × 2 × 6 × 4 = 1,632 ≥ 1,352.
+      spec.opts = {"O0", "O1", "O2", "O3", "Os", "Ofast"};
+      spec.variants = 4;
+      break;
+  }
+  return spec;
+}
+
+CorpusSpec CorpusSpec::wild(Scale scale) {
+  CorpusSpec spec;
+  spec.kind = Kind::kWild;
+  spec.scale = scale;
+  // The wild suite is a fixed inventory (Table I lists specific programs);
+  // scale only controls smoke truncation. The axes below record the
+  // profile the suite is generated with.
+  spec.compilers = {"gcc"};
+  spec.opts = {"O2"};
+  if (scale == Scale::kSmoke) {
+    spec.limit = 8;
+  }
+  return spec;
+}
+
+std::uint64_t CorpusSpec::hash() const { return hash(expand()); }
+
+std::uint64_t CorpusSpec::hash(
+    const std::vector<ProgramSpec>& expanded) const {
+  // Content address: generator version + every axis + every field of every
+  // expanded ProgramSpec. Hashing the expansion (not just the axes) means
+  // any change in make_program/profiles/project tables changes the hash
+  // even without a kGeneratorVersion bump. `scale` itself is deliberately
+  // NOT hashed: its entire effect is already in the hashed axes and
+  // expansion, so content-identical corpora (e.g. the fixed wild suite at
+  // default vs full scale) share one cache entry.
+  util::Fnv1a h;
+  h.value(kGeneratorVersion);
+  h.value(kind);
+  h.value(variants);
+  h.value(limit);
+  h.value(compilers.size());
+  for (const std::string& c : compilers) {
+    h.str(c);
+  }
+  h.value(opts.size());
+  for (const std::string& o : opts) {
+    h.str(o);
+  }
+  h.value(expanded.size());
+  for (const ProgramSpec& spec : expanded) {
+    hash_program(h, spec);
+  }
+  return h.digest();
+}
+
+std::vector<ProgramSpec> CorpusSpec::expand() const {
   std::vector<ProgramSpec> out;
-  for (const ProjectDef& project : projects()) {
-    for (const std::string compiler : {"gcc", "llvm"}) {
-      for (const std::string opt : {"O2", "O3", "Os", "Ofast"}) {
-        const Profile profile = profile_for(compiler, opt);
-        ProgramSpec spec = make_program(
-            project, profile, project_seed(project.name, compiler, opt));
-        // The evaluation corpus is stripped: detectors see no symbols;
-        // ground truth comes from the generator (the paper's
-        // compiler-intercept equivalent).
-        spec.stripped = true;
-        out.push_back(std::move(spec));
+  const std::uint64_t axes = axes_hash(*this);
+  const auto at_limit = [this, &out] {
+    return limit != 0 && out.size() >= limit;
+  };
+  if (kind == Kind::kSelfBuilt) {
+    std::vector<ProjectDef> defs = projects();
+    if (scale == Scale::kFull) {
+      const std::vector<ProjectDef>& extra = extended_projects();
+      defs.insert(defs.end(), extra.begin(), extra.end());
+    }
+    for (const ProjectDef& project : defs) {
+      for (const std::string& compiler : compilers) {
+        for (const std::string& opt : opts) {
+          const Profile profile = profile_for(compiler, opt);
+          for (int v = 0; v < variants; ++v) {
+            ProgramSpec spec = make_program(
+                project, profile,
+                entry_seed(axes, project.name, compiler, opt, v));
+            if (v > 0) {
+              spec.name += "-v" + std::to_string(v);
+            }
+            // The evaluation corpus is stripped: detectors see no symbols;
+            // ground truth comes from the generator (the paper's
+            // compiler-intercept equivalent).
+            spec.stripped = true;
+            out.push_back(std::move(spec));
+            if (at_limit()) {
+              return out;
+            }
+          }
+        }
+      }
+    }
+  } else {
+    for (const WildDef& def : wild_defs()) {
+      Profile profile = profile_for("gcc", "O2");
+      profile.min_funcs = 60;
+      profile.max_funcs = 140;
+      ProjectDef project{def.name, "Wild", def.lang, 1.0,
+                         def.lang == "C" ? 0.4 : 0.1};
+      ProgramSpec spec = make_program(
+          project, profile, entry_seed(axes, def.name, "wild", def.lang, 0));
+      spec.name = def.name;
+      spec.stripped = !def.has_symbols;
+      out.push_back(std::move(spec));
+      if (at_limit()) {
+        return out;
       }
     }
   }
   return out;
+}
+
+std::vector<ProgramSpec> make_corpus() {
+  return CorpusSpec::self_built(Scale::kDefault).expand();
 }
 
 const std::vector<WildDef>& wild_defs() {
@@ -384,20 +664,7 @@ const std::vector<WildDef>& wild_defs() {
 }
 
 std::vector<ProgramSpec> make_wild_suite() {
-  std::vector<ProgramSpec> out;
-  for (const WildDef& def : wild_defs()) {
-    Profile profile = profile_for("gcc", "O2");
-    profile.min_funcs = 60;
-    profile.max_funcs = 140;
-    ProjectDef project{def.name, "Wild", def.lang, 1.0,
-                       def.lang == "C" ? 0.4 : 0.1};
-    ProgramSpec spec = make_program(
-        project, profile, project_seed(def.name, "wild", def.lang));
-    spec.name = def.name;
-    spec.stripped = !def.has_symbols;
-    out.push_back(std::move(spec));
-  }
-  return out;
+  return CorpusSpec::wild(Scale::kDefault).expand();
 }
 
 }  // namespace fetch::synth

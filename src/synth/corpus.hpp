@@ -1,19 +1,33 @@
 #pragma once
 
 /// \file corpus.hpp
-/// Corpus definitions mirroring the paper's datasets:
-///  * make_corpus() — the "self-built" set (Table II): one binary per
-///    project × compiler {gcc, llvm} × optimization {O2, O3, Os, Ofast},
-///    with per-project size/assembly characteristics and per-opt-level
-///    rates for the constructs the experiments measure (cold splitting,
-///    tail calls, frame pointers, ...).
+/// Corpus definitions mirroring the paper's datasets, and the CorpusSpec
+/// model that scales them to the paper-size population:
+///
+///  * make_corpus() — the "self-built" set (Table II) at default scale:
+///    one binary per project × compiler {gcc, llvm} × optimization
+///    {O2, O3, Os, Ofast}, with per-project size/assembly characteristics
+///    and per-opt-level rates for the constructs the experiments measure
+///    (cold splitting, tail calls, frame pointers, ...).
 ///  * make_wild_suite() — the "wild" set (Table I): assorted C/C++
 ///    programs, some stripped of symbols.
+///  * CorpusSpec — a declarative description of a whole corpus (kind ×
+///    scale × compiler set × opt set × seed variants × entry limit).
+///    `Scale::kFull` widens every axis (extra project templates, -O0/-O1
+///    profiles, multiple seed variants per cell) until the expansion
+///    reaches the paper's 1,352-binary population. The spec's hash() is
+///    the content address used by synth::CorpusStore.
 ///
-/// Everything is deterministic: the spec for (project, compiler, opt) is a
-/// pure function of its fixed seed.
+/// Everything is deterministic: each expanded ProgramSpec carries a seed
+/// derived (FNV-1a) from the spec's identity axes and the entry's own
+/// (project, compiler, opt, variant) coordinates, so every entry owns an
+/// independent RNG stream and the corpus is byte-identical no matter how
+/// generation is sharded across threads.
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "synth/spec.hpp"
@@ -42,30 +56,94 @@ struct Profile {
   double nop_entry_prob = 0.03;   ///< P(patchable nop-sled entry)
   int min_funcs = 40;
   int max_funcs = 90;
-  bool int3_padding = false;
+  bool int3_padding = false;      ///< compiler idiom: int3 vs nop padding
+  std::uint32_t alignment = 16;   ///< compiler idiom: function start alignment
 };
 
-/// Profile for a compiler/opt combination (paper's O2/O3/Os/Ofast × GCC/LLVM).
+/// Profile for a compiler/opt combination. Supports the paper's
+/// O2/O3/Os/Ofast plus the full-scale O0/O1 ladder extension, × GCC/LLVM.
 [[nodiscard]] Profile profile_for(const std::string& compiler,
                                   const std::string& opt);
 
-/// One project row of Table II.
+/// One project row of Table II. The trailing fields give each project its
+/// own function-count/size distribution; zero-valued fields fall back to
+/// the profile's defaults.
 struct ProjectDef {
   std::string name;
   std::string type;     ///< Utilities / Client / Server / Library / Benchmark
   std::string lang;     ///< C or C++
   double size_factor;   ///< multiplies function counts
   double asm_factor;    ///< multiplies asm_prob (0 = no hand-written asm)
+  int min_funcs = 0;    ///< overrides Profile::min_funcs when nonzero
+  int max_funcs = 0;    ///< overrides Profile::max_funcs when nonzero
+  double block_factor = 1.0;  ///< scales per-function body-block counts
 };
 
+/// The paper's 22 Table II projects (the default-scale corpus rows).
 [[nodiscard]] const std::vector<ProjectDef>& projects();
+
+/// Additional project templates used only by Scale::kFull, with their own
+/// function-count/size distributions.
+[[nodiscard]] const std::vector<ProjectDef>& extended_projects();
 
 /// Deterministically builds the ProgramSpec for one corpus binary.
 [[nodiscard]] ProgramSpec make_program(const ProjectDef& project,
                                        const Profile& profile,
                                        std::uint64_t seed);
 
-/// The full self-built corpus: projects() × {gcc,llvm} × {O2,O3,Os,Ofast}.
+/// Corpus population size. Axis widths per scale:
+///
+///   kSmoke    first 8 entries of the default corpus (ctest smoke runs)
+///   kDefault  22 projects × {gcc,llvm} × {O2,O3,Os,Ofast}       =   176
+///   kFull     34 projects × {gcc,llvm} × {O0..O3,Os,Ofast} × 4  = 1,632
+///
+/// kFull is the paper-scale population (≥ 1,352 binaries).
+enum class Scale : std::uint8_t { kSmoke, kDefault, kFull };
+
+[[nodiscard]] const char* scale_name(Scale scale);
+
+/// Parses a `--scale` knob value ("smoke" / "default" / "full").
+[[nodiscard]] std::optional<Scale> parse_scale(std::string_view text);
+
+/// Declarative description of a whole corpus. A CorpusSpec fully
+/// determines the generated population: expand() yields one ProgramSpec
+/// per entry and hash() is a content address over everything that can
+/// influence the generated bytes (kGeneratorVersion, every axis, every
+/// field of every expanded ProgramSpec) — any change to any axis yields a
+/// new hash, which is what keys the on-disk CorpusStore.
+struct CorpusSpec {
+  enum class Kind : std::uint8_t { kSelfBuilt, kWild };
+
+  Kind kind = Kind::kSelfBuilt;
+  Scale scale = Scale::kDefault;
+  std::vector<std::string> compilers;
+  std::vector<std::string> opts;
+  int variants = 1;       ///< seed-distinct binaries per (project, compiler, opt)
+  std::size_t limit = 0;  ///< truncates the expansion (0 = everything)
+
+  /// The Table II population at the given scale (entries are stripped).
+  [[nodiscard]] static CorpusSpec self_built(Scale scale);
+  /// The Table I wild suite (fixed shape; kSmoke truncates to 8 entries).
+  [[nodiscard]] static CorpusSpec wild(Scale scale);
+
+  /// Content address of the corpus this spec expands to; the CorpusStore
+  /// cache key. Folds in synth::kGeneratorVersion, so codegen changes
+  /// invalidate cached corpora.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// Same, over an expansion the caller already computed. \p expanded
+  /// must be this spec's own expand() result (callers that need both the
+  /// hash and the programs use this to expand only once).
+  [[nodiscard]] std::uint64_t hash(
+      const std::vector<ProgramSpec>& expanded) const;
+
+  /// Expands the axes into one ProgramSpec per corpus entry. Pure: same
+  /// spec, same result; each entry's seed is independent of every other's.
+  [[nodiscard]] std::vector<ProgramSpec> expand() const;
+};
+
+/// The default-scale self-built corpus:
+/// projects() × {gcc,llvm} × {O2,O3,Os,Ofast}.
 [[nodiscard]] std::vector<ProgramSpec> make_corpus();
 
 /// One wild binary description (Table I).

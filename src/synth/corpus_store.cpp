@@ -1,0 +1,184 @@
+#include "synth/corpus_store.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/byte_cursor.hpp"
+#include "util/byte_writer.hpp"
+#include "util/hash.hpp"
+#include "util/serial.hpp"
+
+namespace fetch::synth {
+
+namespace {
+
+// "FCHC" little-endian: fetch corpus cache.
+constexpr std::uint32_t kMagic = 0x43484346;
+
+// Header: magic u32, format version u32, spec hash u64, entry count u64.
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 8;
+
+void put_truth(ByteWriter& out, const GroundTruth& truth) {
+  util::put_u64_set(out, truth.starts);
+  util::put_u64_map(out, truth.cold_parts);
+  util::put_u64_set(out, truth.fde_covered);
+  util::put_u64_set(out, truth.asm_functions);
+  util::put_u64_set(out, truth.tail_only_single);
+  util::put_u64_set(out, truth.indirect_only);
+  util::put_u64_set(out, truth.unreachable);
+  util::put_u64_set(out, truth.noreturn);
+  util::put_u64_set(out, truth.error_like);
+  util::put_u64_set(out, truth.incomplete_cfi_cold_parts);
+  util::put_u64_map(out, truth.hot_ranges);
+  util::put_named_map(out, truth.named);
+}
+
+GroundTruth get_truth(ByteCursor& in) {
+  GroundTruth truth;
+  truth.starts = util::get_u64_set(in);
+  truth.cold_parts = util::get_u64_map(in);
+  truth.fde_covered = util::get_u64_set(in);
+  truth.asm_functions = util::get_u64_set(in);
+  truth.tail_only_single = util::get_u64_set(in);
+  truth.indirect_only = util::get_u64_set(in);
+  truth.unreachable = util::get_u64_set(in);
+  truth.noreturn = util::get_u64_set(in);
+  truth.error_like = util::get_u64_set(in);
+  truth.incomplete_cfi_cold_parts = util::get_u64_set(in);
+  truth.hot_ranges = util::get_u64_map(in);
+  truth.named = util::get_named_map(in);
+  return truth;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_corpus(
+    std::uint64_t spec_hash, const std::vector<SynthBinary>& entries) {
+  ByteWriter out;
+  out.u32(kMagic);
+  out.u32(CorpusStore::kFormatVersion);
+  out.u64(spec_hash);
+  out.u64(entries.size());
+  for (const SynthBinary& bin : entries) {
+    util::put_string(out, bin.name);
+    util::put_string(out, bin.compiler);
+    util::put_string(out, bin.opt);
+    util::put_blob(out, bin.image);
+    put_truth(out, bin.truth);
+  }
+  // Trailing checksum over everything so far — header included, so a
+  // corrupted entry count can never survive to drive an allocation.
+  util::Fnv1a checksum;
+  checksum.bytes(out.data());
+  out.u64(checksum.digest());
+  return out.take();
+}
+
+std::optional<std::vector<SynthBinary>> decode_corpus(
+    std::uint64_t spec_hash, std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize + 8) {
+    return std::nullopt;
+  }
+  try {
+    // Verify the checksum before trusting any field — in particular
+    // before the entry count below sizes a reserve.
+    util::Fnv1a checksum;
+    checksum.bytes(bytes.first(bytes.size() - 8));
+    ByteCursor tail(bytes);
+    tail.seek(bytes.size() - 8);
+    if (tail.u64() != checksum.digest()) {
+      return std::nullopt;
+    }
+
+    ByteCursor in(bytes);
+    if (in.u32() != kMagic || in.u32() != CorpusStore::kFormatVersion ||
+        in.u64() != spec_hash) {
+      return std::nullopt;
+    }
+    const std::size_t count = util::checked_count(in, 1);
+
+    std::vector<SynthBinary> entries;
+    entries.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      SynthBinary bin;
+      bin.name = util::get_string(in);
+      bin.compiler = util::get_string(in);
+      bin.opt = util::get_string(in);
+      bin.image = util::get_blob(in);
+      bin.truth = get_truth(in);
+      entries.push_back(std::move(bin));
+    }
+    if (in.offset() != bytes.size() - 8) {
+      return std::nullopt;  // trailing garbage between entries and checksum
+    }
+    return entries;
+  } catch (const ParseError&) {
+    return std::nullopt;  // truncated/corrupted container → cache miss
+  }
+}
+
+std::filesystem::path CorpusStore::corpus_path(std::uint64_t spec_hash) const {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(spec_hash));
+  return root_ / hex / "corpus.bin";
+}
+
+std::optional<std::vector<SynthBinary>> CorpusStore::load(
+    std::uint64_t spec_hash) const {
+  const std::filesystem::path path = corpus_path(spec_hash);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return std::nullopt;
+  }
+  // One sized read: the full-scale corpus file is tens of MB and this is
+  // the hot cache-hit path.
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in.good()) {
+    return std::nullopt;
+  }
+  return decode_corpus(spec_hash, bytes);
+}
+
+bool CorpusStore::save(std::uint64_t spec_hash,
+                       const std::vector<SynthBinary>& entries) const {
+  namespace fs = std::filesystem;
+  const fs::path path = corpus_path(spec_hash);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) {
+    return false;
+  }
+  const std::vector<std::uint8_t> bytes = encode_corpus(spec_hash, entries);
+  // Write-then-rename so a concurrent reader (another bench run) either
+  // sees the complete file or none at all; the pid suffix keeps two
+  // concurrent writers of the same spec from sharing a temp file.
+  const fs::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fetch::synth

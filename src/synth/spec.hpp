@@ -166,14 +166,21 @@ struct GroundTruth {
   std::map<std::uint64_t, std::uint64_t> hot_ranges;
   /// name -> address, for diagnostics and tests.
   std::map<std::string, std::uint64_t> named;
+
+  friend bool operator==(const GroundTruth&, const GroundTruth&) = default;
 };
 
+/// One generated corpus entry: the ELF image plus its exact ground truth.
+/// This is the unit the on-disk corpus cache (synth::CorpusStore)
+/// round-trips; equality is field-wise and byte-exact.
 struct SynthBinary {
   std::string name;
-  std::string compiler;
-  std::string opt;
-  std::vector<std::uint8_t> image;
+  std::string compiler;  ///< profile tag ("gcc" / "llvm")
+  std::string opt;       ///< profile tag ("O0".."Ofast")
+  std::vector<std::uint8_t> image;  ///< complete ELF64 file bytes
   GroundTruth truth;
+
+  friend bool operator==(const SynthBinary&, const SynthBinary&) = default;
 };
 
 }  // namespace fetch::synth

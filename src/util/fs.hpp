@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file fs.hpp
+/// Cache-directory resolution and validation shared by every binary that
+/// exposes `--cache-dir` / the FETCH_CACHE_DIR environment variable
+/// (benches and fetch-cli). This is the same pattern as util::parse_jobs:
+/// one shared validator, so the front ends cannot drift apart in what
+/// they accept — and a bad value fails up front with a clear message
+/// instead of mid-run inside the corpus store.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fetch::util {
+
+/// The default corpus-cache directory: FETCH_CACHE_DIR when set and
+/// non-empty, else "" (caching disabled — no surprise writes).
+inline std::string default_cache_dir() {
+  const char* env = std::getenv("FETCH_CACHE_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+/// Validates and prepares \p dir for use as a corpus cache root:
+/// missing directories are created (like `mkdir -p`); an existing
+/// non-directory path, an uncreatable path, and an unwritable directory
+/// are all rejected. Returns true and normalizes *dir on success; returns
+/// false and fills *error with a human-readable reason on failure.
+inline bool prepare_cache_dir(std::string* dir, std::string* error) {
+  namespace fs = std::filesystem;
+  if (dir->empty()) {
+    *error = "cache directory path is empty";
+    return false;
+  }
+  const fs::path path(*dir);
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    if (!fs::is_directory(path, ec)) {
+      *error = "not a directory: " + path.string();
+      return false;
+    }
+  } else {
+    fs::create_directories(path, ec);
+    if (ec) {
+      *error = "cannot create directory " + path.string() + ": " + ec.message();
+      return false;
+    }
+  }
+  // Probe writability by creating (and removing) a marker file; permission
+  // bits alone miss read-only mounts and ACLs.
+  const fs::path probe = path / ".fetch-cache-probe";
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    out << "probe";
+    if (!out) {
+      *error = "directory is not writable: " + path.string();
+      return false;
+    }
+  }
+  fs::remove(probe, ec);
+  *dir = path.lexically_normal().string();
+  return true;
+}
+
+}  // namespace fetch::util

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file hash.hpp
+/// Streaming FNV-1a (64-bit) hasher shared by everything in fetch that
+/// needs a stable content fingerprint: corpus spec hashes (the cache key
+/// of synth::CorpusStore), per-entry RNG seeds, and the corpus-file
+/// payload checksum. The hash is a pure function of the fed bytes, so
+/// fingerprints agree across platforms and runs.
+///
+/// Multi-byte values are fed in a fixed little-endian canonical form and
+/// variable-length values (strings, spans) are length-prefixed, so
+/// adjacent fields can never alias each other ("ab"+"c" != "a"+"bc").
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <type_traits>
+
+namespace fetch::util {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  /// Starts from the standard offset basis, or chains from a previous
+  /// digest (used to derive per-entry seeds from a corpus-level hash).
+  explicit Fnv1a(std::uint64_t basis = kOffsetBasis) : h_(basis) {}
+
+  void byte(std::uint8_t b) { h_ = (h_ ^ b) * kPrime; }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    for (const std::uint8_t b : data) {
+      byte(b);
+    }
+  }
+
+  /// Any integral (or enum) value, canonicalized to 8 little-endian bytes.
+  template <typename T>
+  void value(T v) {
+    static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+    auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<std::uint8_t>(u >> (8 * i)));
+    }
+  }
+
+  /// IEEE-754 bit pattern; all corpus probabilities flow through here.
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    value(bits);
+  }
+
+  /// Length-prefixed string contents.
+  void str(std::string_view s) {
+    value(s.size());
+    for (const char c : s) {
+      byte(static_cast<std::uint8_t>(c));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_;
+};
+
+/// One-shot convenience: fnv1a("name", 3u, Role::kLeaf) — each argument is
+/// dispatched to str()/value() by type.
+template <typename... Args>
+[[nodiscard]] std::uint64_t fnv1a(const Args&... args) {
+  Fnv1a h;
+  (
+      [&] {
+        if constexpr (std::is_convertible_v<Args, std::string_view>) {
+          h.str(args);
+        } else {
+          h.value(args);
+        }
+      }(),
+      ...);
+  return h.digest();
+}
+
+}  // namespace fetch::util

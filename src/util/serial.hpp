@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file serial.hpp
+/// Serialization helpers for the on-disk corpus cache: containers of the
+/// shapes used by synth::GroundTruth (u64 sets, u64→u64 maps, name→u64
+/// maps) on top of ByteWriter/ByteCursor. Readers follow the repo error
+/// policy (DESIGN.md): every count is validated against the remaining
+/// bytes *before* any allocation proportional to it, so a corrupted cache
+/// file raises ParseError instead of a bad_alloc — and the corpus store
+/// turns ParseError into "cache miss, regenerate".
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/byte_cursor.hpp"
+#include "util/byte_writer.hpp"
+#include "util/error.hpp"
+
+namespace fetch::util {
+
+/// Validates a deserialized element count: each element needs at least
+/// \p min_elem_bytes more input, so counts beyond remaining()/min are lies.
+inline std::size_t checked_count(ByteCursor& in, std::size_t min_elem_bytes) {
+  const std::uint64_t count = in.u64();
+  if (count > in.remaining() / min_elem_bytes) {
+    throw ParseError("serialized count " + std::to_string(count) +
+                     " exceeds remaining input");
+  }
+  return static_cast<std::size_t>(count);
+}
+
+inline void put_string(ByteWriter& out, const std::string& s) {
+  out.u64(s.size());
+  out.bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+inline std::string get_string(ByteCursor& in) {
+  const std::size_t n = checked_count(in, 1);
+  const auto view = in.bytes(n);
+  return {reinterpret_cast<const char*>(view.data()), view.size()};
+}
+
+inline void put_blob(ByteWriter& out, const std::vector<std::uint8_t>& v) {
+  out.u64(v.size());
+  out.bytes(v);
+}
+
+inline std::vector<std::uint8_t> get_blob(ByteCursor& in) {
+  const std::size_t n = checked_count(in, 1);
+  const auto view = in.bytes(n);
+  return {view.begin(), view.end()};
+}
+
+inline void put_u64_set(ByteWriter& out, const std::set<std::uint64_t>& s) {
+  out.u64(s.size());
+  for (const std::uint64_t v : s) {
+    out.u64(v);
+  }
+}
+
+inline std::set<std::uint64_t> get_u64_set(ByteCursor& in) {
+  const std::size_t n = checked_count(in, 8);
+  std::set<std::uint64_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.insert(in.u64());
+  }
+  return out;
+}
+
+inline void put_u64_map(ByteWriter& out,
+                        const std::map<std::uint64_t, std::uint64_t>& m) {
+  out.u64(m.size());
+  for (const auto& [k, v] : m) {
+    out.u64(k);
+    out.u64(v);
+  }
+}
+
+inline std::map<std::uint64_t, std::uint64_t> get_u64_map(ByteCursor& in) {
+  const std::size_t n = checked_count(in, 16);
+  std::map<std::uint64_t, std::uint64_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = in.u64();
+    out[k] = in.u64();
+  }
+  return out;
+}
+
+inline void put_named_map(ByteWriter& out,
+                          const std::map<std::string, std::uint64_t>& m) {
+  out.u64(m.size());
+  for (const auto& [k, v] : m) {
+    put_string(out, k);
+    out.u64(v);
+  }
+}
+
+inline std::map<std::string, std::uint64_t> get_named_map(ByteCursor& in) {
+  const std::size_t n = checked_count(in, 16);
+  std::map<std::string, std::uint64_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string k = get_string(in);
+    out[std::move(k)] = in.u64();
+  }
+  return out;
+}
+
+}  // namespace fetch::util

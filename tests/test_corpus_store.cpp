@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "eval/runner.hpp"
+#include "synth/codegen.hpp"
+#include "synth/corpus.hpp"
+#include "synth/corpus_store.hpp"
+#include "util/fs.hpp"
+#include "util/hash.hpp"
+
+namespace fetch {
+namespace {
+
+namespace fs = std::filesystem;
+using synth::CorpusSpec;
+using synth::CorpusStore;
+using synth::Scale;
+using synth::SynthBinary;
+
+/// Fresh per-test scratch directory (removed on destruction).
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("fetch-store-test-" + tag + "-" +
+               std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+std::vector<SynthBinary> generate_all(const CorpusSpec& spec) {
+  std::vector<SynthBinary> out;
+  for (const synth::ProgramSpec& program : spec.expand()) {
+    out.push_back(synth::generate(program));
+  }
+  return out;
+}
+
+// --- Spec scaling ----------------------------------------------------------
+
+TEST(CorpusSpec, FullScaleReachesPaperPopulation) {
+  const auto specs = CorpusSpec::self_built(Scale::kFull).expand();
+  EXPECT_GE(specs.size(), 1352u);  // the paper's self-built corpus size
+  std::set<std::string> names;
+  std::set<std::uint64_t> seeds;
+  std::set<std::string> opts;
+  for (const synth::ProgramSpec& spec : specs) {
+    names.insert(spec.name);
+    seeds.insert(spec.seed);
+    opts.insert(spec.opt);
+    EXPECT_TRUE(spec.stripped);
+  }
+  EXPECT_EQ(names.size(), specs.size()) << "entry names must be unique";
+  EXPECT_EQ(seeds.size(), specs.size())
+      << "every entry must own an independent RNG stream";
+  EXPECT_EQ(opts.size(), 6u);  // the full -O{0,1,2,3,s,fast} ladder
+}
+
+TEST(CorpusSpec, SmokeIsPrefixOfDefault) {
+  const auto smoke = CorpusSpec::self_built(Scale::kSmoke).expand();
+  const auto deflt = CorpusSpec::self_built(Scale::kDefault).expand();
+  ASSERT_EQ(smoke.size(), 8u);
+  ASSERT_GE(deflt.size(), smoke.size());
+  for (std::size_t i = 0; i < smoke.size(); ++i) {
+    EXPECT_EQ(smoke[i].name, deflt[i].name);
+    EXPECT_EQ(smoke[i].seed, deflt[i].seed);
+  }
+}
+
+TEST(CorpusSpec, DefaultScaleKeepsTableIiShape) {
+  const auto specs = CorpusSpec::self_built(Scale::kDefault).expand();
+  EXPECT_EQ(specs.size(), synth::projects().size() * 2 * 4);
+}
+
+TEST(CorpusSpec, HashIsSensitiveToEveryAxis) {
+  const CorpusSpec base = CorpusSpec::self_built(Scale::kDefault);
+  std::set<std::uint64_t> hashes;
+  hashes.insert(base.hash());
+
+  CorpusSpec more_variants = base;
+  more_variants.variants = 2;
+  hashes.insert(more_variants.hash());
+
+  CorpusSpec more_opts = base;
+  more_opts.opts.push_back("O0");
+  hashes.insert(more_opts.hash());
+
+  CorpusSpec fewer_compilers = base;
+  fewer_compilers.compilers = {"gcc"};
+  hashes.insert(fewer_compilers.hash());
+
+  CorpusSpec limited = base;
+  limited.limit = 5;
+  hashes.insert(limited.hash());
+
+  hashes.insert(CorpusSpec::self_built(Scale::kSmoke).hash());
+  hashes.insert(CorpusSpec::self_built(Scale::kFull).hash());
+  hashes.insert(CorpusSpec::wild(Scale::kDefault).hash());
+
+  EXPECT_EQ(hashes.size(), 8u) << "each axis change must change the hash";
+}
+
+TEST(CorpusSpec, HashIsStableAcrossCalls) {
+  const CorpusSpec spec = CorpusSpec::self_built(Scale::kSmoke);
+  EXPECT_EQ(spec.hash(), spec.hash());
+}
+
+TEST(CorpusSpec, ContentIdenticalCorporaShareOneHash) {
+  // The wild suite is a fixed inventory: default and full scale expand to
+  // the same binaries, so they must share a single cache entry.
+  EXPECT_EQ(CorpusSpec::wild(Scale::kDefault).hash(),
+            CorpusSpec::wild(Scale::kFull).hash());
+}
+
+// --- Store round trip ------------------------------------------------------
+
+TEST(CorpusStore, RoundTripIsByteIdentical) {
+  const TempDir dir("roundtrip");
+  const CorpusSpec spec = CorpusSpec::self_built(Scale::kSmoke);
+  const std::vector<SynthBinary> entries = generate_all(spec);
+  ASSERT_FALSE(entries.empty());
+
+  const CorpusStore store(dir.str());
+  ASSERT_TRUE(store.save(spec.hash(), entries));
+  const auto loaded = store.load(spec.hash());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], entries[i]) << "entry " << i;
+  }
+}
+
+TEST(CorpusStore, MissesOnEmptyStore) {
+  const TempDir dir("empty");
+  const CorpusStore store(dir.str());
+  EXPECT_FALSE(store.load(0x1234).has_value());
+}
+
+TEST(CorpusStore, MissesOnWrongSpecHash) {
+  const TempDir dir("wronghash");
+  const CorpusSpec spec = CorpusSpec::wild(Scale::kSmoke);
+  const std::vector<SynthBinary> entries = generate_all(spec);
+  const std::vector<std::uint8_t> bytes =
+      synth::encode_corpus(spec.hash(), entries);
+  EXPECT_TRUE(synth::decode_corpus(spec.hash(), bytes).has_value());
+  EXPECT_FALSE(synth::decode_corpus(spec.hash() ^ 1, bytes).has_value());
+}
+
+TEST(CorpusStore, VersionMismatchFallsBackToMiss) {
+  const CorpusSpec spec = CorpusSpec::wild(Scale::kSmoke);
+  const std::vector<SynthBinary> entries = generate_all(spec);
+  std::vector<std::uint8_t> bytes = synth::encode_corpus(spec.hash(), entries);
+  // Bump the container version at byte offset 4 (after the magic) and
+  // re-seal the checksum, exactly as a future format revision would —
+  // the version gate itself must reject the file.
+  bytes[4] = static_cast<std::uint8_t>(CorpusStore::kFormatVersion + 1);
+  util::Fnv1a checksum;
+  checksum.bytes(std::span(bytes).first(bytes.size() - 8));
+  const std::uint64_t digest = checksum.digest();
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + i] =
+        static_cast<std::uint8_t>(digest >> (8 * i));
+  }
+  EXPECT_FALSE(synth::decode_corpus(spec.hash(), bytes).has_value());
+}
+
+TEST(CorpusStore, TruncatedFileFallsBackToMiss) {
+  const CorpusSpec spec = CorpusSpec::wild(Scale::kSmoke);
+  const std::vector<SynthBinary> entries = generate_all(spec);
+  std::vector<std::uint8_t> bytes = synth::encode_corpus(spec.hash(), entries);
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() / 2, std::size_t{10}, std::size_t{0}}) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(synth::decode_corpus(spec.hash(), cut).has_value())
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(CorpusStore, BitCorruptionFallsBackToMiss) {
+  const CorpusSpec spec = CorpusSpec::wild(Scale::kSmoke);
+  const std::vector<SynthBinary> entries = generate_all(spec);
+  std::vector<std::uint8_t> bytes = synth::encode_corpus(spec.hash(), entries);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one bit mid-payload
+  EXPECT_FALSE(synth::decode_corpus(spec.hash(), bytes).has_value());
+}
+
+TEST(CorpusStore, CorruptFileOnDiskIsMissNotError) {
+  const TempDir dir("corrupt");
+  const CorpusStore store(dir.str());
+  const CorpusSpec spec = CorpusSpec::wild(Scale::kSmoke);
+  const std::vector<SynthBinary> entries = generate_all(spec);
+  ASSERT_TRUE(store.save(spec.hash(), entries));
+
+  // Truncate the stored file in place; load must degrade to a miss.
+  const fs::path path = store.corpus_path(spec.hash());
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size / 2);
+  EXPECT_FALSE(store.load(spec.hash()).has_value());
+}
+
+// --- Load-or-generate through eval::Corpus ---------------------------------
+
+TEST(CorpusCache, CachedShardedAndSerialAreByteIdentical) {
+  const TempDir dir("identity");
+  const eval::CorpusOptions serial{Scale::kSmoke, 1, ""};
+  const eval::CorpusOptions sharded{Scale::kSmoke, 4, ""};
+  const eval::CorpusOptions cached{Scale::kSmoke, 4, dir.str()};
+
+  const eval::Corpus a = eval::Corpus::self_built(serial);
+  const eval::Corpus b = eval::Corpus::self_built(sharded);
+  const eval::Corpus c = eval::Corpus::self_built(cached);  // generates+saves
+  const eval::Corpus d = eval::Corpus::self_built(cached);  // loads
+
+  EXPECT_FALSE(a.from_cache());
+  EXPECT_FALSE(b.from_cache());
+  EXPECT_FALSE(c.from_cache());
+  EXPECT_TRUE(d.from_cache());
+
+  ASSERT_EQ(a.size(), 8u);
+  ASSERT_EQ(b.size(), a.size());
+  ASSERT_EQ(c.size(), a.size());
+  ASSERT_EQ(d.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const synth::SynthBinary& ref = a.entries()[i].bin;
+    EXPECT_EQ(b.entries()[i].bin, ref) << "sharded != serial at " << i;
+    EXPECT_EQ(c.entries()[i].bin, ref) << "cache-populate != serial at " << i;
+    EXPECT_EQ(d.entries()[i].bin, ref) << "cache-load != serial at " << i;
+  }
+}
+
+TEST(CorpusCache, WildSuiteRoundTripsThroughCache) {
+  const TempDir dir("wild");
+  const eval::CorpusOptions options{Scale::kSmoke, 2, dir.str()};
+  const eval::Corpus first = eval::Corpus::wild(options);
+  const eval::Corpus second = eval::Corpus::wild(options);
+  EXPECT_FALSE(first.from_cache());
+  EXPECT_TRUE(second.from_cache());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first.entries()[i].bin, second.entries()[i].bin);
+  }
+}
+
+TEST(CorpusCache, SelfBuiltAndWildUseDistinctCacheEntries) {
+  const TempDir dir("kinds");
+  const eval::CorpusOptions options{Scale::kSmoke, 2, dir.str()};
+  const eval::Corpus self_built = eval::Corpus::self_built(options);
+  const eval::Corpus wild = eval::Corpus::wild(options);
+  EXPECT_NE(self_built.spec_hash(), wild.spec_hash());
+  EXPECT_FALSE(wild.from_cache()) << "wild must not hit the self-built entry";
+}
+
+TEST(CorpusCache, RegeneratesWhenCacheFileIsUnusable) {
+  const TempDir dir("fallback");
+  const eval::CorpusOptions options{Scale::kSmoke, 2, dir.str()};
+  const eval::Corpus first = eval::Corpus::self_built(options);
+
+  // Corrupt the cache file; materialization must fall back to generation
+  // (and repair the cache) instead of failing or returning garbage.
+  const synth::CorpusStore store(dir.str());
+  const fs::path path = store.corpus_path(first.spec_hash());
+  ASSERT_TRUE(fs::exists(path));
+  fs::resize_file(path, fs::file_size(path) / 3);
+
+  const eval::Corpus second = eval::Corpus::self_built(options);
+  EXPECT_FALSE(second.from_cache());
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(second.entries()[i].bin, first.entries()[i].bin);
+  }
+
+  // The fallback run rewrote a valid cache entry.
+  const eval::Corpus third = eval::Corpus::self_built(options);
+  EXPECT_TRUE(third.from_cache());
+}
+
+// --- Cache-directory validation --------------------------------------------
+
+TEST(CacheDir, RejectsFileAsCacheDir) {
+  const TempDir dir("filecollision");
+  const fs::path file = dir.path() / "not-a-dir";
+  std::ofstream(file) << "x";
+  std::string path = file.string();
+  std::string error;
+  EXPECT_FALSE(util::prepare_cache_dir(&path, &error));
+  EXPECT_NE(error.find("not a directory"), std::string::npos) << error;
+}
+
+TEST(CacheDir, RejectsEmptyPath) {
+  std::string path;
+  std::string error;
+  EXPECT_FALSE(util::prepare_cache_dir(&path, &error));
+}
+
+TEST(CacheDir, CreatesMissingDirectories) {
+  const TempDir dir("mkdirp");
+  std::string path = (dir.path() / "a" / "b" / "c").string();
+  std::string error;
+  EXPECT_TRUE(util::prepare_cache_dir(&path, &error)) << error;
+  EXPECT_TRUE(fs::is_directory(path));
+}
+
+TEST(CacheDir, RejectsUnwritableDirectory) {
+#ifndef _WIN32
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "root writes everywhere; permission probe is meaningless";
+  }
+  const TempDir dir("readonly");
+  const fs::path ro = dir.path() / "ro";
+  fs::create_directories(ro);
+  fs::permissions(ro, fs::perms::owner_read | fs::perms::owner_exec);
+  std::string path = ro.string();
+  std::string error;
+  EXPECT_FALSE(util::prepare_cache_dir(&path, &error));
+  fs::permissions(ro, fs::perms::owner_all);  // allow cleanup
+#else
+  GTEST_SKIP();
+#endif
+}
+
+}  // namespace
+}  // namespace fetch

@@ -21,7 +21,9 @@ struct SweepCase {
 };
 
 constexpr const char* kCompilers[] = {"gcc", "llvm"};
-constexpr const char* kOpts[] = {"O2", "O3", "Os", "Ofast"};
+// The full-scale opt ladder: the paper's four levels plus the -O0/-O1
+// profiles the Scale::kFull corpus adds.
+constexpr const char* kOpts[] = {"O0", "O1", "O2", "O3", "Os", "Ofast"};
 
 class CorpusSweep : public ::testing::TestWithParam<SweepCase> {
  protected:
@@ -72,7 +74,7 @@ std::vector<SweepCase> all_cases() {
   std::vector<SweepCase> cases;
   for (std::size_t p = 0; p < synth::projects().size(); ++p) {
     for (std::size_t c = 0; c < 2; ++c) {
-      for (std::size_t o = 0; o < 4; ++o) {
+      for (std::size_t o = 0; o < std::size(kOpts); ++o) {
         cases.push_back({p, c, o});
       }
     }

@@ -189,6 +189,46 @@ TEST(Corpus, ProfilesDifferByOptLevel) {
   EXPECT_THROW(profile_for("icc", "O2"), fetch::ContractError);
 }
 
+TEST(Corpus, UnoptimizedProfilesModelFramePointersAndNoTailCalls) {
+  const Profile o0 = profile_for("gcc", "O0");
+  const Profile o1 = profile_for("gcc", "O1");
+  const Profile o2 = profile_for("gcc", "O2");
+  // -O0: no sibling-call optimization, no hot/cold splitting, frame
+  // pointers (incomplete CFI heights) nearly everywhere.
+  EXPECT_EQ(o0.tail_prob, 0.0);
+  EXPECT_EQ(o0.cold_prob, 0.0);
+  EXPECT_GT(o0.frame_ptr_prob, 0.9);
+  // -O1 sits between -O0 and -O2 on every one of those axes.
+  EXPECT_GT(o1.frame_ptr_prob, o2.frame_ptr_prob);
+  EXPECT_LT(o1.frame_ptr_prob, o0.frame_ptr_prob);
+  EXPECT_GT(o1.tail_prob, 0.0);
+  EXPECT_LT(o1.tail_prob, o2.tail_prob);
+}
+
+TEST(Corpus, AggressiveGccProfilesUseWideAlignment) {
+  EXPECT_EQ(profile_for("gcc", "O2").alignment, 16u);
+  EXPECT_EQ(profile_for("gcc", "O3").alignment, 32u);
+  EXPECT_EQ(profile_for("gcc", "Ofast").alignment, 32u);
+  EXPECT_EQ(profile_for("llvm", "O3").alignment, 16u);
+}
+
+TEST(Corpus, ExtendedProjectsDefinePerProjectDistributions) {
+  for (const ProjectDef& def : extended_projects()) {
+    EXPECT_GT(def.min_funcs, 0) << def.name;
+    EXPECT_GE(def.max_funcs, def.min_funcs) << def.name;
+    EXPECT_GT(def.block_factor, 0.0) << def.name;
+  }
+  // The per-project bounds really drive the generated function counts.
+  ProjectDef small = extended_projects()[0];
+  small.min_funcs = 20;
+  small.max_funcs = 24;
+  small.size_factor = 1.0;
+  const ProgramSpec spec =
+      make_program(small, profile_for("gcc", "O2"), 999);
+  EXPECT_GE(spec.functions.size(), 20u);
+  EXPECT_LE(spec.functions.size(), 24u);
+}
+
 class CorpusBinaryWellFormed
     : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -196,8 +236,8 @@ TEST_P(CorpusBinaryWellFormed, GeneratesAndParses) {
   const auto& project = projects()[GetParam() % projects().size()];
   const auto profile =
       profile_for(GetParam() % 2 == 0 ? "gcc" : "llvm",
-                  std::vector<std::string>{"O2", "O3", "Os",
-                                           "Ofast"}[GetParam() % 4]);
+                  std::vector<std::string>{"O0", "O1", "O2", "O3", "Os",
+                                           "Ofast"}[GetParam() % 6]);
   const SynthBinary bin =
       generate(make_program(project, profile, GetParam() * 7919));
   const elf::ElfFile elf(bin.image);

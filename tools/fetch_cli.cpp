@@ -1,17 +1,22 @@
 /// \file fetch_cli.cpp
 /// Command-line front end for the library:
 ///
-///   fetch-cli [--jobs N] detect <elf>   detect function starts (full pipeline)
-///   fetch-cli [--jobs N] fde <elf>      list raw FDE PC Begin/Range entries
-///   fetch-cli [--jobs N] unwind <elf> <pc>  unwind info (CFA rule, stack
-///                                       height) at pc
-///   fetch-cli [--jobs N] compare <elf>  run every strategy ladder step +
-///                                       tools, concurrently on N workers
-///   fetch-cli [--jobs N] audit <elf>    CFI-policy gadget exposure of raw
-///                                       FDE starts vs repaired starts
+///   fetch-cli [opts] detect <elf>   detect function starts (full pipeline)
+///   fetch-cli [opts] fde <elf>      list raw FDE PC Begin/Range entries
+///   fetch-cli [opts] unwind <elf> <pc>  unwind info (CFA rule, stack
+///                                   height) at pc
+///   fetch-cli [opts] compare <elf>  run every strategy ladder step +
+///                                   tools, concurrently on N workers
+///   fetch-cli [opts] audit <elf>    CFI-policy gadget exposure of raw
+///                                   FDE starts vs repaired starts
+///   fetch-cli [opts] corpus [self-built|wild]
+///                                   materialize the synthetic corpus
+///                                   (cache-aware) and print its summary
 ///
-/// --jobs defaults to the FETCH_JOBS environment variable, else the
-/// hardware concurrency.
+/// Options: --jobs N (default: FETCH_JOBS env, else hardware concurrency),
+/// --scale smoke|default|full (corpus population; default "default"),
+/// --cache-dir DIR (corpus cache root; default: FETCH_CACHE_DIR env,
+/// unset = no caching).
 
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +34,10 @@
 #include "ehframe/eh_frame.hpp"
 #include "elf/elf_file.hpp"
 #include "eval/gadget.hpp"
+#include "eval/runner.hpp"
 #include "eval/table.hpp"
+#include "synth/corpus_store.hpp"
+#include "util/fs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -196,15 +204,53 @@ int cmd_audit(const elf::ElfFile& elf) {
   return 0;
 }
 
+/// Materializes a corpus through the load-or-generate path and prints a
+/// summary: population, spec hash (the cache key), sizes, provenance.
+int cmd_corpus(const std::string& which, const eval::CorpusOptions& options) {
+  if (which != "self-built" && which != "wild") {
+    std::cerr << "unknown corpus \"" << which
+              << "\" (expected self-built or wild)\n";
+    return 2;
+  }
+  const eval::Corpus corpus = which == "wild"
+                                  ? eval::Corpus::wild(options)
+                                  : eval::Corpus::self_built(options);
+  std::size_t image_bytes = 0;
+  std::size_t functions = 0;
+  for (const eval::CorpusEntry& entry : corpus.entries()) {
+    image_bytes += entry.bin.image.size();
+    functions += entry.bin.truth.starts.size();
+  }
+  std::cout << "corpus:     " << which << "\n";
+  std::cout << "scale:      " << synth::scale_name(options.scale) << "\n";
+  std::cout << "spec hash:  " << std::hex << std::setw(16)
+            << std::setfill('0') << corpus.spec_hash() << std::dec << "\n";
+  std::cout << "entries:    " << corpus.size() << "\n";
+  std::cout << "functions:  " << functions << "\n";
+  std::cout << "image size: " << image_bytes << " bytes\n";
+  std::cout << "source:     "
+            << (corpus.from_cache() ? "cache" : "generated") << "\n";
+  if (!options.cache_dir.empty()) {
+    const synth::CorpusStore store(options.cache_dir);
+    std::cout << "cache file: "
+              << store.corpus_path(corpus.spec_hash()).string() << "\n";
+  }
+  return 0;
+}
+
 int usage() {
-  std::cerr << "usage: fetch-cli [--jobs N] "
-               "<detect|fde|unwind|compare|audit> <elf> [pc]\n";
+  std::cerr << "usage: fetch-cli [--jobs N] [--scale smoke|default|full] "
+               "[--cache-dir DIR]\n"
+               "                 <detect|fde|unwind|compare|audit> <elf> [pc]\n"
+               "       fetch-cli [opts] corpus [self-built|wild]\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  eval::CorpusOptions corpus_options;
+  corpus_options.cache_dir = util::default_cache_dir();
   std::size_t jobs = 0;  // 0 → FETCH_JOBS env / hardware default
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -217,16 +263,57 @@ int main(int argc, char** argv) {
       if (!util::parse_jobs(arg.substr(7), &jobs)) {
         return usage();
       }
+    } else if (arg == "--scale" && i + 1 < argc) {
+      const auto scale = synth::parse_scale(argv[++i]);
+      if (!scale) {
+        return usage();
+      }
+      corpus_options.scale = *scale;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      const auto scale = synth::parse_scale(arg.substr(8));
+      if (!scale) {
+        return usage();
+      }
+      corpus_options.scale = *scale;
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      corpus_options.cache_dir = argv[++i];
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      corpus_options.cache_dir = arg.substr(12);
     } else if (!arg.empty() && arg.front() == '-') {
       return usage();  // unknown flags must not pass as positionals
     } else {
       args.push_back(argv[i]);
     }
   }
-  if (args.size() < 2) {
+  corpus_options.jobs = jobs;
+  if (args.empty()) {
     return usage();
   }
   const std::string cmd = args[0];
+  if (cmd == "corpus") {
+    // Shared validation (same path as the benches): reject unusable
+    // --cache-dir/FETCH_CACHE_DIR values before doing any work. Only the
+    // corpus command touches the cache, so only it validates — `detect`
+    // and friends must keep working with a stale FETCH_CACHE_DIR.
+    if (!corpus_options.cache_dir.empty()) {
+      std::string error;
+      if (!util::prepare_cache_dir(&corpus_options.cache_dir, &error)) {
+        std::cerr << "fetch-cli: --cache-dir/FETCH_CACHE_DIR: " << error
+                  << "\n";
+        return 2;
+      }
+    }
+    try {
+      return cmd_corpus(args.size() > 1 ? args[1] : "self-built",
+                        corpus_options);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (args.size() < 2) {
+    return usage();
+  }
   try {
     const elf::ElfFile elf = elf::ElfFile::load(args[1]);
     if (cmd == "detect") {
