@@ -1,19 +1,32 @@
 /// \file bench_micro.cpp
-/// Engineering micro-benchmarks (google-benchmark): throughput of the
-/// substrates every experiment leans on — instruction decoding, eh_frame
-/// parsing, CFI evaluation, corpus generation, and the full FETCH
-/// pipeline per binary. Not a paper artifact; regressions here inflate
-/// every other bench.
+/// Engineering micro-benchmarks: throughput of the substrates every
+/// experiment leans on — instruction decoding, eh_frame parsing, CFI
+/// evaluation, corpus generation, and the full FETCH pipeline per binary.
+/// Not a paper artifact; regressions here inflate every other bench.
+///
+/// Two halves:
+///   1. google-benchmark cases on one sample binary (quick signal while
+///      iterating on the decoder or the detector).
+///   2. A deterministic self-timed "hot path" report over the corpus at
+///      the selected --scale: decode throughput, cold-vs-warm insn_at
+///      cost for the lock-free dense cache vs the old mutex+unordered_map
+///      memo (kept here as a baseline replica), sharded predecode, and
+///      the cache hit rate. `--json PATH` writes the same rows as a
+///      fetch-bench-v1 document — the checked-in BENCH_hotpath.json
+///      baseline is produced by this half.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <optional>
 #include <string>
-#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "core/detector.hpp"
-#include "util/thread_pool.hpp"
 #include "disasm/code_view.hpp"
 #include "ehframe/cfi_eval.hpp"
 #include "ehframe/eh_frame.hpp"
@@ -21,17 +34,69 @@
 #include "eval/runner.hpp"
 #include "synth/codegen.hpp"
 #include "synth/corpus.hpp"
+#include "util/thread_pool.hpp"
 #include "x86/decoder.hpp"
 
 namespace {
 
 using namespace fetch;
+using Clock = std::chrono::steady_clock;
+
+/// The pre-refactor CodeView memo, verbatim: one global mutex taken twice
+/// per lookup around an unordered_map probe, values returned by copy.
+/// Kept only as the measurement baseline for the dense-cache speedup.
+class MutexMapCodeView {
+ public:
+  explicit MutexMapCodeView(const elf::ElfFile& elf) : elf_(elf) {}
+
+  [[nodiscard]] std::optional<x86::Insn> insn_at(std::uint64_t addr) const {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = cache_.find(addr);
+      if (it != cache_.end()) {
+        return it->second;
+      }
+    }
+    std::optional<x86::Insn> result;
+    const elf::Section* sec = elf_.section_at(addr);
+    if (sec != nullptr && sec->executable()) {
+      const std::uint64_t avail = sec->addr + sec->size - addr;
+      const auto bytes =
+          elf_.bytes_at(addr, std::min<std::uint64_t>(avail, 15));
+      if (bytes) {
+        result = x86::decode(*bytes, addr);
+      }
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    cache_.emplace(addr, result);
+    return result;
+  }
+
+ private:
+  const elf::ElfFile& elf_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::uint64_t, std::optional<x86::Insn>> cache_;
+};
 
 const synth::SynthBinary& sample_binary() {
   static const synth::SynthBinary bin = synth::generate(synth::make_program(
       synth::projects()[0], synth::profile_for("gcc", "O2"), 4242));
   return bin;
 }
+
+/// Executable-section byte ranges of an ELF, for linear walks.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> code_ranges(
+    const elf::ElfFile& elf) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const elf::Section& sec : elf.sections()) {
+    if (sec.executable() && sec.alloc() && sec.size != 0) {
+      out.emplace_back(sec.addr, sec.addr + sec.size);
+    }
+  }
+  return out;
+}
+
+// --- google-benchmark half -------------------------------------------------
 
 void BM_DecodeText(benchmark::State& state) {
   const elf::ElfFile elf(sample_binary().image);
@@ -52,6 +117,69 @@ void BM_DecodeText(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes.size()));
 }
 BENCHMARK(BM_DecodeText);
+
+void BM_InsnAtWarmDense(benchmark::State& state) {
+  const elf::ElfFile elf(sample_binary().image);
+  const disasm::CodeView code(elf);
+  code.predecode(1);
+  const elf::Section* text = elf.section(".text");
+  std::vector<std::uint64_t> starts;
+  for (std::uint64_t a = text->addr; a < text->addr + text->size;) {
+    const x86::Insn* insn = code.insn_at(a);
+    if (insn == nullptr) {
+      ++a;
+      continue;
+    }
+    starts.push_back(a);
+    a += insn->length;
+  }
+  for (auto _ : state) {
+    std::uint64_t sink = 0;
+    for (const std::uint64_t a : starts) {
+      sink += code.insn_at(a)->length;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(starts.size()));
+}
+BENCHMARK(BM_InsnAtWarmDense);
+
+void BM_InsnAtWarmMutexMap(benchmark::State& state) {
+  const elf::ElfFile elf(sample_binary().image);
+  const MutexMapCodeView code(elf);
+  const elf::Section* text = elf.section(".text");
+  std::vector<std::uint64_t> starts;
+  for (std::uint64_t a = text->addr; a < text->addr + text->size;) {
+    const auto insn = code.insn_at(a);
+    if (!insn) {
+      ++a;
+      continue;
+    }
+    starts.push_back(a);
+    a += insn->length;
+  }
+  for (auto _ : state) {
+    std::uint64_t sink = 0;
+    for (const std::uint64_t a : starts) {
+      sink += code.insn_at(a)->length;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(starts.size()));
+}
+BENCHMARK(BM_InsnAtWarmMutexMap);
+
+void BM_PredecodeSharded(benchmark::State& state) {
+  const elf::ElfFile elf(sample_binary().image);
+  for (auto _ : state) {
+    const disasm::CodeView code(elf);
+    code.predecode(2);
+    benchmark::DoNotOptimize(code.decoded_records());
+  }
+}
+BENCHMARK(BM_PredecodeSharded);
 
 void BM_ParseElf(benchmark::State& state) {
   const auto& image = sample_binary().image;
@@ -108,44 +236,241 @@ void BM_FetchPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FetchPipeline);
 
-}  // namespace
+// --- self-timed hot-path report --------------------------------------------
 
-/// Custom main instead of BENCHMARK_MAIN(): accepts the harness-wide
-/// --smoke/--jobs flags (ctest passes them to every bench) before handing
-/// the remaining arguments to google-benchmark. --smoke shrinks the
-/// measurement time so the smoke test is a compile-and-run check, not a
-/// measurement.
-int main(int argc, char** argv) {
-  std::vector<char*> args = {argv[0]};
-  bool smoke = false;
-  // The micro benchmarks are single-threaded, so --jobs is validated and
-  // then ignored.
-  std::size_t ignored_jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--smoke") {
-      smoke = true;
-    } else if (arg == "--jobs" && i + 1 < argc) {
-      if (!fetch::util::parse_jobs(argv[++i], &ignored_jobs)) {
-        std::fprintf(stderr, "usage: %s [--smoke] [--jobs N]\n", argv[0]);
-        return 2;
+struct HotPathTotals {
+  double cold_dense_ns = 0;
+  double cold_map_ns = 0;
+  double warm_dense_ns = 0;
+  double warm_map_ns = 0;
+  double predecode_ns = 0;
+  std::uint64_t cold_calls = 0;   // insn_at calls during the cold walks
+  std::uint64_t warm_calls = 0;   // per implementation
+  std::uint64_t code_bytes = 0;   // executable bytes walked (per cold pass)
+  std::uint64_t dense_calls = 0;  // all dense insn_at calls (cold + warm)
+  std::uint64_t dense_misses = 0;  // slots actually decoded or invalidated
+  std::uint64_t predecode_records = 0;
+};
+
+double elapsed_ns(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start)
+      .count();
+}
+
+/// Cold + warm measurement of one corpus entry against both cache
+/// implementations. \p warm_passes controls how long the warm loops run.
+void measure_entry(const elf::ElfFile& elf, std::size_t warm_passes,
+                   std::size_t jobs, HotPathTotals& totals) {
+  const auto ranges = code_ranges(elf);
+  std::vector<std::uint64_t> starts;
+
+  // Cold, dense: construction + full linear decode of every section.
+  {
+    const auto t0 = Clock::now();
+    const disasm::CodeView code(elf);
+    std::uint64_t calls = 0;
+    for (const auto& [lo, hi] : ranges) {
+      std::uint64_t a = lo;
+      while (a < hi) {
+        const x86::Insn* insn = code.insn_at(a);
+        ++calls;
+        if (insn == nullptr) {
+          ++a;
+          continue;
+        }
+        starts.push_back(a);
+        a += insn->length;
       }
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      if (!fetch::util::parse_jobs(arg.substr(7), &ignored_jobs)) {
-        std::fprintf(stderr, "usage: %s [--smoke] [--jobs N]\n", argv[0]);
-        return 2;
-      }
-    } else {
-      args.push_back(argv[i]);
+    }
+    totals.cold_dense_ns += elapsed_ns(t0);
+    totals.cold_calls += calls;
+    for (const auto& [lo, hi] : ranges) {
+      totals.code_bytes += hi - lo;
     }
   }
+
+  // Cold, mutex+map baseline: identical walk.
+  {
+    const auto t0 = Clock::now();
+    const MutexMapCodeView code(elf);
+    std::uint64_t sink = 0;
+    for (const auto& [lo, hi] : ranges) {
+      std::uint64_t a = lo;
+      while (a < hi) {
+        const auto insn = code.insn_at(a);
+        a += insn ? insn->length : 1;
+        ++sink;
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+    totals.cold_map_ns += elapsed_ns(t0);
+  }
+
+  // Warm loops: every known instruction start, repeatedly. The dense view
+  // also yields the cache-hit accounting (misses = slots that needed a
+  // decode; everything else was a wait-free hit).
+  {
+    const disasm::CodeView code(elf);
+    // Warm the view with a counted linear walk so every insn_at call made
+    // against it is in the hit-rate denominator.
+    std::uint64_t calls = 0;
+    for (const auto& [lo, hi] : ranges) {
+      std::uint64_t a = lo;
+      while (a < hi) {
+        const x86::Insn* insn = code.insn_at(a);
+        ++calls;
+        a += insn != nullptr ? insn->length : 1;
+      }
+    }
+    const auto t0 = Clock::now();
+    for (std::size_t pass = 0; pass < warm_passes; ++pass) {
+      std::uint64_t sink = 0;
+      for (const std::uint64_t a : starts) {
+        sink += code.insn_at(a)->length;
+      }
+      benchmark::DoNotOptimize(sink);
+      calls += starts.size();
+    }
+    totals.warm_dense_ns += elapsed_ns(t0);
+    totals.warm_calls +=
+        static_cast<std::uint64_t>(warm_passes) * starts.size();
+    const auto stats = code.cache_stats();
+    totals.dense_calls += calls;
+    totals.dense_misses += stats.decoded + stats.invalid;
+  }
+  {
+    const MutexMapCodeView code(elf);
+    for (const std::uint64_t a : starts) {  // warm the map once
+      benchmark::DoNotOptimize(code.insn_at(a));
+    }
+    const auto t0 = Clock::now();
+    for (std::size_t pass = 0; pass < warm_passes; ++pass) {
+      std::uint64_t sink = 0;
+      for (const std::uint64_t a : starts) {
+        sink += code.insn_at(a)->length;
+      }
+      benchmark::DoNotOptimize(sink);
+    }
+    totals.warm_map_ns += elapsed_ns(t0);
+  }
+
+  // Sharded eager predecode on a fresh view.
+  {
+    const disasm::CodeView code(elf);
+    const auto t0 = Clock::now();
+    code.predecode(jobs);
+    totals.predecode_ns += elapsed_ns(t0);
+    totals.predecode_records += code.decoded_records();
+  }
+}
+
+void run_hotpath_report(const bench::BenchOptions& opts) {
+  const std::size_t warm_passes =
+      opts.scale == synth::Scale::kSmoke ? 3 : 8;
+  const eval::Corpus corpus = bench::self_built_corpus(opts);
+
+  HotPathTotals totals;
+  for (const eval::CorpusEntry& entry : corpus.entries()) {
+    measure_entry(entry.elf, warm_passes, opts.effective_jobs(), totals);
+  }
+
+  const double warm_dense =
+      totals.warm_dense_ns / static_cast<double>(totals.warm_calls);
+  const double warm_map =
+      totals.warm_map_ns / static_cast<double>(totals.warm_calls);
+  const double cold_dense =
+      totals.cold_dense_ns / static_cast<double>(totals.cold_calls);
+  const double cold_map =
+      totals.cold_map_ns / static_cast<double>(totals.cold_calls);
+  const double throughput_mib_s =
+      static_cast<double>(totals.code_bytes) /
+      (totals.cold_dense_ns / 1e9) / (1024.0 * 1024.0);
+  const double hit_rate =
+      1.0 - static_cast<double>(totals.dense_misses) /
+                static_cast<double>(totals.dense_calls);
+  const double predecode_ms = totals.predecode_ns / 1e6;
+
+  struct Row {
+    const char* name;
+    std::string value;
+    double raw;
+    const char* unit;
+  };
+  const std::vector<Row> rows = {
+      {"insn_at_warm_dense", eval::fmt(warm_dense, 2), warm_dense, "ns/op"},
+      {"insn_at_warm_mutex_map", eval::fmt(warm_map, 2), warm_map, "ns/op"},
+      {"warm_speedup_vs_mutex_map", eval::fmt(warm_map / warm_dense, 2),
+       warm_map / warm_dense, "x"},
+      {"insn_at_cold_dense", eval::fmt(cold_dense, 2), cold_dense, "ns/op"},
+      {"insn_at_cold_mutex_map", eval::fmt(cold_map, 2), cold_map, "ns/op"},
+      {"cold_speedup_vs_mutex_map", eval::fmt(cold_map / cold_dense, 2),
+       cold_map / cold_dense, "x"},
+      {"decode_throughput", eval::fmt(throughput_mib_s, 1), throughput_mib_s,
+       "MiB/s"},
+      {"predecode_total", eval::fmt(predecode_ms, 2), predecode_ms, "ms"},
+      {"cache_hit_rate", eval::fmt(hit_rate, 4), hit_rate, "ratio"},
+  };
+
+  std::cout << "\n=== hot path report (" << synth::scale_name(opts.scale)
+            << " corpus, " << corpus.size() << " entries, " << warm_passes
+            << " warm passes) ===\n";
+  eval::TextTable table({"Metric", "Value", "Unit"});
+  util::json::Value results = util::json::Value::array();
+  for (const Row& row : rows) {
+    table.add_row({row.name, row.value, row.unit});
+    util::json::Value cell = util::json::Value::object();
+    cell.set("name", util::json::Value(row.name));
+    cell.set("value", util::json::Value::number(row.raw, row.value));
+    cell.set("unit", util::json::Value(row.unit));
+    results.add(std::move(cell));
+  }
+  table.print(std::cout);
+
+  util::json::Value report = bench::json_report("bench_micro", opts);
+  report.set("entries",
+             util::json::Value::number(
+                 static_cast<std::uint64_t>(corpus.size())));
+  report.set("warm_passes", util::json::Value::number(
+                                static_cast<std::uint64_t>(warm_passes)));
+  report.set("results", std::move(results));
+  bench::write_json_report(opts, report);
+}
+
+}  // namespace
+
+/// Custom main instead of BENCHMARK_MAIN(): the shared bench::parse_args
+/// handles the harness-wide flags (ctest passes --smoke --jobs to every
+/// bench) and collects everything it does not recognize for
+/// google-benchmark. Smoke scale shrinks both halves so the smoke test is
+/// a compile-and-run check, not a measurement.
+int main(int argc, char** argv) {
+  std::vector<char*> args = {argv[0]};
+  const bench::BenchOptions options = bench::parse_args(argc, argv, &args);
+  if (options.predecode) {
+    // The hot-path report constructs its own cold and warm views; a
+    // pre-warmed corpus would burn work without moving any number.
+    std::fprintf(stderr,
+                 "%s: --predecode has no effect on the hot-path report; "
+                 "cold and warm paths are measured explicitly\n",
+                 argv[0]);
+    return 2;
+  }
+
   std::string min_time = "--benchmark_min_time=0.01";
-  if (smoke) {
+  if (options.scale == fetch::synth::Scale::kSmoke) {
     args.push_back(min_time.data());
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
+  if (filtered_argc > 1) {
+    // Neither a harness flag (parse_args) nor a gbench flag (Initialize).
+    std::fprintf(stderr, "%s: unrecognized argument: %s\n", argv[0],
+                 args[1]);
+    return 2;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  run_hotpath_report(options);
   return 0;
 }

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   // add idle threads, so clamp.
   util::ThreadPool pool(std::min(jobs, corpus.size()));
   eval::TextTable table({"Tool", "avg ms/binary", "total s"});
+  util::json::Value results = util::json::Value::array();
   const auto wall_start = Clock::now();
   for (const Row& row : rows) {
     const auto start = Clock::now();
@@ -60,9 +61,19 @@ int main(int argc, char** argv) {
     }
     const double ms =
         std::chrono::duration<double, std::milli>(elapsed).count();
-    table.add_row({row.name,
-                   eval::fmt(ms / static_cast<double>(corpus.size()), 3),
-                   eval::fmt(ms / 1000.0, 2)});
+    // The JSON rows carry the exact strings printed in the table, so the
+    // two renderings of one run are comparable value-for-value.
+    const std::string avg_ms =
+        eval::fmt(ms / static_cast<double>(corpus.size()), 3);
+    const std::string total_s = eval::fmt(ms / 1000.0, 2);
+    table.add_row({row.name, avg_ms, total_s});
+    util::json::Value cell = util::json::Value::object();
+    cell.set("tool", util::json::Value(row.name));
+    cell.set("avg_ms_per_binary", util::json::Value::number(
+                                      ms / static_cast<double>(corpus.size()),
+                                      avg_ms));
+    cell.set("total_s", util::json::Value::number(ms / 1000.0, total_s));
+    results.add(std::move(cell));
     if (sink == 0) {
       std::cerr << "unexpected empty results\n";
     }
@@ -75,5 +86,8 @@ int main(int argc, char** argv) {
   std::cout << "\n[paper, seconds/binary on their testbed: DYNINST 2.8, "
                "BAP 114.2, RADARE2 34.9, NUCLEUS 3.1, GHIDRA 40.4, ANGR "
                "78.5, IDA 10.3, NINJA 20.4, FETCH 3.3]\n";
+  util::json::Value report = bench::json_report("bench_table5_runtime", opts);
+  report.set("results", std::move(results));
+  bench::write_json_report(opts, report);
   return 0;
 }

@@ -15,6 +15,16 @@
 ///                    FETCH_CACHE_DIR env var; unset/empty = no cache).
 ///                    Repeated runs with the same spec load instead of
 ///                    regenerate. Unusable paths are rejected up front.
+///   --json PATH      additionally emit the bench's results as a
+///                    machine-readable JSON document (schema
+///                    "fetch-bench-v1"); numbers in the file are the exact
+///                    formatted strings printed in the human table.
+///                    Currently wired into bench_micro and
+///                    bench_table5_runtime.
+///   --predecode      eagerly pre-decode every corpus entry's executable
+///                    sections (sharded linear sweep on the thread pool)
+///                    before any strategy runs, so cells execute on a warm
+///                    decode cache.
 ///
 /// Every bench is standalone: it materializes the corpus (cache or
 /// generation), runs its strategies, and prints the rows of the paper
@@ -22,17 +32,20 @@
 /// stays byte-comparable across job counts and cache states.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/detector.hpp"
 #include "eval/metrics.hpp"
 #include "eval/runner.hpp"
 #include "eval/table.hpp"
 #include "util/fs.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fetch::bench {
@@ -41,6 +54,8 @@ struct BenchOptions {
   std::size_t jobs = 0;  ///< 0 → util::default_jobs()
   synth::Scale scale = synth::Scale::kDefault;
   std::string cache_dir;  ///< validated; empty = caching disabled
+  std::string json_path;  ///< empty = no JSON output
+  bool predecode = false;
 
   [[nodiscard]] std::size_t effective_jobs() const {
     return jobs == 0 ? util::default_jobs() : jobs;
@@ -51,13 +66,18 @@ struct BenchOptions {
   }
 };
 
-inline BenchOptions parse_args(int argc, char** argv) {
+/// Parses the harness-wide flags. When \p passthrough is non-null,
+/// unrecognized arguments are collected there instead of being a usage
+/// error — bench_micro uses this to forward google-benchmark flags; every
+/// other bench rejects unknowns.
+inline BenchOptions parse_args(int argc, char** argv,
+                               std::vector<char*>* passthrough = nullptr) {
   BenchOptions options;
   options.cache_dir = util::default_cache_dir();
   auto usage = [&]() {
     std::cerr << "usage: " << argv[0]
               << " [--smoke] [--scale smoke|default|full] [--jobs N]"
-                 " [--cache-dir DIR]\n";
+                 " [--cache-dir DIR] [--json PATH] [--predecode]\n";
     std::exit(2);
   };
   auto set_scale = [&](std::string_view text) {
@@ -87,6 +107,14 @@ inline BenchOptions parse_args(int argc, char** argv) {
       options.cache_dir = argv[++i];
     } else if (arg.rfind("--cache-dir=", 0) == 0) {
       options.cache_dir = arg.substr(12);
+    } else if (arg == "--json" && i + 1 < argc) {
+      options.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json_path = arg.substr(7);
+    } else if (arg == "--predecode") {
+      options.predecode = true;
+    } else if (passthrough != nullptr) {
+      passthrough->push_back(argv[i]);
     } else {
       usage();
     }
@@ -110,15 +138,68 @@ inline void note_provenance(const eval::Corpus& corpus) {
             << ")\n";
 }
 
+/// Root document of a "fetch-bench-v1" JSON report. Benches append rows
+/// under "results" and derived scalars under "derived", then call
+/// write_json_report.
+[[nodiscard]] inline util::json::Value json_report(const std::string& bench,
+                                                   const BenchOptions& opts) {
+  util::json::Value doc = util::json::Value::object();
+  doc.set("schema", util::json::Value("fetch-bench-v1"));
+  doc.set("bench", util::json::Value(bench));
+  doc.set("scale", util::json::Value(synth::scale_name(opts.scale)));
+  doc.set("jobs", util::json::Value::number(
+                      static_cast<std::uint64_t>(opts.effective_jobs())));
+  doc.set("results", util::json::Value::array());
+  return doc;
+}
+
+/// Writes the report to \p opts.json_path (no-op when --json was not
+/// given). Fails loudly: an unwritable path aborts the bench.
+inline void write_json_report(const BenchOptions& opts,
+                              const util::json::Value& doc) {
+  if (opts.json_path.empty()) {
+    return;
+  }
+  std::ofstream out(opts.json_path, std::ios::trunc);
+  out << doc.dump() << "\n";
+  out.close();  // flush now so buffered write errors are observable
+  if (out.fail()) {
+    std::cerr << "error: cannot write --json file: " << opts.json_path
+              << "\n";
+    std::exit(2);
+  }
+  std::cerr << "json report: " << opts.json_path << "\n";
+}
+
+/// Honors --predecode: eagerly decodes every entry's executable sections
+/// (sharded linear sweep) so the strategy cells below run entirely on a
+/// warm decode cache. Provenance goes to stderr like the corpus note.
+inline void maybe_predecode(const eval::Corpus& corpus,
+                            const BenchOptions& opts) {
+  if (!opts.predecode) {
+    return;
+  }
+  std::uint64_t records = 0;
+  for (const eval::CorpusEntry& entry : corpus.entries()) {
+    const disasm::CodeView& code = entry.detector().code();
+    code.predecode(opts.effective_jobs());
+    records += code.decoded_records();
+  }
+  std::cerr << "predecode: " << records << " instructions across "
+            << corpus.size() << " entries\n";
+}
+
 inline eval::Corpus self_built_corpus(const BenchOptions& options) {
   eval::Corpus corpus = eval::Corpus::self_built(options.corpus_options());
   note_provenance(corpus);
+  maybe_predecode(corpus, options);
   return corpus;
 }
 
 inline eval::Corpus wild_corpus(const BenchOptions& options) {
   eval::Corpus corpus = eval::Corpus::wild(options.corpus_options());
   note_provenance(corpus);
+  maybe_predecode(corpus, options);
   return corpus;
 }
 

@@ -217,11 +217,11 @@ std::set<std::uint64_t> linear_scan_gaps(const disasm::CodeView& code,
            disasm::linear_sweep(code, gap.lo, gap.hi)) {
         // Skip leading padding inside the piece, as ANGR does.
         std::uint64_t addr = piece.start;
-        for (const x86::Insn& insn : piece.insns) {
-          if (!insn.is_padding()) {
+        for (const x86::Insn* insn : piece.insns) {
+          if (!insn->is_padding()) {
             break;
           }
-          addr += insn.length;
+          addr += insn->length;
         }
         if (addr < gap.hi && result.starts.count(addr) == 0) {
           out.insert(addr);

@@ -1,27 +1,45 @@
 #pragma once
 
 /// \file code_view.hpp
-/// Decode-on-demand view of a binary's executable sections with instruction
-/// memoization. All disassembly passes share one CodeView per binary so an
-/// address is decoded at most once. The memo table is internally locked:
-/// concurrent strategy cells of the parallel evaluation engine share one
-/// CodeView per corpus entry (see DESIGN.md, "Parallel evaluation").
+/// Decode-on-demand view of a binary's executable sections with a
+/// lock-free dense decode cache. All disassembly passes share one CodeView
+/// per binary so an address is decoded at most once; concurrent strategy
+/// cells of the parallel evaluation engine share one CodeView per corpus
+/// entry (see DESIGN.md, "Hot path: the dense decode cache").
+///
+/// Layout: one atomic 32-bit slot per executable-section byte, indexed by
+/// section offset. A slot is either empty, claimed-for-decoding, invalid,
+/// or an index into an append-only arena of packed instruction records.
+/// Reads of decoded/invalid slots are a single acquire load — wait-free,
+/// no lock, no hashing, no rehash ever. The first thread to reach an
+/// address claims its slot with one compare-exchange (empty → decoding)
+/// and publishes the record (decoding → decoded), so no byte is ever
+/// decoded twice.
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <span>
-#include <unordered_map>
+#include <vector>
 
 #include "elf/elf_file.hpp"
-#include "x86/decoder.hpp"
 #include "x86/insn.hpp"
 
 namespace fetch::disasm {
 
+/// A sliding window of recently decoded instructions. The pointers point
+/// into a CodeView's record arena and stay valid for its lifetime.
+using InsnWindow = std::vector<const x86::Insn*>;
+
 class CodeView {
  public:
-  explicit CodeView(const elf::ElfFile& elf) : elf_(elf) {}
+  explicit CodeView(const elf::ElfFile& elf);
+  ~CodeView();
+
+  CodeView(const CodeView&) = delete;
+  CodeView& operator=(const CodeView&) = delete;
 
   [[nodiscard]] const elf::ElfFile& elf() const { return elf_; }
 
@@ -30,29 +48,49 @@ class CodeView {
     return elf_.is_code_address(addr);
   }
 
-  /// Decodes (with memoization) the instruction at \p addr.
-  /// std::nullopt when \p addr is not in code or the bytes are invalid.
-  /// Safe to call from multiple threads.
-  [[nodiscard]] std::optional<x86::Insn> insn_at(std::uint64_t addr) const {
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      const auto it = cache_.find(addr);
-      if (it != cache_.end()) {
-        return it->second;
-      }
+  /// Decodes (with dense memoization) the instruction at \p addr.
+  /// nullptr when \p addr is not in code or the bytes are invalid. The
+  /// returned pointer is stable for the CodeView's lifetime. Safe to call
+  /// from multiple threads; reads of already-decoded addresses are
+  /// wait-free.
+  [[nodiscard]] const x86::Insn* insn_at(std::uint64_t addr) const {
+    const Shard* shard = shard_at(addr);
+    if (shard == nullptr) {
+      return nullptr;
     }
-    std::optional<x86::Insn> result;
-    const elf::Section* sec = elf_.section_at(addr);
-    if (sec != nullptr && sec->executable()) {
-      const std::uint64_t avail = sec->addr + sec->size - addr;
-      const auto bytes = elf_.bytes_at(addr, std::min<std::uint64_t>(avail, 15));
-      if (bytes) {
-        result = x86::decode(*bytes, addr);
-      }
+    const std::uint64_t off = addr - shard->addr;
+    const std::uint32_t slot =
+        shard->slots[off].load(std::memory_order_acquire);
+    if (slot >= kFirstRecord) {
+      return record_at(slot - kFirstRecord);
     }
-    const std::lock_guard<std::mutex> lock(mu_);
-    cache_.emplace(addr, result);
-    return result;
+    if (slot == kInvalid) {
+      return nullptr;
+    }
+    return decode_slot(*shard, off, addr);
+  }
+
+  /// Eagerly decodes every executable section (linear sweep with one-byte
+  /// resynchronization), sharded over up to \p jobs workers
+  /// (0 = FETCH_JOBS/hardware default). Afterwards every insn_at on a
+  /// sweep-reachable address is a warm wait-free read. Idempotent and safe
+  /// to run concurrently with readers.
+  void predecode(std::size_t jobs = 0) const;
+
+  /// Occupancy of the dense cache (computed by scanning the slot arrays;
+  /// diagnostics/benchmarks only, not for the hot path).
+  struct CacheStats {
+    std::uint64_t code_bytes = 0;  ///< total slots (executable bytes)
+    std::uint64_t decoded = 0;     ///< slots holding a decoded record
+    std::uint64_t invalid = 0;     ///< slots marked undecodable
+  };
+  [[nodiscard]] CacheStats cache_stats() const;
+
+  /// Number of packed instruction records in the arena. Because a slot is
+  /// claimed before decoding, this equals the number of distinct addresses
+  /// ever decoded successfully (no double-decode).
+  [[nodiscard]] std::uint64_t decoded_records() const {
+    return arena_next_.load(std::memory_order_relaxed);
   }
 
   /// Raw bytes at a virtual address (any allocated section).
@@ -62,9 +100,56 @@ class CodeView {
   }
 
  private:
+  /// Dense per-section cache: one atomic slot per code byte. `slot_count`
+  /// is clamped to the section's file-backed bytes, so a decode window can
+  /// never extend past the section (or into a neighboring one).
+  struct Shard {
+    std::uint64_t addr = 0;
+    std::uint64_t slot_count = 0;
+    const std::uint8_t* bytes = nullptr;
+    std::unique_ptr<std::atomic<std::uint32_t>[]> slots;
+  };
+
+  // Slot states. Values >= kFirstRecord are arena indices shifted by
+  // kFirstRecord; the transitions are kEmpty -> kDecoding -> (record |
+  // kInvalid), each a single atomic operation.
+  static constexpr std::uint32_t kEmpty = 0;
+  static constexpr std::uint32_t kDecoding = 1;
+  static constexpr std::uint32_t kInvalid = 2;
+  static constexpr std::uint32_t kFirstRecord = 3;
+
+  // The record arena grows in geometrically sized buckets (bucket b holds
+  // 2^b * kBucket0Size records), so memory stays proportional to the
+  // number of decoded instructions while published records never move.
+  static constexpr unsigned kBucket0Shift = 8;  // 256 records
+  static constexpr unsigned kMaxBuckets = 24;
+
+  [[nodiscard]] static unsigned bucket_of(std::uint32_t index) {
+    // One instruction on the warm-read path (vs a shift loop).
+    return static_cast<unsigned>(
+        std::bit_width((index >> kBucket0Shift) + 1u) - 1);
+  }
+  [[nodiscard]] static std::uint32_t bucket_base(unsigned bucket) {
+    return ((1u << bucket) - 1u) << kBucket0Shift;
+  }
+  [[nodiscard]] static std::uint32_t bucket_capacity(unsigned bucket) {
+    return 1u << (bucket + kBucket0Shift);
+  }
+
+  [[nodiscard]] const Shard* shard_at(std::uint64_t addr) const;
+  [[nodiscard]] const x86::Insn* record_at(std::uint32_t index) const {
+    const unsigned b = bucket_of(index);
+    return buckets_[b].load(std::memory_order_acquire) + (index - bucket_base(b));
+  }
+  [[nodiscard]] std::uint32_t append_record(const x86::Insn& insn) const;
+  [[nodiscard]] const x86::Insn* decode_slot(const Shard& shard,
+                                             std::uint64_t off,
+                                             std::uint64_t addr) const;
+
   const elf::ElfFile& elf_;
-  mutable std::mutex mu_;
-  mutable std::unordered_map<std::uint64_t, std::optional<x86::Insn>> cache_;
+  std::vector<Shard> shards_;  // sorted by addr; slots mutated atomically
+  mutable std::atomic<std::uint32_t> arena_next_{0};
+  mutable std::atomic<x86::Insn*> buckets_[kMaxBuckets] = {};
 };
 
 }  // namespace fetch::disasm

@@ -14,12 +14,12 @@ using x86::Reg;
 /// Searches the window backwards (before index \p from) for `cmp I, imm`
 /// followed somewhere later by a `ja`/`jae` — the bound check guarding the
 /// table. Returns the number of table entries.
-std::optional<std::uint64_t> find_bound(const std::vector<Insn>& window,
+std::optional<std::uint64_t> find_bound(const InsnWindow& window,
                                         std::size_t from, Reg index_reg) {
   // The bound check may sit a few instructions above the dispatch sequence.
   std::size_t checked = 0;
   for (std::size_t i = from; i-- > 0 && checked < 12; ++checked) {
-    const Insn& insn = window[i];
+    const Insn& insn = *window[i];
     // cmp index_reg, imm  (group1 /7 keeps imm in insn.imm, register in
     // rm_reg, and marks only reads).
     if (insn.kind == Kind::kOther && insn.imm && insn.rm_reg == index_reg &&
@@ -91,12 +91,12 @@ std::optional<JumpTable> read_table_abs(const CodeView& code,
 
 }  // namespace
 
-std::optional<JumpTable> resolve_jump_table(
-    const CodeView& code, const std::vector<x86::Insn>& window) {
+std::optional<JumpTable> resolve_jump_table(const CodeView& code,
+                                            const InsnWindow& window) {
   if (window.empty()) {
     return std::nullopt;
   }
-  const Insn& jmp = window.back();
+  const Insn& jmp = *window.back();
   if (jmp.kind != Kind::kJmpIndirect) {
     return std::nullopt;
   }
@@ -130,7 +130,7 @@ std::optional<JumpTable> resolve_jump_table(
   // Scan back for: add jreg, T
   std::optional<std::size_t> add_pos;
   for (std::size_t k = i; k-- > 0;) {
-    const Insn& insn = window[k];
+    const Insn& insn = *window[k];
     if (insn.kind == Kind::kOther &&
         (insn.regs_written & reg_bit(jreg)) != 0 && insn.rm_reg == jreg &&
         insn.reg_op && !insn.mem && !insn.imm) {
@@ -150,7 +150,7 @@ std::optional<JumpTable> resolve_jump_table(
   // Scan back for: movsxd jreg, dword [table_reg + I*4]
   bool found_movsxd = false;
   for (std::size_t k = *add_pos; k-- > 0;) {
-    const Insn& insn = window[k];
+    const Insn& insn = *window[k];
     if (insn.kind == Kind::kMov && insn.mem && insn.mem->base == *table_reg &&
         insn.mem->index && insn.mem->scale == 4 && insn.reg_op == jreg) {
       index_reg = insn.mem->index;
@@ -169,7 +169,7 @@ std::optional<JumpTable> resolve_jump_table(
   // Scan back for: lea table_reg, [rip + table]
   bool found_lea = false;
   for (std::size_t k = movsxd_pos; k-- > 0;) {
-    const Insn& insn = window[k];
+    const Insn& insn = *window[k];
     if (insn.kind == Kind::kLea && insn.reg_op == *table_reg &&
         insn.mem_target) {
       table_addr = *insn.mem_target;

@@ -37,6 +37,6 @@ struct JumpTable {
 /// table base, entry loads) is found and all decoded targets land inside
 /// executable sections.
 [[nodiscard]] std::optional<JumpTable> resolve_jump_table(
-    const CodeView& code, const std::vector<x86::Insn>& window);
+    const CodeView& code, const InsnWindow& window);
 
 }  // namespace fetch::disasm

@@ -13,7 +13,7 @@ using x86::Reg;
 
 constexpr std::size_t kWindowLimit = 32;
 
-void push_window(std::vector<Insn>& window, const Insn& insn) {
+void push_window(InsnWindow& window, const Insn* insn) {
   if (window.size() >= kWindowLimit) {
     window.erase(window.begin());
   }
@@ -23,9 +23,9 @@ void push_window(std::vector<Insn>& window, const Insn& insn) {
 /// Backward slice of the first-argument register (edi) at a call site:
 /// returns true when edi provably holds zero. Used for the paper's
 /// `error`/`error_at_line` conditional-noreturn special case.
-bool first_arg_is_zero(const std::vector<Insn>& window) {
+bool first_arg_is_zero(const InsnWindow& window) {
   for (auto it = window.rbegin(); it != window.rend(); ++it) {
-    const Insn& insn = *it;
+    const Insn& insn = **it;
     if ((insn.regs_written & reg_bit(Reg::kRdi)) == 0) {
       continue;
     }
@@ -43,7 +43,7 @@ bool first_arg_is_zero(const std::vector<Insn>& window) {
 }
 
 /// Does the call at \p site to \p callee fall through?
-bool call_returns(const Options& options, const std::vector<Insn>& window,
+bool call_returns(const Options& options, const InsnWindow& window,
                   std::uint64_t callee) {
   if (options.noreturn_functions.count(callee) != 0) {
     return false;
@@ -70,7 +70,7 @@ void record_data_refs(const CodeView& code, const Insn& insn, XRefs& xrefs) {
 
 struct WorkItem {
   std::uint64_t addr;
-  std::vector<Insn> window;
+  InsnWindow window;
 };
 
 /// Phase 1: global discovery. Explores every reachable instruction once,
@@ -81,7 +81,7 @@ void discover(const CodeView& code, const std::vector<std::uint64_t>& seeds,
   std::deque<WorkItem> work;
   std::set<std::uint64_t> queued;
 
-  auto enqueue = [&](std::uint64_t addr, std::vector<Insn> window) {
+  auto enqueue = [&](std::uint64_t addr, InsnWindow window) {
     if (visited.count(addr) == 0 && queued.insert(addr).second) {
       work.push_back({addr, std::move(window)});
     }
@@ -97,7 +97,7 @@ void discover(const CodeView& code, const std::vector<std::uint64_t>& seeds,
     WorkItem item = std::move(work.front());
     work.pop_front();
     std::uint64_t addr = item.addr;
-    std::vector<Insn> window = std::move(item.window);
+    InsnWindow window = std::move(item.window);
 
     while (true) {
       if (!visited.insert(addr).second) {
@@ -110,7 +110,7 @@ void discover(const CodeView& code, const std::vector<std::uint64_t>& seeds,
       result.covered.add(addr, addr + insn->length);
       result.insn_starts.insert(addr);
       record_data_refs(code, *insn, result.xrefs);
-      push_window(window, *insn);
+      push_window(window, insn);
 
       bool fallthrough = false;
       switch (insn->kind) {
@@ -191,7 +191,7 @@ Function build_function(const CodeView& code, std::uint64_t entry,
     WorkItem item = std::move(work.front());
     work.pop_front();
     std::uint64_t addr = item.addr;
-    std::vector<Insn> window = std::move(item.window);
+    InsnWindow window = std::move(item.window);
 
     while (true) {
       if (fn.insn_addrs.count(addr) != 0) {
@@ -208,9 +208,9 @@ Function build_function(const CodeView& code, std::uint64_t entry,
       }
       fn.insn_addrs.insert(addr);
       fn.max_end = std::max(fn.max_end, addr + insn->length);
-      push_window(window, *insn);
+      push_window(window, insn);
 
-      auto enqueue_local = [&](std::uint64_t t, std::vector<Insn> w) {
+      auto enqueue_local = [&](std::uint64_t t, InsnWindow w) {
         if (fn.insn_addrs.count(t) == 0 && queued.insert(t).second) {
           work.push_back({t, std::move(w)});
         }
@@ -306,7 +306,7 @@ std::set<std::uint64_t> find_noreturn_functions(const CodeView& code,
       WorkItem item = std::move(work.front());
       work.pop_front();
       std::uint64_t addr = item.addr;
-      std::vector<Insn> window = std::move(item.window);
+      InsnWindow window = std::move(item.window);
       while (true) {
         if (!seen.insert(addr).second || fn.insn_addrs.count(addr) == 0) {
           break;
@@ -315,7 +315,7 @@ std::set<std::uint64_t> find_noreturn_functions(const CodeView& code,
         if (!insn) {
           break;
         }
-        push_window(window, *insn);
+        push_window(window, insn);
         bool fallthrough = false;
         switch (insn->kind) {
           case Kind::kRet:

@@ -1,0 +1,498 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal self-contained JSON model: an ordered value tree, a strict
+/// recursive-descent parser, and a deterministic pretty-printer. Used by
+/// the bench harness's `--json` mode and its round-trip tests, and by any
+/// future structured-output consumer (ROADMAP: fetch-cli table output).
+///
+/// Numbers keep their source/format text verbatim alongside the parsed
+/// double, so a value formatted with eval::fmt() survives a
+/// write → parse → compare cycle exactly — the property the
+/// "JSON totals match the human-readable table" ctest check relies on.
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fetch::util::json {
+
+class Value;
+
+/// Object members keep insertion order so dumps are deterministic and
+/// diffs against a checked-in baseline stay readable.
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() : kind_(Kind::kNull) {}
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Value(const char* s) : kind_(Kind::kString), str_(s) {}
+
+  /// A number carrying explicit formatting (e.g. from eval::fmt).
+  [[nodiscard]] static Value number(double value, std::string text) {
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.num_ = value;
+    v.str_ = std::move(text);
+    return v;
+  }
+  [[nodiscard]] static Value number(double value);
+  [[nodiscard]] static Value number(std::uint64_t value) {
+    return number(static_cast<double>(value), std::to_string(value));
+  }
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_double() const { return num_; }
+  /// For numbers: the exact formatted text; for strings: the contents.
+  [[nodiscard]] const std::string& text() const { return str_; }
+  [[nodiscard]] const std::vector<Value>& items() const { return items_; }
+  [[nodiscard]] const std::vector<Member>& members() const { return members_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* get(std::string_view key) const {
+    if (kind_ != Kind::kObject) {
+      return nullptr;
+    }
+    for (const Member& m : members_) {
+      if (m.first == key) {
+        return &m.second;
+      }
+    }
+    return nullptr;
+  }
+
+  Value& add(Value item) {  // array append
+    items_.push_back(std::move(item));
+    return items_.back();
+  }
+  Value& set(std::string key, Value value) {  // object insert/overwrite
+    for (Member& m : members_) {
+      if (m.first == key) {
+        m.second = std::move(value);
+        return m.second;
+      }
+    }
+    members_.emplace_back(std::move(key), std::move(value));
+    return members_.back().second;
+  }
+
+  /// Structural equality (numbers compare by parsed value, not text).
+  [[nodiscard]] bool operator==(const Value& other) const {
+    if (kind_ != other.kind_) {
+      return false;
+    }
+    switch (kind_) {
+      case Kind::kNull:
+        return true;
+      case Kind::kBool:
+        return bool_ == other.bool_;
+      case Kind::kNumber:
+        return num_ == other.num_;
+      case Kind::kString:
+        return str_ == other.str_;
+      case Kind::kArray:
+        return items_ == other.items_;
+      case Kind::kObject:
+        return members_ == other.members_;
+    }
+    return false;
+  }
+
+  /// Serializes with 2-space indentation (stable across runs).
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document (trailing whitespace only).
+  /// std::nullopt on any syntax error.
+  [[nodiscard]] static std::optional<Value> parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;            // string contents or number text
+  std::vector<Value> items_;   // array
+  std::vector<Member> members_;  // object
+};
+
+namespace detail {
+
+inline void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run() {
+    auto value = parse_value();
+    if (!value) {
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return std::nullopt;  // trailing junk
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> parse_value() {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return parse_object();
+    }
+    if (c == '[') {
+      return parse_array();
+    }
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) {
+        return std::nullopt;
+      }
+      return Value(std::move(*s));
+    }
+    if (literal("true")) {
+      return Value(true);
+    }
+    if (literal("false")) {
+      return Value(false);
+    }
+    if (literal("null")) {
+      return Value();
+    }
+    return parse_number();
+  }
+
+  std::optional<Value> parse_object() {  // NOLINT(misc-no-recursion)
+    if (!eat('{')) {
+      return std::nullopt;
+    }
+    Value obj = Value::object();
+    skip_ws();
+    if (eat('}')) {
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) {
+        return std::nullopt;
+      }
+      skip_ws();
+      if (!eat(':')) {
+        return std::nullopt;
+      }
+      auto value = parse_value();
+      if (!value) {
+        return std::nullopt;
+      }
+      obj.set(std::move(*key), std::move(*value));
+      skip_ws();
+      if (eat(',')) {
+        continue;
+      }
+      if (eat('}')) {
+        return obj;
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parse_array() {  // NOLINT(misc-no-recursion)
+    if (!eat('[')) {
+      return std::nullopt;
+    }
+    Value arr = Value::array();
+    skip_ws();
+    if (eat(']')) {
+      return arr;
+    }
+    for (;;) {
+      auto value = parse_value();
+      if (!value) {
+        return std::nullopt;
+      }
+      arr.add(std::move(*value));
+      skip_ws();
+      if (eat(',')) {
+        continue;
+      }
+      if (eat(']')) {
+        return arr;
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!eat('"')) {
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return std::nullopt;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogates unsupported).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    if (!digits()) {
+      return std::nullopt;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) {
+        return std::nullopt;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) {
+        return std::nullopt;
+      }
+    }
+    std::string text(text_.substr(start, pos_ - start));
+    const double value = std::strtod(text.c_str(), nullptr);
+    return Value::number(value, std::move(text));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline void dump_value(const Value& value, int depth, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string inner(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber:
+      out += value.text();
+      break;
+    case Value::Kind::kString:
+      dump_string(value.text(), out);
+      break;
+    case Value::Kind::kArray: {
+      if (value.items().empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < value.items().size(); ++i) {
+        out += inner;
+        dump_value(value.items()[i], depth + 1, out);
+        out += i + 1 < value.items().size() ? ",\n" : "\n";
+      }
+      out += pad + "]";
+      break;
+    }
+    case Value::Kind::kObject: {
+      if (value.members().empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < value.members().size(); ++i) {
+        out += inner;
+        dump_string(value.members()[i].first, out);
+        out += ": ";
+        dump_value(value.members()[i].second, depth + 1, out);
+        out += i + 1 < value.members().size() ? ",\n" : "\n";
+      }
+      out += pad + "}";
+      break;
+    }
+  }
+}
+
+}  // namespace detail
+
+inline Value Value::number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return number(value, buf);
+}
+
+inline std::string Value::dump(int indent) const {
+  std::string out;
+  detail::dump_value(*this, indent, out);
+  return out;
+}
+
+inline std::optional<Value> Value::parse(std::string_view text) {
+  return detail::Parser(text).run();
+}
+
+}  // namespace fetch::util::json

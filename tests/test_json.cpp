@@ -1,0 +1,92 @@
+/// \file test_json.cpp
+/// util/json.hpp: parser strictness, writer determinism, and the
+/// write → parse → compare round trip the bench harness's --json mode
+/// depends on.
+
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fetch::util::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Value::parse("null")->is_null());
+  EXPECT_TRUE(Value::parse("true")->as_bool());
+  EXPECT_FALSE(Value::parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(Value::parse("3.25")->as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(Value::parse("-17")->as_double(), -17.0);
+  EXPECT_DOUBLE_EQ(Value::parse("2e3")->as_double(), 2000.0);
+  EXPECT_EQ(Value::parse("\"hi\"")->text(), "hi");
+}
+
+TEST(Json, NumberKeepsSourceText) {
+  const auto v = Value::parse("0.500");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->text(), "0.500");
+  EXPECT_DOUBLE_EQ(v->as_double(), 0.5);
+  EXPECT_EQ(v->dump(), "0.500");  // not re-formatted
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const auto v = Value::parse(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": true})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  const Value* a = v->get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[2].get("b")->text(), "c");
+  EXPECT_TRUE(v->get("d")->get("e")->is_null());
+  EXPECT_TRUE(v->get("f")->as_bool());
+  EXPECT_EQ(v->get("missing"), nullptr);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  const auto v = Value::parse(R"("a\"b\\c\nd\te\u0041")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->text(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(Value::parse("").has_value());
+  EXPECT_FALSE(Value::parse("{").has_value());
+  EXPECT_FALSE(Value::parse("[1,]").has_value());
+  EXPECT_FALSE(Value::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Value::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Value::parse("1 2").has_value());  // trailing junk
+  EXPECT_FALSE(Value::parse("nul").has_value());
+  EXPECT_FALSE(Value::parse("1.").has_value());
+  EXPECT_FALSE(Value::parse("\"\\q\"").has_value());
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Value doc = Value::object();
+  doc.set("schema", Value("fetch-bench-v1"));
+  doc.set("jobs", Value::number(static_cast<std::uint64_t>(4)));
+  Value rows = Value::array();
+  Value row = Value::object();
+  row.set("name", Value("insn_at_warm_dense"));
+  row.set("value", Value::number(5.23, "5.23"));
+  row.set("unit", Value("ns/op"));
+  rows.add(std::move(row));
+  doc.set("results", std::move(rows));
+
+  const std::string text = doc.dump();
+  const auto parsed = Value::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == doc);
+  // A second round trip is byte-stable (deterministic writer).
+  EXPECT_EQ(parsed->dump(), text);
+}
+
+TEST(Json, SetOverwritesInPlace) {
+  Value obj = Value::object();
+  obj.set("k", Value("one"));
+  obj.set("k", Value("two"));
+  ASSERT_EQ(obj.members().size(), 1u);
+  EXPECT_EQ(obj.get("k")->text(), "two");
+}
+
+}  // namespace
+}  // namespace fetch::util::json
