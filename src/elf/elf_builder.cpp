@@ -22,6 +22,12 @@ void ElfBuilder::add_symbol(std::string name, Addr value, std::uint64_t size,
   symbols_.push_back({std::move(name), value, size, info, shndx});
 }
 
+void ElfBuilder::add_dynamic_symbol(std::string name, Addr value,
+                                    std::uint64_t size, std::uint8_t info,
+                                    std::uint16_t shndx) {
+  dyn_symbols_.push_back({std::move(name), value, size, info, shndx});
+}
+
 std::vector<std::uint8_t> ElfBuilder::build() const {
   struct OutSection {
     std::string name;
@@ -47,7 +53,12 @@ std::vector<std::uint8_t> ElfBuilder::build() const {
     out.push_back(std::move(o));
   }
 
-  if (emit_symtab_) {
+  // Emits a symbol-table + string-table section pair. Shared by
+  // .symtab/.strtab and .dynsym/.dynstr; they differ only in names, the
+  // section type, and which registered symbol list they serialize.
+  auto emit_symbol_pair = [&](const std::vector<SymbolData>& symbols,
+                              const char* table_name, std::uint32_t table_type,
+                              const char* strings_name) {
     ByteWriter strtab;
     strtab.u8(0);  // index 0: empty string
     ByteWriter symtab;
@@ -67,35 +78,42 @@ std::vector<std::uint8_t> ElfBuilder::build() const {
       symtab.bytes({reinterpret_cast<const std::uint8_t*>(&raw), sizeof(raw)});
     };
     // gABI: local symbols must precede globals.
-    for (const SymbolData& sym : symbols_) {
+    for (const SymbolData& sym : symbols) {
       if (sym_bind(sym.info) == kStbLocal) {
         emit_sym(sym);
         ++local_count;
       }
     }
-    for (const SymbolData& sym : symbols_) {
+    for (const SymbolData& sym : symbols) {
       if (sym_bind(sym.info) != kStbLocal) {
         emit_sym(sym);
       }
     }
 
-    OutSection symtab_sec;
-    symtab_sec.name = ".symtab";
-    symtab_sec.type = kShtSymtab;
-    symtab_sec.bytes = symtab.take();
-    // link = section header index of .strtab (emitted right after .symtab);
-    // +1 for the SHT_NULL section, +1 to step past .symtab itself.
-    symtab_sec.link = static_cast<std::uint32_t>(out.size() + 2);
-    symtab_sec.info = local_count;  // first non-local symbol index
-    symtab_sec.addralign = 8;
-    symtab_sec.entsize = sizeof(Sym);
-    out.push_back(std::move(symtab_sec));
+    OutSection table_sec;
+    table_sec.name = table_name;
+    table_sec.type = table_type;
+    table_sec.bytes = symtab.take();
+    // link = section header index of the string table (emitted right after
+    // the symbol table); +1 for the SHT_NULL section, +1 to step past the
+    // symbol table itself.
+    table_sec.link = static_cast<std::uint32_t>(out.size() + 2);
+    table_sec.info = local_count;  // first non-local symbol index
+    table_sec.addralign = 8;
+    table_sec.entsize = sizeof(Sym);
+    out.push_back(std::move(table_sec));
 
-    OutSection strtab_sec;
-    strtab_sec.name = ".strtab";
-    strtab_sec.type = kShtStrtab;
-    strtab_sec.bytes = strtab.take();
-    out.push_back(std::move(strtab_sec));
+    OutSection strings_sec;
+    strings_sec.name = strings_name;
+    strings_sec.type = kShtStrtab;
+    strings_sec.bytes = strtab.take();
+    out.push_back(std::move(strings_sec));
+  };
+  if (emit_symtab_) {
+    emit_symbol_pair(symbols_, ".symtab", kShtSymtab, ".strtab");
+  }
+  if (!dyn_symbols_.empty()) {
+    emit_symbol_pair(dyn_symbols_, ".dynsym", kShtDynsym, ".dynstr");
   }
 
   // .shstrtab with all section names.

@@ -31,6 +31,12 @@ class ElfBuilder {
   void add_symbol(std::string name, Addr value, std::uint64_t size,
                   std::uint8_t info, std::uint16_t shndx);
 
+  /// Registers a dynamic symbol. Any registered dynamic symbol makes the
+  /// builder emit .dynsym/.dynstr, independently of emit_symtab — so tests
+  /// can model a stripped-but-dynamic binary (symtab gone, exports kept).
+  void add_dynamic_symbol(std::string name, Addr value, std::uint64_t size,
+                          std::uint8_t info, std::uint16_t shndx);
+
   void set_entry(Addr entry) { entry_ = entry; }
 
   /// When false, the output is a "stripped" binary: no .symtab/.strtab.
@@ -60,6 +66,7 @@ class ElfBuilder {
   bool emit_symtab_ = true;
   std::vector<SectionData> sections_;
   std::vector<SymbolData> symbols_;
+  std::vector<SymbolData> dyn_symbols_;
 };
 
 }  // namespace fetch::elf

@@ -121,15 +121,13 @@ void ElfFile::parse() {
                          sh.offset, sh.size, sh.link, sh.entsize});
   }
 
-  // Symbols: parse every SHT_SYMTAB section (normally at most one).
-  for (std::size_t i = 0; i < shdrs.size(); ++i) {
-    const Shdr& sh = shdrs[i];
-    if (sh.type != kShtSymtab) {
-      continue;
-    }
-    has_symtab_ = true;
+  // Symbols: parse every SHT_SYMTAB / SHT_DYNSYM section (normally at
+  // most one of each) into its own vector. The two tables share the
+  // reader; each resolves names through its own linked string table.
+  auto read_symbols = [&](const Shdr& sh, const char* what,
+                          std::vector<Symbol>* out) {
     if (sh.entsize < sizeof(Sym)) {
-      throw ParseError("ELF: symtab entsize too small");
+      throw ParseError(std::string("ELF: ") + what + " entsize too small");
     }
     std::span<const std::uint8_t> strtab;
     if (sh.link < shdrs.size() && shdrs[sh.link].type == kShtStrtab) {
@@ -145,10 +143,68 @@ void ElfFile::parse() {
       if (n == 0) {
         continue;  // index 0 is the reserved undefined symbol
       }
-      symbols_.push_back(
+      out->push_back(
           {str_at(strtab, sym.name), sym.value, sym.size, sym.info, sym.shndx});
     }
+  };
+  for (const Shdr& sh : shdrs) {
+    if (sh.type == kShtSymtab) {
+      has_symtab_ = true;
+      read_symbols(sh, "symtab", &symbols_);
+    } else if (sh.type == kShtDynsym) {
+      has_dynsym_ = true;
+      read_symbols(sh, "dynsym", &dyn_symbols_);
+    }
   }
+}
+
+FunctionTruth ElfFile::function_truth() const {
+  auto extract = [this](const std::vector<Symbol>& table, const char* source) {
+    FunctionTruth truth;
+    truth.source = source;
+    for (const Symbol& sym : table) {
+      if (!sym.is_function() && !sym.is_ifunc()) {
+        continue;
+      }
+      if (!sym.defined()) {
+        ++truth.undefined;  // import (dynsym) or SHN_ABS pseudo-symbol
+        continue;
+      }
+      if (!is_code_address(sym.value)) {
+        ++truth.non_code;  // e.g. descriptors or mislabeled data
+        continue;
+      }
+      if (!truth.starts.insert(sym.value).second) {
+        ++truth.aliases;  // weak/strong alias pair, versioned duplicate, ...
+        continue;
+      }
+      // Counted only for the representative of each address, after dedup:
+      // zero-size entries are typically hand-written assembly stubs whose
+      // extent the assembler never recorded — the *start* is still real.
+      if (sym.size == 0) {
+        ++truth.zero_sized;
+      }
+      if (sym.is_ifunc()) {
+        ++truth.ifuncs;
+      }
+    }
+    return truth;
+  };
+  // Prefer .symtab; fall back to .dynsym when stripping removed it or it
+  // carries no usable function starts. A table that yields nothing (e.g.
+  // a coreutils .dynsym that only imports) is as good as absent, so the
+  // result degrades to source == "none" with the counters preserved.
+  FunctionTruth truth;
+  if (has_symtab_) {
+    truth = extract(symbols_, "symtab");
+  }
+  if (truth.starts.empty() && has_dynsym_) {
+    truth = extract(dyn_symbols_, "dynsym");
+  }
+  if (truth.starts.empty()) {
+    truth.source = "none";
+  }
+  return truth;
 }
 
 const Section* ElfFile::section(std::string_view name) const {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <string_view>
@@ -55,6 +56,37 @@ struct Symbol {
   [[nodiscard]] bool is_function() const {
     return sym_type(info) == kSttFunc;
   }
+  /// GNU indirect function: the symbol value is the resolver's entry,
+  /// which is a genuine function start for detection purposes.
+  [[nodiscard]] bool is_ifunc() const {
+    return sym_type(info) == kSttGnuIfunc;
+  }
+  /// Defined in this image (not an import / absolute pseudo-symbol).
+  [[nodiscard]] bool defined() const {
+    return shndx != kShnUndef && shndx != kShnAbs;
+  }
+};
+
+/// Approximate function-start ground truth extracted from an image's own
+/// symbol tables, for scoring detection on real (non-synthetic) binaries.
+/// `.symtab` is preferred; stripped binaries fall back to `.dynsym`
+/// (exported functions only — precision against it is meaningless, recall
+/// is not). The diagnostic counters record every policy decision so batch
+/// reports can explain their numbers (see DESIGN.md, "Real-binary ground
+/// truth").
+struct FunctionTruth {
+  /// Deduplicated entry addresses of defined STT_FUNC/STT_GNU_IFUNC
+  /// symbols that land inside an executable section.
+  std::set<Addr> starts;
+  /// "symtab", "dynsym", or "none" (no usable symbol table).
+  std::string source = "none";
+  std::size_t zero_sized = 0;   ///< kept zero-size function symbols
+  std::size_t ifuncs = 0;       ///< kept STT_GNU_IFUNC resolvers
+  std::size_t aliases = 0;      ///< extra symbols collapsed onto one start
+  std::size_t undefined = 0;    ///< dropped imports / SHN_ABS entries
+  std::size_t non_code = 0;     ///< dropped values outside executable sections
+
+  [[nodiscard]] bool usable() const { return !starts.empty(); }
 };
 
 /// Parsed ELF image. The constructor copies the input bytes, so an ElfFile
@@ -79,6 +111,18 @@ class ElfFile {
   /// Function/object symbols from .symtab (empty when stripped).
   [[nodiscard]] const std::vector<Symbol>& symbols() const { return symbols_; }
   [[nodiscard]] bool has_symtab() const { return has_symtab_; }
+
+  /// Dynamic symbols from .dynsym (exported/imported API; survives
+  /// stripping). Empty for fully static or synthetic images.
+  [[nodiscard]] const std::vector<Symbol>& dynamic_symbols() const {
+    return dyn_symbols_;
+  }
+  [[nodiscard]] bool has_dynsym() const { return has_dynsym_; }
+
+  /// Extracts function-start ground truth from .symtab, falling back to
+  /// .dynsym when the binary is stripped (see FunctionTruth for the
+  /// filtering policy and its diagnostic counters).
+  [[nodiscard]] FunctionTruth function_truth() const;
 
   /// First section with the given name, or nullptr.
   [[nodiscard]] const Section* section(std::string_view name) const;
@@ -112,7 +156,9 @@ class ElfFile {
   std::vector<Section> sections_;
   std::vector<Segment> segments_;
   std::vector<Symbol> symbols_;
+  std::vector<Symbol> dyn_symbols_;
   bool has_symtab_ = false;
+  bool has_dynsym_ = false;
 };
 
 }  // namespace fetch::elf

@@ -92,6 +92,7 @@ constexpr std::uint32_t kShtProgbits = 1;
 constexpr std::uint32_t kShtSymtab = 2;
 constexpr std::uint32_t kShtStrtab = 3;
 constexpr std::uint32_t kShtNobits = 8;
+constexpr std::uint32_t kShtDynsym = 11;
 
 // Section flags.
 constexpr std::uint64_t kShfWrite = 0x1;
@@ -111,6 +112,13 @@ constexpr std::uint8_t kStbGlobal = 1;
 constexpr std::uint8_t kSttNotype = 0;
 constexpr std::uint8_t kSttObject = 1;
 constexpr std::uint8_t kSttFunc = 2;
+// GNU indirect function (resolver selected at load time); the resolver
+// entry address is a genuine function start for detection purposes.
+constexpr std::uint8_t kSttGnuIfunc = 10;
+
+// Special section header indices (Sym::shndx).
+constexpr std::uint16_t kShnUndef = 0;
+constexpr std::uint16_t kShnAbs = 0xfff1;
 
 constexpr std::uint8_t sym_info(std::uint8_t bind, std::uint8_t type) {
   return static_cast<std::uint8_t>((bind << 4) | (type & 0xf));

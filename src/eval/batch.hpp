@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file batch.hpp
+/// Multi-binary evaluation pipeline: score function detection on a fleet
+/// of on-disk ELF files against each file's own symbol-table ground truth
+/// (elf::FunctionTruth). This is the repo's first non-synthetic workload —
+/// `fetch-cli batch` and `realbin_check` are thin front ends over it.
+///
+/// Files are evaluated concurrently on one util::ThreadPool (one job per
+/// file: load → extract truth → run the detector → match) and reduced
+/// serially in input order, so every output format — table, CSV, and the
+/// `fetch-batch-v1` JSON document — is byte-identical for any `--jobs`
+/// value. Unreadable or malformed inputs become per-file error rows
+/// instead of aborting the run (see DESIGN.md, "Batch evaluation").
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "util/json.hpp"
+
+namespace fetch::eval {
+
+struct BatchOptions {
+  /// Evaluation workers (0 = FETCH_JOBS env, else hardware concurrency).
+  std::size_t jobs = 0;
+  /// Detector configuration applied to every file. The default is the
+  /// full FETCH pipeline; `use_symbols` must stay off — symbols are the
+  /// ground truth here, seeding from them would score the answer key.
+  core::DetectorOptions detector;
+  /// Label recorded in reports for the configuration above.
+  std::string detector_label = "fetch-full";
+};
+
+/// Detection-vs-truth counts and the ratios derived from them. One
+/// definition for per-file rows and aggregated totals, so the metric
+/// conventions (zero-division → 0.0) cannot diverge between the two.
+struct MatchStats {
+  std::size_t truth = 0;     ///< ground-truth function starts
+  std::size_t detected = 0;  ///< reported starts (PLT stubs excluded)
+  std::size_t tp = 0;        ///< detected ∩ truth
+  std::size_t fp = 0;        ///< detected \ truth
+  std::size_t fn = 0;        ///< truth \ detected
+
+  [[nodiscard]] double precision() const {
+    return detected == 0 ? 0.0
+                         : static_cast<double>(tp) /
+                               static_cast<double>(detected);
+  }
+  [[nodiscard]] double recall() const {
+    return truth == 0 ? 0.0
+                      : static_cast<double>(tp) / static_cast<double>(truth);
+  }
+  [[nodiscard]] double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// One file's outcome. Exactly one of two shapes: an error row (`ok`
+/// false, `error` set, metrics zero) or a scored row. When
+/// `truth_source` is "none" the MatchStats tp/fp/fn stay zero — only
+/// `detected` is reported.
+struct BatchRow : MatchStats {
+  std::string path;
+  bool ok = false;
+  std::string error;  ///< load/parse/detection failure message when !ok
+
+  /// Ground-truth provenance: "symtab", "dynsym" (stripped binary,
+  /// exports only — precision against it is not meaningful), or "none".
+  std::string truth_source = "none";
+  /// Detected starts inside .plt* sections, dropped from the comparison:
+  /// they are real runtime entries but never appear in symbol tables.
+  std::size_t plt_excluded = 0;
+
+  // FunctionTruth diagnostics, carried through so reports can explain
+  // their ground truth (zero-size stubs kept, ifunc resolvers, aliases
+  // collapsed).
+  std::size_t zero_sized = 0;
+  std::size_t ifuncs = 0;
+  std::size_t aliases = 0;
+
+  [[nodiscard]] bool has_truth() const { return ok && truth > 0; }
+};
+
+/// Micro-averaged totals over a subset of rows: sums of the per-file
+/// counts, with precision/recall/F1 recomputed from the sums (so large
+/// binaries weigh proportionally, matching the paper's corpus totals).
+struct BatchTotals : MatchStats {
+  std::size_t files = 0;
+
+  void add(const BatchRow& row) {
+    ++files;
+    truth += row.truth;
+    detected += row.detected;
+    tp += row.tp;
+    fp += row.fp;
+    fn += row.fn;
+  }
+};
+
+class BatchReport {
+ public:
+  BatchReport(std::vector<BatchRow> rows, std::string detector_label)
+      : rows_(std::move(rows)), detector_label_(std::move(detector_label)) {}
+
+  [[nodiscard]] const std::vector<BatchRow>& rows() const { return rows_; }
+  [[nodiscard]] std::size_t error_count() const;
+
+  /// Totals over every scored row with usable truth (symtab or dynsym).
+  /// Recall is meaningful here; precision is diluted by dynsym rows.
+  [[nodiscard]] BatchTotals totals_with_truth() const;
+  /// Totals over symtab-truth rows only — the subset where precision and
+  /// F1 are meaningful. This is what the regression gate thresholds.
+  [[nodiscard]] BatchTotals totals_symtab() const;
+
+  /// The `fetch-batch-v1` JSON document (see DESIGN.md for the schema).
+  /// Deterministic: member order is fixed and ratios use eval::fmt
+  /// formatting, so equal runs dump byte-identical text.
+  [[nodiscard]] util::json::Value json() const;
+
+  /// One header + one line per row; RFC-4180-style quoting for the error
+  /// field. Same determinism contract as json().
+  [[nodiscard]] std::string csv() const;
+
+  /// Human-readable per-file table plus aggregate summary lines; error
+  /// rows are listed with their messages below the table.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<BatchRow> rows_;
+  std::string detector_label_;
+};
+
+/// Scores one on-disk ELF. Never throws: any failure (unreadable file,
+/// malformed ELF, detection error) is folded into an error row.
+[[nodiscard]] BatchRow evaluate_file(const std::string& path,
+                                     const core::DetectorOptions& options);
+
+/// Evaluates \p paths concurrently (one ThreadPool across all files, one
+/// job per file) and reduces in input order.
+[[nodiscard]] BatchReport run_batch(const std::vector<std::string>& paths,
+                                    const BatchOptions& options = {});
+
+/// Reads a newline-separated path list; blank lines and `#` comments are
+/// skipped. Returns false with *error set when the list is unreadable.
+[[nodiscard]] bool read_path_list(const std::string& list_path,
+                                  std::vector<std::string>* out,
+                                  std::string* error);
+
+/// Appends every regular file in \p dir (non-recursive) that starts with
+/// the ELF magic, in lexicographic order so batch inputs are stable.
+[[nodiscard]] bool expand_directory(const std::string& dir,
+                                    std::vector<std::string>* out,
+                                    std::string* error);
+
+}  // namespace fetch::eval

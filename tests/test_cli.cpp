@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <memory>
 
 #include "synth/codegen.hpp"
@@ -25,20 +28,25 @@ struct CommandResult {
 
 CommandResult run_cli(const std::string& args) {
   const std::string cmd = std::string(FETCH_CLI_PATH) + " " + args + " 2>&1";
-  std::unique_ptr<FILE, int (*)(FILE*)> pipe(popen(cmd.c_str(), "r"),
-                                             &pclose);
+  FILE* pipe = popen(cmd.c_str(), "r");
   CommandResult result;
-  if (!pipe) {
+  if (pipe == nullptr) {
     return result;
   }
   std::array<char, 4096> chunk;
   std::size_t n;
-  while ((n = fread(chunk.data(), 1, chunk.size(), pipe.get())) > 0) {
+  while ((n = fread(chunk.data(), 1, chunk.size(), pipe)) > 0) {
     result.output.append(chunk.data(), n);
   }
-  // pclose status handled via the deleter; rerun for the exit code.
-  result.status = 0;
+  const int status = pclose(pipe);
+  result.status = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return result;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
 }
 
 std::string write_sample_binary() {
@@ -109,6 +117,95 @@ TEST(Cli, AuditReportsRemovedTargets) {
   const std::string path = write_sample_binary();
   const CommandResult r = run_cli("audit " + path);
   EXPECT_NE(r.output.find("false targets removed"), std::string::npos);
+}
+
+/// Writes a second, distinct sample binary so batch runs see real
+/// per-file variation.
+std::string write_sample_binary2() {
+  const auto spec = synth::make_program(
+      synth::projects()[1], synth::profile_for("llvm", "O2"), 4242);
+  const synth::SynthBinary bin = synth::generate(spec);
+  const std::string path = ::testing::TempDir() + "/fetch_cli_sample2.bin";
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bin.image.data()),
+            static_cast<std::streamsize>(bin.image.size()));
+  return path;
+}
+
+std::string write_garbage_file() {
+  const std::string path = ::testing::TempDir() + "/fetch_cli_garbage.bin";
+  std::ofstream out(path, std::ios::binary);
+  out << "definitely not an ELF";
+  return path;
+}
+
+TEST(Cli, BatchKeepsGoingPastMalformedInputs) {
+  if (!cli_available()) {
+    GTEST_SKIP() << "fetch-cli not built";
+  }
+  // Regression (single-file commands exit 1 on the first bad input; batch
+  // must instead record an error row and score the rest): garbage first,
+  // then a good binary — the run succeeds and reports both.
+  const std::string good = write_sample_binary();
+  const std::string garbage = write_garbage_file();
+  const CommandResult r = run_cli("batch " + garbage + " " + good);
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("errors: 1"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("error: " + garbage), std::string::npos);
+  EXPECT_NE(r.output.find("symtab"), std::string::npos);  // scored row
+
+  // A batch where nothing could be evaluated is still an error overall.
+  const CommandResult all_bad = run_cli("batch " + garbage);
+  EXPECT_EQ(all_bad.status, 1) << all_bad.output;
+}
+
+TEST(Cli, BatchJsonIsByteIdenticalAcrossJobCounts) {
+  if (!cli_available()) {
+    GTEST_SKIP() << "fetch-cli not built";
+  }
+  const std::string a = write_sample_binary();
+  const std::string b = write_sample_binary2();
+  const std::string garbage = write_garbage_file();
+  const std::string inputs = a + " " + b + " " + garbage + " " + a;
+  const std::string json1 = ::testing::TempDir() + "/fetch_cli_batch_j1.json";
+  const std::string json4 = ::testing::TempDir() + "/fetch_cli_batch_j4.json";
+
+  const CommandResult r1 =
+      run_cli("--jobs 1 batch --json " + json1 + " " + inputs);
+  const CommandResult r4 =
+      run_cli("--jobs 4 batch --json " + json4 + " " + inputs);
+  EXPECT_EQ(r1.status, 0) << r1.output;
+  EXPECT_EQ(r4.status, 0) << r4.output;
+  EXPECT_EQ(r1.output, r4.output);  // the table too, not just the JSON
+
+  const std::string doc1 = slurp(json1);
+  EXPECT_FALSE(doc1.empty());
+  EXPECT_EQ(doc1, slurp(json4));
+  EXPECT_NE(doc1.find("\"fetch-batch-v1\""), std::string::npos);
+}
+
+TEST(Cli, BatchFromFileAndCsv) {
+  if (!cli_available()) {
+    GTEST_SKIP() << "fetch-cli not built";
+  }
+  const std::string good = write_sample_binary();
+  const std::string list = ::testing::TempDir() + "/fetch_cli_batch_list.txt";
+  {
+    std::ofstream out(list, std::ios::trunc);
+    out << "# comment line\n" << good << "\n";
+  }
+  const std::string csv = ::testing::TempDir() + "/fetch_cli_batch.csv";
+  const CommandResult r =
+      run_cli("batch --from-file " + list + " --csv " + csv);
+  EXPECT_EQ(r.status, 0) << r.output;
+  const std::string csv_text = slurp(csv);
+  EXPECT_NE(csv_text.find("path,status,truth_source"), std::string::npos);
+  EXPECT_NE(csv_text.find(good + ",ok,symtab,"), std::string::npos);
+
+  // No inputs at all is a usage error, as is a batch flag on another
+  // command.
+  EXPECT_EQ(run_cli("batch").status, 2);
+  EXPECT_EQ(run_cli("detect --json x.json " + good).status, 2);
 }
 
 TEST(Cli, BadUsageAndBadFile) {

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "elf/elf_builder.hpp"
+#include "elf/elf_file.hpp"
+
+namespace fetch::elf {
+namespace {
+
+/// Handcrafted-ELF coverage of the symbol-table ground-truth reader:
+/// .dynsym fallback, STT_FUNC filtering, and the zero-size / ifunc /
+/// alias / non-code edge cases the real-binary harness depends on.
+
+std::vector<std::uint8_t> nop_code(std::size_t n) {
+  return std::vector<std::uint8_t>(n, 0x90);
+}
+
+/// A .text at 0x401000 (64 nops) and a writable .data at 0x500000.
+ElfBuilder two_section_builder() {
+  ElfBuilder b;
+  b.add_section(".text", kShtProgbits, kShfAlloc | kShfExecinstr, 0x401000,
+                nop_code(64), 16);
+  b.add_section(".data", kShtProgbits, kShfAlloc | kShfWrite, 0x500000,
+                {1, 2, 3, 4, 5, 6, 7, 8}, 8);
+  b.set_entry(0x401000);
+  return b;
+}
+constexpr std::uint16_t kTextIdx = 1;  // first added section
+constexpr std::uint16_t kDataIdx = 2;
+
+TEST(SymtabTruth, SymtabPreferredOverDynsym) {
+  ElfBuilder b = two_section_builder();
+  b.add_symbol("full", 0x401000, 8, sym_info(kStbGlobal, kSttFunc), kTextIdx);
+  b.add_dynamic_symbol("exported", 0x401010, 8,
+                       sym_info(kStbGlobal, kSttFunc), kTextIdx);
+  const ElfFile elf(b.build());
+  ASSERT_TRUE(elf.has_symtab());
+  ASSERT_TRUE(elf.has_dynsym());
+  ASSERT_EQ(elf.dynamic_symbols().size(), 1u);
+  EXPECT_EQ(elf.dynamic_symbols()[0].name, "exported");
+
+  const FunctionTruth truth = elf.function_truth();
+  EXPECT_EQ(truth.source, "symtab");
+  EXPECT_EQ(truth.starts, std::set<Addr>{0x401000});
+}
+
+TEST(SymtabTruth, DynsymOnlyFallback) {
+  ElfBuilder b = two_section_builder();
+  b.emit_symtab(false);  // "stripped", but exports survive
+  b.add_dynamic_symbol("exported", 0x401010, 8,
+                       sym_info(kStbGlobal, kSttFunc), kTextIdx);
+  b.add_dynamic_symbol("imported", 0, 0, sym_info(kStbGlobal, kSttFunc),
+                       kShnUndef);
+  b.add_dynamic_symbol("data_obj", 0x500000, 8,
+                       sym_info(kStbGlobal, kSttObject), kDataIdx);
+  const ElfFile elf(b.build());
+  EXPECT_FALSE(elf.has_symtab());
+  ASSERT_TRUE(elf.has_dynsym());
+
+  const FunctionTruth truth = elf.function_truth();
+  EXPECT_EQ(truth.source, "dynsym");
+  EXPECT_EQ(truth.starts, std::set<Addr>{0x401010});
+  EXPECT_EQ(truth.undefined, 1u);  // the UND import was dropped
+}
+
+TEST(SymtabTruth, FullyStrippedIsNone) {
+  ElfBuilder b = two_section_builder();
+  b.emit_symtab(false);
+  const ElfFile elf(b.build());
+  const FunctionTruth truth = elf.function_truth();
+  EXPECT_EQ(truth.source, "none");
+  EXPECT_TRUE(truth.starts.empty());
+  EXPECT_FALSE(truth.usable());
+}
+
+TEST(SymtabTruth, SymtabWithoutFunctionsFallsBackToDynsym) {
+  ElfBuilder b = two_section_builder();
+  b.add_symbol("just_data", 0x500000, 8, sym_info(kStbGlobal, kSttObject),
+               kDataIdx);
+  b.add_dynamic_symbol("exported", 0x401010, 8,
+                       sym_info(kStbGlobal, kSttFunc), kTextIdx);
+  const ElfFile elf(b.build());
+  const FunctionTruth truth = elf.function_truth();
+  EXPECT_EQ(truth.source, "dynsym");
+  EXPECT_EQ(truth.starts, std::set<Addr>{0x401010});
+}
+
+TEST(SymtabTruth, ZeroSizeFunctionKeptAndCounted) {
+  ElfBuilder b = two_section_builder();
+  b.add_symbol("asm_stub", 0x401020, 0, sym_info(kStbGlobal, kSttFunc),
+               kTextIdx);
+  b.add_symbol("sized", 0x401000, 8, sym_info(kStbGlobal, kSttFunc),
+               kTextIdx);
+  const FunctionTruth truth = ElfFile(b.build()).function_truth();
+  EXPECT_EQ(truth.starts, (std::set<Addr>{0x401000, 0x401020}));
+  EXPECT_EQ(truth.zero_sized, 1u);
+}
+
+TEST(SymtabTruth, AliasesCollapseOntoOneStart) {
+  ElfBuilder b = two_section_builder();
+  b.add_symbol("impl", 0x401000, 16, sym_info(kStbLocal, kSttFunc), kTextIdx);
+  b.add_symbol("alias", 0x401000, 16, sym_info(kStbGlobal, kSttFunc),
+               kTextIdx);
+  b.add_symbol("alias2", 0x401000, 16, sym_info(kStbGlobal, kSttFunc),
+               kTextIdx);
+  const FunctionTruth truth = ElfFile(b.build()).function_truth();
+  EXPECT_EQ(truth.starts, std::set<Addr>{0x401000});
+  EXPECT_EQ(truth.aliases, 2u);
+}
+
+TEST(SymtabTruth, OverlappingSymbolsKeepDistinctStarts) {
+  // Distinct entries with overlapping [value, value+size) extents — e.g.
+  // a function and a mid-function secondary entry — are both genuine
+  // starts; only exact-address duplicates collapse.
+  ElfBuilder b = two_section_builder();
+  b.add_symbol("outer", 0x401000, 32, sym_info(kStbGlobal, kSttFunc),
+               kTextIdx);
+  b.add_symbol("inner", 0x401010, 32, sym_info(kStbGlobal, kSttFunc),
+               kTextIdx);
+  const FunctionTruth truth = ElfFile(b.build()).function_truth();
+  EXPECT_EQ(truth.starts, (std::set<Addr>{0x401000, 0x401010}));
+  EXPECT_EQ(truth.aliases, 0u);
+}
+
+TEST(SymtabTruth, IfuncResolverCounts) {
+  ElfBuilder b = two_section_builder();
+  b.add_symbol("memcpy_resolver", 0x401030, 8,
+               sym_info(kStbGlobal, kSttGnuIfunc), kTextIdx);
+  const ElfFile elf(b.build());
+  ASSERT_EQ(elf.symbols().size(), 1u);
+  EXPECT_TRUE(elf.symbols()[0].is_ifunc());
+  EXPECT_FALSE(elf.symbols()[0].is_function());
+
+  const FunctionTruth truth = elf.function_truth();
+  EXPECT_EQ(truth.starts, std::set<Addr>{0x401030});
+  EXPECT_EQ(truth.ifuncs, 1u);
+}
+
+TEST(SymtabTruth, NonCodeAndAbsoluteSymbolsDropped) {
+  ElfBuilder b = two_section_builder();
+  b.add_symbol("mislabeled", 0x500000, 8, sym_info(kStbGlobal, kSttFunc),
+               kDataIdx);  // STT_FUNC pointing into .data
+  b.add_symbol("absolute", 0x12345, 0, sym_info(kStbGlobal, kSttFunc),
+               kShnAbs);
+  b.add_symbol("real", 0x401000, 8, sym_info(kStbGlobal, kSttFunc),
+               kTextIdx);
+  const FunctionTruth truth = ElfFile(b.build()).function_truth();
+  EXPECT_EQ(truth.starts, std::set<Addr>{0x401000});
+  EXPECT_EQ(truth.non_code, 1u);
+  EXPECT_EQ(truth.undefined, 1u);  // SHN_ABS counts with the undefineds
+}
+
+TEST(SymtabTruth, RealSystemBinaryDynsymIfPresent) {
+  // /usr/bin/bash on any mainstream distro is stripped but exports its
+  // internals: truth must come from .dynsym and be non-trivial.
+  std::ifstream probe("/usr/bin/bash", std::ios::binary);
+  if (!probe) {
+    GTEST_SKIP() << "/usr/bin/bash not available";
+  }
+  const ElfFile elf = ElfFile::load("/usr/bin/bash");
+  if (elf.has_symtab()) {
+    GTEST_SKIP() << "unexpected unstripped bash; dynsym fallback not hit";
+  }
+  const FunctionTruth truth = elf.function_truth();
+  EXPECT_EQ(truth.source, "dynsym");
+  EXPECT_GT(truth.starts.size(), 100u);
+}
+
+}  // namespace
+}  // namespace fetch::elf

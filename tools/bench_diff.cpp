@@ -1,0 +1,154 @@
+/// \file bench_diff.cpp
+/// Perf-regression comparator for `fetch-bench-v1` JSON reports: match the
+/// `results` rows of a baseline and a current snapshot by name and flag
+/// values that moved outside a (deliberately generous) tolerance band.
+/// Timing on shared CI runners is noisy, so CI runs this as a
+/// *non-blocking* warn step — a red ratio is a prompt to look at the
+/// artifact history, not an automatic revert (see DESIGN.md).
+///
+///   bench_diff [--tolerance X] [--strict] BASELINE CURRENT
+///
+/// A row regresses when current/baseline > X or < 1/X (default X = 3.0 —
+/// wide enough to absorb runner variance, narrow enough to catch an
+/// accidental O(n^2) or a dropped cache). Rows present in only one file
+/// are reported informationally. Exit code: 0 unless --strict is given,
+/// in which case any flagged row exits 1.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/table.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace fetch;
+using util::json::Value;
+
+int usage() {
+  std::cerr << "usage: bench_diff [--tolerance X] [--strict] "
+               "BASELINE.json CURRENT.json\n";
+  return 2;
+}
+
+bool load_report(const std::string& path, Value* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto doc = Value::parse(buffer.str());
+  if (!doc) {
+    *error = "not valid JSON: " + path;
+    return false;
+  }
+  const Value* schema = doc->get("schema");
+  if (schema == nullptr || schema->text() != "fetch-bench-v1") {
+    *error = "not a fetch-bench-v1 report: " + path;
+    return false;
+  }
+  if (const Value* results = doc->get("results");
+      results == nullptr || !results->is_array()) {
+    *error = "report has no results array: " + path;
+    return false;
+  }
+  *out = std::move(*doc);
+  return true;
+}
+
+const Value* find_row(const Value& report, const std::string& name) {
+  for (const Value& row : report.get("results")->items()) {
+    const Value* row_name = row.get("name");
+    if (row_name != nullptr && row_name->text() == name) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 3.0;
+  bool strict = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::strtod(std::string(arg.substr(12)).c_str(), nullptr);
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      return usage();
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2 || tolerance <= 1.0) {
+    return usage();
+  }
+
+  Value baseline;
+  Value current;
+  std::string error;
+  if (!load_report(paths[0], &baseline, &error) ||
+      !load_report(paths[1], &current, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+
+  eval::TextTable table({"metric", "baseline", "current", "ratio", "status"});
+  std::size_t flagged = 0;
+  std::size_t compared = 0;
+  for (const Value& row : baseline.get("results")->items()) {
+    const Value* name = row.get("name");
+    const Value* base_value = row.get("value");
+    if (name == nullptr || base_value == nullptr) {
+      continue;
+    }
+    const Value* other = find_row(current, name->text());
+    if (other == nullptr || other->get("value") == nullptr) {
+      table.add_row({name->text(), base_value->text(), "-", "-", "missing"});
+      continue;
+    }
+    const double base = base_value->as_double();
+    const double cur = other->get("value")->as_double();
+    if (base <= 0.0) {
+      table.add_row({name->text(), base_value->text(),
+                     other->get("value")->text(), "-", "skipped"});
+      continue;
+    }
+    ++compared;
+    const double ratio = cur / base;
+    const bool bad = ratio > tolerance || ratio < 1.0 / tolerance;
+    flagged += bad ? 1 : 0;
+    table.add_row({name->text(), base_value->text(),
+                   other->get("value")->text(), eval::fmt(ratio, 2),
+                   bad ? "WARN" : "ok"});
+  }
+  for (const Value& row : current.get("results")->items()) {
+    const Value* name = row.get("name");
+    if (name != nullptr && find_row(baseline, name->text()) == nullptr) {
+      const Value* value = row.get("value");
+      table.add_row({name->text(), "-", value == nullptr ? "-" : value->text(),
+                     "-", "new"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\ncompared " << compared << " metrics, " << flagged
+            << " outside " << eval::fmt(tolerance, 1) << "x tolerance\n";
+  if (flagged != 0) {
+    std::cout << "note: CI treats this as a warning, not a failure — "
+                 "check artifact history before acting\n";
+  }
+  return strict && flagged != 0 ? 1 : 0;
+}

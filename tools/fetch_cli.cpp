@@ -12,14 +12,26 @@
 ///   fetch-cli [opts] corpus [self-built|wild]
 ///                                   materialize the synthetic corpus
 ///                                   (cache-aware) and print its summary
+///   fetch-cli [opts] batch <elf>... evaluate many ELFs concurrently
+///                                   against their own .symtab/.dynsym
+///                                   ground truth (per-file + aggregate
+///                                   precision/recall/F1); unreadable or
+///                                   malformed inputs become error rows,
+///                                   the batch keeps going
 ///
 /// Options: --jobs N (default: FETCH_JOBS env, else hardware concurrency),
 /// --scale smoke|default|full (corpus population; default "default"),
 /// --cache-dir DIR (corpus cache root; default: FETCH_CACHE_DIR env,
 /// unset = no caching).
+///
+/// Batch-only options: --from-file LIST (newline-separated paths, `#`
+/// comments; repeatable), --dir DIR (every ELF-magic regular file in DIR,
+/// sorted; repeatable), --json PATH (write a `fetch-batch-v1` document),
+/// --csv PATH. Batch output is byte-identical for any --jobs value.
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iomanip>
 #include <iostream>
@@ -33,6 +45,7 @@
 #include "ehframe/cfi_eval.hpp"
 #include "ehframe/eh_frame.hpp"
 #include "elf/elf_file.hpp"
+#include "eval/batch.hpp"
 #include "eval/gadget.hpp"
 #include "eval/runner.hpp"
 #include "eval/table.hpp"
@@ -238,11 +251,86 @@ int cmd_corpus(const std::string& which, const eval::CorpusOptions& options) {
   return 0;
 }
 
+/// Batch front-end state collected by the argument loop.
+struct BatchArgs {
+  std::vector<std::string> from_files;  ///< --from-file LIST (repeatable)
+  std::vector<std::string> dirs;        ///< --dir DIR (repeatable)
+  std::string json_path;                ///< --json PATH
+  std::string csv_path;                 ///< --csv PATH
+
+  [[nodiscard]] bool any() const {
+    return !from_files.empty() || !dirs.empty() || !json_path.empty() ||
+           !csv_path.empty();
+  }
+};
+
+/// Writes \p text to \p path, failing loudly (same contract as the bench
+/// harness's write_json_report).
+bool write_file_or_complain(const std::string& path, const std::string& text,
+                            const char* what) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  out.close();  // flush now so buffered write errors are observable
+  if (out.fail()) {
+    std::cerr << "error: cannot write " << what << " file: " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+int cmd_batch(const std::vector<const char*>& args, const BatchArgs& batch,
+              std::size_t jobs) {
+  // Input order is deliberate and stable: positional paths first, then
+  // each --from-file list, then each --dir expansion — the row order of
+  // every report.
+  std::vector<std::string> paths;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    paths.emplace_back(args[i]);
+  }
+  std::string error;
+  for (const std::string& list : batch.from_files) {
+    if (!eval::read_path_list(list, &paths, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+  }
+  for (const std::string& dir : batch.dirs) {
+    if (!eval::expand_directory(dir, &paths, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "error: batch needs at least one input "
+                 "(paths, --from-file, or --dir)\n";
+    return 2;
+  }
+
+  eval::BatchOptions options;
+  options.jobs = jobs;
+  const eval::BatchReport report = eval::run_batch(paths, options);
+  report.print(std::cout);
+  if (!batch.json_path.empty() &&
+      !write_file_or_complain(batch.json_path, report.json().dump() + "\n",
+                              "--json")) {
+    return 2;
+  }
+  if (!batch.csv_path.empty() &&
+      !write_file_or_complain(batch.csv_path, report.csv(), "--csv")) {
+    return 2;
+  }
+  // Per-file failures are rows, not fatal — but a batch where *nothing*
+  // could be evaluated is an error for scripting purposes.
+  return report.error_count() == report.rows().size() ? 1 : 0;
+}
+
 int usage() {
   std::cerr << "usage: fetch-cli [--jobs N] [--scale smoke|default|full] "
                "[--cache-dir DIR]\n"
                "                 <detect|fde|unwind|compare|audit> <elf> [pc]\n"
-               "       fetch-cli [opts] corpus [self-built|wild]\n";
+               "       fetch-cli [opts] corpus [self-built|wild]\n"
+               "       fetch-cli [opts] batch [--from-file LIST] [--dir DIR]\n"
+               "                 [--json PATH] [--csv PATH] [<elf>...]\n";
   return 2;
 }
 
@@ -252,6 +340,7 @@ int main(int argc, char** argv) {
   eval::CorpusOptions corpus_options;
   corpus_options.cache_dir = util::default_cache_dir();
   std::size_t jobs = 0;  // 0 → FETCH_JOBS env / hardware default
+  BatchArgs batch;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -263,6 +352,22 @@ int main(int argc, char** argv) {
       if (!util::parse_jobs(arg.substr(7), &jobs)) {
         return usage();
       }
+    } else if (arg == "--from-file" && i + 1 < argc) {
+      batch.from_files.emplace_back(argv[++i]);
+    } else if (arg.rfind("--from-file=", 0) == 0) {
+      batch.from_files.emplace_back(arg.substr(12));
+    } else if (arg == "--dir" && i + 1 < argc) {
+      batch.dirs.emplace_back(argv[++i]);
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      batch.dirs.emplace_back(arg.substr(6));
+    } else if (arg == "--json" && i + 1 < argc) {
+      batch.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      batch.json_path = arg.substr(7);
+    } else if (arg == "--csv" && i + 1 < argc) {
+      batch.csv_path = argv[++i];
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      batch.csv_path = arg.substr(6);
     } else if (arg == "--scale" && i + 1 < argc) {
       const auto scale = synth::parse_scale(argv[++i]);
       if (!scale) {
@@ -290,6 +395,12 @@ int main(int argc, char** argv) {
     return usage();
   }
   const std::string cmd = args[0];
+  if (batch.any() && cmd != "batch") {
+    return usage();  // batch-only flags on a non-batch command
+  }
+  if (cmd == "batch") {
+    return cmd_batch(args, batch, jobs);
+  }
   if (cmd == "corpus") {
     // Shared validation (same path as the benches): reject unusable
     // --cache-dir/FETCH_CACHE_DIR values before doing any work. Only the

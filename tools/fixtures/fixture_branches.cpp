@@ -1,0 +1,100 @@
+// Real-compiler fixture (see fixture_math.cpp): virtual dispatch, function
+// pointers, and a jump-table-friendly interpreter loop — shapes that
+// stress recursive disassembly and the pointer-detection stage on genuine
+// compiler output.
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#define KEEP __attribute__((noinline))
+
+namespace {
+
+struct Node {
+  virtual ~Node() = default;
+  virtual std::int64_t eval() const = 0;
+};
+
+struct Leaf final : Node {
+  explicit Leaf(std::int64_t v) : value(v) {}
+  KEEP std::int64_t eval() const override { return value; }
+  std::int64_t value;
+};
+
+struct Add final : Node {
+  Add(std::unique_ptr<Node> l, std::unique_ptr<Node> r)
+      : lhs(std::move(l)), rhs(std::move(r)) {}
+  KEEP std::int64_t eval() const override { return lhs->eval() + rhs->eval(); }
+  std::unique_ptr<Node> lhs, rhs;
+};
+
+struct Mul final : Node {
+  Mul(std::unique_ptr<Node> l, std::unique_ptr<Node> r)
+      : lhs(std::move(l)), rhs(std::move(r)) {}
+  KEEP std::int64_t eval() const override { return lhs->eval() * rhs->eval(); }
+  std::unique_ptr<Node> lhs, rhs;
+};
+
+KEEP std::unique_ptr<Node> build(int depth, std::int64_t seed) {
+  if (depth == 0) {
+    return std::make_unique<Leaf>(seed % 7 + 1);
+  }
+  auto left = build(depth - 1, seed * 3 + 1);
+  auto right = build(depth - 1, seed * 5 + 2);
+  if (seed % 2 == 0) {
+    return std::make_unique<Add>(std::move(left), std::move(right));
+  }
+  return std::make_unique<Mul>(std::move(left), std::move(right));
+}
+
+using Op = std::int64_t (*)(std::int64_t, std::int64_t);
+
+KEEP std::int64_t op_add(std::int64_t a, std::int64_t b) { return a + b; }
+KEEP std::int64_t op_sub(std::int64_t a, std::int64_t b) { return a - b; }
+KEEP std::int64_t op_xor(std::int64_t a, std::int64_t b) { return a ^ b; }
+KEEP std::int64_t op_rot(std::int64_t a, std::int64_t b) {
+  const auto ua = static_cast<std::uint64_t>(a);
+  return static_cast<std::int64_t>((ua << (b & 63)) | (ua >> (64 - (b & 63))));
+}
+
+// A table of function pointers in .data.rel.ro — exactly the pattern the
+// soundness-driven pointer scan (§IV-E) is meant to pick up.
+constexpr std::array<Op, 4> kOps = {op_add, op_sub, op_xor, op_rot};
+
+KEEP std::int64_t interpret(const std::vector<std::uint8_t>& program,
+                            std::int64_t acc) {
+  for (const std::uint8_t insn : program) {
+    switch (insn & 0xc0) {
+      case 0x00:
+        acc = kOps[insn & 3](acc, insn >> 2);
+        break;
+      case 0x40:
+        acc += insn & 0x3f;
+        break;
+      case 0x80:
+        acc *= (insn & 0x3f) | 1;
+        break;
+      default:
+        acc ^= insn;
+        break;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  const std::unique_ptr<Node> tree = build(6, 17);
+  std::vector<std::uint8_t> program;
+  program.reserve(256);
+  for (int i = 0; i < 256; ++i) {
+    program.push_back(static_cast<std::uint8_t>(i * 37 + 11));
+  }
+  const std::int64_t value = interpret(program, tree->eval());
+  std::printf("%lld\n", static_cast<long long>(value));
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Real-compiler fixture for the real-binary regression harness: built by
+// the project's own toolchain (so it is genuine gcc/clang + linker output
+// with crt code, PLT, and .eh_frame) and never stripped, so .symtab is the
+// ground truth. `noinline` + volatile sinks keep the functions alive at
+// -O3; the bodies are varied so the optimizer emits different frame
+// shapes (leaf, spilling, looping, recursing).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#define KEEP __attribute__((noinline))
+
+namespace {
+
+volatile std::uint64_t sink;
+
+KEEP std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  return x;
+}
+
+KEEP std::uint64_t fib(std::uint64_t n) {
+  return n < 2 ? n : fib(n - 1) + fib(n - 2);
+}
+
+KEEP std::uint64_t sum_squares(std::uint64_t n) {
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    total += i * i;
+  }
+  return total;
+}
+
+KEEP std::uint64_t gcd(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+KEEP std::uint64_t popcount_loop(std::uint64_t x) {
+  std::uint64_t bits = 0;
+  while (x != 0) {
+    bits += x & 1;
+    x >>= 1;
+  }
+  return bits;
+}
+
+KEEP std::uint64_t poly(std::uint64_t x) {
+  return ((x * 3 + 7) * x + 11) * x + 13;
+}
+
+KEEP std::uint64_t dispatch(std::uint64_t op, std::uint64_t x) {
+  switch (op & 7) {
+    case 0:
+      return mix(x);
+    case 1:
+      return fib(x % 20);
+    case 2:
+      return sum_squares(x % 1000);
+    case 3:
+      return gcd(x, 12345);
+    case 4:
+      return popcount_loop(x);
+    case 5:
+      return poly(x);
+    default:
+      return x;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = argc > 1
+                           ? std::strtoull(argv[1], nullptr, 10)
+                           : 42;
+  for (int i = 0; i < 64; ++i) {
+    seed = dispatch(static_cast<std::uint64_t>(i), seed + 1);
+    sink = seed;
+  }
+  std::printf("%llu\n", static_cast<unsigned long long>(sink));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Real-compiler fixture (see fixture_math.cpp): string/container-heavy
+// code so the optimizer emits calls into libstdc++/libc (PLT entries,
+// exception tables, cold paths) — a very different binary shape from the
+// arithmetic fixture.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#define KEEP __attribute__((noinline))
+
+namespace {
+
+KEEP std::string rotate(std::string text, std::size_t by) {
+  if (text.empty()) {
+    return text;
+  }
+  by %= text.size();
+  std::rotate(text.begin(), text.begin() + static_cast<long>(by), text.end());
+  return text;
+}
+
+KEEP std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+KEEP std::map<std::string, int> histogram(
+    const std::vector<std::string>& words) {
+  std::map<std::string, int> counts;
+  for (const std::string& word : words) {
+    ++counts[word];
+  }
+  return counts;
+}
+
+KEEP std::string join(const std::vector<std::string>& parts,
+                      const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+KEEP std::size_t checksum(const std::string& text) {
+  std::size_t value = 1469598103934665603ULL;
+  for (const char c : text) {
+    value = (value ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return value;
+}
+
+}  // namespace
+
+int main() {
+  const std::string corpus = "the quick brown fox jumps over the lazy dog "
+                             "the fox the dog";
+  std::size_t total = 0;
+  for (std::size_t shift = 0; shift < 16; ++shift) {
+    const std::vector<std::string> words = split(rotate(corpus, shift), ' ');
+    const auto counts = histogram(words);
+    std::vector<std::string> keys;
+    keys.reserve(counts.size());
+    for (const auto& [word, count] : counts) {
+      keys.push_back(word + ":" + std::to_string(count));
+    }
+    total ^= checksum(join(keys, ","));
+  }
+  std::printf("%zu\n", total);
+  return 0;
+}

@@ -1,0 +1,196 @@
+/// \file realbin_check.cpp
+/// Real-binary regression harness: run the detection pipeline over a
+/// pinned fleet of system binaries (plus any extra paths, e.g. the CMake
+/// fixture executables), score every file against its own symbol-table
+/// ground truth via eval::run_batch, and FAIL when the aggregate metrics
+/// drop below a checked-in threshold file. CI runs this per push (the
+/// `realbin` job) and archives the `fetch-batch-v1` JSON artifact.
+///
+///   realbin_check [--jobs N] [--list FILE]... [--thresholds FILE]
+///                 [--json PATH] [<elf>...]
+///
+/// List entries that do not exist on the current image are skipped with a
+/// note (the pinned /usr/bin list must work across CI images); paths given
+/// explicitly on the command line are always evaluated. The gate (see
+/// DESIGN.md, "Real-binary regression gate"):
+///   - at least `min_truth_files` scored files with usable ground truth,
+///   - aggregate F1 over symtab-truth files      >= `min_f1`
+///     (skipped when no file carries a .symtab),
+///   - aggregate recall over all truth files     >= `min_recall`.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/batch.hpp"
+#include "eval/table.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace fetch;
+
+struct Thresholds {
+  std::size_t min_truth_files = 1;
+  double min_f1 = 0.5;
+  double min_recall = 0.5;
+};
+
+int usage() {
+  std::cerr << "usage: realbin_check [--jobs N] [--list FILE]...\n"
+               "                     [--thresholds FILE] [--json PATH] "
+               "[<elf>...]\n";
+  return 2;
+}
+
+bool load_thresholds(const std::string& path, Thresholds* out,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open thresholds file: " + path;
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = util::json::Value::parse(buffer.str());
+  if (!doc || !doc->is_object()) {
+    *error = "thresholds file is not a JSON object: " + path;
+    return false;
+  }
+  auto number = [&](const char* key, double* value) {
+    if (const util::json::Value* v = doc->get(key)) {
+      *value = v->as_double();
+    }
+  };
+  double min_truth_files = static_cast<double>(out->min_truth_files);
+  number("min_truth_files", &min_truth_files);
+  out->min_truth_files = static_cast<std::size_t>(min_truth_files);
+  number("min_f1", &out->min_f1);
+  number("min_recall", &out->min_recall);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t jobs = 0;
+  std::vector<std::string> lists;
+  std::string thresholds_path;
+  std::string json_path;
+  std::vector<std::string> explicit_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      if (!util::parse_jobs(argv[++i], &jobs)) {
+        return usage();
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!util::parse_jobs(arg.substr(7), &jobs)) {
+        return usage();
+      }
+    } else if (arg == "--list" && i + 1 < argc) {
+      lists.emplace_back(argv[++i]);
+    } else if (arg.rfind("--list=", 0) == 0) {
+      lists.emplace_back(arg.substr(7));
+    } else if (arg == "--thresholds" && i + 1 < argc) {
+      thresholds_path = argv[++i];
+    } else if (arg.rfind("--thresholds=", 0) == 0) {
+      thresholds_path = arg.substr(13);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (!arg.empty() && arg.front() == '-') {
+      return usage();
+    } else {
+      explicit_paths.emplace_back(argv[i]);
+    }
+  }
+
+  Thresholds thresholds;
+  if (!thresholds_path.empty()) {
+    std::string error;
+    if (!load_thresholds(thresholds_path, &thresholds, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+  }
+
+  // Pinned-list entries are best effort across images: keep the ones that
+  // exist, note the rest. Explicit paths are mandatory — if one is broken
+  // it shows up as an error row and in the report.
+  std::vector<std::string> paths = explicit_paths;
+  std::size_t skipped = 0;
+  for (const std::string& list : lists) {
+    std::vector<std::string> listed;
+    std::string error;
+    if (!eval::read_path_list(list, &listed, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    for (const std::string& path : listed) {
+      std::error_code ec;
+      if (std::filesystem::is_regular_file(path, ec)) {
+        paths.push_back(path);
+      } else {
+        ++skipped;
+        std::cerr << "note: skipping missing list entry: " << path << "\n";
+      }
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "error: no inputs (give --list and/or explicit paths)\n";
+    return 2;
+  }
+
+  eval::BatchOptions options;
+  options.jobs = jobs;
+  const eval::BatchReport report = eval::run_batch(paths, options);
+  report.print(std::cout);
+  if (skipped != 0) {
+    std::cerr << "note: " << skipped << " pinned list entries missing on "
+              << "this image\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << report.json().dump() << "\n";
+    out.close();
+    if (out.fail()) {
+      std::cerr << "error: cannot write --json file: " << json_path << "\n";
+      return 2;
+    }
+    std::cerr << "json report: " << json_path << "\n";
+  }
+
+  // The gate. Every violation is reported before the verdict so a failing
+  // CI log is self-explanatory.
+  const eval::BatchTotals with_truth = report.totals_with_truth();
+  const eval::BatchTotals symtab = report.totals_symtab();
+  bool failed = false;
+  if (with_truth.files < thresholds.min_truth_files) {
+    std::cout << "GATE: only " << with_truth.files
+              << " files with usable ground truth (need >= "
+              << thresholds.min_truth_files << ")\n";
+    failed = true;
+  }
+  if (symtab.files != 0 && symtab.f1() < thresholds.min_f1) {
+    std::cout << "GATE: symtab F1 " << eval::fmt(symtab.f1(), 4)
+              << " below threshold " << eval::fmt(thresholds.min_f1, 4)
+              << "\n";
+    failed = true;
+  }
+  if (with_truth.files != 0 && with_truth.recall() < thresholds.min_recall) {
+    std::cout << "GATE: recall " << eval::fmt(with_truth.recall(), 4)
+              << " below threshold " << eval::fmt(thresholds.min_recall, 4)
+              << "\n";
+    failed = true;
+  }
+  std::cout << (failed ? "realbin check: FAIL\n" : "realbin check: PASS\n");
+  return failed ? 1 : 0;
+}
