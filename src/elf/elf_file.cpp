@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <fstream>
 
 #include "util/byte_cursor.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
 
 namespace fetch::elf {
 
@@ -37,12 +37,10 @@ ElfFile::ElfFile(std::span<const std::uint8_t> image)
 }
 
 ElfFile ElfFile::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  std::vector<std::uint8_t> bytes;
+  if (!util::read_file_bytes(path, &bytes)) {
     throw ParseError("ELF: cannot open " + path);
   }
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
   return ElfFile(bytes);
 }
 

@@ -4,8 +4,9 @@
 #include <filesystem>
 #include <fstream>
 #include <ostream>
+#include <unordered_set>
 
-#include "elf/elf_file.hpp"
+#include "eval/session.hpp"
 #include "eval/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -61,54 +62,12 @@ std::string csv_cell(const std::string& text) {
 
 BatchRow evaluate_file(const std::string& path,
                        const core::DetectorOptions& options) {
-  BatchRow row;
-  row.path = path;
-  try {
-    const elf::ElfFile elf = elf::ElfFile::load(path);
-    const elf::FunctionTruth truth = elf.function_truth();
-    const core::FunctionDetector detector(elf);
-    const std::set<std::uint64_t> all_starts = detector.run(options).starts();
-
-    // PLT stubs (.plt/.plt.got/.plt.sec) are linker-generated trampolines:
-    // real function entries at runtime, but no symbol table lists them, so
-    // scoring them against symtab truth would count every import as a
-    // false positive. Exclude them from the comparison and record how
-    // many were dropped.
-    std::set<std::uint64_t> detected;
-    for (const std::uint64_t start : all_starts) {
-      const elf::Section* section = elf.section_at(start);
-      if (section != nullptr && section->name.rfind(".plt", 0) == 0) {
-        ++row.plt_excluded;
-      } else {
-        detected.insert(start);
-      }
-    }
-
-    row.truth_source = truth.source;
-    row.truth = truth.starts.size();
-    row.detected = detected.size();
-    row.zero_sized = truth.zero_sized;
-    row.ifuncs = truth.ifuncs;
-    row.aliases = truth.aliases;
-    if (truth.usable()) {
-      for (const std::uint64_t start : detected) {
-        if (truth.starts.count(start) != 0) {
-          ++row.tp;
-        } else {
-          ++row.fp;
-        }
-      }
-      row.fn = row.truth - row.tp;
-    }
-    row.ok = true;
-  } catch (const std::exception& e) {
-    // Per-file resilience contract: a malformed or unreadable input is an
-    // error *row*, never an aborted batch (util/error.hpp ParseError and
-    // anything else the pipeline throws land here).
-    row.ok = false;
-    row.error = e.what();
-  }
-  return row;
+  // The analysis itself lives in AnalysisSession (shared with the
+  // service); batch consumes only the metrics row, so skip the content
+  // hash and per-function detail.
+  return AnalysisSession(options)
+      .analyze_file(path, AnalysisSession::Detail::kRowOnly)
+      .row;
 }
 
 BatchReport run_batch(const std::vector<std::string>& paths,
@@ -328,6 +287,28 @@ bool expand_directory(const std::string& dir, std::vector<std::string>* out,
   std::sort(found.begin(), found.end());
   out->insert(out->end(), found.begin(), found.end());
   return true;
+}
+
+std::size_t dedupe_paths(std::vector<std::string>* paths) {
+  namespace fs = std::filesystem;
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> kept;
+  kept.reserve(paths->size());
+  for (std::string& path : *paths) {
+    // Normalize lexically (weakly_canonical also resolves symlinks and
+    // works for nonexistent paths, which must still dedupe by spelling so
+    // a repeated bad input yields one error row, not two).
+    std::error_code ec;
+    fs::path canonical = fs::weakly_canonical(path, ec);
+    const std::string key =
+        ec ? fs::path(path).lexically_normal().string() : canonical.string();
+    if (seen.insert(key).second) {
+      kept.push_back(std::move(path));
+    }
+  }
+  const std::size_t removed = paths->size() - kept.size();
+  *paths = std::move(kept);
+  return removed;
 }
 
 }  // namespace fetch::eval

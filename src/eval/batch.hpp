@@ -157,4 +157,13 @@ class BatchReport {
                                     std::vector<std::string>* out,
                                     std::string* error);
 
+/// Removes repeated inputs in place (first occurrence wins, order
+/// otherwise preserved) so a file reachable both positionally and via
+/// `--dir`/`--from-file` is scored once — duplicated rows would double-
+/// count every aggregate. Paths are compared after symlink/.. resolution
+/// (std::filesystem::weakly_canonical), falling back to lexical
+/// normalization for paths that cannot be resolved. Returns how many
+/// entries were dropped.
+std::size_t dedupe_paths(std::vector<std::string>* paths);
+
 }  // namespace fetch::eval

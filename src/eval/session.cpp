@@ -1,0 +1,104 @@
+#include "eval/session.hpp"
+
+#include "elf/elf_file.hpp"
+#include "util/fs.hpp"
+#include "util/hash.hpp"
+
+namespace fetch::eval {
+
+std::uint64_t AnalysisSession::content_hash(
+    std::span<const std::uint8_t> bytes) {
+  util::Fnv1a hasher;
+  hasher.bytes(bytes);
+  return hasher.digest();
+}
+
+FileAnalysis AnalysisSession::unreadable(const std::string& path) {
+  FileAnalysis out;
+  out.row.path = path;
+  out.row.ok = false;
+  // Same message ElfFile::load throws, so batch error rows read the
+  // same whichever loader produced them.
+  out.row.error = "ELF: cannot open " + path;
+  return out;
+}
+
+FileAnalysis AnalysisSession::analyze_file(const std::string& path,
+                                           Detail detail) const {
+  std::vector<std::uint8_t> bytes;
+  if (!util::read_file_bytes(path, &bytes)) {
+    return unreadable(path);
+  }
+  return analyze_image({bytes.data(), bytes.size()}, path, detail);
+}
+
+FileAnalysis AnalysisSession::analyze_image(
+    std::span<const std::uint8_t> image, const std::string& label,
+    Detail detail) const {
+  FileAnalysis out;
+  BatchRow& row = out.row;
+  row.path = label;
+  if (detail == Detail::kFull) {
+    out.content_hash = content_hash(image);
+  }
+  try {
+    const elf::ElfFile elf(image);
+    const elf::FunctionTruth truth = elf.function_truth();
+    const core::FunctionDetector detector(elf);
+    const core::DetectionResult result = detector.run(options_);
+
+    if (detail == Detail::kFull) {
+      out.functions.reserve(result.functions.size());
+      for (const auto& [addr, provenance] : result.functions) {
+        out.functions.emplace_back(addr, core::provenance_name(provenance));
+      }
+    }
+    out.fde_starts = result.fde_starts.size();
+    out.pointer_starts = result.pointer_starts.size();
+    out.merged_parts = result.merged_parts.size();
+    out.invalid_fde_starts = result.invalid_fde_starts.size();
+
+    // PLT stubs (.plt/.plt.got/.plt.sec) are linker-generated trampolines:
+    // real function entries at runtime, but no symbol table lists them, so
+    // scoring them against symtab truth would count every import as a
+    // false positive. Exclude them from the comparison and record how
+    // many were dropped.
+    std::set<std::uint64_t> detected;
+    for (const auto& [start, provenance] : result.functions) {
+      const elf::Section* section = elf.section_at(start);
+      if (section != nullptr && section->name.rfind(".plt", 0) == 0) {
+        ++row.plt_excluded;
+      } else {
+        detected.insert(start);
+      }
+    }
+
+    row.truth_source = truth.source;
+    row.truth = truth.starts.size();
+    row.detected = detected.size();
+    row.zero_sized = truth.zero_sized;
+    row.ifuncs = truth.ifuncs;
+    row.aliases = truth.aliases;
+    if (truth.usable()) {
+      for (const std::uint64_t start : detected) {
+        if (truth.starts.count(start) != 0) {
+          ++row.tp;
+        } else {
+          ++row.fp;
+        }
+      }
+      row.fn = row.truth - row.tp;
+    }
+    row.ok = true;
+  } catch (const std::exception& e) {
+    // Per-file resilience contract: a malformed input is an error *row*,
+    // never an aborted batch or a dead service worker (util/error.hpp
+    // ParseError and anything else the pipeline throws land here).
+    row.ok = false;
+    row.error = e.what();
+    out.functions.clear();
+  }
+  return out;
+}
+
+}  // namespace fetch::eval

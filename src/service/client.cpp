@@ -1,0 +1,94 @@
+#include "service/client.hpp"
+
+#include "util/framing.hpp"
+
+namespace fetch::service {
+
+std::optional<ServiceClient> ServiceClient::connect(std::string socket_path,
+                                                    std::string* error) {
+  if (socket_path.empty()) {
+    socket_path = default_socket_path();
+  }
+  auto fd = util::unix_connect(socket_path, error);
+  if (!fd) {
+    return std::nullopt;
+  }
+  return ServiceClient(std::move(socket_path), std::move(*fd));
+}
+
+std::optional<util::json::Value> ServiceClient::request(
+    const Request& request, std::string* error) {
+  if (!util::write_frame(fd_.get(), request_json(request).dump(), error)) {
+    return std::nullopt;
+  }
+  std::string payload;
+  const util::FrameStatus status =
+      util::read_frame(fd_.get(), &payload, error);
+  if (status == util::FrameStatus::kEof) {
+    *error = "server closed the connection";
+    return std::nullopt;
+  }
+  if (status == util::FrameStatus::kError) {
+    return std::nullopt;
+  }
+  auto response = util::json::Value::parse(payload);
+  if (!response) {
+    *error = "server sent malformed JSON";
+    return std::nullopt;
+  }
+  if (!response_ok(*response, error)) {
+    return std::nullopt;
+  }
+  return response;
+}
+
+bool ServiceClient::ping(std::string* error) {
+  return request({Op::kPing, {}}, error).has_value();
+}
+
+std::optional<QueryResult> ServiceClient::query(const std::string& path,
+                                                std::string* error) {
+  const auto response = request({Op::kQuery, path}, error);
+  if (!response) {
+    return std::nullopt;
+  }
+  const util::json::Value* result = response->get("result");
+  if (result == nullptr) {
+    *error = "query response has no result";
+    return std::nullopt;
+  }
+  auto analysis = analysis_from_json(*result, error);
+  if (!analysis) {
+    return std::nullopt;
+  }
+  QueryResult out;
+  out.analysis = std::move(*analysis);
+  const util::json::Value* cache = response->get("cache");
+  out.cache = cache == nullptr ? "?" : cache->text();
+  return out;
+}
+
+std::optional<util::json::Value> ServiceClient::shutdown_server(
+    std::string* error) {
+  auto response = request({Op::kShutdown, {}}, error);
+  if (!response) {
+    return std::nullopt;
+  }
+  const util::json::Value* stats = response->get("stats");
+  return stats == nullptr ? util::json::Value::object() : *stats;
+}
+
+std::optional<util::json::Value> ServiceClient::stats(std::string* error) {
+  auto response = request({Op::kStats, {}}, error);
+  if (!response) {
+    return std::nullopt;
+  }
+  const util::json::Value* stats = response->get("stats");
+  if (stats == nullptr) {
+    *error = "stats response has no stats";
+    return std::nullopt;
+  }
+  return *stats;
+}
+
+}  // namespace fetch::service

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file client.hpp
+/// `fetch-service-v1` client used by `fetch-cli query|shutdown` and the
+/// service bench. One client owns one connection and issues requests
+/// sequentially; concurrency is achieved by opening more clients (the
+/// server multiplexes connections onto its worker pool).
+
+#include <optional>
+#include <string>
+
+#include "eval/session.hpp"
+#include "service/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace fetch::service {
+
+/// One query's parsed outcome.
+struct QueryResult {
+  eval::FileAnalysis analysis;
+  std::string cache;  ///< "hit", "miss", "joined", or "none" (unreadable)
+};
+
+class ServiceClient {
+ public:
+  /// Connects to a serving daemon. nullopt + *error when nothing listens
+  /// on \p socket_path (empty = default_socket_path()).
+  [[nodiscard]] static std::optional<ServiceClient> connect(
+      std::string socket_path, std::string* error);
+
+  /// Round-trips one raw request; nullopt + *error on transport failure
+  /// or an error-status response.
+  [[nodiscard]] std::optional<util::json::Value> request(
+      const Request& request, std::string* error);
+
+  [[nodiscard]] bool ping(std::string* error);
+
+  /// Analyzes \p path (server-side, cache-aware). Transport/protocol
+  /// failures return nullopt; a failed *analysis* is a QueryResult whose
+  /// row has ok == false, exactly like the one-shot path.
+  [[nodiscard]] std::optional<QueryResult> query(const std::string& path,
+                                                 std::string* error);
+
+  /// Asks the daemon to stop; returns its final cache stats JSON.
+  [[nodiscard]] std::optional<util::json::Value> shutdown_server(
+      std::string* error);
+
+  [[nodiscard]] std::optional<util::json::Value> stats(std::string* error);
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return socket_path_;
+  }
+
+ private:
+  ServiceClient(std::string socket_path, util::Fd fd)
+      : socket_path_(std::move(socket_path)), fd_(std::move(fd)) {}
+
+  std::string socket_path_;
+  util::Fd fd_;
+};
+
+}  // namespace fetch::service

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The `fetch-service-v1` wire protocol shared by the analysis daemon
+/// (`fetch-cli serve`) and its clients (`fetch-cli query|shutdown`,
+/// bench_service_throughput). Messages are JSON documents (util/json.hpp)
+/// carried in length-prefixed frames (util/framing.hpp) over a Unix-
+/// domain stream socket (util/socket.hpp).
+///
+/// Requests:
+///   {"schema":"fetch-service-v1","op":"ping"}
+///   {"schema":"fetch-service-v1","op":"query","path":"/abs/elf"}
+///   {"schema":"fetch-service-v1","op":"stats"}
+///   {"schema":"fetch-service-v1","op":"shutdown"}
+///
+/// Responses always carry "schema" and "status" ("ok"/"error"); error
+/// responses add "error". Query responses add "cache" ("hit", "miss", or
+/// "joined" for a request that waited on another client's in-flight
+/// analysis of the same content), "content_hash" (16 hex digits), and
+/// "result" (the serialized eval::FileAnalysis). Stats and shutdown
+/// responses add "stats" (cache counters). See DESIGN.md,
+/// "Analysis service" for the full schema.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "eval/session.hpp"
+#include "util/json.hpp"
+#include "util/lru.hpp"
+
+namespace fetch::service {
+
+inline constexpr const char* kSchema = "fetch-service-v1";
+
+enum class Op : std::uint8_t { kPing, kQuery, kStats, kShutdown };
+
+[[nodiscard]] const char* op_name(Op op);
+
+struct Request {
+  Op op = Op::kPing;
+  std::string path;  ///< query only: the binary to analyze
+};
+
+/// The socket path used when `--socket` is not given: the FETCH_SOCKET
+/// environment variable, else /tmp/fetch-serve.<uid>.sock (per-user so
+/// two users on one machine cannot collide).
+[[nodiscard]] std::string default_socket_path();
+
+// --- Requests ---------------------------------------------------------------
+
+[[nodiscard]] util::json::Value request_json(const Request& request);
+
+/// Strict parse: wrong schema, unknown op, or a query without a path all
+/// fail with a human-readable *error (the server echoes it back).
+[[nodiscard]] std::optional<Request> parse_request(const std::string& payload,
+                                                   std::string* error);
+
+// --- Responses --------------------------------------------------------------
+
+[[nodiscard]] util::json::Value ok_response(Op op);
+[[nodiscard]] util::json::Value error_response(const std::string& message);
+
+/// Serializes one analysis (the value the result cache stores). Counts
+/// are JSON numbers; addresses travel as hex strings so 64-bit values
+/// cannot lose precision in a double.
+[[nodiscard]] util::json::Value analysis_json(const eval::FileAnalysis& fa);
+
+/// Inverse of analysis_json. nullopt + *error on a malformed document.
+[[nodiscard]] std::optional<eval::FileAnalysis> analysis_from_json(
+    const util::json::Value& doc, std::string* error);
+
+[[nodiscard]] util::json::Value stats_json(const util::LruStats& stats,
+                                           std::size_t capacity,
+                                           std::size_t shards);
+
+/// True when \p response has schema fetch-service-v1 and status "ok";
+/// otherwise fills *error from the response (or with a schema complaint).
+[[nodiscard]] bool response_ok(const util::json::Value& response,
+                               std::string* error);
+
+}  // namespace fetch::service

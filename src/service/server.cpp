@@ -1,0 +1,205 @@
+#include "service/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "util/framing.hpp"
+#include "util/fs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fetch::service {
+
+namespace {
+
+const char* outcome_name(
+    util::ShardedLru<eval::FileAnalysis>::Outcome outcome) {
+  using Outcome = util::ShardedLru<eval::FileAnalysis>::Outcome;
+  switch (outcome) {
+    case Outcome::kHit:
+      return "hit";
+    case Outcome::kComputed:
+      return "miss";
+    case Outcome::kJoined:
+      return "joined";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(ServerOptions options)
+    : options_(std::move(options)),
+      session_(options_.detector),
+      cache_(options_.cache_capacity, options_.cache_shards) {
+  if (options_.socket_path.empty()) {
+    options_.socket_path = default_socket_path();
+  }
+}
+
+ServiceServer::~ServiceServer() {
+  if (listener_.valid()) {
+    listener_.reset();
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+bool ServiceServer::start(std::string* error) {
+  auto fd = util::unix_listen(options_.socket_path, /*backlog=*/64, error);
+  if (!fd) {
+    return false;
+  }
+  listener_ = std::move(*fd);
+  return true;
+}
+
+void ServiceServer::run() {
+  FETCH_ASSERT(listener_.valid());
+  util::ThreadPool pool(options_.workers == 0 ? util::default_jobs()
+                                              : options_.workers);
+  while (!stopping()) {
+    // Poll with a timeout instead of blocking in accept() forever, so a
+    // stop() from a handler thread or a signal flag poller is noticed
+    // within 100 ms without fd-close races.
+    const int ready = util::poll_readable(listener_.get(), 100);
+    if (ready < 0) {
+      break;
+    }
+    if (ready == 0) {
+      continue;
+    }
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      continue;  // transient (EINTR, aborted handshake): keep serving
+    }
+    register_connection(fd);
+    pool.submit([this, fd] { handle_connection(fd); });
+  }
+  // ThreadPool's destructor joins after the queue drains, so every
+  // accepted connection finishes its in-flight request; stop() has
+  // already half-closed their read sides so none can linger idle.
+  listener_.reset();
+  ::unlink(options_.socket_path.c_str());
+}
+
+void ServiceServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(connections_mu_);
+  for (const int fd : connections_) {
+    // Half-close: the handler's next read sees EOF and exits, but the
+    // response it is currently computing still goes out on the write
+    // side (graceful shutdown with in-flight requests).
+    ::shutdown(fd, SHUT_RD);
+  }
+}
+
+void ServiceServer::register_connection(int fd) {
+  const std::lock_guard<std::mutex> lock(connections_mu_);
+  connections_.insert(fd);
+  if (stopping()) {
+    ::shutdown(fd, SHUT_RD);
+  }
+}
+
+void ServiceServer::unregister_connection(int fd) {
+  const std::lock_guard<std::mutex> lock(connections_mu_);
+  connections_.erase(fd);
+}
+
+void ServiceServer::handle_connection(int fd) {
+  std::string payload;
+  std::string error;
+  for (;;) {
+    const util::FrameStatus status = util::read_frame(fd, &payload, &error);
+    if (status == util::FrameStatus::kEof) {
+      break;  // client hung up cleanly
+    }
+    if (status == util::FrameStatus::kError) {
+      // Torn or oversize frame: this stream cannot be resynchronized
+      // (the next bytes are mid-message), so answer and drop the
+      // connection. The server itself keeps serving everyone else.
+      send_response(fd, error_response(error));
+      break;
+    }
+    if (!handle_request(fd, payload)) {
+      break;
+    }
+  }
+  unregister_connection(fd);
+  ::close(fd);
+}
+
+bool ServiceServer::handle_request(int fd, const std::string& payload) {
+  std::string error;
+  const auto request = parse_request(payload, &error);
+  if (!request) {
+    // A malformed *request* in a well-formed frame is recoverable: reply
+    // with the parse error and keep the connection open.
+    return send_response(fd, error_response(error));
+  }
+  switch (request->op) {
+    case Op::kPing:
+      return send_response(fd, ok_response(Op::kPing));
+    case Op::kStats: {
+      util::json::Value response = ok_response(Op::kStats);
+      response.set("stats", stats_json(cache_stats(), cache_.capacity(),
+                                       cache_.shard_count()));
+      return send_response(fd, response);
+    }
+    case Op::kShutdown: {
+      stop();
+      util::json::Value response = ok_response(Op::kShutdown);
+      response.set("stats", stats_json(cache_stats(), cache_.capacity(),
+                                       cache_.shard_count()));
+      send_response(fd, response);
+      return false;  // nothing more to serve on this connection
+    }
+    case Op::kQuery:
+      break;
+  }
+
+  // Query: hash the content first, then consult the cache. Reading the
+  // file on every query is what makes the cache content-addressed — a
+  // changed binary at the same path is a different key, and the same
+  // binary at a different path is a hit.
+  std::vector<std::uint8_t> bytes;
+  if (!util::read_file_bytes(request->path, &bytes)) {
+    util::json::Value response = ok_response(Op::kQuery);
+    response.set("cache", util::json::Value("none"));
+    response.set("result",
+                 analysis_json(eval::AnalysisSession::unreadable(
+                     request->path)));
+    return send_response(fd, response);
+  }
+  const std::uint64_t key =
+      eval::AnalysisSession::content_hash({bytes.data(), bytes.size()});
+  const auto [analysis, outcome] = cache_.get_or_compute(key, [&] {
+    return session_.analyze_image({bytes.data(), bytes.size()},
+                                  request->path);
+  });
+  util::json::Value response = ok_response(Op::kQuery);
+  response.set("cache", util::json::Value(outcome_name(outcome)));
+  response.set("result", analysis_json(*analysis));
+  return send_response(fd, response);
+}
+
+bool ServiceServer::send_response(int fd, const util::json::Value& response) {
+  std::string error;
+  std::string payload = response.dump();
+  if (payload.size() > util::kMaxFrameBytes) {
+    // A result too large for one frame (a binary with millions of
+    // detected functions) must not degrade into a silent hangup — and
+    // must not be retried against the cache forever with the same
+    // outcome. Tell the client what happened instead.
+    payload = error_response("result of " + std::to_string(payload.size()) +
+                             " bytes exceeds the frame cap")
+                  .dump();
+  }
+  return util::write_frame(fd, payload, &error);
+}
+
+}  // namespace fetch::service

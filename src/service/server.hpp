@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file server.hpp
+/// The resident analysis daemon behind `fetch-cli serve`: accepts
+/// `fetch-service-v1` connections on a Unix-domain socket and answers
+/// queries from a sharded, capacity-bounded LRU result cache keyed by
+/// file *content* hash — so the same binary under two paths, or N
+/// repeated queries for one binary, cost one analysis. Cache misses run
+/// the shared eval::AnalysisSession on the connection's util::ThreadPool
+/// worker, with single-flight deduplication (util/lru.hpp): concurrent
+/// queries for the same new content trigger exactly one analysis.
+///
+/// Threading model: run() owns the accept loop (poll + accept, so stop()
+/// never has to race a blocking accept); each accepted connection becomes
+/// one pool task that serves that client's requests until it hangs up.
+/// stop() — from a shutdown request, a signal, or another thread —
+/// closes the listener, half-closes every active connection's read side
+/// (in-flight requests still complete and respond), and run() returns
+/// after the pool drains.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "core/detector.hpp"
+#include "eval/session.hpp"
+#include "util/lru.hpp"
+#include "util/socket.hpp"
+
+namespace fetch::util {
+class ThreadPool;
+}  // namespace fetch::util
+
+namespace fetch::service {
+
+struct ServerOptions {
+  std::string socket_path;  ///< empty = default_socket_path()
+  /// Connection-handler workers (one analysis can run per worker);
+  /// 0 = FETCH_JOBS env, else hardware concurrency.
+  std::size_t workers = 0;
+  /// Total result-cache entries across all shards.
+  std::size_t cache_capacity = 256;
+  /// Result-cache shards (lock granularity). 1 = fully deterministic
+  /// global LRU order; the default trades that for less contention.
+  std::size_t cache_shards = 8;
+  /// Detector configuration for every analysis (the service equivalent
+  /// of BatchOptions::detector; defaults to the full FETCH pipeline).
+  core::DetectorOptions detector;
+};
+
+class ServiceServer {
+ public:
+  explicit ServiceServer(ServerOptions options);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds + listens. false + *error when the socket cannot be created
+  /// (path too long, permissions, or a live server already there).
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Serves until stop(). Call after start(); returns once the listener
+  /// is closed and every in-flight request has been answered.
+  void run();
+
+  /// Initiates shutdown; safe from any thread and idempotent.
+  void stop();
+
+  [[nodiscard]] bool stopping() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+  [[nodiscard]] util::LruStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  class Connection;
+
+  void handle_connection(int fd);
+  /// Answers one request; returns false when the connection should close
+  /// (protocol error or write failure).
+  bool handle_request(int fd, const std::string& payload);
+  bool send_response(int fd, const util::json::Value& response);
+
+  /// Registers a live connection fd; immediately half-closes it when the
+  /// server is already stopping.
+  void register_connection(int fd);
+  void unregister_connection(int fd);
+
+  ServerOptions options_;
+  eval::AnalysisSession session_;
+  util::ShardedLru<eval::FileAnalysis> cache_;
+  util::Fd listener_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex connections_mu_;
+  std::set<int> connections_;
+};
+
+}  // namespace fetch::service

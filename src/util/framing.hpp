@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file framing.hpp
+/// Length-prefixed message framing for the analysis service's stream
+/// sockets: every message is a 4-byte little-endian payload length
+/// followed by that many payload bytes (the `fetch-service-v1` protocol
+/// puts a JSON document in the payload; the framing layer does not care).
+///
+/// Frames are capped at kMaxFrameBytes so a corrupt or hostile peer
+/// cannot make the receiver allocate gigabytes from a 4-byte header.
+/// Reads distinguish clean end-of-stream (EOF before any header byte)
+/// from a torn frame (EOF mid-header or mid-payload), because the server
+/// treats the former as a client hanging up and the latter as an error.
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace fetch::util {
+
+/// Largest accepted frame payload. Detection results for very large
+/// binaries run to a few MiB of JSON; 64 MiB leaves an order of magnitude
+/// of headroom while still bounding allocation.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameStatus : std::uint8_t {
+  kOk,    ///< one complete frame read
+  kEof,   ///< peer closed before any header byte (clean hangup)
+  kError  ///< torn frame, oversize header, or socket error
+};
+
+namespace detail {
+
+/// recv() exactly \p len bytes; false on EOF/error. *eof_at_start is set
+/// when the very first read returned 0 bytes.
+inline bool recv_exact(int fd, void* buf, std::size_t len, bool* eof_at_start,
+                       std::string* error) {
+  auto* out = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, out + got, len - got, 0);
+    if (n == 0) {
+      if (eof_at_start != nullptr) {
+        *eof_at_start = got == 0;
+      }
+      *error = "connection closed mid-frame";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// Reads one frame into *payload. kEof only when the stream ended cleanly
+/// between frames; a frame cut short is kError.
+inline FrameStatus read_frame(int fd, std::string* payload,
+                              std::string* error) {
+  std::uint8_t header[4];
+  bool eof_at_start = false;
+  if (!detail::recv_exact(fd, header, sizeof(header), &eof_at_start, error)) {
+    return eof_at_start ? FrameStatus::kEof : FrameStatus::kError;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    *error = "frame length " + std::to_string(len) + " exceeds the " +
+             std::to_string(kMaxFrameBytes) + "-byte cap";
+    return FrameStatus::kError;
+  }
+  payload->resize(len);
+  if (len != 0 &&
+      !detail::recv_exact(fd, payload->data(), len, nullptr, error)) {
+    return FrameStatus::kError;
+  }
+  return FrameStatus::kOk;
+}
+
+namespace detail {
+
+inline bool send_all(int fd, const void* data, std::size_t len,
+                     std::string* error) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL so a vanished peer surfaces as an error return
+    // instead of SIGPIPE killing the daemon.
+    const ssize_t n = ::send(fd, bytes + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// Writes one frame: the 4-byte header, then the payload in place — no
+/// concatenated copy of a potentially multi-MiB serialized result.
+inline bool write_frame(int fd, std::string_view payload, std::string* error) {
+  if (payload.size() > kMaxFrameBytes) {
+    *error = "frame payload exceeds the " + std::to_string(kMaxFrameBytes) +
+             "-byte cap";
+    return false;
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(len & 0xff),
+      static_cast<std::uint8_t>((len >> 8) & 0xff),
+      static_cast<std::uint8_t>((len >> 16) & 0xff),
+      static_cast<std::uint8_t>((len >> 24) & 0xff),
+  };
+  if (!detail::send_all(fd, header, sizeof(header), error)) {
+    return false;
+  }
+  return payload.empty() ||
+         detail::send_all(fd, payload.data(), payload.size(), error);
+}
+
+}  // namespace fetch::util

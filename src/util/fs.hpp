@@ -8,12 +8,38 @@
 /// they accept — and a bad value fails up front with a clear message
 /// instead of mid-run inside the corpus store.
 
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 namespace fetch::util {
+
+/// Reads a whole file in one sized read (seek-to-end + resize + read) —
+/// the shared loader for every "slurp the binary" site (ElfFile::load,
+/// AnalysisSession, the service's query path), so none of them fall back
+/// to per-character istreambuf iteration on a hot path. Returns false
+/// when the file cannot be opened or read.
+inline bool read_file_bytes(const std::string& path,
+                            std::vector<std::uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return false;
+  }
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    return false;
+  }
+  out->resize(static_cast<std::size_t>(size));
+  in.seekg(0);
+  if (size != 0 &&
+      !in.read(reinterpret_cast<char*>(out->data()), size)) {
+    return false;
+  }
+  return true;
+}
 
 /// The default corpus-cache directory: FETCH_CACHE_DIR when set and
 /// non-empty, else "" (caching disabled — no surprise writes).

@@ -1,0 +1,161 @@
+#pragma once
+
+/// \file socket.hpp
+/// Minimal Unix-domain stream socket primitives for the analysis service
+/// (src/service/): an owning file-descriptor wrapper plus listen/connect
+/// helpers. Everything reports failure through a bool/optional + error
+/// string instead of throwing — socket errors are environmental, not
+/// malformed input, so the ParseError policy does not apply.
+///
+/// Only AF_UNIX is supported on purpose: the service is a same-machine
+/// daemon (the client sends *paths*, the server reads them from its own
+/// filesystem), so a TCP listener would silently promise a remote mode
+/// that cannot work.
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fetch::util {
+
+/// Move-only owning file descriptor; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Transfers ownership to the caller.
+  [[nodiscard]] int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void reset() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+namespace detail {
+
+inline bool fill_sockaddr(const std::string& path, sockaddr_un* addr,
+                          std::string* error) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    *error = "socket path must be 1.." +
+             std::to_string(sizeof(addr->sun_path) - 1) +
+             " bytes: " + path;
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace detail
+
+/// Connects to a Unix-domain stream socket. nullopt + *error on failure.
+inline std::optional<Fd> unix_connect(const std::string& path,
+                                      std::string* error) {
+  sockaddr_un addr{};
+  if (!detail::fill_sockaddr(path, &addr, error)) {
+    return std::nullopt;
+  }
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    *error = "cannot connect to " + path + ": " + std::strerror(errno);
+    return std::nullopt;
+  }
+  return fd;
+}
+
+/// Binds and listens on a Unix-domain stream socket. A stale socket file
+/// (left by a crashed server: bind says "in use" but nobody accepts
+/// connections) is unlinked and rebound; a *live* server on the path is
+/// an error — two daemons must never share one path.
+inline std::optional<Fd> unix_listen(const std::string& path, int backlog,
+                                     std::string* error) {
+  sockaddr_un addr{};
+  if (!detail::fill_sockaddr(path, &addr, error)) {
+    return std::nullopt;
+  }
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE) {
+      *error = "cannot bind " + path + ": " + std::strerror(errno);
+      return std::nullopt;
+    }
+    std::string probe_error;
+    if (unix_connect(path, &probe_error)) {
+      *error = "another server is already listening on " + path;
+      return std::nullopt;
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      *error = "cannot bind " + path + ": " + std::strerror(errno);
+      return std::nullopt;
+    }
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    *error = "cannot listen on " + path + ": " + std::strerror(errno);
+    ::unlink(path.c_str());
+    return std::nullopt;
+  }
+  return fd;
+}
+
+/// Waits up to \p timeout_ms for \p fd to become readable. Returns 1 when
+/// readable, 0 on timeout, -1 on poll error. EINTR counts as a timeout so
+/// callers re-check their stop conditions instead of dying on a signal.
+inline int poll_readable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    return errno == EINTR ? 0 : -1;
+  }
+  return rc == 0 ? 0 : 1;
+}
+
+}  // namespace fetch::util

@@ -466,7 +466,7 @@ std::optional<Insn> decode(std::span<const std::uint8_t> bytes,
     pfx.rex = r.u8();
   }
 
-  // --- VEX prefixes (length decode only) -----------------------------------
+  // --- VEX/EVEX prefixes (length decode only) ------------------------------
   std::uint8_t opcode = r.u8();
   if (!r.ok()) {
     return std::nullopt;
@@ -478,19 +478,20 @@ std::optional<Insn> decode(std::span<const std::uint8_t> bytes,
     vex = true;
     if (opcode == 0xc4) {
       const std::uint8_t b1 = r.u8();
-      r.u8();  // VEX byte 2 (vvvv/L/pp)
+      r.u8();  // VEX byte 2 (W/vvvv/L/pp)
       if (!r.ok()) {
         return std::nullopt;
       }
       map = b1 & 0x1f;
-      if ((b1 & 0x20) == 0) {
-        pfx.rex |= 0x02;  // ~X
-      }
+      // VEX byte 1 is R̄ X̄ B̄ m-mmmm (bits 7/6/5, stored inverted).
       if ((b1 & 0x80) == 0) {
         pfx.rex |= 0x04;  // ~R
       }
       if ((b1 & 0x40) == 0) {
-        pfx.rex |= 0x01;  // ~B: VEX stores inverted
+        pfx.rex |= 0x02;  // ~X
+      }
+      if ((b1 & 0x20) == 0) {
+        pfx.rex |= 0x01;  // ~B
       }
       if (map != 1 && map != 2 && map != 3) {
         return std::nullopt;
@@ -504,6 +505,41 @@ std::optional<Insn> decode(std::span<const std::uint8_t> bytes,
         pfx.rex |= 0x04;
       }
       map = 1;
+    }
+    opcode = r.u8();
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+  } else if (pfx.rex == 0 && opcode == 0x62) {
+    // EVEX (AVX-512): 62 + three payload bytes, then the opcode. In
+    // 64-bit mode 62 is unambiguous (BOUND was removed), and after a REX
+    // prefix it is #UD — which the kMap1 kInvalid entry already yields.
+    // Like VEX this is a length-and-boundary decode: opmask/broadcast/
+    // rounding semantics are irrelevant for function detection, and the
+    // compressed disp8 scaling does not change the displacement's size.
+    const std::uint8_t p0 = r.u8();  // mmm + inverted R/X/B/R'
+    const std::uint8_t p1 = r.u8();  // W + ~vvvv + fixed 1 + pp
+    r.u8();                          // p2: z/L'L/b/V'/aaa
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+    if ((p0 & 0x08) != 0 || (p1 & 0x04) == 0) {
+      return std::nullopt;  // reserved bits: p0[3] must be 0, p1[2] 1
+    }
+    map = p0 & 0x07;
+    if (map != 1 && map != 2 && map != 3) {
+      return std::nullopt;
+    }
+    vex = true;  // identical downstream handling: maps + vector semantics
+    // EVEX P0 is R̄ X̄ B̄ R̄' 0 mmm (bits 7/6/5/4, stored inverted).
+    if ((p0 & 0x80) == 0) {
+      pfx.rex |= 0x04;  // ~R
+    }
+    if ((p0 & 0x40) == 0) {
+      pfx.rex |= 0x02;  // ~X
+    }
+    if ((p0 & 0x20) == 0) {
+      pfx.rex |= 0x01;  // ~B
     }
     opcode = r.u8();
     if (!r.ok()) {

@@ -193,5 +193,46 @@ TEST(BatchInputs, DirectoryExpansionKeepsOnlyElfMagicSorted) {
   EXPECT_FALSE(expand_directory(dir + "/script.sh", &paths, &error));
 }
 
+TEST(BatchInputs, DedupeDropsRepeatsKeepingFirstOccurrenceOrder) {
+  namespace fs = std::filesystem;
+  const std::string dir = temp_path("batch_dedupe_dir");
+  fs::create_directories(dir);
+  const auto bins = sample_binaries(1);
+  const std::string elf = dir + "/sample_elf";
+  fs::copy_file(bins[0], elf, fs::copy_options::overwrite_existing);
+
+  // The same file four ways: plain, repeated, via a redundant ../ hop,
+  // and through a symlink — plus a distinct neighbor that must survive.
+  const std::string hop =
+      dir + "/../" + fs::path(dir).filename().string() + "/sample_elf";
+  const std::string link = dir + "/sample_link";
+  std::error_code ec;
+  fs::create_symlink(elf, link, ec);
+  std::vector<std::string> paths = {elf, bins[0], elf, hop};
+  if (!ec) {
+    paths.push_back(link);
+  }
+  const std::size_t expected_dropped = paths.size() - 2;
+  EXPECT_EQ(dedupe_paths(&paths), expected_dropped);
+  EXPECT_EQ(paths, (std::vector<std::string>{elf, bins[0]}));
+
+  // Nonexistent paths still dedupe by spelling: one error row, not two.
+  std::vector<std::string> missing = {"/no/such/file", "/no/such/file",
+                                      "/no/other"};
+  EXPECT_EQ(dedupe_paths(&missing), 1u);
+  EXPECT_EQ(missing,
+            (std::vector<std::string>{"/no/such/file", "/no/other"}));
+}
+
+TEST(BatchInputs, DedupedBatchScoresEachFileOnce) {
+  const auto bins = sample_binaries(1);
+  std::vector<std::string> paths = {bins[0], bins[0], bins[0]};
+  const std::size_t dropped = dedupe_paths(&paths);
+  EXPECT_EQ(dropped, 2u);
+  const BatchReport report = run_batch(paths, BatchOptions());
+  ASSERT_EQ(report.rows().size(), 1u);
+  EXPECT_EQ(report.totals_with_truth().files, 1u);
+}
+
 }  // namespace
 }  // namespace fetch::eval

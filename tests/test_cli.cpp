@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <memory>
@@ -206,6 +208,108 @@ TEST(Cli, BatchFromFileAndCsv) {
   // command.
   EXPECT_EQ(run_cli("batch").status, 2);
   EXPECT_EQ(run_cli("detect --json x.json " + good).status, 2);
+}
+
+TEST(Cli, BatchDeduplicatesRepeatedInputs) {
+  if (!cli_available()) {
+    GTEST_SKIP() << "fetch-cli not built";
+  }
+  // The same binary reachable three ways: twice positionally and once via
+  // --dir. One scored row, with a stderr note about the dropped repeats.
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/fetch_cli_dedupe_dir";
+  fs::create_directories(dir);
+  const std::string good = write_sample_binary();
+  const std::string copy = dir + "/only_elf.bin";
+  fs::copy_file(good, copy, fs::copy_options::overwrite_existing);
+
+  const CommandResult r =
+      run_cli("batch " + copy + " " + copy + " --dir " + dir);
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("skipped 2 duplicate input path(s)"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("files: 1 "), std::string::npos) << r.output;
+
+  // Distinct files are untouched by deduplication.
+  const CommandResult two = run_cli("batch " + copy + " " + good);
+  EXPECT_EQ(two.status, 0) << two.output;
+  EXPECT_EQ(two.output.find("duplicate"), std::string::npos) << two.output;
+  EXPECT_NE(two.output.find("files: 2 "), std::string::npos) << two.output;
+}
+
+/// Runs a shell command with explicit redirection, returning the exit
+/// status (-1 when the shell itself failed).
+int run_shell(const std::string& cmd) {
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(Cli, ServedQueryIsByteIdenticalToDetect) {
+  if (!cli_available()) {
+    GTEST_SKIP() << "fetch-cli not built";
+  }
+  const std::string cli = FETCH_CLI_PATH;
+  const std::string sock = "/tmp/fetch-cli-test-" +
+                           std::to_string(::getpid()) + ".sock";
+  const std::string good = write_sample_binary();
+  const std::string dir = ::testing::TempDir();
+
+  // Daemon in the background; wait for its socket to accept a ping
+  // (shutdown-less probe: `query` on a file that exists).
+  ASSERT_EQ(run_shell(cli + " serve --socket " + sock +
+                      " >/dev/null 2>&1 &"),
+            0);
+  bool up = false;
+  for (int i = 0; i < 100 && !up; ++i) {
+    up = run_shell(cli + " query --socket " + sock + " " + good +
+                   " >/dev/null 2>/dev/null") == 0;
+    if (!up) {
+      usleep(100 * 1000);
+    }
+  }
+  ASSERT_TRUE(up) << "daemon did not come up on " << sock;
+
+  // One-shot vs served: stdout AND stderr must match byte for byte.
+  ASSERT_EQ(run_shell(cli + " detect " + good + " >" + dir +
+                      "/d.out 2>" + dir + "/d.err"),
+            0);
+  ASSERT_EQ(run_shell(cli + " query --socket " + sock + " " + good + " >" +
+                      dir + "/q.out 2>" + dir + "/q.err"),
+            0);
+  const std::string detect_out = slurp(dir + "/d.out");
+  EXPECT_FALSE(detect_out.empty());
+  EXPECT_EQ(detect_out, slurp(dir + "/q.out"));
+  EXPECT_EQ(slurp(dir + "/d.err"), slurp(dir + "/q.err"));
+
+  // Warm (cache-hit) pass: still identical.
+  ASSERT_EQ(run_shell(cli + " query --socket " + sock + " " + good + " >" +
+                      dir + "/q2.out 2>/dev/null"),
+            0);
+  EXPECT_EQ(detect_out, slurp(dir + "/q2.out"));
+
+  // Failure parity with the one-shot path: bad file → rc 1.
+  EXPECT_EQ(run_shell(cli + " query --socket " + sock +
+                      " /nonexistent-file >/dev/null 2>/dev/null"),
+            1);
+
+  // Graceful stop; a second shutdown finds nobody listening.
+  EXPECT_EQ(run_shell(cli + " shutdown --socket " + sock +
+                      " >/dev/null 2>/dev/null"),
+            0);
+  bool down = false;
+  for (int i = 0; i < 100 && !down; ++i) {
+    down = run_shell(cli + " shutdown --socket " + sock +
+                     " >/dev/null 2>/dev/null") == 1;
+    if (!down) {
+      usleep(100 * 1000);
+    }
+  }
+  EXPECT_TRUE(down);
+
+  // Service flags stay fenced to service commands.
+  EXPECT_EQ(run_cli("detect --socket " + sock + " " + good).status, 2);
+  EXPECT_EQ(run_cli("query --cache-capacity 8 " + good).status, 2);
 }
 
 TEST(Cli, BadUsageAndBadFile) {

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "x86/decoder.hpp"
+
+namespace fetch::x86 {
+namespace {
+
+/// Decode-table coverage beyond what the synthesizer emits: hand-pinned
+/// encodings (bytes taken from GNU as + objdump) across SSE/SSE2/SSE3/
+/// SSSE3/SSE4.1/SSE4.2, VEX-prefixed AVX/AVX2/FMA/BMI, and EVEX-prefixed
+/// AVX-512 forms. The decoder is a length-and-boundary decoder for these
+/// (no vector semantics), so the property pinned here is the one function
+/// detection depends on: every encoding decodes, at exactly its length,
+/// regardless of what follows it in memory.
+
+struct Encoding {
+  std::vector<std::uint8_t> bytes;
+  const char* text;  // objdump rendering, for failure messages
+};
+
+const std::vector<Encoding>& encodings() {
+  static const std::vector<Encoding> kEncodings = {
+      // --- SSE / SSE2 ---
+      {{0x0f, 0x28, 0xc8}, "movaps %xmm0,%xmm1"},
+      {{0x0f, 0x10, 0x10}, "movups (%rax),%xmm2"},
+      {{0x66, 0x0f, 0x29, 0x1b}, "movapd %xmm3,(%rbx)"},
+      {{0xf2, 0x0f, 0x10, 0x21}, "movsd (%rcx),%xmm4"},
+      {{0xf3, 0x0f, 0x11, 0x2a}, "movss %xmm5,(%rdx)"},
+      {{0x0f, 0x58, 0xc1}, "addps %xmm1,%xmm0"},
+      {{0xf2, 0x0f, 0x59, 0xda}, "mulsd %xmm2,%xmm3"},
+      {{0x66, 0x0f, 0xef, 0xc0}, "pxor %xmm0,%xmm0"},
+      {{0x66, 0x0f, 0x71, 0xf1, 0x03}, "psllw $0x3,%xmm1"},
+      {{0x66, 0x0f, 0x72, 0xf2, 0x05}, "pslld $0x5,%xmm2"},
+      {{0x66, 0x0f, 0x73, 0xf3, 0x07}, "psllq $0x7,%xmm3"},
+      {{0x66, 0x0f, 0x70, 0xd1, 0x1b}, "pshufd $0x1b,%xmm1,%xmm2"},
+      {{0xf2, 0x0f, 0x70, 0xe3, 0x44}, "pshuflw $0x44,%xmm3,%xmm4"},
+      {{0xf3, 0x0f, 0x70, 0xf5, 0x55}, "pshufhw $0x55,%xmm5,%xmm6"},
+      {{0x0f, 0xc6, 0xc1, 0xaa}, "shufps $0xaa,%xmm1,%xmm0"},
+      {{0x66, 0x0f, 0xc6, 0xd3, 0x01}, "shufpd $0x1,%xmm3,%xmm2"},
+      {{0x0f, 0xc2, 0xc1, 0x02}, "cmpleps %xmm1,%xmm0"},
+      {{0xf2, 0x0f, 0xc2, 0xd3, 0x01}, "cmpltsd %xmm3,%xmm2"},
+      {{0x0f, 0x50, 0xc1}, "movmskps %xmm1,%eax"},
+      {{0xf2, 0x0f, 0x2a, 0xc0}, "cvtsi2sd %eax,%xmm0"},
+      {{0xf2, 0x0f, 0x2c, 0xc9}, "cvttsd2si %xmm1,%ecx"},
+      {{0x0f, 0xae, 0x10}, "ldmxcsr (%rax)"},
+      {{0x0f, 0xae, 0xf8}, "sfence"},
+      {{0x0f, 0xae, 0xe8}, "lfence"},
+      {{0x0f, 0xae, 0xf0}, "mfence"},
+      {{0x0f, 0xc3, 0x01}, "movnti %eax,(%rcx)"},
+      {{0x0f, 0x2b, 0x02}, "movntps %xmm0,(%rdx)"},
+      {{0x66, 0x0f, 0xf7, 0xd1}, "maskmovdqu %xmm1,%xmm2"},
+      // --- SSE3 / SSSE3 ---
+      {{0xf2, 0x0f, 0x7c, 0xc1}, "haddps %xmm1,%xmm0"},
+      {{0xf2, 0x0f, 0xf0, 0x10}, "lddqu (%rax),%xmm2"},
+      {{0xf2, 0x0f, 0x12, 0xe3}, "movddup %xmm3,%xmm4"},
+      {{0x66, 0x0f, 0x38, 0x00, 0xc1}, "pshufb %xmm1,%xmm0"},
+      {{0x66, 0x0f, 0x3a, 0x0f, 0xca, 0x04}, "palignr $0x4,%xmm2,%xmm1"},
+      {{0x66, 0x0f, 0x38, 0x1c, 0xd3}, "pabsb %xmm3,%xmm2"},
+      {{0x66, 0x0f, 0x38, 0x02, 0xe5}, "phaddd %xmm5,%xmm4"},
+      // --- SSE4.1 / SSE4.2 ---
+      {{0x66, 0x0f, 0x3a, 0x0e, 0xc1, 0xf0}, "pblendw $0xf0,%xmm1,%xmm0"},
+      {{0x66, 0x0f, 0x38, 0x14, 0xe5}, "blendvps %xmm0,%xmm5,%xmm4"},
+      {{0x66, 0x0f, 0x38, 0x10, 0xf7}, "pblendvb %xmm0,%xmm7,%xmm6"},
+      {{0x66, 0x0f, 0x3a, 0x14, 0xc0, 0x01}, "pextrb $0x1,%xmm0,%eax"},
+      {{0x66, 0x48, 0x0f, 0x3a, 0x16, 0xd1, 0x01}, "pextrq $0x1,%xmm2,%rcx"},
+      {{0x66, 0x0f, 0x3a, 0x20, 0xc0, 0x03}, "pinsrb $0x3,%eax,%xmm0"},
+      {{0x66, 0x48, 0x0f, 0x3a, 0x22, 0xd1, 0x00}, "pinsrq $0x0,%rcx,%xmm2"},
+      {{0x66, 0x0f, 0x3a, 0x17, 0xc2, 0x02}, "extractps $0x2,%xmm0,%edx"},
+      {{0x66, 0x0f, 0x3a, 0x21, 0xc1, 0x10}, "insertps $0x10,%xmm1,%xmm0"},
+      {{0x66, 0x0f, 0x3a, 0x08, 0xca, 0x01}, "roundps $0x1,%xmm2,%xmm1"},
+      {{0x66, 0x0f, 0x38, 0x17, 0xc1}, "ptest %xmm1,%xmm0"},
+      {{0x66, 0x0f, 0x38, 0x20, 0xca}, "pmovsxbw %xmm2,%xmm1"},
+      {{0x66, 0x0f, 0x3a, 0x61, 0xc1, 0x0c}, "pcmpestri $0xc,%xmm1,%xmm0"},
+      {{0x66, 0x0f, 0x3a, 0x63, 0xd3, 0x0c}, "pcmpistri $0xc,%xmm3,%xmm2"},
+      {{0xf2, 0x0f, 0x38, 0xf0, 0xd8}, "crc32 %al,%ebx"},
+      {{0xf2, 0x48, 0x0f, 0x38, 0xf1, 0xd8}, "crc32 %rax,%rbx"},
+      {{0xf3, 0x0f, 0xb8, 0xd8}, "popcnt %eax,%ebx"},
+      {{0x0f, 0x38, 0xf0, 0x18}, "movbe (%rax),%ebx"},
+      {{0x0f, 0x38, 0xf1, 0x0a}, "movbe %ecx,(%rdx)"},
+      // --- AVX (VEX, maps 1-3) ---
+      {{0xc5, 0xf8, 0x77}, "vzeroupper"},
+      {{0xc5, 0xfc, 0x77}, "vzeroall"},
+      {{0xc5, 0xfc, 0x28, 0xc8}, "vmovaps %ymm0,%ymm1"},
+      {{0xc5, 0xfc, 0x10, 0x10}, "vmovups (%rax),%ymm2"},
+      {{0xc5, 0xec, 0x58, 0xc1}, "vaddps %ymm1,%ymm2,%ymm0"},
+      {{0xc5, 0xdb, 0x59, 0xd3}, "vmulsd %xmm3,%xmm4,%xmm2"},
+      {{0xc5, 0xe9, 0xef, 0xc1}, "vpxor %xmm1,%xmm2,%xmm0"},
+      {{0xc5, 0xfd, 0x70, 0xd1, 0x1b}, "vpshufd $0x1b,%ymm1,%ymm2"},
+      {{0xc5, 0xec, 0xc2, 0xc1, 0x02}, "vcmpleps %ymm1,%ymm2,%ymm0"},
+      {{0xc4, 0xe3, 0x5d, 0x0c, 0xd3, 0x03}, "vblendps $0x3,%ymm3,%ymm4,%ymm2"},
+      {{0xc4, 0xe3, 0x4d, 0x4a, 0xe5, 0x00},
+       "vblendvps %ymm0,%ymm5,%ymm6,%ymm4"},
+      {{0xc4, 0xe3, 0x71, 0x4c, 0xf7, 0x00},
+       "vpblendvb %xmm0,%xmm7,%xmm1,%xmm6"},
+      {{0xc4, 0xe3, 0x65, 0x18, 0xca, 0x01},
+       "vinsertf128 $0x1,%xmm2,%ymm3,%ymm1"},
+      {{0xc4, 0xe3, 0x7d, 0x19, 0xca, 0x00}, "vextractf128 $0x0,%ymm1,%xmm2"},
+      {{0xc4, 0xe3, 0x65, 0x06, 0xca, 0x20},
+       "vperm2f128 $0x20,%ymm2,%ymm3,%ymm1"},
+      {{0xc4, 0xe2, 0x7d, 0x18, 0x00}, "vbroadcastss (%rax),%ymm0"},
+      {{0xc4, 0xe2, 0x6d, 0x2c, 0x19}, "vmaskmovps (%rcx),%ymm2,%ymm3"},
+      {{0xc4, 0xe2, 0x7d, 0x17, 0xca}, "vptest %ymm2,%ymm1"},
+      // --- AVX2 ---
+      {{0xc4, 0xe2, 0x7d, 0x78, 0xc1}, "vpbroadcastb %xmm1,%ymm0"},
+      {{0xc4, 0xe3, 0x65, 0x46, 0xca, 0x31},
+       "vperm2i128 $0x31,%ymm2,%ymm3,%ymm1"},
+      {{0xc4, 0xe2, 0x65, 0x36, 0xca}, "vpermd %ymm2,%ymm3,%ymm1"},
+      {{0xc4, 0xe3, 0xfd, 0x00, 0xca, 0xd8}, "vpermq $0xd8,%ymm2,%ymm1"},
+      {{0xc4, 0xe2, 0x65, 0x47, 0xca}, "vpsllvd %ymm2,%ymm3,%ymm1"},
+      {{0xc4, 0xe2, 0x6d, 0x92, 0x1c, 0x88},
+       "vgatherdps %ymm2,(%rax,%ymm1,4),%ymm3"},
+      {{0xc4, 0xe2, 0xed, 0x91, 0x1c, 0xcb},
+       "vpgatherqq %ymm2,(%rbx,%ymm1,8),%ymm3"},
+      {{0xc5, 0xfe, 0x7f, 0x08}, "vmovdqu %ymm1,(%rax)"},
+      {{0xc5, 0xfd, 0xd7, 0xc1}, "vpmovmskb %ymm1,%eax"},
+      {{0xc4, 0xe3, 0x65, 0x0f, 0xca, 0x04},
+       "vpalignr $0x4,%ymm2,%ymm3,%ymm1"},
+      {{0xc5, 0xe5, 0x74, 0xca}, "vpcmpeqb %ymm2,%ymm3,%ymm1"},
+      // --- FMA / BMI (VEX maps 2-3 on GPRs) ---
+      {{0xc4, 0xe2, 0x65, 0xb8, 0xca}, "vfmadd231ps %ymm2,%ymm3,%ymm1"},
+      {{0xc4, 0xe2, 0xe1, 0x99, 0xca}, "vfmadd132sd %xmm2,%xmm3,%xmm1"},
+      {{0xc4, 0xe2, 0x60, 0xf2, 0xc8}, "andn %eax,%ebx,%ecx"},
+      {{0xc4, 0xe2, 0x78, 0xf5, 0xcb}, "bzhi %eax,%ebx,%ecx"},
+      {{0xc4, 0xe2, 0x63, 0xf6, 0xc8}, "mulx %eax,%ebx,%ecx"},
+      {{0xc4, 0xe2, 0x63, 0xf5, 0xc8}, "pdep %eax,%ebx,%ecx"},
+      {{0xc4, 0xe3, 0x7b, 0xf0, 0xd8, 0x07}, "rorx $0x7,%eax,%ebx"},
+      {{0xc4, 0xe2, 0x7a, 0xf7, 0xcb}, "sarx %eax,%ebx,%ecx"},
+      {{0xf3, 0x0f, 0xbc, 0xd8}, "tzcnt %eax,%ebx"},
+      {{0xf3, 0x0f, 0xbd, 0xd8}, "lzcnt %eax,%ebx"},
+      {{0xc4, 0xe2, 0x60, 0xf3, 0xd8}, "blsi %eax,%ebx"},
+      {{0xc4, 0xe2, 0x78, 0xf7, 0xcb}, "bextr %eax,%ebx,%ecx"},
+      // --- EVEX (AVX-512): the forms glibc's vectorized str/mem code
+      // actually uses, including compressed disp8 and {1toN} broadcast
+      // memory operands (neither changes the displacement's byte count).
+      {{0x62, 0xf1, 0xfe, 0x48, 0x6f, 0x00}, "vmovdqu64 (%rax),%zmm0"},
+      {{0x62, 0xf1, 0xfe, 0x48, 0x7f, 0x0f}, "vmovdqu64 %zmm1,(%rdi)"},
+      {{0x62, 0xf1, 0x7f, 0x28, 0x6f, 0x16}, "vmovdqu8 (%rsi),%ymm2"},
+      {{0x62, 0xf1, 0x7e, 0x08, 0x7f, 0x1a}, "vmovdqu32 %xmm3,(%rdx)"},
+      {{0x62, 0xf1, 0x7c, 0x48, 0x10, 0x48, 0x01},
+       "vmovups 0x40(%rax),%zmm1"},
+      {{0x62, 0xf1, 0x7c, 0x48, 0x29, 0x53, 0x02},
+       "vmovaps %zmm2,0x80(%rbx)"},
+      {{0x62, 0xf1, 0x7d, 0x48, 0xe7, 0x01}, "vmovntdq %zmm0,(%rcx)"},
+      {{0x62, 0xf1, 0x6d, 0x48, 0xfc, 0xd9}, "vpaddb %zmm1,%zmm2,%zmm3"},
+      {{0x62, 0xf1, 0x6d, 0x48, 0x74, 0xc9}, "vpcmpeqb %zmm1,%zmm2,%k1"},
+      {{0x62, 0xf3, 0x5d, 0x48, 0x3e, 0xd3, 0x01},
+       "vpcmpltub %zmm3,%zmm4,%k2"},
+      {{0x62, 0xf3, 0x4d, 0x49, 0x3f, 0xdd, 0x04},
+       "vpcmpneqb %zmm5,%zmm6,%k3{%k1}"},
+      {{0x62, 0xf1, 0x6d, 0x48, 0xda, 0xd9}, "vpminub %zmm1,%zmm2,%zmm3"},
+      {{0x62, 0xf3, 0x6d, 0x48, 0x25, 0xd9, 0xfe},
+       "vpternlogd $0xfe,%zmm1,%zmm2,%zmm3"},
+      {{0x62, 0xf2, 0x6d, 0x48, 0x26, 0xe1}, "vptestmb %zmm1,%zmm2,%k4"},
+      {{0x62, 0xf2, 0x5e, 0x48, 0x26, 0xeb}, "vptestnmb %zmm3,%zmm4,%k5"},
+      {{0x62, 0xf1, 0xed, 0x48, 0xef, 0xd9}, "vpxorq %zmm1,%zmm2,%zmm3"},
+      {{0x62, 0xf2, 0x7d, 0x48, 0x7a, 0xc8}, "vpbroadcastb %eax,%zmm1"},
+      {{0x62, 0xf2, 0x7d, 0x48, 0x18, 0x10}, "vbroadcastss (%rax),%zmm2"},
+      {{0x62, 0xe1, 0xfd, 0x08, 0x7e, 0xd0}, "vmovq %xmm18,%rax"},
+      {{0x62, 0xf1, 0xfe, 0x48, 0x7f, 0x44, 0x24, 0x01},
+       "vmovdqu64 %zmm0,0x40(%rsp)"},
+      {{0x62, 0xf1, 0x6d, 0x58, 0x76, 0x4f, 0x04},
+       "vpcmpeqd 0x10(%rdi){1to16},%zmm2,%k1"},
+      {{0x62, 0xf1, 0xf5, 0x58, 0x58, 0x10},
+       "vaddpd (%rax){1to8},%zmm1,%zmm2"},
+      {{0x62, 0xf2, 0x7d, 0x49, 0x92, 0x1c, 0x88},
+       "vgatherdps (%rax,%zmm1,4),%zmm3{%k1}"},
+      // --- legacy odds and ends the synthesizer never emits ---
+      {{0x0f, 0x01, 0xd0}, "xgetbv"},
+      {{0x0f, 0xae, 0x20}, "xsave (%rax)"},
+      {{0x0f, 0xc7, 0xf0}, "rdrand %eax"},
+      {{0x0f, 0xc7, 0x08}, "cmpxchg8b (%rax)"},
+      {{0x48, 0x0f, 0xc7, 0x0b}, "cmpxchg16b (%rbx)"},
+      {{0x0f, 0x18, 0x08}, "prefetcht0 (%rax)"},
+      {{0x0f, 0xae, 0x39}, "clflush (%rcx)"},
+  };
+  return kEncodings;
+}
+
+TEST(DecoderTables, KnownEncodingsDecodeAtExactLength) {
+  for (const Encoding& enc : encodings()) {
+    const auto insn = decode({enc.bytes.data(), enc.bytes.size()}, 0x1000);
+    ASSERT_TRUE(insn.has_value()) << enc.text;
+    EXPECT_EQ(insn->length, enc.bytes.size()) << enc.text;
+  }
+}
+
+/// Length decoding must not depend on what follows the instruction: the
+/// same bytes padded with garbage decode to the same length, so a linear
+/// sweep lands on the next real instruction boundary.
+TEST(DecoderTables, TrailingBytesNeverChangeLength) {
+  for (const Encoding& enc : encodings()) {
+    std::vector<std::uint8_t> padded = enc.bytes;
+    padded.insert(padded.end(), {0xcc, 0x90, 0xff, 0x62, 0xc4, 0x0f});
+    const auto insn = decode({padded.data(), padded.size()}, 0x1000);
+    ASSERT_TRUE(insn.has_value()) << enc.text;
+    EXPECT_EQ(insn->length, enc.bytes.size()) << enc.text;
+    // And a vector-prefixed instruction never gains branch semantics.
+    const std::uint8_t first = enc.bytes[0];
+    if (first == 0xc4 || first == 0xc5 || first == 0x62) {
+      EXPECT_NE(insn->kind, Kind::kRet) << enc.text;
+      EXPECT_NE(insn->kind, Kind::kCallDirect) << enc.text;
+      EXPECT_NE(insn->kind, Kind::kJmpDirect) << enc.text;
+    }
+  }
+}
+
+/// Every strict prefix of a known encoding must fail to decode or decode
+/// to something that fits inside the prefix (the fuzz suite checks this
+/// for random soup; this pins it for real vector encodings).
+TEST(DecoderTables, TruncatedEncodingsNeverOverrun) {
+  for (const Encoding& enc : encodings()) {
+    for (std::size_t cut = 0; cut < enc.bytes.size(); ++cut) {
+      const auto part = decode({enc.bytes.data(), cut}, 0x1000);
+      if (part) {
+        EXPECT_LE(static_cast<std::size_t>(part->length), cut) << enc.text;
+      }
+    }
+  }
+}
+
+/// The inverted ~X/~B bits of VEX/EVEX payloads must land on the right
+/// REX equivalents: base and index registers of vector memory operands
+/// feed the detector's data-flow checks even though vector *semantics*
+/// are skipped. (Regression: the bits used to be transposed.)
+TEST(DecoderTables, VexEvexExtendedBaseAndIndexRegisters) {
+  // vmovups (%r8),%ymm2 — VEX ~B clear → base r8, no index.
+  const std::vector<std::uint8_t> base_ext = {0xc4, 0xc1, 0x7c, 0x10, 0x10};
+  auto insn = decode({base_ext.data(), base_ext.size()}, 0);
+  ASSERT_TRUE(insn.has_value());
+  ASSERT_TRUE(insn->mem.has_value());
+  EXPECT_EQ(insn->mem->base, Reg::kR8);
+  EXPECT_FALSE(insn->mem->index.has_value());
+
+  // vmovups (%rax,%r9,4),%ymm1 — VEX ~X clear → index r9, base rax.
+  const std::vector<std::uint8_t> index_ext = {0xc4, 0xa1, 0x7c,
+                                               0x10, 0x0c, 0x88};
+  insn = decode({index_ext.data(), index_ext.size()}, 0);
+  ASSERT_TRUE(insn.has_value());
+  ASSERT_TRUE(insn->mem.has_value());
+  EXPECT_EQ(insn->mem->base, Reg::kRax);
+  ASSERT_TRUE(insn->mem->index.has_value());
+  EXPECT_EQ(*insn->mem->index, Reg::kR9);
+
+  // vmovdqu64 (%r10),%zmm0 — EVEX ~B clear → base r10.
+  const std::vector<std::uint8_t> evex_base = {0x62, 0xd1, 0xfe,
+                                               0x48, 0x6f, 0x02};
+  insn = decode({evex_base.data(), evex_base.size()}, 0);
+  ASSERT_TRUE(insn.has_value());
+  ASSERT_TRUE(insn->mem.has_value());
+  EXPECT_EQ(insn->mem->base, Reg::kR10);
+}
+
+TEST(DecoderTables, EvexReservedBitsRejected) {
+  // Valid vpaddb zmm with p0 bit 3 set (must be 0).
+  const std::vector<std::uint8_t> bad_p0 = {0x62, 0xf9, 0x6d, 0x48,
+                                            0xfc, 0xd9};
+  EXPECT_FALSE(decode({bad_p0.data(), bad_p0.size()}, 0).has_value());
+  // p1 bit 2 cleared (must be 1).
+  const std::vector<std::uint8_t> bad_p1 = {0x62, 0xf1, 0x69, 0x48,
+                                            0xfc, 0xd9};
+  EXPECT_FALSE(decode({bad_p1.data(), bad_p1.size()}, 0).has_value());
+  // Map 0 (reserved) in p0.
+  const std::vector<std::uint8_t> bad_map = {0x62, 0xf0, 0x6d, 0x48,
+                                             0xfc, 0xd9};
+  EXPECT_FALSE(decode({bad_map.data(), bad_map.size()}, 0).has_value());
+}
+
+TEST(DecoderTables, RexBeforeVectorPrefixIsInvalid) {
+  // REX followed by VEX/EVEX is #UD on hardware; the decoder must agree,
+  // not silently reinterpret the prefix bytes.
+  for (const std::uint8_t vector_byte : {0xc4, 0xc5, 0x62}) {
+    const std::vector<std::uint8_t> bytes = {0x48, vector_byte, 0xf1,
+                                             0x6d, 0x48, 0xfc, 0xd9};
+    EXPECT_FALSE(decode({bytes.data(), bytes.size()}, 0).has_value())
+        << "0x" << std::hex << static_cast<int>(vector_byte);
+  }
+}
+
+/// Vector-prefix-seeded fuzz: buffers that *start* like VEX/EVEX hit the
+/// new code paths far more often than uniform soup would. Same
+/// invariants as the DecoderFuzz suite.
+TEST(DecoderTables, VectorPrefixFuzzNeverMisbehaves) {
+  Rng rng(0x5eedf00dULL);
+  std::vector<std::uint8_t> buf(16);
+  const std::uint8_t leads[] = {0xc4, 0xc5, 0x62};
+  for (int round = 0; round < 6000; ++round) {
+    for (auto& b : buf) {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    buf[0] = leads[round % 3];
+    for (std::size_t len : {std::size_t{1}, std::size_t{3}, std::size_t{5},
+                            buf.size()}) {
+      const auto insn = decode({buf.data(), len}, 0x400000);
+      if (insn) {
+        EXPECT_GT(insn->length, 0);
+        EXPECT_LE(static_cast<std::size_t>(insn->length), len);
+        const auto again = decode({buf.data(), len}, 0x400000);
+        ASSERT_TRUE(again.has_value());
+        EXPECT_EQ(again->length, insn->length);
+        EXPECT_EQ(again->kind, insn->kind);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fetch::x86

@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "synth/codegen.hpp"
+#include "synth/corpus.hpp"
+#include "util/framing.hpp"
+
+namespace fetch {
+namespace {
+
+/// End-to-end coverage of the analysis service: protocol framing, cache
+/// behavior (hit/miss/eviction), single-flight dedup under concurrent
+/// clients, graceful shutdown with in-flight requests, and malformed
+/// requests answered with error replies instead of crashes.
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/fetch-svc-test-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+std::string write_sample_binary(const char* name, std::size_t project,
+                                std::uint64_t seed) {
+  const auto spec =
+      synth::make_program(synth::projects()[project],
+                          synth::profile_for("gcc", "O2"), seed);
+  const synth::SynthBinary bin = synth::generate(spec);
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bin.image.data()),
+            static_cast<std::streamsize>(bin.image.size()));
+  return path;
+}
+
+/// In-process daemon on a private socket; stops and joins on destruction.
+class TestServer {
+ public:
+  explicit TestServer(service::ServerOptions options = {}) {
+    if (options.socket_path.empty()) {
+      options.socket_path = unique_socket_path();
+    }
+    if (options.workers == 0) {
+      options.workers = 4;
+    }
+    server_ = std::make_unique<service::ServiceServer>(options);
+    std::string error;
+    started_ = server_->start(&error);
+    EXPECT_TRUE(started_) << error;
+    if (started_) {
+      thread_ = std::thread([this] { server_->run(); });
+    }
+  }
+
+  ~TestServer() {
+    if (started_) {
+      server_->stop();
+      thread_.join();
+    }
+  }
+
+  [[nodiscard]] service::ServiceServer& server() { return *server_; }
+  [[nodiscard]] const std::string& socket() const {
+    return server_->socket_path();
+  }
+
+  [[nodiscard]] service::ServiceClient connect() {
+    std::string error;
+    auto client = service::ServiceClient::connect(socket(), &error);
+    EXPECT_TRUE(client.has_value()) << error;
+    return std::move(*client);
+  }
+
+ private:
+  std::unique_ptr<service::ServiceServer> server_;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+// --- Framing ----------------------------------------------------------------
+
+TEST(ServiceFraming, RoundTripsPayloadsOfEverySize) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  for (const std::size_t size :
+       {std::size_t{0}, std::size_t{1}, std::size_t{4096},
+        std::size_t{1u << 20}}) {
+    std::string payload(size, 'x');
+    for (std::size_t i = 0; i < size; ++i) {
+      payload[i] = static_cast<char>('a' + i % 26);
+    }
+    // Write from a helper thread: payloads larger than the socket buffer
+    // need a concurrent reader, exactly like the real client/server.
+    std::thread writer([&] {
+      std::string write_error;
+      EXPECT_TRUE(util::write_frame(fds[0], payload, &write_error))
+          << write_error;
+    });
+    std::string got;
+    std::string error;
+    EXPECT_EQ(util::read_frame(fds[1], &got, &error), util::FrameStatus::kOk)
+        << error;
+    writer.join();
+    EXPECT_EQ(got, payload);
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServiceFraming, DistinguishesCleanEofFromTornFrame) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string error;
+  // Clean hangup between frames → kEof.
+  ::close(fds[0]);
+  std::string got;
+  EXPECT_EQ(util::read_frame(fds[1], &got, &error), util::FrameStatus::kEof);
+  ::close(fds[1]);
+
+  // Header promising more bytes than arrive → kError, not kEof.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::uint8_t torn[] = {0x10, 0x00, 0x00, 0x00, 'h', 'i'};
+  ASSERT_EQ(::send(fds[0], torn, sizeof(torn), 0),
+            static_cast<ssize_t>(sizeof(torn)));
+  ::close(fds[0]);
+  EXPECT_EQ(util::read_frame(fds[1], &got, &error),
+            util::FrameStatus::kError);
+  ::close(fds[1]);
+}
+
+TEST(ServiceFraming, RejectsOversizeHeaderWithoutAllocating) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::uint8_t huge[] = {0xff, 0xff, 0xff, 0xff};  // ~4 GiB claim
+  ASSERT_EQ(::send(fds[0], huge, sizeof(huge), 0), 4);
+  std::string got;
+  std::string error;
+  EXPECT_EQ(util::read_frame(fds[1], &got, &error),
+            util::FrameStatus::kError);
+  EXPECT_NE(error.find("cap"), std::string::npos) << error;
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --- Query path and cache ---------------------------------------------------
+
+TEST(Service, QueryMissThenHitReturnsIdenticalResults) {
+  TestServer server;
+  auto client = server.connect();
+  const std::string path =
+      write_sample_binary("svc_sample_a.bin", 0, 0xa11ce);
+
+  std::string error;
+  const auto miss = client.query(path, &error);
+  ASSERT_TRUE(miss.has_value()) << error;
+  EXPECT_EQ(miss->cache, "miss");
+  ASSERT_TRUE(miss->analysis.row.ok) << miss->analysis.row.error;
+  EXPECT_FALSE(miss->analysis.functions.empty());
+  EXPECT_EQ(miss->analysis.row.truth_source, "symtab");
+
+  const auto hit = client.query(path, &error);
+  ASSERT_TRUE(hit.has_value()) << error;
+  EXPECT_EQ(hit->cache, "hit");
+  // Byte-identical detection results between the cold and cached paths.
+  EXPECT_EQ(service::analysis_json(hit->analysis).dump(),
+            service::analysis_json(miss->analysis).dump());
+
+  const util::LruStats stats = server.server().cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(Service, CacheIsContentAddressedNotPathAddressed) {
+  TestServer server;
+  auto client = server.connect();
+  const std::string path =
+      write_sample_binary("svc_sample_b.bin", 1, 0xb0b);
+  const std::string copy = ::testing::TempDir() + "/svc_sample_b_copy.bin";
+  std::filesystem::copy_file(
+      path, copy, std::filesystem::copy_options::overwrite_existing);
+
+  std::string error;
+  const auto first = client.query(path, &error);
+  ASSERT_TRUE(first.has_value()) << error;
+  EXPECT_EQ(first->cache, "miss");
+  // Same bytes at a different path: a hit, not a second analysis.
+  const auto second = client.query(copy, &error);
+  ASSERT_TRUE(second.has_value()) << error;
+  EXPECT_EQ(second->cache, "hit");
+  EXPECT_EQ(second->analysis.content_hash, first->analysis.content_hash);
+  EXPECT_EQ(server.server().cache_stats().misses, 1u);
+}
+
+TEST(Service, EvictionIsCapacityBoundedAndDeterministic) {
+  service::ServerOptions options;
+  options.cache_capacity = 2;
+  options.cache_shards = 1;  // single shard → exact global LRU order
+  TestServer server(options);
+  auto client = server.connect();
+
+  const std::string a = write_sample_binary("svc_evict_a.bin", 0, 1);
+  const std::string b = write_sample_binary("svc_evict_b.bin", 1, 2);
+  const std::string c = write_sample_binary("svc_evict_c.bin", 2, 3);
+  std::string error;
+  for (const std::string& path : {a, b, c}) {
+    const auto result = client.query(path, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_EQ(result->cache, "miss");
+  }
+  // Capacity 2: inserting c evicted a, so a misses again; b and c were
+  // kept (b was *not* touched since, so a's re-analysis now evicts it).
+  const auto again_a = client.query(a, &error);
+  ASSERT_TRUE(again_a.has_value()) << error;
+  EXPECT_EQ(again_a->cache, "miss");
+  const auto again_c = client.query(c, &error);
+  ASSERT_TRUE(again_c.has_value()) << error;
+  EXPECT_EQ(again_c->cache, "hit");
+
+  const util::LruStats stats = server.server().cache_stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(Service, UnreadableAndMalformedFilesBecomeErrorRows) {
+  TestServer server;
+  auto client = server.connect();
+  std::string error;
+  const auto missing = client.query("/nonexistent/fetch-svc-test", &error);
+  ASSERT_TRUE(missing.has_value()) << error;
+  EXPECT_FALSE(missing->analysis.row.ok);
+  EXPECT_NE(missing->analysis.row.error.find("cannot open"),
+            std::string::npos);
+  EXPECT_EQ(missing->cache, "none");  // nothing worth caching
+
+  const std::string garbage = ::testing::TempDir() + "/svc_garbage.bin";
+  {
+    std::ofstream out(garbage, std::ios::trunc);
+    out << "definitely not an ELF";
+  }
+  const auto bad = client.query(garbage, &error);
+  ASSERT_TRUE(bad.has_value()) << error;
+  EXPECT_FALSE(bad->analysis.row.ok);
+  EXPECT_FALSE(bad->analysis.row.error.empty());
+}
+
+// --- Single-flight under concurrent clients ---------------------------------
+
+TEST(Service, EightConcurrentClientsOneAnalysis) {
+  TestServer server;
+  // A fresh binary no other test queries, so the miss count is exact.
+  const std::string path =
+      write_sample_binary("svc_flight.bin", 3, 0xf117);
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  std::vector<std::string> hashes(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      std::string error;
+      auto client =
+          service::ServiceClient::connect(server.socket(), &error);
+      ASSERT_TRUE(client.has_value()) << error;
+      const auto result = client->query(path, &error);
+      ASSERT_TRUE(result.has_value()) << error;
+      ASSERT_TRUE(result->analysis.row.ok) << result->analysis.row.error;
+      hashes[i] = service::analysis_json(result->analysis).dump();
+      ok.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  ASSERT_EQ(ok.load(), kClients);
+  // All eight saw the same bytes-for-bytes result...
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(hashes[i], hashes[0]);
+  }
+  // ...and the server ran exactly one analysis for them.
+  const util::LruStats stats = server.server().cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.joined, static_cast<std::uint64_t>(kClients - 1));
+}
+
+// --- Malformed requests -----------------------------------------------------
+
+TEST(Service, MalformedRequestsGetErrorRepliesNotCrashes) {
+  TestServer server;
+  std::string error;
+
+  auto raw_roundtrip = [&](const std::string& payload) -> std::string {
+    auto fd = util::unix_connect(server.socket(), &error);
+    EXPECT_TRUE(fd.has_value()) << error;
+    EXPECT_TRUE(util::write_frame(fd->get(), payload, &error)) << error;
+    std::string reply;
+    EXPECT_EQ(util::read_frame(fd->get(), &reply, &error),
+              util::FrameStatus::kOk)
+        << error;
+    return reply;
+  };
+
+  for (const std::string& payload : std::vector<std::string>{
+           std::string("this is not json"),
+           std::string("{\"schema\":\"fetch-service-v1\"}"),  // no op
+           std::string("{\"schema\":\"wrong\",\"op\":\"ping\"}"),
+           std::string(
+               "{\"schema\":\"fetch-service-v1\",\"op\":\"frobnicate\"}"),
+           std::string("{\"schema\":\"fetch-service-v1\",\"op\":\"query\"}"),
+       }) {
+    const std::string reply = raw_roundtrip(payload);
+    const auto doc = util::json::Value::parse(reply);
+    ASSERT_TRUE(doc.has_value()) << reply;
+    const util::json::Value* status = doc->get("status");
+    ASSERT_NE(status, nullptr);
+    EXPECT_EQ(status->text(), "error") << payload;
+  }
+
+  // A parse-level error keeps the connection usable; a ping on the same
+  // connection and on a fresh one both still work — the daemon survived
+  // all of the above.
+  auto client = server.connect();
+  EXPECT_TRUE(client.ping(&error)) << error;
+}
+
+TEST(Service, OversizeFrameClosesConnectionButNotServer) {
+  TestServer server;
+  std::string error;
+  auto fd = util::unix_connect(server.socket(), &error);
+  ASSERT_TRUE(fd.has_value()) << error;
+  // A header claiming ~4 GiB: the server must refuse, reply, and drop
+  // this connection without dying.
+  const std::uint8_t huge[] = {0xff, 0xff, 0xff, 0xff, 'x'};
+  ASSERT_EQ(::send(fd->get(), huge, sizeof(huge), 0),
+            static_cast<ssize_t>(sizeof(huge)));
+  std::string reply;
+  EXPECT_EQ(util::read_frame(fd->get(), &reply, &error),
+            util::FrameStatus::kOk);
+  EXPECT_NE(reply.find("error"), std::string::npos);
+
+  auto client = server.connect();
+  EXPECT_TRUE(client.ping(&error)) << error;
+}
+
+// --- Graceful shutdown ------------------------------------------------------
+
+TEST(Service, ShutdownCompletesInFlightRequests) {
+  service::ServerOptions options;
+  options.socket_path = unique_socket_path();
+  options.workers = 4;
+  auto server = std::make_unique<service::ServiceServer>(options);
+  std::string error;
+  ASSERT_TRUE(server->start(&error)) << error;
+  std::thread run_thread([&server] { server->run(); });
+
+  const std::string path =
+      write_sample_binary("svc_shutdown.bin", 4, 0xdead);
+  std::atomic<bool> query_ok{false};
+  std::thread in_flight([&] {
+    std::string thread_error;
+    auto client =
+        service::ServiceClient::connect(options.socket_path, &thread_error);
+    ASSERT_TRUE(client.has_value()) << thread_error;
+    const auto result = client->query(path, &thread_error);
+    // The query may race the shutdown, but if it was accepted it must
+    // complete with a full, valid result — never a torn reply.
+    if (result.has_value()) {
+      EXPECT_TRUE(result->analysis.row.ok) << result->analysis.row.error;
+      EXPECT_FALSE(result->analysis.functions.empty());
+      query_ok.store(true);
+    }
+  });
+
+  // Give the query a moment to be in flight, then shut down mid-stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  auto shutdown_client =
+      service::ServiceClient::connect(options.socket_path, &error);
+  ASSERT_TRUE(shutdown_client.has_value()) << error;
+  const auto stats = shutdown_client->shutdown_server(&error);
+  EXPECT_TRUE(stats.has_value()) << error;
+
+  in_flight.join();
+  run_thread.join();  // run() must return on its own after stop()
+  EXPECT_TRUE(query_ok.load());
+  // The daemon removed its socket file on the way out.
+  EXPECT_FALSE(std::filesystem::exists(options.socket_path));
+}
+
+// --- Protocol odds and ends -------------------------------------------------
+
+TEST(Service, StatsOpReportsCacheShape) {
+  service::ServerOptions options;
+  options.cache_capacity = 64;
+  options.cache_shards = 4;
+  TestServer server(options);
+  auto client = server.connect();
+  std::string error;
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->get("capacity")->as_double(), 64.0);
+  EXPECT_EQ(stats->get("shards")->as_double(), 4.0);
+  EXPECT_EQ(stats->get("entries")->as_double(), 0.0);
+}
+
+TEST(Service, AnalysisJsonRoundTripsExactly) {
+  eval::FileAnalysis fa;
+  fa.row.path = "/some/bin";
+  fa.row.ok = true;
+  fa.row.truth_source = "symtab";
+  fa.row.truth = 10;
+  fa.row.detected = 9;
+  fa.row.tp = 8;
+  fa.row.fp = 1;
+  fa.row.fn = 2;
+  fa.row.plt_excluded = 3;
+  fa.content_hash = 0xdeadbeefcafef00dULL;
+  fa.fde_starts = 7;
+  fa.pointer_starts = 2;
+  fa.functions = {{0x401000, "fde"}, {0x401200, "pointer"}};
+  std::string error;
+  const auto back =
+      service::analysis_from_json(service::analysis_json(fa), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(service::analysis_json(*back).dump(),
+            service::analysis_json(fa).dump());
+  EXPECT_EQ(back->content_hash, fa.content_hash);
+  EXPECT_EQ(back->functions, fa.functions);
+}
+
+}  // namespace
+}  // namespace fetch

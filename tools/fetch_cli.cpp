@@ -17,7 +17,15 @@
 ///                                   ground truth (per-file + aggregate
 ///                                   precision/recall/F1); unreadable or
 ///                                   malformed inputs become error rows,
-///                                   the batch keeps going
+///                                   the batch keeps going; repeated
+///                                   inputs are deduplicated
+///   fetch-cli [opts] serve          run the resident analysis daemon
+///                                   (fetch-service-v1 over a Unix
+///                                   socket, content-addressed LRU
+///                                   result cache)
+///   fetch-cli [opts] query <elf>... analyze via a running daemon; output
+///                                   is byte-identical to `detect`
+///   fetch-cli [opts] shutdown       stop a running daemon gracefully
 ///
 /// Options: --jobs N (default: FETCH_JOBS env, else hardware concurrency),
 /// --scale smoke|default|full (corpus population; default "default"),
@@ -28,15 +36,26 @@
 /// comments; repeatable), --dir DIR (every ELF-magic regular file in DIR,
 /// sorted; repeatable), --json PATH (write a `fetch-batch-v1` document),
 /// --csv PATH. Batch output is byte-identical for any --jobs value.
+/// Repeated inputs (positionally or via --from-file/--dir) are scored
+/// once; a note about dropped duplicates goes to stderr.
+///
+/// Service options: --socket PATH (default: FETCH_SOCKET env, else
+/// /tmp/fetch-serve.<uid>.sock) for serve/query/shutdown;
+/// --cache-capacity N (serve only; result-cache entries, default 256).
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "baselines/tools.hpp"
@@ -48,7 +67,10 @@
 #include "eval/batch.hpp"
 #include "eval/gadget.hpp"
 #include "eval/runner.hpp"
+#include "eval/session.hpp"
 #include "eval/table.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "synth/corpus_store.hpp"
 #include "util/fs.hpp"
 #include "util/thread_pool.hpp"
@@ -57,22 +79,32 @@ namespace {
 
 using namespace fetch;
 
-int cmd_detect(const elf::ElfFile& elf) {
-  core::FunctionDetector detector(elf);
-  const core::DetectionResult result = detector.run();
-  std::cout << "# start            provenance\n";
-  for (const auto& [addr, provenance] : result.functions) {
-    std::cout << "0x" << std::hex << std::setw(12) << std::setfill('0')
-              << addr << std::dec << "   "
-              << core::provenance_name(provenance) << "\n";
+/// Renders one analysis exactly the way `detect` always has: the
+/// start/provenance table on stdout, the pipeline summary on stderr.
+/// `query` renders through the same function, which is what makes served
+/// output byte-identical to the one-shot path.
+int render_detection(const eval::FileAnalysis& analysis) {
+  if (!analysis.row.ok) {
+    std::cerr << "error: " << analysis.row.error << "\n";
+    return 1;
   }
-  std::cerr << result.functions.size() << " function starts ("
-            << result.fde_starts.size() << " from FDEs, "
-            << result.pointer_starts.size() << " from pointers, "
-            << result.merged_parts.size() << " parts merged, "
-            << result.invalid_fde_starts.size()
+  std::cout << "# start            provenance\n";
+  for (const auto& [addr, provenance] : analysis.functions) {
+    std::cout << "0x" << std::hex << std::setw(12) << std::setfill('0')
+              << addr << std::dec << "   " << provenance << "\n";
+  }
+  std::cerr << analysis.functions.size() << " function starts ("
+            << analysis.fde_starts << " from FDEs, "
+            << analysis.pointer_starts << " from pointers, "
+            << analysis.merged_parts << " parts merged, "
+            << analysis.invalid_fde_starts
             << " invalid FDE starts removed)\n";
   return 0;
+}
+
+int cmd_detect(const std::string& path) {
+  const eval::AnalysisSession session;
+  return render_detection(session.analyze_file(path));
 }
 
 int cmd_fde(const elf::ElfFile& elf) {
@@ -251,6 +283,112 @@ int cmd_corpus(const std::string& which, const eval::CorpusOptions& options) {
   return 0;
 }
 
+/// Service front-end state collected by the argument loop.
+struct ServiceArgs {
+  std::string socket;           ///< --socket PATH ("" = default path)
+  std::size_t cache_capacity = 0;  ///< --cache-capacity N (0 = default)
+
+  [[nodiscard]] bool any() const {
+    return !socket.empty() || cache_capacity != 0;
+  }
+};
+
+/// Signal → clean daemon shutdown. The handler only stores the signal
+/// number (async-signal-safe); a watcher thread notices and calls
+/// ServiceServer::stop() from normal context.
+std::atomic<int> g_signal{0};
+
+extern "C" void record_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+}
+
+int cmd_serve(std::size_t jobs, const ServiceArgs& service) {
+  service::ServerOptions options;
+  options.socket_path = service.socket;  // "" → default_socket_path()
+  options.workers = jobs;
+  if (service.cache_capacity != 0) {
+    options.cache_capacity = service.cache_capacity;
+  }
+  service::ServiceServer server(options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "fetch-serve: listening on " << server.socket_path()
+            << " (cache capacity "
+            << server.options().cache_capacity << " entries)\n";
+  std::signal(SIGINT, record_signal);
+  std::signal(SIGTERM, record_signal);
+  std::thread watcher([&server] {
+    while (!server.stopping()) {
+      if (g_signal.load(std::memory_order_relaxed) != 0) {
+        server.stop();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+  server.run();
+  watcher.join();
+  const util::LruStats stats = server.cache_stats();
+  std::cerr << "fetch-serve: stopped (hits " << stats.hits << ", misses "
+            << stats.misses << ", joined " << stats.joined << ", evictions "
+            << stats.evictions << ")\n";
+  return 0;
+}
+
+int cmd_query(const std::vector<const char*>& args,
+              const ServiceArgs& service) {
+  std::string error;
+  auto client = service::ServiceClient::connect(service.socket, &error);
+  if (!client) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  int rc = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    // The server resolves paths against ITS working directory, so send
+    // absolute paths: `fetch-cli query ./a.out` must mean the caller's
+    // file.
+    const std::string spelling = args[i];
+    std::error_code ec;
+    const std::filesystem::path abs = std::filesystem::absolute(spelling, ec);
+    const std::string sent = ec ? spelling : abs.string();
+    auto result = client->query(sent, &error);
+    if (!result) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    // Error messages name the absolutized path; restore the caller's
+    // spelling so failures too are byte-identical to one-shot `detect`.
+    if (!result->analysis.row.ok && sent != spelling) {
+      std::string& message = result->analysis.row.error;
+      const std::size_t at = message.find(sent);
+      if (at != std::string::npos) {
+        message.replace(at, sent.size(), spelling);
+      }
+    }
+    rc = std::max(rc, render_detection(result->analysis));
+  }
+  return rc;
+}
+
+int cmd_shutdown(const ServiceArgs& service) {
+  std::string error;
+  auto client = service::ServiceClient::connect(service.socket, &error);
+  if (!client) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  if (!client->shutdown_server(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "fetch-serve: shutdown acknowledged\n";
+  return 0;
+}
+
 /// Batch front-end state collected by the argument loop.
 struct BatchArgs {
   std::vector<std::string> from_files;  ///< --from-file LIST (repeatable)
@@ -306,6 +444,15 @@ int cmd_batch(const std::vector<const char*>& args, const BatchArgs& batch,
     return 2;
   }
 
+  // The same file reachable twice (positionally and via --dir, or through
+  // a symlink) must be scored once or every aggregate double-counts it.
+  // The note goes to stderr so stdout stays byte-comparable.
+  const std::size_t duplicates = eval::dedupe_paths(&paths);
+  if (duplicates != 0) {
+    std::cerr << "note: skipped " << duplicates
+              << " duplicate input path(s)\n";
+  }
+
   eval::BatchOptions options;
   options.jobs = jobs;
   const eval::BatchReport report = eval::run_batch(paths, options);
@@ -330,7 +477,11 @@ int usage() {
                "                 <detect|fde|unwind|compare|audit> <elf> [pc]\n"
                "       fetch-cli [opts] corpus [self-built|wild]\n"
                "       fetch-cli [opts] batch [--from-file LIST] [--dir DIR]\n"
-               "                 [--json PATH] [--csv PATH] [<elf>...]\n";
+               "                 [--json PATH] [--csv PATH] [<elf>...]\n"
+               "       fetch-cli [opts] serve [--socket PATH] "
+               "[--cache-capacity N]\n"
+               "       fetch-cli [opts] query [--socket PATH] <elf>...\n"
+               "       fetch-cli [opts] shutdown [--socket PATH]\n";
   return 2;
 }
 
@@ -341,6 +492,7 @@ int main(int argc, char** argv) {
   corpus_options.cache_dir = util::default_cache_dir();
   std::size_t jobs = 0;  // 0 → FETCH_JOBS env / hardware default
   BatchArgs batch;
+  ServiceArgs service;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -384,6 +536,20 @@ int main(int argc, char** argv) {
       corpus_options.cache_dir = argv[++i];
     } else if (arg.rfind("--cache-dir=", 0) == 0) {
       corpus_options.cache_dir = arg.substr(12);
+    } else if (arg == "--socket" && i + 1 < argc) {
+      service.socket = argv[++i];
+    } else if (arg.rfind("--socket=", 0) == 0) {
+      service.socket = arg.substr(9);
+    } else if (arg == "--cache-capacity" && i + 1 < argc) {
+      if (!util::parse_jobs(argv[++i], &service.cache_capacity) ||
+          service.cache_capacity == 0) {
+        return usage();
+      }
+    } else if (arg.rfind("--cache-capacity=", 0) == 0) {
+      if (!util::parse_jobs(arg.substr(17), &service.cache_capacity) ||
+          service.cache_capacity == 0) {
+        return usage();
+      }
     } else if (!arg.empty() && arg.front() == '-') {
       return usage();  // unknown flags must not pass as positionals
     } else {
@@ -398,8 +564,30 @@ int main(int argc, char** argv) {
   if (batch.any() && cmd != "batch") {
     return usage();  // batch-only flags on a non-batch command
   }
+  const bool service_cmd =
+      cmd == "serve" || cmd == "query" || cmd == "shutdown";
+  if (service.any() && !service_cmd) {
+    return usage();  // service-only flags on a non-service command
+  }
+  if (service.cache_capacity != 0 && cmd != "serve") {
+    return usage();  // the cache lives in the daemon
+  }
   if (cmd == "batch") {
     return cmd_batch(args, batch, jobs);
+  }
+  if (cmd == "serve") {
+    return args.size() == 1 ? cmd_serve(jobs, service) : usage();
+  }
+  if (cmd == "query") {
+    return args.size() >= 2 ? cmd_query(args, service) : usage();
+  }
+  if (cmd == "shutdown") {
+    return args.size() == 1 ? cmd_shutdown(service) : usage();
+  }
+  if (cmd == "detect") {
+    // Session-based so `detect` and served `query` render through the
+    // same code path (byte-identical output).
+    return args.size() == 2 ? cmd_detect(args[1]) : usage();
   }
   if (cmd == "corpus") {
     // Shared validation (same path as the benches): reject unusable
@@ -427,9 +615,6 @@ int main(int argc, char** argv) {
   }
   try {
     const elf::ElfFile elf = elf::ElfFile::load(args[1]);
-    if (cmd == "detect") {
-      return cmd_detect(elf);
-    }
     if (cmd == "fde") {
       return cmd_fde(elf);
     }
