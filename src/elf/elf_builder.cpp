@@ -1,6 +1,6 @@
 #include "elf/elf_builder.hpp"
 
-#include <cstring>
+#include <algorithm>
 
 #include "util/byte_writer.hpp"
 #include "util/error.hpp"
@@ -75,7 +75,7 @@ std::vector<std::uint8_t> ElfBuilder::build() const {
       raw.shndx = sym.shndx;
       raw.value = sym.value;
       raw.size = sym.size;
-      symtab.bytes({reinterpret_cast<const std::uint8_t*>(&raw), sizeof(raw)});
+      symtab.pod(raw);
     };
     // gABI: local symbols must precede globals.
     for (const SymbolData& sym : symbols) {
@@ -172,7 +172,7 @@ std::vector<std::uint8_t> ElfBuilder::build() const {
 
   ByteWriter w;
   Ehdr ehdr{};
-  std::memcpy(ehdr.ident, kMagic, 4);
+  std::copy(kMagic, kMagic + 4, ehdr.ident);
   ehdr.ident[4] = static_cast<std::uint8_t>(Class::k64);
   ehdr.ident[5] = static_cast<std::uint8_t>(Encoding::kLsb);
   ehdr.ident[6] = 1;  // EV_CURRENT
@@ -188,12 +188,12 @@ std::vector<std::uint8_t> ElfBuilder::build() const {
   ehdr.shentsize = sizeof(Shdr);
   ehdr.shnum = static_cast<std::uint16_t>(out.size() + 1);
   ehdr.shstrndx = static_cast<std::uint16_t>(out.size());  // last section
-  w.bytes({reinterpret_cast<const std::uint8_t*>(&ehdr), sizeof(ehdr)});
+  w.pod(ehdr);
 
   for (std::size_t p = 0; p < phdrs.size(); ++p) {
     Phdr ph = phdrs[p];
     ph.offset = offsets[phdr_section[p]];
-    w.bytes({reinterpret_cast<const std::uint8_t*>(&ph), sizeof(ph)});
+    w.pod(ph);
   }
 
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -215,7 +215,7 @@ std::vector<std::uint8_t> ElfBuilder::build() const {
     sh.info = out[i].info;
     sh.addralign = out[i].addralign;
     sh.entsize = out[i].entsize;
-    w.bytes({reinterpret_cast<const std::uint8_t*>(&sh), sizeof(sh)});
+    w.pod(sh);
   }
 
   return w.take();

@@ -1,7 +1,6 @@
 #include "elf/elf_file.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "util/byte_cursor.hpp"
 #include "util/error.hpp"
@@ -15,9 +14,9 @@ Ehdr read_ehdr(std::span<const std::uint8_t> image) {
   if (image.size() < sizeof(Ehdr)) {
     throw ParseError("ELF: image smaller than ELF header");
   }
-  Ehdr ehdr;
-  std::memcpy(&ehdr, image.data(), sizeof(Ehdr));
-  if (std::memcmp(ehdr.ident, kMagic, 4) != 0) {
+  ByteCursor cur(image);
+  const Ehdr ehdr = cur.pod<Ehdr>();
+  if (!std::equal(kMagic, kMagic + 4, ehdr.ident)) {
     throw ParseError("ELF: bad magic");
   }
   if (ehdr.ident[4] != static_cast<std::uint8_t>(Class::k64)) {
@@ -45,10 +44,14 @@ ElfFile ElfFile::load(const std::string& path) {
 }
 
 void ElfFile::parse() {
-  const Ehdr ehdr = read_ehdr({image_.data(), image_.size()});
+  const std::span<const std::uint8_t> image{image_.data(), image_.size()};
+  const Ehdr ehdr = read_ehdr(image);
   type_ = static_cast<Type>(ehdr.type);
   entry_ = ehdr.entry;
 
+  // Every table access below goes through subspan_checked / ByteCursor,
+  // so a header field lying about an offset or count raises ParseError
+  // instead of reading out of bounds.
   auto check_range = [&](Off off, std::uint64_t size, const char* what) {
     if (off > image_.size() || size > image_.size() - off) {
       throw ParseError(std::string("ELF: ") + what + " out of bounds");
@@ -64,9 +67,10 @@ void ElfFile::parse() {
                 static_cast<std::uint64_t>(ehdr.phnum) * ehdr.phentsize,
                 "program headers");
     for (std::uint16_t i = 0; i < ehdr.phnum; ++i) {
-      Phdr ph;
-      std::memcpy(&ph, image_.data() + ehdr.phoff + i * ehdr.phentsize,
-                  sizeof(Phdr));
+      ByteCursor cur(subspan_checked(
+          image, ehdr.phoff + static_cast<std::uint64_t>(i) * ehdr.phentsize,
+          ehdr.phentsize, "program header"));
+      const Phdr ph = cur.pod<Phdr>();
       segments_.push_back({ph.type, ph.flags, ph.offset, ph.vaddr, ph.filesz,
                            ph.memsz});
     }
@@ -83,10 +87,10 @@ void ElfFile::parse() {
                 "section headers");
     shdrs.reserve(ehdr.shnum);
     for (std::uint16_t i = 0; i < ehdr.shnum; ++i) {
-      Shdr sh;
-      std::memcpy(&sh, image_.data() + ehdr.shoff + i * ehdr.shentsize,
-                  sizeof(Shdr));
-      shdrs.push_back(sh);
+      ByteCursor cur(subspan_checked(
+          image, ehdr.shoff + static_cast<std::uint64_t>(i) * ehdr.shentsize,
+          ehdr.shentsize, "section header"));
+      shdrs.push_back(cur.pod<Shdr>());
     }
   }
 
@@ -95,8 +99,7 @@ void ElfFile::parse() {
   if (ehdr.shstrndx < shdrs.size()) {
     const Shdr& s = shdrs[ehdr.shstrndx];
     if (s.type != kShtNobits) {
-      check_range(s.offset, s.size, "shstrtab");
-      shstr = {image_.data() + s.offset, s.size};
+      shstr = subspan_checked(image, s.offset, s.size, "shstrtab");
     }
   }
   auto str_at = [&](std::span<const std::uint8_t> table,
@@ -104,11 +107,15 @@ void ElfFile::parse() {
     if (off >= table.size()) {
       return {};
     }
-    const auto* begin = table.data() + off;
-    const auto* end = table.data() + table.size();
-    const auto* nul = std::find(begin, end, std::uint8_t{0});
-    return std::string(reinterpret_cast<const char*>(begin),
-                       static_cast<std::size_t>(nul - begin));
+    const auto tail = table.subspan(static_cast<std::size_t>(off));
+    std::string out;
+    for (const std::uint8_t c : tail) {
+      if (c == 0) {
+        break;
+      }
+      out.push_back(static_cast<char>(c));
+    }
+    return out;
   };
 
   for (const Shdr& sh : shdrs) {
@@ -130,14 +137,13 @@ void ElfFile::parse() {
     std::span<const std::uint8_t> strtab;
     if (sh.link < shdrs.size() && shdrs[sh.link].type == kShtStrtab) {
       const Shdr& st = shdrs[sh.link];
-      check_range(st.offset, st.size, "symbol strtab");
-      strtab = {image_.data() + st.offset, st.size};
+      strtab = subspan_checked(image, st.offset, st.size, "symbol strtab");
     }
     const std::uint64_t count = sh.size / sh.entsize;
     for (std::uint64_t n = 0; n < count; ++n) {
-      Sym sym;
-      std::memcpy(&sym, image_.data() + sh.offset + n * sh.entsize,
-                  sizeof(Sym));
+      ByteCursor cur(subspan_checked(image, sh.offset + n * sh.entsize,
+                                     sh.entsize, what));
+      const Sym sym = cur.pod<Sym>();
       if (n == 0) {
         continue;  // index 0 is the reserved undefined symbol
       }
@@ -218,7 +224,10 @@ std::span<const std::uint8_t> ElfFile::section_bytes(const Section& s) const {
   if (s.type == kShtNobits) {
     return {};
   }
-  return {image_.data() + s.offset, s.size};
+  // parse() range-checked every section header, so this cannot throw for
+  // a Section handed out by this file.
+  return subspan_checked({image_.data(), image_.size()}, s.offset, s.size,
+                         "section bytes");
 }
 
 const Section* ElfFile::section_at(Addr addr) const {
@@ -240,7 +249,8 @@ std::optional<std::span<const std::uint8_t>> ElfFile::bytes_at(
   if (len > s->size - off) {
     return std::nullopt;
   }
-  return std::span<const std::uint8_t>{image_.data() + s->offset + off, len};
+  return subspan_checked({image_.data(), image_.size()}, s->offset + off, len,
+                         "bytes_at");
 }
 
 bool ElfFile::is_code_address(Addr addr) const {

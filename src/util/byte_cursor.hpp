@@ -10,6 +10,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
 #include "util/error.hpp"
 
@@ -104,6 +105,29 @@ class ByteCursor {
     return out;
   }
 
+  /// Reads \p n bytes as text. The copy (vs a string_view) is deliberate:
+  /// callers routinely outlive the underlying buffer.
+  std::string string(std::size_t n) {
+    const auto view = bytes(n);
+    std::string out(n, '\0');
+    std::memcpy(out.data(), view.data(), n);
+    return out;
+  }
+
+  /// Reads one trivially-copyable record (e.g. an ELF header struct) with
+  /// the same bounds checking as the scalar readers. memcpy keeps the load
+  /// alignment- and aliasing-safe for any source offset.
+  template <class T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pod() needs a flat struct");
+    require(sizeof(T), "pod record");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
   /// NUL-terminated string (the terminator is consumed).
   std::string cstring() {
     std::string out;
@@ -143,5 +167,21 @@ class ByteCursor {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
+
+/// Bounds-checked subspan: the view [off, off+size) of \p data, or
+/// ParseError when the range does not fit. The overflow-safe form of
+/// `data.data() + off` slicing for untrusted offsets.
+inline std::span<const std::uint8_t> subspan_checked(
+    std::span<const std::uint8_t> data, std::uint64_t off,
+    std::uint64_t size, const char* what = "slice") {
+  if (off > data.size() || size > data.size() - off) {
+    throw ParseError(std::string("ByteCursor: ") + what + " [" +
+                     std::to_string(off) + ", +" + std::to_string(size) +
+                     ") out of bounds of " + std::to_string(data.size()) +
+                     " bytes");
+  }
+  return data.subspan(static_cast<std::size_t>(off),
+                      static_cast<std::size_t>(size));
+}
 
 }  // namespace fetch

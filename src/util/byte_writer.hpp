@@ -9,6 +9,7 @@
 #include <cstring>
 #include <span>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "util/error.hpp"
@@ -60,10 +61,27 @@ class ByteWriter {
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
 
+  /// Writes the string contents with no terminator (length-prefixed
+  /// formats carry the size out of band).
+  void text(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
   /// Writes the string contents followed by a NUL terminator.
   void cstring(std::string_view s) {
     buf_.insert(buf_.end(), s.begin(), s.end());
     u8(0);
+  }
+
+  /// Writes one trivially-copyable record (e.g. an ELF header struct) as
+  /// raw bytes — the serialization twin of ByteCursor::pod().
+  template <class T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pod() needs a flat struct");
+    const std::size_t at = buf_.size();
+    buf_.resize(at + sizeof(T));
+    std::memcpy(buf_.data() + at, &v, sizeof(T));
   }
 
   /// Appends \p n copies of \p fill.

@@ -17,6 +17,8 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstring>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -64,6 +66,23 @@ inline bool recv_exact(int fd, void* buf, std::size_t len, bool* eof_at_start,
 
 }  // namespace detail
 
+/// Decodes a 4-byte little-endian frame header into a payload length.
+/// nullopt (+ *error) when the advertised length exceeds kMaxFrameBytes.
+/// Pure so the fuzz harness can drive it without a socket pair.
+inline std::optional<std::uint32_t> decode_frame_header(
+    std::span<const std::uint8_t, 4> header, std::string* error) {
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    *error = "frame length " + std::to_string(len) + " exceeds the " +
+             std::to_string(kMaxFrameBytes) + "-byte cap";
+    return std::nullopt;
+  }
+  return len;
+}
+
 /// Reads one frame into *payload. kEof only when the stream ended cleanly
 /// between frames; a frame cut short is kError.
 inline FrameStatus read_frame(int fd, std::string* payload,
@@ -73,15 +92,12 @@ inline FrameStatus read_frame(int fd, std::string* payload,
   if (!detail::recv_exact(fd, header, sizeof(header), &eof_at_start, error)) {
     return eof_at_start ? FrameStatus::kEof : FrameStatus::kError;
   }
-  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
-                            (static_cast<std::uint32_t>(header[1]) << 8) |
-                            (static_cast<std::uint32_t>(header[2]) << 16) |
-                            (static_cast<std::uint32_t>(header[3]) << 24);
-  if (len > kMaxFrameBytes) {
-    *error = "frame length " + std::to_string(len) + " exceeds the " +
-             std::to_string(kMaxFrameBytes) + "-byte cap";
+  const std::optional<std::uint32_t> decoded =
+      decode_frame_header(std::span<const std::uint8_t, 4>(header), error);
+  if (!decoded) {
     return FrameStatus::kError;
   }
+  const std::uint32_t len = *decoded;
   payload->resize(len);
   if (len != 0 &&
       !detail::recv_exact(fd, payload->data(), len, nullptr, error)) {

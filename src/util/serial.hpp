@@ -34,13 +34,11 @@ inline std::size_t checked_count(ByteCursor& in, std::size_t min_elem_bytes) {
 
 inline void put_string(ByteWriter& out, const std::string& s) {
   out.u64(s.size());
-  out.bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  out.text(s);
 }
 
 inline std::string get_string(ByteCursor& in) {
-  const std::size_t n = checked_count(in, 1);
-  const auto view = in.bytes(n);
-  return {reinterpret_cast<const char*>(view.data()), view.size()};
+  return in.string(checked_count(in, 1));
 }
 
 inline void put_blob(ByteWriter& out, const std::vector<std::uint8_t>& v) {

@@ -1,22 +1,31 @@
 #include "x86/assembler.hpp"
 
-#include <cstring>
-
 namespace fetch::x86 {
 
 namespace {
+
 std::uint8_t lo3(Reg r) { return static_cast<std::uint8_t>(r) & 7; }
 bool hi(Reg r) { return static_cast<std::uint8_t>(r) >= 8; }
+
+/// Stores \p v little-endian at buf[at..at+n): byte shifts instead of a
+/// pointer pun, so the emitters stay inside the trust-boundary lint.
+void store_le(std::vector<std::uint8_t>* buf, std::size_t at,
+              std::uint64_t v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    (*buf)[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
 }  // namespace
 
 void Assembler::u32(std::uint32_t v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  buf_.insert(buf_.end(), p, p + 4);
+  buf_.resize(buf_.size() + 4);
+  store_le(&buf_, buf_.size() - 4, v, 4);
 }
 
 void Assembler::u64(std::uint64_t v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  buf_.insert(buf_.end(), p, p + 8);
+  buf_.resize(buf_.size() + 8);
+  store_le(&buf_, buf_.size() - 8, v, 8);
 }
 
 void Assembler::rex(bool w, bool r, bool x, bool b, bool force) {
@@ -133,7 +142,7 @@ std::vector<std::uint8_t> Assembler::finish() {
             static_cast<std::int64_t>(target) - static_cast<std::int64_t>(next);
         FETCH_ASSERT(rel >= INT32_MIN && rel <= INT32_MAX);
         const auto v = static_cast<std::uint32_t>(static_cast<std::int32_t>(rel));
-        std::memcpy(buf_.data() + f.offset, &v, 4);
+        store_le(&buf_, f.offset, v, 4);
         break;
       }
       case FixKind::kRel8: {
@@ -145,7 +154,7 @@ std::vector<std::uint8_t> Assembler::finish() {
         break;
       }
       case FixKind::kAbs64: {
-        std::memcpy(buf_.data() + f.offset, &target, 8);
+        store_le(&buf_, f.offset, target, 8);
         break;
       }
     }

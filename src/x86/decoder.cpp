@@ -1,7 +1,6 @@
 #include "x86/decoder.hpp"
 
 #include <array>
-#include <cstring>
 #include <sstream>
 
 namespace fetch::x86 {
@@ -317,10 +316,14 @@ class Reader {
       ok_ = false;
       return 0;
     }
-    T v;
-    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    // Little-endian byte assembly: bounds-checked above, alignment-safe by
+    // construction, and GCC/Clang fold it back into a single load.
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
     pos_ += sizeof(T);
-    return v;
+    return static_cast<T>(v);
   }
 
   std::span<const std::uint8_t> bytes_;

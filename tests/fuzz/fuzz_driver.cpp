@@ -1,0 +1,150 @@
+/// \file fuzz_driver.cpp
+/// Standalone driver for the LLVMFuzzerTestOneInput harnesses, for
+/// toolchains without libFuzzer (this repo's CI builds them with GCC and
+/// the FETCH_SANITIZE matrix; under a clang toolchain the same harness
+/// sources link against -fsanitize=fuzzer unchanged, minus this file).
+///
+/// Modes:
+///   fuzz_X <file-or-dir>...
+///       Replay every input once (corpus regression mode — what the
+///       fuzz_replay_* ctest entries run on tests/fuzz_corpus/).
+///   fuzz_X --mutate <iters> <file-or-dir>...
+///       Deterministic smoke fuzzing: a fixed-seed xorshift PRNG picks a
+///       corpus input and applies byte flips / truncations / splices,
+///       <iters> times. No coverage feedback — this exists to shake out
+///       shallow parser crashes in CI (~60s budget), not to replace a
+///       real fuzzing campaign.
+///
+/// Exit code 0 when every execution returned; any crash/sanitizer abort
+/// terminates the process with the offending input path (or iteration
+/// number) already printed.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// xorshift64*: deterministic across platforms, no <random> state size
+/// surprises. Seed is fixed so CI failures reproduce locally.
+struct Rng {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  }
+};
+
+std::vector<std::uint8_t> mutate(const std::vector<std::vector<std::uint8_t>>& corpus,
+                                 Rng* rng) {
+  std::vector<std::uint8_t> out = corpus[rng->next() % corpus.size()];
+  const int strategy = static_cast<int>(rng->next() % 4);
+  switch (strategy) {
+    case 0:  // flip 1..8 bytes
+      if (!out.empty()) {
+        const std::uint64_t flips = 1 + rng->next() % 8;
+        for (std::uint64_t i = 0; i < flips; ++i) {
+          out[rng->next() % out.size()] ^=
+              static_cast<std::uint8_t>(rng->next());
+        }
+      }
+      break;
+    case 1:  // truncate
+      if (!out.empty()) {
+        out.resize(rng->next() % out.size());
+      }
+      break;
+    case 2: {  // splice a window from another input
+      const auto& other = corpus[rng->next() % corpus.size()];
+      if (!out.empty() && !other.empty()) {
+        const std::size_t at = rng->next() % out.size();
+        const std::size_t from = rng->next() % other.size();
+        const std::size_t n =
+            std::min(other.size() - from, out.size() - at);
+        std::copy(other.begin() + static_cast<std::ptrdiff_t>(from),
+                  other.begin() + static_cast<std::ptrdiff_t>(from + n),
+                  out.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+      break;
+    }
+    default:  // append random tail
+      for (std::uint64_t i = 0, n = rng->next() % 32; i < n; ++i) {
+        out.push_back(static_cast<std::uint8_t>(rng->next()));
+      }
+      break;
+  }
+  return out;
+}
+
+void collect(const fs::path& path, std::vector<fs::path>* files) {
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file()) {
+        files->push_back(entry.path());
+      }
+    }
+  } else if (fs::is_regular_file(path)) {
+    files->push_back(path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long mutate_iters = 0;
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mutate") == 0 && i + 1 < argc) {
+      mutate_iters = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      collect(argv[i], &files);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s [--mutate N] <file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::sort(files.begin(), files.end());  // deterministic replay order
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.reserve(files.size());
+  for (const fs::path& path : files) {
+    corpus.push_back(read_file(path));
+    std::printf("replay %s (%zu bytes)\n", path.string().c_str(),
+                corpus.back().size());
+    std::fflush(stdout);  // survives the abort if this input crashes
+    (void)LLVMFuzzerTestOneInput(corpus.back().data(), corpus.back().size());
+  }
+  std::printf("replayed %zu inputs\n", corpus.size());
+
+  if (mutate_iters > 0) {
+    Rng rng;
+    for (long i = 0; i < mutate_iters; ++i) {
+      if (i % 10000 == 0) {
+        std::printf("mutate iteration %ld/%ld\n", i, mutate_iters);
+        std::fflush(stdout);
+      }
+      const auto input = mutate(corpus, &rng);
+      (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+    }
+    std::printf("mutated %ld inputs, no crashes\n", mutate_iters);
+  }
+  return 0;
+}

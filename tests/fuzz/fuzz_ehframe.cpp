@@ -1,0 +1,44 @@
+/// \file fuzz_ehframe.cpp
+/// Fuzz entry point for the CFI parsers: feeds arbitrary bytes to
+/// eh::EhFrame::parse and eh::EhFrameHdr::parse and walks every accessor
+/// that touches parsed state. The contract under test is the repo error
+/// policy: malformed input must raise ParseError (caught here) — any
+/// other escape (sanitizer report, assertion, uncaught exception, OOM
+/// from a lying count) is a finding.
+
+#include <cstdint>
+#include <span>
+
+#include "ehframe/eh_frame.hpp"
+#include "ehframe/eh_frame_hdr.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  // A plausible section VA; pcrel decoding subtracts it, so keep it well
+  // inside the address space to exercise signed deltas in both directions.
+  constexpr std::uint64_t kSectionAddr = 0x401000;
+
+  try {
+    const auto frame = fetch::eh::EhFrame::parse(bytes, kSectionAddr);
+    (void)frame.pc_begins();
+    for (const auto& fde : frame.fdes()) {
+      (void)frame.cie_for(fde);
+      (void)frame.fde_covering(fde.pc_begin);
+    }
+    (void)frame.fde_covering(kSectionAddr + size / 2);
+  } catch (const fetch::ParseError&) {
+    // expected rejection path
+  }
+
+  try {
+    const auto hdr = fetch::eh::EhFrameHdr::parse(bytes, kSectionAddr);
+    (void)hdr.eh_frame_ptr();
+    (void)hdr.function_starts();
+    (void)hdr.lookup(kSectionAddr);
+    (void)hdr.lookup(~0ull);
+  } catch (const fetch::ParseError&) {
+  }
+  return 0;
+}

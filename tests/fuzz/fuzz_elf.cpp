@@ -1,0 +1,34 @@
+/// \file fuzz_elf.cpp
+/// Fuzz entry point for the ELF container parser: constructs an
+/// elf::ElfFile from arbitrary bytes and probes every accessor that
+/// walks header-derived state (section/segment tables, symbol-based
+/// function truth, address→bytes resolution). Malformed input must
+/// surface as ParseError only.
+
+#include <cstdint>
+#include <span>
+
+#include "elf/elf_file.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  try {
+    const fetch::elf::ElfFile elf(bytes);
+    (void)elf.function_truth();
+    for (const auto& s : elf.sections()) {
+      (void)elf.section_bytes(s);
+    }
+    (void)elf.section(".text");
+    (void)elf.section(".eh_frame");
+    (void)elf.entry();
+    (void)elf.is_code_address(elf.entry());
+    (void)elf.bytes_at(elf.entry(), 16);
+    (void)elf.bytes_at(0, 1);
+    (void)elf.section_at(~0ull);
+  } catch (const fetch::ParseError&) {
+    // expected rejection path
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+/// \file fuzz_x86_decode.cpp
+/// Fuzz entry point for the x86-64 length decoder. decode() promises to
+/// never throw: arbitrary bytes either decode to an instruction of
+/// plausible length (1..15 bytes, within the input) or yield nullopt.
+/// The harness decodes at every offset of the input so prefixes and
+/// escape bytes land in every alignment.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+
+#include "x86/decoder.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  constexpr std::uint64_t kBase = 0x401000;
+  for (std::size_t off = 0; off < size; ++off) {
+    const auto insn = fetch::x86::decode(bytes.subspan(off), kBase + off);
+    if (!insn) {
+      continue;
+    }
+    if (insn->length < 1 || insn->length > 15 ||
+        insn->length > size - off) {
+      std::fprintf(stderr,
+                   "fuzz_x86_decode: bogus length %u at offset %zu "
+                   "(input %zu bytes)\n",
+                   insn->length, off, size);
+      std::abort();
+    }
+  }
+  return 0;
+}

@@ -216,5 +216,55 @@ TEST(CodeViewDense, NonCodeAddressesAreRejectedWithoutState) {
   EXPECT_EQ(code.cache_stats().code_bytes, 1u);
 }
 
+// The sanitizer-matrix stress case (ctest label "concurrency", run under
+// TSan in CI): an eager predecode sweep racing on-demand readers. This is
+// the publication pattern the CAS slot protocol must survive — predecode
+// workers claim kDecoding slots while readers concurrently spin on them
+// and chase freshly published record pointers into the arena.
+TEST(CodeViewStress, PredecodeRacesOnDemandReaders) {
+  const elf::ElfFile elf(stress_binary().image);
+  const elf::Section* text = elf.section(".text");
+  ASSERT_NE(text, nullptr);
+  const std::uint64_t lo = text->addr;
+  const std::uint64_t hi = text->addr + text->size;
+
+  const CodeView shared(elf);
+  constexpr std::size_t kReaders = 8;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&shared, lo, hi, t] {
+      // Strided probes so every reader collides with the predecode sweep
+      // (and the other readers) at different addresses.
+      for (std::uint64_t a = lo + t; a < hi; a += kReaders) {
+        const x86::Insn* insn = shared.insn_at(a);
+        if (insn != nullptr) {
+          // Published records must be immutable and self-consistent even
+          // while other slots are still being claimed.
+          ASSERT_EQ(insn->addr, a);
+          ASSERT_GE(insn->length, 1);
+          ASSERT_LE(insn->length, 15);
+          ASSERT_EQ(shared.insn_at(a), insn);
+        }
+      }
+    });
+  }
+  // The sweep itself runs multi-threaded, concurrently with the readers.
+  shared.predecode(4);
+  for (std::thread& th : readers) {
+    th.join();
+  }
+
+  // Everyone settled on one record per decoded address; a serial decode
+  // must agree byte-for-byte.
+  const CodeView serial(elf);
+  for (std::uint64_t addr = lo; addr < hi; ++addr) {
+    ASSERT_EQ(fingerprint(shared.insn_at(addr)),
+              fingerprint(serial.insn_at(addr)))
+        << "divergence at " << std::hex << addr;
+  }
+  EXPECT_EQ(shared.decoded_records(), shared.cache_stats().decoded);
+}
+
 }  // namespace
 }  // namespace fetch::disasm

@@ -168,5 +168,71 @@ TEST(ShardedLru, SmallCapacityDoesNotThrashOnHotKeys) {
   EXPECT_EQ(cache.stats().evictions, 0u);
 }
 
+// The sanitizer-matrix stress case (ctest label "concurrency", run under
+// TSan in CI): 12 threads mixing get/put/get_or_compute over a key range
+// larger than capacity, so eviction, promotion, single-flight joins, and
+// failed flights all interleave on the same shard mutexes.
+TEST(ShardedLru, MixedOperationsUnderHeavyContention) {
+  ShardedLru<int> cache(/*capacity=*/32, /*shards=*/4);
+  constexpr int kThreads = 12;
+  constexpr int kOpsPerThread = 2000;
+  constexpr std::uint64_t kKeys = 64;  // 2x capacity: constant eviction
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &failures, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(t) * 7919 + i) % kKeys;
+        switch ((t + i) % 4) {
+          case 0: {
+            const auto hit = cache.get(key);
+            // A hit must always carry the key's canonical value.
+            if (hit != nullptr && *hit != static_cast<int>(key)) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          case 1:
+            cache.put(key, std::make_shared<const int>(static_cast<int>(key)));
+            break;
+          case 2: {
+            const auto [value, outcome] = cache.get_or_compute(
+                key, [key] { return static_cast<int>(key); });
+            if (*value != static_cast<int>(key)) {
+              failures.fetch_add(1);
+            }
+            (void)outcome;
+            break;
+          }
+          default:
+            // Failed flights interleaved with the rest must neither poison
+            // the key nor leak an Inflight entry.
+            try {
+              (void)cache.get_or_compute(
+                  key, []() -> int { throw std::runtime_error("flaky"); });
+            } catch (const std::runtime_error&) {
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  const LruStats stats = cache.stats();
+  EXPECT_LE(stats.entries, 32u);  // capacity respected throughout
+  // Every key must still be computable (no stuck inflight state).
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const auto [value, outcome] =
+        cache.get_or_compute(key, [key] { return static_cast<int>(key); });
+    ASSERT_EQ(*value, static_cast<int>(key));
+    (void)outcome;
+  }
+}
+
 }  // namespace
 }  // namespace fetch::util

@@ -398,6 +398,127 @@ TEST(Service, ShutdownCompletesInFlightRequests) {
   EXPECT_FALSE(std::filesystem::exists(options.socket_path));
 }
 
+// The sanitizer-matrix stress cases (ctest label "concurrency", run under
+// TSan in CI). The first keeps 10 clients hammering a small cache with
+// queries over more binaries than it can hold, plus ping/stats control
+// traffic, so eviction, single-flight, and connection registration all
+// interleave across the worker pool.
+TEST(Service, ManyClientsSustainedMixedLoad) {
+  service::ServerOptions options;
+  options.cache_capacity = 2;  // 3 binaries: constant eviction pressure
+  options.cache_shards = 1;
+  TestServer server(options);
+  std::vector<std::string> paths = {
+      write_sample_binary("svc_load_a.bin", 0, 0x10ad0),
+      write_sample_binary("svc_load_b.bin", 1, 0x10ad1),
+      write_sample_binary("svc_load_c.bin", 2, 0x10ad2),
+  };
+  // Canonical result per path, from a quiet single query each.
+  std::vector<std::string> expected;
+  for (const std::string& path : paths) {
+    std::string error;
+    auto client = server.connect();
+    const auto result = client.query(path, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    ASSERT_TRUE(result->analysis.row.ok) << result->analysis.row.error;
+    expected.push_back(service::analysis_json(result->analysis).dump());
+  }
+
+  constexpr int kClients = 10;
+  constexpr int kRounds = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      std::string error;
+      for (int round = 0; round < kRounds; ++round) {
+        auto client =
+            service::ServiceClient::connect(server.socket(), &error);
+        ASSERT_TRUE(client.has_value()) << error;
+        const std::size_t which = (t + round) % paths.size();
+        const auto result = client->query(paths[which], &error);
+        ASSERT_TRUE(result.has_value()) << error;
+        // Evictions force recomputation, but the bytes must never drift.
+        if (service::analysis_json(result->analysis).dump() !=
+            expected[which]) {
+          mismatches.fetch_add(1);
+        }
+        if (t % 3 == 0) {
+          EXPECT_TRUE(client->ping(&error)) << error;
+        } else if (t % 3 == 1) {
+          EXPECT_TRUE(client->stats(&error).has_value()) << error;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(server.server().cache_stats().entries, 2u);
+}
+
+// The second: a shutdown racing a whole fleet of in-flight queries. Every
+// accepted query must complete with a full valid reply or fail cleanly —
+// never a torn frame, crash, or hung worker — and run() must still return.
+TEST(Service, ShutdownRacesManyInFlightQueries) {
+  service::ServerOptions options;
+  options.socket_path = unique_socket_path();
+  options.workers = 4;
+  auto server = std::make_unique<service::ServiceServer>(options);
+  std::string error;
+  ASSERT_TRUE(server->start(&error)) << error;
+  std::thread run_thread([&server] { server->run(); });
+
+  std::vector<std::string> paths = {
+      write_sample_binary("svc_race_a.bin", 3, 0xace0),
+      write_sample_binary("svc_race_b.bin", 4, 0xace1),
+  };
+  constexpr int kClients = 8;
+  std::atomic<int> completed{0};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      std::string thread_error;
+      auto client = service::ServiceClient::connect(options.socket_path,
+                                                    &thread_error);
+      if (!client.has_value()) {
+        return;  // lost the race to the listener teardown: a clean failure
+      }
+      const auto result =
+          client->query(paths[t % paths.size()], &thread_error);
+      if (!result.has_value()) {
+        return;  // rejected or disconnected mid-shutdown: also clean
+      }
+      if (result->analysis.row.ok && !result->analysis.functions.empty()) {
+        completed.fetch_add(1);
+      } else {
+        torn.fetch_add(1);
+      }
+    });
+  }
+
+  // Let some queries get into the worker pool, then yank the server.
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  auto shutdown_client =
+      service::ServiceClient::connect(options.socket_path, &error);
+  if (shutdown_client.has_value()) {
+    (void)shutdown_client->shutdown_server(&error);
+  } else {
+    server->stop();
+  }
+
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  run_thread.join();
+  EXPECT_EQ(torn.load(), 0);  // accepted implies complete and valid
+  EXPECT_FALSE(std::filesystem::exists(options.socket_path));
+}
+
 // --- Protocol odds and ends -------------------------------------------------
 
 TEST(Service, StatsOpReportsCacheShape) {

@@ -1,0 +1,317 @@
+/// \file lint_trust_boundary.cpp
+/// Blocking source lint for the untrusted-input pipeline.
+///
+/// The parsers under src/elf/, src/ehframe/, src/x86/ and the socket
+/// framing layer (src/util/framing.hpp) consume attacker-controllable
+/// bytes: ELF headers, .eh_frame/.eh_frame_hdr CFI, raw instruction
+/// streams, and frames from any client of the analysis daemon. The repo
+/// error policy (DESIGN.md, "Trust boundaries & correctness tooling")
+/// requires every read of those bytes to go through the bounds-checked
+/// util::ByteCursor / util::ByteWriter core, where the unavoidable
+/// memcpy/pointer machinery lives exactly once and is fuzzed + sanitized.
+///
+/// This tool enforces that mechanically: it scans the trust-boundary
+/// sources for the idioms that bypass the core —
+///
+///   reinterpret-cast   reinterpret_cast<...> (type punning / raw views)
+///   const-cast         const_cast<...>
+///   raw-memcpy         memcpy / memmove / strcpy / strncpy / strcat
+///   pointer-arith      `.data() +` / `->data() +` (unchecked slicing)
+///
+/// — and fails (exit 1) on any hit. Comments and string literals are
+/// ignored. A line may opt out with a trailing
+/// `// lint:allow-trust-boundary(<reason>)` comment; every escape is
+/// printed so reviews see the full list. It runs as the ctest
+/// `lint_trust_boundary` test and as a blocking CI step.
+///
+/// Usage: lint_trust_boundary <repo-root> [--verbose]
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Directories (scanned recursively) and single files that make up the
+/// trust boundary, relative to the repo root.
+constexpr const char* kScanDirs[] = {"src/elf", "src/ehframe", "src/x86"};
+constexpr const char* kScanFiles[] = {"src/util/framing.hpp"};
+
+struct Rule {
+  const char* name;
+  const char* token;       ///< identifier to find (word-boundary matched)
+  bool needs_plus;         ///< pointer-arith: token must be followed by '+'
+};
+
+constexpr Rule kRules[] = {
+    {"reinterpret-cast", "reinterpret_cast", false},
+    {"const-cast", "const_cast", false},
+    {"raw-memcpy", "memcpy", false},
+    {"raw-memcpy", "memmove", false},
+    {"raw-memcpy", "strcpy", false},
+    {"raw-memcpy", "strncpy", false},
+    {"raw-memcpy", "strcat", false},
+    {"pointer-arith", "data()", true},
+};
+
+constexpr const char* kAllowMarker = "lint:allow-trust-boundary(";
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string text;
+  bool allowed;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Replaces comments and string/char literal *contents* with spaces so the
+/// rule matcher cannot trip on documentation or message text. Line
+/// structure (and thus line numbers) is preserved.
+std::string strip_comments_and_literals(const std::string& src) {
+  std::string out = src;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // raw string: the )delim" terminator to find
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !ident_char(out[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < out.size() && out[p] != '(' && delim.size() < 16) {
+            delim.push_back(out[p++]);
+          }
+          raw_delim = ")" + delim + "\"";
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !ident_char(out[i - 1]))) {
+          // Identifier-adjacent quotes are digit separators (1'000), not
+          // character literals.
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (out.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// True when \p token occurs in \p line as a standalone identifier (for
+/// pointer-arith: followed by `+`, allowing whitespace).
+bool matches(const std::string& line, const Rule& rule) {
+  std::size_t pos = 0;
+  while ((pos = line.find(rule.token, pos)) != std::string::npos) {
+    const bool word_start = pos == 0 || !ident_char(line[pos - 1]);
+    std::size_t end = pos + std::string(rule.token).size();
+    // `data()` already ends with ')'; identifiers need a boundary check.
+    const char last = rule.token[std::string(rule.token).size() - 1];
+    const bool word_end =
+        !ident_char(last) || end >= line.size() || !ident_char(line[end]);
+    if (word_start && word_end) {
+      if (!rule.needs_plus) {
+        return true;
+      }
+      while (end < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[end])) != 0) {
+        ++end;
+      }
+      if (end < line.size() && line[end] == '+') {
+        return true;
+      }
+    }
+    ++pos;
+  }
+  return false;
+}
+
+void scan_file(const fs::path& path, const fs::path& root,
+               std::vector<Finding>* findings) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string raw = buf.str();
+  const std::string code = strip_comments_and_literals(raw);
+
+  std::istringstream raw_lines(raw);
+  std::istringstream code_lines(code);
+  std::string raw_line;
+  std::string code_line;
+  std::size_t lineno = 0;
+  const std::string rel = fs::relative(path, root).generic_string();
+  while (std::getline(raw_lines, raw_line) &&
+         std::getline(code_lines, code_line)) {
+    ++lineno;
+    const bool allowed = raw_line.find(kAllowMarker) != std::string::npos;
+    for (const Rule& rule : kRules) {
+      if (matches(code_line, rule)) {
+        findings->push_back({rel, lineno, rule.name, raw_line, allowed});
+        break;  // one finding per line is enough to fail it
+      }
+    }
+  }
+}
+
+bool scannable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verbose = false;
+  std::string root_arg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose") {
+      verbose = true;
+    } else if (root_arg.empty()) {
+      root_arg = arg;
+    } else {
+      std::fprintf(stderr, "usage: %s <repo-root> [--verbose]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (root_arg.empty()) {
+    std::fprintf(stderr, "usage: %s <repo-root> [--verbose]\n", argv[0]);
+    return 2;
+  }
+  const fs::path root(root_arg);
+
+  std::vector<fs::path> files;
+  for (const char* dir : kScanDirs) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) {
+      std::fprintf(stderr, "lint_trust_boundary: missing directory %s\n",
+                   base.string().c_str());
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && scannable(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  for (const char* file : kScanFiles) {
+    const fs::path path = root / file;
+    if (!fs::is_regular_file(path)) {
+      std::fprintf(stderr, "lint_trust_boundary: missing file %s\n",
+                   path.string().c_str());
+      return 2;
+    }
+    files.push_back(path);
+  }
+
+  std::vector<Finding> findings;
+  for (const fs::path& path : files) {
+    scan_file(path, root, &findings);
+  }
+
+  int violations = 0;
+  int escapes = 0;
+  for (const Finding& f : findings) {
+    if (f.allowed) {
+      ++escapes;
+      std::printf("ALLOWED  %s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.text.c_str());
+    } else {
+      ++violations;
+      std::printf("VIOLATION %s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.text.c_str());
+    }
+  }
+  if (verbose) {
+    for (const fs::path& path : files) {
+      std::printf("scanned  %s\n",
+                  fs::relative(path, root).generic_string().c_str());
+    }
+  }
+  std::printf(
+      "lint_trust_boundary: %zu files scanned, %d violation(s), "
+      "%d allowed escape(s)\n",
+      files.size(), violations, escapes);
+  if (violations != 0) {
+    std::printf(
+        "route untrusted reads through util::ByteCursor / "
+        "util::subspan_checked (see DESIGN.md, \"Trust boundaries\")\n");
+  }
+  return violations == 0 ? 0 : 1;
+}
