@@ -147,6 +147,33 @@ std::vector<std::uint64_t> EhFrameHdr::function_starts() const {
   return out;
 }
 
+elf::FunctionTruth truth_from_eh_frame_hdr(const elf::ElfFile& elf) {
+  elf::FunctionTruth truth;
+  std::optional<EhFrameHdr> hdr;
+  try {
+    hdr = EhFrameHdr::from_elf(elf);
+  } catch (const ParseError&) {
+    return truth;  // hostile/damaged header: no truth, source stays "none"
+  }
+  if (!hdr || hdr->entries().empty()) {
+    return truth;
+  }
+  truth.source = "eh_frame_hdr";
+  for (const EhFrameHdrEntry& entry : hdr->entries()) {
+    if (!elf.is_code_address(entry.initial_location)) {
+      ++truth.non_code;  // FDE covering data or an unmapped range
+      continue;
+    }
+    if (!truth.starts.insert(entry.initial_location).second) {
+      ++truth.aliases;  // duplicate table rows for one start
+    }
+  }
+  if (truth.starts.empty()) {
+    truth.source = "none";
+  }
+  return truth;
+}
+
 std::vector<std::uint8_t> build_eh_frame_hdr(const EhFrame& eh_frame,
                                              std::uint64_t eh_frame_addr,
                                              std::uint64_t hdr_addr) {

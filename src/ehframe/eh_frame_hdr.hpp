@@ -18,6 +18,7 @@
 
 namespace fetch::elf {
 class ElfFile;
+struct FunctionTruth;
 }
 
 namespace fetch::eh {
@@ -54,6 +55,18 @@ class EhFrameHdr {
   std::uint64_t eh_frame_ptr_ = 0;
   std::vector<EhFrameHdrEntry> entries_;
 };
+
+/// Function-start ground truth from the .eh_frame_hdr search table — the
+/// lowest rung of the truth-source hierarchy (symtab > dynsym > sidecar >
+/// eh_frame_hdr), used to score binaries where no symbol table survives
+/// at all. The same filtering policy as the symtab extractor applies:
+/// entries whose initial_location falls outside an executable section are
+/// dropped and counted in FunctionTruth::non_code, duplicates collapse
+/// into FunctionTruth::aliases. Returns source == "none" when the section
+/// is absent, carries no table, or fails to parse (a hostile header must
+/// degrade, not abort truth extraction).
+[[nodiscard]] elf::FunctionTruth truth_from_eh_frame_hdr(
+    const elf::ElfFile& elf);
 
 /// Builds a GCC-compatible .eh_frame_hdr (version 1, pcrel|sdata4
 /// eh_frame pointer, udata4 count, datarel|sdata4 sorted table) for an

@@ -176,7 +176,7 @@ std::vector<std::uint8_t> ElfBuilder::build() const {
   ehdr.ident[4] = static_cast<std::uint8_t>(Class::k64);
   ehdr.ident[5] = static_cast<std::uint8_t>(Encoding::kLsb);
   ehdr.ident[6] = 1;  // EV_CURRENT
-  ehdr.type = static_cast<std::uint16_t>(Type::kExec);
+  ehdr.type = static_cast<std::uint16_t>(type_);
   ehdr.machine = kMachineX86_64;
   ehdr.version = 1;
   ehdr.entry = entry_;

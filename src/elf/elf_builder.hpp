@@ -39,6 +39,11 @@ class ElfBuilder {
 
   void set_entry(Addr entry) { entry_ = entry; }
 
+  /// Object file type for e_type. Defaults to ET_EXEC; the synthesizer's
+  /// static-PIE profile switches to ET_DYN (a PIE is a shared object with
+  /// an entry point as far as the container format is concerned).
+  void set_type(Type type) { type_ = type; }
+
   /// When false, the output is a "stripped" binary: no .symtab/.strtab.
   void emit_symtab(bool enabled) { emit_symtab_ = enabled; }
 
@@ -63,6 +68,7 @@ class ElfBuilder {
   };
 
   Addr entry_ = 0;
+  Type type_ = Type::kExec;
   bool emit_symtab_ = true;
   std::vector<SectionData> sections_;
   std::vector<SymbolData> symbols_;

@@ -162,7 +162,7 @@ void ElfFile::parse() {
   }
 }
 
-FunctionTruth ElfFile::function_truth() const {
+FunctionTruth ElfFile::function_truth(TruthRequest request) const {
   auto extract = [this](const std::vector<Symbol>& table, const char* source) {
     FunctionTruth truth;
     truth.source = source;
@@ -199,7 +199,7 @@ FunctionTruth ElfFile::function_truth() const {
   // a coreutils .dynsym that only imports) is as good as absent, so the
   // result degrades to source == "none" with the counters preserved.
   FunctionTruth truth;
-  if (has_symtab_) {
+  if (has_symtab_ && request == TruthRequest::kPreferSymtab) {
     truth = extract(symbols_, "symtab");
   }
   if (truth.starts.empty() && has_dynsym_) {

@@ -89,6 +89,12 @@ struct FunctionTruth {
   [[nodiscard]] bool usable() const { return !starts.empty(); }
 };
 
+/// Which symbol table function_truth() may consult. kPreferSymtab is the
+/// historical behavior (symtab, dynsym fallback); kDynsymOnly ignores a
+/// present .symtab so stripped-binary scoring can be rehearsed on an
+/// unstripped input and compared against full truth.
+enum class TruthRequest : std::uint8_t { kPreferSymtab, kDynsymOnly };
+
 /// Parsed ELF image. The constructor copies the input bytes, so an ElfFile
 /// owns its storage and remains valid independently of the source buffer.
 class ElfFile {
@@ -121,8 +127,10 @@ class ElfFile {
 
   /// Extracts function-start ground truth from .symtab, falling back to
   /// .dynsym when the binary is stripped (see FunctionTruth for the
-  /// filtering policy and its diagnostic counters).
-  [[nodiscard]] FunctionTruth function_truth() const;
+  /// filtering policy and its diagnostic counters). Pass
+  /// TruthRequest::kDynsymOnly to skip .symtab even when present.
+  [[nodiscard]] FunctionTruth function_truth(
+      TruthRequest request = TruthRequest::kPreferSymtab) const;
 
   /// First section with the given name, or nullptr.
   [[nodiscard]] const Section* section(std::string_view name) const;

@@ -1,0 +1,159 @@
+#include "elf/strip.hpp"
+
+#include <algorithm>
+
+#include "elf/types.hpp"
+#include "util/byte_cursor.hpp"
+#include "util/byte_writer.hpp"
+#include "util/error.hpp"
+
+namespace fetch::elf {
+
+namespace {
+
+Ehdr read_ehdr(std::span<const std::uint8_t> image) {
+  if (image.size() < sizeof(Ehdr)) {
+    throw ParseError("strip: image smaller than ELF header");
+  }
+  ByteCursor cur(image);
+  const Ehdr ehdr = cur.pod<Ehdr>();
+  if (!std::equal(kMagic, kMagic + 4, ehdr.ident)) {
+    throw ParseError("strip: bad magic");
+  }
+  if (ehdr.ident[4] != static_cast<std::uint8_t>(Class::k64)) {
+    throw ParseError("strip: only ELFCLASS64 supported");
+  }
+  if (ehdr.ident[5] != static_cast<std::uint8_t>(Encoding::kLsb)) {
+    throw ParseError("strip: only little-endian supported");
+  }
+  return ehdr;
+}
+
+std::string str_at(std::span<const std::uint8_t> table, std::uint64_t off) {
+  if (off >= table.size()) {
+    return {};
+  }
+  std::string out;
+  for (const std::uint8_t c : table.subspan(static_cast<std::size_t>(off))) {
+    if (c == 0) {
+      break;
+    }
+    out.push_back(static_cast<char>(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+StripResult strip_image(std::span<const std::uint8_t> image,
+                        const StripOptions& options) {
+  const Ehdr ehdr = read_ehdr(image);
+  StripResult result;
+  if (ehdr.shnum == 0 || ehdr.shoff == 0) {
+    // No section header table: nothing a section-level strip could remove.
+    result.image.assign(image.begin(), image.end());
+    return result;
+  }
+  if (ehdr.shentsize < sizeof(Shdr)) {
+    throw ParseError("strip: shentsize too small");
+  }
+  if (ehdr.shoff < sizeof(Ehdr)) {
+    throw ParseError("strip: section header table overlaps ELF header");
+  }
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(ehdr.shnum) * ehdr.shentsize;
+  if (ehdr.shoff > image.size() || table_bytes > image.size() - ehdr.shoff) {
+    throw ParseError("strip: section headers out of bounds");
+  }
+
+  std::vector<Shdr> shdrs;
+  shdrs.reserve(ehdr.shnum);
+  for (std::uint16_t i = 0; i < ehdr.shnum; ++i) {
+    ByteCursor cur(subspan_checked(
+        image, ehdr.shoff + static_cast<std::uint64_t>(i) * ehdr.shentsize,
+        ehdr.shentsize, "strip: section header"));
+    shdrs.push_back(cur.pod<Shdr>());
+  }
+
+  std::span<const std::uint8_t> shstr;
+  if (ehdr.shstrndx < shdrs.size() &&
+      shdrs[ehdr.shstrndx].type != kShtNobits) {
+    const Shdr& s = shdrs[ehdr.shstrndx];
+    shstr = subspan_checked(image, s.offset, s.size, "strip: shstrtab");
+  }
+
+  // Pass 1: symbol tables to drop. Pass 2: a string table goes with them
+  // when it is referenced (via sh_link) only by dropped sections — never
+  // the section-name table, which the header still points at.
+  std::vector<bool> drop(shdrs.size(), false);
+  for (std::size_t i = 0; i < shdrs.size(); ++i) {
+    if (shdrs[i].type == kShtSymtab ||
+        (options.drop_dynsym && shdrs[i].type == kShtDynsym)) {
+      drop[i] = true;
+    }
+  }
+  for (std::size_t i = 0; i < shdrs.size(); ++i) {
+    if (shdrs[i].type != kShtStrtab || i == ehdr.shstrndx) {
+      continue;
+    }
+    bool linked_from_dropped = false;
+    bool linked_from_kept = false;
+    for (std::size_t j = 0; j < shdrs.size(); ++j) {
+      if (shdrs[j].link == i) {
+        (drop[j] ? linked_from_dropped : linked_from_kept) = true;
+      }
+    }
+    if (linked_from_dropped && !linked_from_kept) {
+      drop[i] = true;
+    }
+  }
+
+  // Old index -> new index (0 stays 0: SHT_NULL is never dropped).
+  std::vector<std::uint32_t> remap(shdrs.size(), 0);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < shdrs.size(); ++i) {
+    if (!drop[i]) {
+      remap[i] = next++;
+    } else {
+      result.dropped.push_back(str_at(shstr, shdrs[i].name));
+    }
+  }
+  const std::uint16_t kept = static_cast<std::uint16_t>(next);
+
+  Ehdr out_ehdr = ehdr;
+  out_ehdr.shnum = kept;
+  out_ehdr.shstrndx = ehdr.shstrndx < shdrs.size() && !drop[ehdr.shstrndx]
+                          ? static_cast<std::uint16_t>(remap[ehdr.shstrndx])
+                          : 0;
+
+  // Rebuild: patched header | unchanged file bytes up to the table | the
+  // surviving headers | zeroed slack where dropped headers used to be |
+  // any trailing bytes. When the table ends the file (the common linker
+  // layout), the slack is truncated away instead.
+  ByteWriter w;
+  w.pod(out_ehdr);
+  w.bytes(subspan_checked(image, sizeof(Ehdr), ehdr.shoff - sizeof(Ehdr),
+                          "strip: pre-table bytes"));
+  for (std::size_t i = 0; i < shdrs.size(); ++i) {
+    if (drop[i]) {
+      continue;
+    }
+    Shdr sh = shdrs[i];
+    if (sh.link < shdrs.size()) {
+      sh.link = drop[sh.link] ? 0 : remap[sh.link];
+    }
+    w.pod(sh);
+    w.pad(ehdr.shentsize - sizeof(Shdr));  // preserve the advertised stride
+  }
+  const std::uint64_t table_end = ehdr.shoff + table_bytes;
+  const bool table_at_eof = table_end == image.size();
+  if (!table_at_eof) {
+    w.pad(static_cast<std::size_t>(table_end) - w.size());
+    w.bytes(subspan_checked(image, table_end, image.size() - table_end,
+                            "strip: post-table bytes"));
+  }
+  result.image = w.take();
+  return result;
+}
+
+}  // namespace fetch::elf

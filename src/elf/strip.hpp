@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file strip.hpp
+/// `strip`-equivalent transform over an in-memory ELF64 image: removes
+/// .symtab (and its string table), optionally .dynsym/.dynstr, by
+/// rewriting the section header table in place. Section *contents* of the
+/// dropped tables are left behind as unreferenced file bytes — exactly
+/// like the dead space real strip implementations may leave — so every
+/// allocated section keeps its file offset and virtual address and the
+/// detector sees an unchanged program image. The transform is
+/// deterministic: same input + options => byte-identical output.
+///
+/// This is the producer side of the stripped evaluation tier: fixtures
+/// are stripped with tools/strip_tool (which captures pre-strip truth
+/// into a sidecar) and then scored against dynsym/sidecar truth only.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fetch::elf {
+
+struct StripOptions {
+  /// Also drop .dynsym/.dynstr (models a fully static stripped binary
+  /// where no symbol information survives at all).
+  bool drop_dynsym = false;
+};
+
+struct StripResult {
+  /// The stripped image.
+  std::vector<std::uint8_t> image;
+  /// Names of the removed sections, in original header order.
+  std::vector<std::string> dropped;
+};
+
+/// Strips an ELF64 image. Throws ParseError when the input is not a
+/// well-formed ELF64 container (same validation policy as ElfFile).
+/// Stripping an already-stripped image is the identity transform.
+[[nodiscard]] StripResult strip_image(std::span<const std::uint8_t> image,
+                                      const StripOptions& options = {});
+
+}  // namespace fetch::elf

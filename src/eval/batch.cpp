@@ -60,6 +60,36 @@ std::string csv_cell(const std::string& text) {
 
 }  // namespace
 
+std::optional<TruthMode> parse_truth_mode(std::string_view name) {
+  if (name == "auto") {
+    return TruthMode::kAuto;
+  }
+  if (name == "dynsym") {
+    return TruthMode::kDynsym;
+  }
+  if (name == "ehframe") {
+    return TruthMode::kEhFrame;
+  }
+  if (name == "sidecar") {
+    return TruthMode::kSidecar;
+  }
+  return std::nullopt;
+}
+
+const char* truth_mode_name(TruthMode mode) {
+  switch (mode) {
+    case TruthMode::kAuto:
+      return "auto";
+    case TruthMode::kDynsym:
+      return "dynsym";
+    case TruthMode::kEhFrame:
+      return "ehframe";
+    case TruthMode::kSidecar:
+      return "sidecar";
+  }
+  return "auto";
+}
+
 BatchRow evaluate_file(const std::string& path,
                        const core::DetectorOptions& options) {
   // The analysis itself lives in AnalysisSession (shared with the
@@ -75,9 +105,12 @@ BatchReport run_batch(const std::vector<std::string>& paths,
   // One pool across all files, one job per file, slot-per-index results:
   // the reduction below walks input order, so the report is byte-identical
   // to a serial run regardless of the worker count.
+  const AnalysisSession session(options.detector, options.truth);
   std::vector<BatchRow> rows = util::parallel_map<BatchRow>(
-      options.jobs, paths.size(),
-      [&](std::size_t i) { return evaluate_file(paths[i], options.detector); });
+      options.jobs, paths.size(), [&](std::size_t i) {
+        return session.analyze_file(paths[i], AnalysisSession::Detail::kRowOnly)
+            .row;
+      });
   return BatchReport(std::move(rows), options.detector_label);
 }
 
@@ -103,6 +136,17 @@ BatchTotals BatchReport::totals_symtab() const {
   BatchTotals totals;
   for (const BatchRow& row : rows_) {
     if (row.has_truth() && row.truth_source == "symtab") {
+      totals.add(row);
+    }
+  }
+  return totals;
+}
+
+BatchTotals BatchReport::totals_precise() const {
+  BatchTotals totals;
+  for (const BatchRow& row : rows_) {
+    if (row.has_truth() &&
+        (row.truth_source == "symtab" || row.truth_source == "sidecar")) {
       totals.add(row);
     }
   }

@@ -15,13 +15,30 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/detector.hpp"
 #include "util/json.hpp"
 
 namespace fetch::eval {
+
+/// Which ground-truth source analysis scores against (the truth-source
+/// hierarchy is symtab > dynsym > sidecar > eh_frame_hdr; see DESIGN.md,
+/// "Stripped & hostile evaluation").
+enum class TruthMode : std::uint8_t {
+  kAuto,     ///< .symtab, falling back to .dynsym (historical default)
+  kDynsym,   ///< .dynsym only — rehearses stripped-binary scoring
+  kEhFrame,  ///< .eh_frame_hdr search table — no symbol table at all
+  kSidecar,  ///< `<path>.truth.json` captured before stripping
+};
+
+/// "auto" / "dynsym" / "ehframe" / "sidecar" -> mode; nullopt otherwise.
+[[nodiscard]] std::optional<TruthMode> parse_truth_mode(std::string_view name);
+/// Stable flag-spelling name for a mode (inverse of parse_truth_mode).
+[[nodiscard]] const char* truth_mode_name(TruthMode mode);
 
 struct BatchOptions {
   /// Evaluation workers (0 = FETCH_JOBS env, else hardware concurrency).
@@ -32,6 +49,8 @@ struct BatchOptions {
   core::DetectorOptions detector;
   /// Label recorded in reports for the configuration above.
   std::string detector_label = "fetch-full";
+  /// Ground-truth source every file is scored against.
+  TruthMode truth = TruthMode::kAuto;
 };
 
 /// Detection-vs-truth counts and the ratios derived from them. One
@@ -116,6 +135,11 @@ class BatchReport {
   /// Totals over symtab-truth rows only — the subset where precision and
   /// F1 are meaningful. This is what the regression gate thresholds.
   [[nodiscard]] BatchTotals totals_symtab() const;
+  /// Totals over rows whose truth is *complete* — symtab or sidecar
+  /// (sidecar truth is full symtab truth captured before stripping), the
+  /// two sources against which precision/F1 are meaningful. The stripped
+  /// realbin_check gate tier thresholds this.
+  [[nodiscard]] BatchTotals totals_precise() const;
 
   /// The `fetch-batch-v1` JSON document (see DESIGN.md for the schema).
   /// Deterministic: member order is fixed and ratios use eval::fmt

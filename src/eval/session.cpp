@@ -1,10 +1,39 @@
 #include "eval/session.hpp"
 
+#include "ehframe/eh_frame_hdr.hpp"
 #include "elf/elf_file.hpp"
+#include "eval/truth_sidecar.hpp"
 #include "util/fs.hpp"
 #include "util/hash.hpp"
 
 namespace fetch::eval {
+
+namespace {
+
+/// Resolves the ground truth a row is scored against. Every mode
+/// degrades to source "none" rather than throwing: a missing sidecar or
+/// damaged .eh_frame_hdr must not turn a perfectly analyzable binary
+/// into an error row.
+elf::FunctionTruth resolve_truth(const elf::ElfFile& elf,
+                                 const std::string& label, TruthMode mode) {
+  switch (mode) {
+    case TruthMode::kAuto:
+      return elf.function_truth();
+    case TruthMode::kDynsym:
+      return elf.function_truth(elf::TruthRequest::kDynsymOnly);
+    case TruthMode::kEhFrame:
+      return eh::truth_from_eh_frame_hdr(elf);
+    case TruthMode::kSidecar: {
+      if (auto truth = load_truth_sidecar(truth_sidecar_path(label))) {
+        return *truth;
+      }
+      return {};
+    }
+  }
+  return {};
+}
+
+}  // namespace
 
 std::uint64_t AnalysisSession::content_hash(
     std::span<const std::uint8_t> bytes) {
@@ -43,7 +72,7 @@ FileAnalysis AnalysisSession::analyze_image(
   }
   try {
     const elf::ElfFile elf(image);
-    const elf::FunctionTruth truth = elf.function_truth();
+    const elf::FunctionTruth truth = resolve_truth(elf, label, truth_);
     const core::FunctionDetector detector(elf);
     const core::DetectionResult result = detector.run(options_);
 

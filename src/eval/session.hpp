@@ -56,12 +56,18 @@ class AnalysisSession {
   /// for fields that are immediately discarded adds up.
   enum class Detail : std::uint8_t { kRowOnly, kFull };
 
-  explicit AnalysisSession(core::DetectorOptions options = {})
-      : options_(options) {}
+  /// \p truth selects the ground-truth source rows are scored against
+  /// (TruthMode::kSidecar resolves `<label>.truth.json` next to the
+  /// input; a missing/unusable sidecar degrades to truth_source "none",
+  /// never an error row — the detection itself is unaffected).
+  explicit AnalysisSession(core::DetectorOptions options = {},
+                           TruthMode truth = TruthMode::kAuto)
+      : options_(options), truth_(truth) {}
 
   [[nodiscard]] const core::DetectorOptions& options() const {
     return options_;
   }
+  [[nodiscard]] TruthMode truth_mode() const { return truth_; }
 
   /// Reads \p path and analyzes its bytes. Never throws: unreadable or
   /// malformed inputs produce an error row (`row.ok` false).
@@ -85,6 +91,7 @@ class AnalysisSession {
 
  private:
   core::DetectorOptions options_;
+  TruthMode truth_ = TruthMode::kAuto;
 };
 
 }  // namespace fetch::eval

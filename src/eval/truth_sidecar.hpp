@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file truth_sidecar.hpp
+/// Sidecar ground-truth files (`<binary>.truth.json`, schema
+/// fetch-truth-v1) for the stripped evaluation tier: tools/strip_tool
+/// captures a binary's full symbol-table truth *before* stripping it, so
+/// the stripped copy can still be scored with meaningful precision —
+/// unlike dynsym truth, which only lists exports. A loaded sidecar
+/// reports truth_source "sidecar" so reports and gates can tell replayed
+/// truth from truth read out of the image itself.
+
+#include <optional>
+#include <string>
+
+#include "elf/elf_file.hpp"
+#include "util/json.hpp"
+
+namespace fetch::eval {
+
+inline constexpr const char* kTruthSchema = "fetch-truth-v1";
+
+/// Where the sidecar for \p binary_path lives: `<binary_path>.truth.json`.
+[[nodiscard]] std::string truth_sidecar_path(const std::string& binary_path);
+
+/// Serializes truth as a fetch-truth-v1 document. `source` records where
+/// the starts originally came from (e.g. "symtab"); the loader reports
+/// "sidecar" regardless, keeping provenance and trust level separate.
+[[nodiscard]] util::json::Value truth_sidecar_json(
+    const elf::FunctionTruth& truth);
+
+/// Writes the sidecar for \p truth to \p sidecar_path (deterministic
+/// bytes). Returns false with *error set on I/O failure.
+[[nodiscard]] bool write_truth_sidecar(const std::string& sidecar_path,
+                                       const elf::FunctionTruth& truth,
+                                       std::string* error);
+
+/// Loads a sidecar; nullopt (with *error set when non-null) when the file
+/// is missing, unparsable, or not a fetch-truth-v1 document. The returned
+/// truth has source == "sidecar".
+[[nodiscard]] std::optional<elf::FunctionTruth> load_truth_sidecar(
+    const std::string& sidecar_path, std::string* error = nullptr);
+
+}  // namespace fetch::eval

@@ -175,6 +175,13 @@ class Emitter {
  private:
   void emit_function(std::size_t index);
   void emit_cold_part(const PendingCold& cold);
+
+  /// Whether a function actually gets an FDE in this program: the
+  /// no-unwind feature (-fno-asynchronous-unwind-tables) suppresses every
+  /// table regardless of the per-function flag.
+  [[nodiscard]] bool want_fde(const FunctionSpec& fn) const {
+    return fn.has_fde && spec_.unwind_tables;
+  }
   void emit_padding();
   void emit_blob(const DataBlobSpec& blob);
   void emit_filler(int count);
@@ -301,13 +308,16 @@ void Emitter::emit_function(std::size_t index) {
   asm_.bind(entry_labels_[index]);
   const std::uint64_t entry = asm_.pc();
   fn_entries_[index] = entry;
+  if (spec_.endbr64) {
+    asm_.endbr64();  // CET landing pad: first instruction of every entry
+  }
   if (fn.nop_entry) {
     asm_.nop(8);  // patchable-function-entry sled (part of the function)
   }
 
   truth_.starts.insert(entry);
   truth_.named[fn.name] = entry;
-  if (fn.has_fde) {
+  if (want_fde(fn)) {
     truth_.fde_covered.insert(entry);
   } else {
     truth_.asm_functions.insert(entry);
@@ -339,7 +349,7 @@ void Emitter::emit_function(std::size_t index) {
     asm_.syscall();
     asm_.ud2();
     fn_ends_[index] = asm_.pc();
-    if (fn.has_fde) {
+    if (want_fde(fn)) {
       fde_parts_.push_back({entry, asm_.pc(), cfi.take_ops()});
     }
     return;
@@ -355,7 +365,7 @@ void Emitter::emit_function(std::size_t index) {
     asm_.bind(lret);
     asm_.ret();
     fn_ends_[index] = asm_.pc();
-    if (fn.has_fde) {
+    if (want_fde(fn)) {
       fde_parts_.push_back({entry, asm_.pc(), cfi.take_ops()});
     }
     return;
@@ -367,7 +377,7 @@ void Emitter::emit_function(std::size_t index) {
     asm_.add_rr(Reg::kRax, Reg::kRdx);
     asm_.raw({0xc2, 0x10, 0x00});  // ret 16
     fn_ends_[index] = asm_.pc();
-    if (fn.has_fde) {
+    if (want_fde(fn)) {
       fde_parts_.push_back({entry, asm_.pc(), cfi.take_ops()});
     }
     return;
@@ -376,7 +386,7 @@ void Emitter::emit_function(std::size_t index) {
     // Shared-tail trampoline: a bare jump into another function's epilogue.
     asm_.jmp(epilogue_labels_[*fn.thunk_mid_target]);
     fn_ends_[index] = asm_.pc();
-    if (fn.has_fde) {
+    if (want_fde(fn)) {
       fde_parts_.push_back({entry, asm_.pc(), cfi.take_ops()});
     }
     return;
@@ -614,7 +624,7 @@ void Emitter::emit_function(std::size_t index) {
   }
 
   fn_ends_[index] = asm_.pc();
-  if (fn.has_fde) {
+  if (want_fde(fn)) {
     PendingFdePart part{entry, asm_.pc(), cfi.take_ops(), false, 0};
     if (spec_.cxx && fn.error_callee) {
       // Exception-handling function: "zPLR" CIE + LSDA (C++ style).
@@ -647,7 +657,7 @@ void Emitter::emit_cold_part(const PendingCold& cold) {
   emit_filler(static_cast<int>(rng_.range(3, 8)));
   asm_.jmp(cold.resume);
 
-  if (fn.has_fde) {
+  if (want_fde(fn)) {
     fde_parts_.push_back({start, asm_.pc(), cfi.take_ops()});
   }
   cold_symbols_.emplace_back(fn.name + ".cold", start);
@@ -789,39 +799,51 @@ SynthBinary Emitter::run() {
   data.u64(0x1122334455667788ULL);
 
   // --- .eh_frame ----------------------------------------------------------------
-  eh::EhFrameBuilder ehb;
-  // Personality routine stand-in (__gxx_personality_v0 equivalent): the
-  // error-like library function.
-  ehb.set_personality(fn_entries_[2]);
-  std::sort(fde_parts_.begin(), fde_parts_.end(),
-            [](const PendingFdePart& a, const PendingFdePart& b) {
-              return a.start < b.start;
-            });
-  for (PendingFdePart& part : fde_parts_) {
-    if (part.cxx) {
-      ehb.add_fde_with_lsda(part.start, part.end - part.start,
-                            std::move(part.ops), part.lsda);
-    } else {
-      ehb.add_fde(part.start, part.end - part.start, std::move(part.ops));
+  // The no-unwind feature drops the unwind tables entirely
+  // (-fno-asynchronous-unwind-tables): no .eh_frame, no .eh_frame_hdr,
+  // and fde_parts_ is already empty because want_fde() vetoed every part.
+  std::vector<std::uint8_t> eh_bytes;
+  std::vector<std::uint8_t> hdr_bytes;
+  if (spec_.unwind_tables) {
+    eh::EhFrameBuilder ehb;
+    // Personality routine stand-in (__gxx_personality_v0 equivalent): the
+    // error-like library function.
+    ehb.set_personality(fn_entries_[2]);
+    std::sort(fde_parts_.begin(), fde_parts_.end(),
+              [](const PendingFdePart& a, const PendingFdePart& b) {
+                return a.start < b.start;
+              });
+    for (PendingFdePart& part : fde_parts_) {
+      if (part.cxx) {
+        ehb.add_fde_with_lsda(part.start, part.end - part.start,
+                              std::move(part.ops), part.lsda);
+      } else {
+        ehb.add_fde(part.start, part.end - part.start, std::move(part.ops));
+      }
     }
+    eh_bytes = ehb.build(layout_.eh_frame);
+    // .eh_frame_hdr: the binary-search index the runtime uses (T1).
+    const eh::EhFrame parsed_eh =
+        eh::EhFrame::parse({eh_bytes.data(), eh_bytes.size()},
+                           layout_.eh_frame);
+    hdr_bytes = eh::build_eh_frame_hdr(parsed_eh, layout_.eh_frame,
+                                       layout_.eh_frame_hdr);
   }
-  std::vector<std::uint8_t> eh_bytes = ehb.build(layout_.eh_frame);
-  // .eh_frame_hdr: the binary-search index the runtime uses (T1).
-  const eh::EhFrame parsed_eh =
-      eh::EhFrame::parse({eh_bytes.data(), eh_bytes.size()},
-                         layout_.eh_frame);
-  std::vector<std::uint8_t> hdr_bytes = eh::build_eh_frame_hdr(
-      parsed_eh, layout_.eh_frame, layout_.eh_frame_hdr);
 
   // --- ELF assembly ---------------------------------------------------------------
   elf::ElfBuilder builder;
+  if (spec_.static_pie) {
+    builder.set_type(elf::Type::kDyn);  // static-PIE images are ET_DYN
+  }
   const std::uint16_t text_idx = builder.add_section(
       ".text", elf::kShtProgbits, elf::kShfAlloc | elf::kShfExecinstr,
       layout_.text, std::move(text), 16);
-  builder.add_section(".eh_frame_hdr", elf::kShtProgbits, elf::kShfAlloc,
-                      layout_.eh_frame_hdr, std::move(hdr_bytes), 4);
-  builder.add_section(".eh_frame", elf::kShtProgbits, elf::kShfAlloc,
-                      layout_.eh_frame, std::move(eh_bytes), 8);
+  if (spec_.unwind_tables) {
+    builder.add_section(".eh_frame_hdr", elf::kShtProgbits, elf::kShfAlloc,
+                        layout_.eh_frame_hdr, std::move(hdr_bytes), 4);
+    builder.add_section(".eh_frame", elf::kShtProgbits, elf::kShfAlloc,
+                        layout_.eh_frame, std::move(eh_bytes), 8);
+  }
   if (!rodata_bytes.empty()) {
     builder.add_section(".rodata", elf::kShtProgbits, elf::kShfAlloc,
                         layout_.rodata, std::move(rodata_bytes), 8);
@@ -860,7 +882,17 @@ SynthBinary Emitter::run() {
 }  // namespace
 
 SynthBinary generate(const ProgramSpec& spec, const Layout& layout) {
-  Emitter emitter(spec, layout);
+  Layout effective = layout;
+  if (spec.static_pie && layout.text == Layout{}.text) {
+    // Static-PIE images are linked at a low base (ld's -static-pie
+    // default); callers that pass an explicit layout keep theirs.
+    effective.text = 0x1000;
+    effective.eh_frame_hdr = 0xff000;
+    effective.eh_frame = 0x100000;
+    effective.rodata = 0x200000;
+    effective.data = 0x300000;
+  }
+  Emitter emitter(spec, effective);
   return emitter.run();
 }
 

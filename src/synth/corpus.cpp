@@ -17,9 +17,19 @@ using x86::Reg;
 constexpr Reg kCalleeSaved[] = {Reg::kRbx, Reg::kR12, Reg::kR13, Reg::kR14,
                                 Reg::kR15};
 
+/// True when a `features` axis means "just the historical corpus": empty
+/// or a lone "default". Hashes and seeds must not change in that case, so
+/// every feature-aware fold below is guarded on this.
+bool default_features(const std::vector<std::string>& features) {
+  return features.empty() ||
+         (features.size() == 1 && features.front() == "default");
+}
+
 /// Hash of the spec axes that determine entry *identity* (and therefore
 /// per-entry RNG seeds). Deliberately excludes `limit`: a truncated corpus
-/// (smoke) is a byte-identical prefix of the untruncated one.
+/// (smoke) is a byte-identical prefix of the untruncated one. The
+/// `features` axis is folded in only when non-default so that every
+/// pre-existing corpus keeps its hash and per-entry seeds byte-identical.
 std::uint64_t axes_hash(const CorpusSpec& spec) {
   util::Fnv1a h;
   h.value(kGeneratorVersion);
@@ -33,6 +43,12 @@ std::uint64_t axes_hash(const CorpusSpec& spec) {
     h.str(o);
   }
   h.value(spec.variants);
+  if (!default_features(spec.features)) {
+    h.value(spec.features.size());
+    for (const std::string& f : spec.features) {
+      h.str(f);
+    }
+  }
   return h.digest();
 }
 
@@ -110,6 +126,14 @@ void hash_program(util::Fnv1a& h, const ProgramSpec& spec) {
   h.value(spec.stripped);
   h.value(spec.int3_padding);
   h.value(spec.alignment);
+  // Feature-axis fields, folded only when away from their defaults: a
+  // default spec must keep its historical hash (the CorpusStore content
+  // address) since it still generates byte-identical output.
+  if (!spec.unwind_tables || spec.static_pie || spec.endbr64) {
+    h.value(spec.unwind_tables);
+    h.value(spec.static_pie);
+    h.value(spec.endbr64);
+  }
 }
 
 }  // namespace
@@ -187,6 +211,21 @@ Profile profile_for(const std::string& compiler, const std::string& opt) {
   return p;
 }
 
+void apply_feature(Profile* profile, const std::string& feature) {
+  if (feature == "default") {
+    return;
+  }
+  if (feature == "no-unwind") {
+    profile->unwind_tables = false;
+  } else if (feature == "static-pie") {
+    profile->static_pie = true;
+  } else if (feature == "cet") {
+    profile->endbr64 = true;
+  } else {
+    throw ContractError("unknown corpus feature: " + feature);
+  }
+}
+
 const std::vector<ProjectDef>& projects() {
   static const std::vector<ProjectDef> kProjects = {
       {"coreutils", "Utilities", "C", 0.7, 0.3},
@@ -246,6 +285,9 @@ ProgramSpec make_program(const ProjectDef& project, const Profile& profile,
   spec.seed = seed;
   spec.int3_padding = profile.int3_padding;
   spec.alignment = profile.alignment;
+  spec.unwind_tables = profile.unwind_tables;
+  spec.static_pie = profile.static_pie;
+  spec.endbr64 = profile.endbr64;
   spec.cxx = project.lang.find('+') != std::string::npos;
 
   // Function-count distribution: the project's own bounds when it defines
@@ -600,24 +642,43 @@ std::vector<ProgramSpec> CorpusSpec::expand() const {
       const std::vector<ProjectDef>& extra = extended_projects();
       defs.insert(defs.end(), extra.begin(), extra.end());
     }
+    // The feature axis multiplies each (project, compiler, opt) cell by
+    // one layout per entry; an absent axis is exactly {"default"}.
+    const std::vector<std::string> feature_list =
+        features.empty() ? std::vector<std::string>{"default"} : features;
     for (const ProjectDef& project : defs) {
       for (const std::string& compiler : compilers) {
         for (const std::string& opt : opts) {
-          const Profile profile = profile_for(compiler, opt);
-          for (int v = 0; v < variants; ++v) {
-            ProgramSpec spec = make_program(
-                project, profile,
-                entry_seed(axes, project.name, compiler, opt, v));
-            if (v > 0) {
-              spec.name += "-v" + std::to_string(v);
-            }
-            // The evaluation corpus is stripped: detectors see no symbols;
-            // ground truth comes from the generator (the paper's
-            // compiler-intercept equivalent).
-            spec.stripped = true;
-            out.push_back(std::move(spec));
-            if (at_limit()) {
-              return out;
+          const Profile base_profile = profile_for(compiler, opt);
+          for (const std::string& feature : feature_list) {
+            Profile profile = base_profile;
+            apply_feature(&profile, feature);
+            for (int v = 0; v < variants; ++v) {
+              std::uint64_t seed =
+                  entry_seed(axes, project.name, compiler, opt, v);
+              if (feature != "default") {
+                // Chain the feature into the seed so a feature variant is
+                // a genuinely distinct program, not a relayout of the
+                // default one (default seeds stay byte-identical).
+                util::Fnv1a chain(seed);
+                chain.str(feature);
+                seed = chain.digest();
+              }
+              ProgramSpec spec = make_program(project, profile, seed);
+              if (feature != "default") {
+                spec.name += "-" + feature;
+              }
+              if (v > 0) {
+                spec.name += "-v" + std::to_string(v);
+              }
+              // The evaluation corpus is stripped: detectors see no
+              // symbols; ground truth comes from the generator (the
+              // paper's compiler-intercept equivalent).
+              spec.stripped = true;
+              out.push_back(std::move(spec));
+              if (at_limit()) {
+                return out;
+              }
             }
           }
         }

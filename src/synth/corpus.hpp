@@ -58,12 +58,25 @@ struct Profile {
   int max_funcs = 90;
   bool int3_padding = false;      ///< compiler idiom: int3 vs nop padding
   std::uint32_t alignment = 16;   ///< compiler idiom: function start alignment
+
+  // Feature-axis toggles (see CorpusSpec::features / apply_feature).
+  bool unwind_tables = true;      ///< emit .eh_frame/.eh_frame_hdr
+  bool static_pie = false;        ///< ET_DYN image at a low base
+  bool endbr64 = false;           ///< CET endbr64 landing pads at entries
 };
 
 /// Profile for a compiler/opt combination. Supports the paper's
 /// O2/O3/Os/Ofast plus the full-scale O0/O1 ladder extension, × GCC/LLVM.
 [[nodiscard]] Profile profile_for(const std::string& compiler,
                                   const std::string& opt);
+
+/// Applies a `features` axis entry to a profile:
+///   "default"     no change (the baseline toolchain layout)
+///   "no-unwind"   -fno-asynchronous-unwind-tables-style: no .eh_frame
+///   "static-pie"  ET_DYN low-base image (-static-pie-style)
+///   "cet"         endbr64 landing pad at every function entry
+/// Throws ContractError on anything else.
+void apply_feature(Profile* profile, const std::string& feature);
 
 /// One project row of Table II. The trailing fields give each project its
 /// own function-count/size distribution; zero-valued fields fall back to
@@ -120,6 +133,15 @@ struct CorpusSpec {
   std::vector<std::string> opts;
   int variants = 1;       ///< seed-distinct binaries per (project, compiler, opt)
   std::size_t limit = 0;  ///< truncates the expansion (0 = everything)
+
+  /// Toolchain-feature axis (see apply_feature): each entry multiplies
+  /// the self-built expansion by one more layout per cell. Empty (or a
+  /// lone "default") is the historical corpus — byte-identical output,
+  /// same hash, same per-entry seeds. Non-default entries suffix the
+  /// program name ("-no-unwind", "-static-pie", "-cet") and chain the
+  /// feature into the entry seed. The wild suite (a fixed inventory of
+  /// specific real-world programs) ignores this axis.
+  std::vector<std::string> features;
 
   /// The Table II population at the given scale (entries are stripped).
   [[nodiscard]] static CorpusSpec self_built(Scale scale);

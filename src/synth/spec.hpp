@@ -133,6 +133,21 @@ struct ProgramSpec {
   bool int3_padding = true;
   /// Function start alignment (bytes).
   std::uint32_t alignment = 16;
+
+  // Unconventional-toolchain profile axes (the "features" CorpusSpec
+  // axis). Defaults reproduce the historical output byte for byte.
+
+  /// Emit .eh_frame/.eh_frame_hdr at all. False models
+  /// -fno-asynchronous-unwind-tables: no FDE covers anything, every
+  /// function lands in GroundTruth::asm_functions and FDE-based
+  /// detection must degrade gracefully instead of crashing.
+  bool unwind_tables = true;
+  /// Emit an ET_DYN static-PIE-style image at a low base address
+  /// (e_type ET_DYN, text near 0x1000 like `-static-pie` output).
+  bool static_pie = false;
+  /// CET instrumentation: every function entry begins with an `endbr64`
+  /// landing pad (-fcf-protection=full layout).
+  bool endbr64 = false;
 };
 
 /// Exact ground truth recorded during generation.

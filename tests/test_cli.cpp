@@ -312,6 +312,92 @@ TEST(Cli, ServedQueryIsByteIdenticalToDetect) {
   EXPECT_EQ(run_cli("query --cache-capacity 8 " + good).status, 2);
 }
 
+#ifndef FETCH_STRIP_TOOL_PATH
+#define FETCH_STRIP_TOOL_PATH "strip_tool"
+#endif
+
+bool strip_tool_available() {
+  std::ifstream probe(FETCH_STRIP_TOOL_PATH, std::ios::binary);
+  return static_cast<bool>(probe);
+}
+
+CommandResult run_strip_tool(const std::string& args) {
+  const std::string cmd =
+      std::string(FETCH_STRIP_TOOL_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  CommandResult result;
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> chunk;
+  std::size_t n;
+  while ((n = fread(chunk.data(), 1, chunk.size(), pipe)) > 0) {
+    result.output.append(chunk.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.status = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(Cli, StripToolPreservesDetectOutput) {
+  if (!cli_available() || !strip_tool_available()) {
+    GTEST_SKIP() << "fetch-cli/strip_tool not built";
+  }
+  const std::string original = write_sample_binary();
+  const std::string stripped = ::testing::TempDir() + "/fetch_cli_strip.bin";
+  const CommandResult s = run_strip_tool("-o " + stripped + " " + original);
+  ASSERT_EQ(s.status, 0) << s.output;
+  EXPECT_NE(s.output.find("truth sidecar: " + stripped + ".truth.json"),
+            std::string::npos)
+      << s.output;
+  EXPECT_NE(s.output.find("source symtab"), std::string::npos) << s.output;
+  EXPECT_NE(s.output.find("dropped .symtab .strtab"), std::string::npos);
+
+  // Detection consumes .eh_frame, not symbols: the stripped copy's detect
+  // report is byte-identical to the original's.
+  const CommandResult before = run_cli("detect " + original);
+  const CommandResult after = run_cli("detect " + stripped);
+  EXPECT_EQ(before.status, 0);
+  EXPECT_EQ(after.status, 0);
+  EXPECT_EQ(before.output, after.output);
+
+  // Usage and parse failures are distinct exit codes.
+  EXPECT_EQ(run_strip_tool("").status, 2);
+  EXPECT_EQ(run_strip_tool("-o /tmp/x --no-truth --truth-out y in").status,
+            2);
+  EXPECT_EQ(run_strip_tool("-o /dev/null /nonexistent-file").status, 1);
+}
+
+TEST(Cli, BatchTruthModesOnStrippedFixture) {
+  if (!cli_available() || !strip_tool_available()) {
+    GTEST_SKIP() << "fetch-cli/strip_tool not built";
+  }
+  const std::string original = write_sample_binary();
+  const std::string stripped =
+      ::testing::TempDir() + "/fetch_cli_strip_modes.bin";
+  ASSERT_EQ(run_strip_tool("-o " + stripped + " " + original).status, 0);
+
+  // Sidecar truth replays the full pre-strip symbol table: the row is
+  // scored (tp > 0) with source "sidecar".
+  const std::string csv = ::testing::TempDir() + "/fetch_cli_strip_modes.csv";
+  const CommandResult sidecar =
+      run_cli("batch --truth sidecar --csv " + csv + " " + stripped);
+  EXPECT_EQ(sidecar.status, 0) << sidecar.output;
+  EXPECT_NE(sidecar.output.find("sidecar"), std::string::npos)
+      << sidecar.output;
+  EXPECT_NE(sidecar.output.find("with truth: 1"), std::string::npos);
+  EXPECT_NE(slurp(csv).find(stripped + ",ok,sidecar,"), std::string::npos);
+
+  // Dynsym truth on the same file: synth binaries export nothing, so the
+  // mode degrades to an unscored "none" row — documented difference, not
+  // an error.
+  const CommandResult dynsym =
+      run_cli("batch --truth dynsym " + stripped);
+  EXPECT_EQ(dynsym.status, 0) << dynsym.output;
+  EXPECT_NE(dynsym.output.find("none"), std::string::npos) << dynsym.output;
+  EXPECT_NE(dynsym.output.find("with truth: 0"), std::string::npos);
+}
+
 TEST(Cli, BadUsageAndBadFile) {
   if (!cli_available()) {
     GTEST_SKIP() << "fetch-cli not built";

@@ -3,9 +3,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -559,6 +561,116 @@ TEST(Service, AnalysisJsonRoundTripsExactly) {
   EXPECT_EQ(back->content_hash, fa.content_hash);
   EXPECT_EQ(back->functions, fa.functions);
 }
+
+// --- Hostile-corpus regression ----------------------------------------------
+
+#ifdef FETCH_FUZZ_CORPUS_DIR
+
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+/// True when \p payload parses as a valid shutdown request — the one
+/// corpus input that must never be replayed verbatim against a server the
+/// test still needs.
+bool is_shutdown_payload(const std::string& payload) {
+  std::string error;
+  const auto request = service::parse_request(payload, &error);
+  return request.has_value() && request->op == service::Op::kShutdown;
+}
+
+/// Every checked-in fuzz seed for the two untrusted surfaces the daemon
+/// exposes (the framed protocol itself, and .eh_frame bytes smuggled in
+/// as payloads) is replayed two ways against a live server: verbatim
+/// (whatever framing the seed carries) and re-framed as one opaque
+/// payload. The server must answer every well-framed hostile payload with
+/// a status:"error" reply — never an ok, never a crash — and must still
+/// answer a ping after each input.
+TEST(Service, HostileCorpusReplayGetsErrorRepliesAndStaysLive) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> inputs;
+  for (const char* sub : {"service_frame", "ehframe"}) {
+    const fs::path dir = fs::path(FETCH_FUZZ_CORPUS_DIR) / sub;
+    ASSERT_TRUE(fs::exists(dir)) << dir;
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file()) {
+        inputs.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+  ASSERT_FALSE(inputs.empty());
+
+  TestServer server;
+  std::string error;
+  std::size_t error_replies = 0;
+
+  for (const fs::path& path : inputs) {
+    SCOPED_TRACE(path.filename().string());
+    const std::vector<std::uint8_t> bytes = read_bytes(path);
+    const std::string as_payload(bytes.begin(), bytes.end());
+    const std::string frame_payload =
+        bytes.size() >= 4 ? as_payload.substr(4) : std::string();
+
+    // Verbatim replay: the seed's own bytes on the wire. Torn or
+    // oversize frames may get the connection dropped without a reply;
+    // what is never acceptable is a hang or a reply that is not a
+    // status document.
+    if (!is_shutdown_payload(frame_payload)) {
+      auto fd = util::unix_connect(server.socket(), &error);
+      ASSERT_TRUE(fd.has_value()) << error;
+      std::size_t sent = 0;
+      while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd->get(), bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        ASSERT_GT(n, 0);
+        sent += static_cast<std::size_t>(n);
+      }
+      ::shutdown(fd->get(), SHUT_WR);
+      ASSERT_GT(util::poll_readable(fd->get(), 5000), 0)
+          << "server answered nothing within 5s";
+      std::string reply;
+      if (util::read_frame(fd->get(), &reply, &error) ==
+          util::FrameStatus::kOk) {
+        const auto doc = util::json::Value::parse(reply);
+        ASSERT_TRUE(doc.has_value()) << reply;
+        EXPECT_NE(doc->get("status"), nullptr) << reply;
+      }
+    }
+
+    // Re-framed replay: the whole file as one opaque payload. None of
+    // the seeds is valid request JSON when wrapped this way, so every
+    // reply must be an error — an ok here would be a wrong-success.
+    if (!is_shutdown_payload(as_payload)) {
+      auto fd = util::unix_connect(server.socket(), &error);
+      ASSERT_TRUE(fd.has_value()) << error;
+      ASSERT_TRUE(util::write_frame(fd->get(), as_payload, &error)) << error;
+      std::string reply;
+      ASSERT_EQ(util::read_frame(fd->get(), &reply, &error),
+                util::FrameStatus::kOk)
+          << error;
+      const auto doc = util::json::Value::parse(reply);
+      ASSERT_TRUE(doc.has_value()) << reply;
+      const util::json::Value* status = doc->get("status");
+      ASSERT_NE(status, nullptr) << reply;
+      if (!service::parse_request(as_payload, &error).has_value()) {
+        EXPECT_EQ(status->text(), "error") << reply;
+        ++error_replies;
+      }
+    }
+
+    // Liveness: the daemon took the hostile input in stride.
+    auto client = server.connect();
+    EXPECT_TRUE(client.ping(&error)) << path << ": " << error;
+  }
+
+  // The corpus actually exercised the error paths, not just valid seeds.
+  EXPECT_GT(error_replies, inputs.size() / 2);
+}
+
+#endif  // FETCH_FUZZ_CORPUS_DIR
 
 }  // namespace
 }  // namespace fetch

@@ -35,7 +35,9 @@
 /// Batch-only options: --from-file LIST (newline-separated paths, `#`
 /// comments; repeatable), --dir DIR (every ELF-magic regular file in DIR,
 /// sorted; repeatable), --json PATH (write a `fetch-batch-v1` document),
-/// --csv PATH. Batch output is byte-identical for any --jobs value.
+/// --csv PATH, --truth auto|dynsym|ehframe|sidecar (ground-truth source;
+/// "sidecar" reads `<path>.truth.json` captured by tools/strip_tool).
+/// Batch output is byte-identical for any --jobs value.
 /// Repeated inputs (positionally or via --from-file/--dir) are scored
 /// once; a note about dropped duplicates goes to stderr.
 ///
@@ -395,10 +397,13 @@ struct BatchArgs {
   std::vector<std::string> dirs;        ///< --dir DIR (repeatable)
   std::string json_path;                ///< --json PATH
   std::string csv_path;                 ///< --csv PATH
+  /// --truth MODE: ground-truth source rows are scored against.
+  eval::TruthMode truth = eval::TruthMode::kAuto;
+  bool truth_set = false;
 
   [[nodiscard]] bool any() const {
     return !from_files.empty() || !dirs.empty() || !json_path.empty() ||
-           !csv_path.empty();
+           !csv_path.empty() || truth_set;
   }
 };
 
@@ -455,6 +460,7 @@ int cmd_batch(const std::vector<const char*>& args, const BatchArgs& batch,
 
   eval::BatchOptions options;
   options.jobs = jobs;
+  options.truth = batch.truth;
   const eval::BatchReport report = eval::run_batch(paths, options);
   report.print(std::cout);
   if (!batch.json_path.empty() &&
@@ -477,7 +483,9 @@ int usage() {
                "                 <detect|fde|unwind|compare|audit> <elf> [pc]\n"
                "       fetch-cli [opts] corpus [self-built|wild]\n"
                "       fetch-cli [opts] batch [--from-file LIST] [--dir DIR]\n"
-               "                 [--json PATH] [--csv PATH] [<elf>...]\n"
+               "                 [--json PATH] [--csv PATH]\n"
+               "                 [--truth auto|dynsym|ehframe|sidecar] "
+               "[<elf>...]\n"
                "       fetch-cli [opts] serve [--socket PATH] "
                "[--cache-capacity N]\n"
                "       fetch-cli [opts] query [--socket PATH] <elf>...\n"
@@ -520,6 +528,20 @@ int main(int argc, char** argv) {
       batch.csv_path = argv[++i];
     } else if (arg.rfind("--csv=", 0) == 0) {
       batch.csv_path = arg.substr(6);
+    } else if (arg == "--truth" && i + 1 < argc) {
+      const auto mode = eval::parse_truth_mode(argv[++i]);
+      if (!mode) {
+        return usage();
+      }
+      batch.truth = *mode;
+      batch.truth_set = true;
+    } else if (arg.rfind("--truth=", 0) == 0) {
+      const auto mode = eval::parse_truth_mode(arg.substr(8));
+      if (!mode) {
+        return usage();
+      }
+      batch.truth = *mode;
+      batch.truth_set = true;
     } else if (arg == "--scale" && i + 1 < argc) {
       const auto scale = synth::parse_scale(argv[++i]);
       if (!scale) {

@@ -1,0 +1,521 @@
+/// \file hostile_check.cpp
+/// Adversarial-input gate: feed every fuzz-corpus seed plus a set of
+/// structure-aware ELF mutants (truncations, lying section headers, a
+/// lying .eh_frame_hdr fde_count, overlapping FDEs, garbage unwind data)
+/// through the full analysis pipeline and the live service socket, and
+/// FAIL on any crash, hang, unbounded allocation, or wrong-success
+/// outcome. CI runs this per push (the `stripped-and-hostile` job) and
+/// archives the `fetch-hostile-v1` JSON artifact.
+///
+///   hostile_check --corpus DIR [--socket PATH] [--json PATH]
+///                 [--max-rss-mb N] [--skip-service]
+///
+/// Outcome taxonomy (see DESIGN.md, "Stripped & hostile evaluation"):
+///   - non-ELF bytes MUST produce an error row (ok == false); an ok row
+///     for garbage is a wrong-success violation,
+///   - well-formed ELF containers with hostile metadata may produce an
+///     error row OR a degraded ok row — either is acceptable, crashing
+///     or throwing is not (AnalysisSession::analyze_image never throws),
+///   - the service must answer every hostile frame with an error (or
+///     close the torn connection) and still answer a fresh ping after
+///     every single replay,
+///   - peak RSS stays under --max-rss-mb (default 2048): a 4-byte
+///     header must not buy a gigabyte allocation.
+
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ehframe/eh_builder.hpp"
+#include "ehframe/eh_frame.hpp"
+#include "ehframe/eh_frame_hdr.hpp"
+#include "elf/elf_builder.hpp"
+#include "elf/elf_file.hpp"
+#include "eval/session.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "synth/codegen.hpp"
+#include "synth/corpus.hpp"
+#include "util/framing.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+using namespace fetch;
+
+struct HostileInput {
+  std::string label;
+  std::vector<std::uint8_t> bytes;
+  bool elf_shaped = false;  ///< carries the ELF64 magic (see below)
+};
+
+int usage() {
+  std::cerr << "usage: hostile_check --corpus DIR [--socket PATH]\n"
+               "                     [--json PATH] [--max-rss-mb N]\n"
+               "                     [--skip-service]\n";
+  return 2;
+}
+
+/// Whether the pipeline is allowed to report success for these bytes:
+/// anything that does not even start with the ELF64 magic must come back
+/// as an error row.
+bool elf_shaped(const std::vector<std::uint8_t>& bytes) {
+  return bytes.size() >= 5 && bytes[0] == 0x7f && bytes[1] == 'E' &&
+         bytes[2] == 'L' && bytes[3] == 'F' && bytes[4] == 2 /*ELFCLASS64*/;
+}
+
+// Little-endian patch helpers for the mutant builders. Mutants are
+// hostile *by construction*; this is the one place in the tree where
+// writing raw offsets is the point (tools/ sits outside the
+// trust-boundary lint on purpose).
+void patch_u16(std::vector<std::uint8_t>* b, std::size_t off,
+               std::uint16_t v) {
+  if (off + 2 <= b->size()) {
+    (*b)[off] = static_cast<std::uint8_t>(v);
+    (*b)[off + 1] = static_cast<std::uint8_t>(v >> 8);
+  }
+}
+void patch_u32(std::vector<std::uint8_t>* b, std::size_t off,
+               std::uint32_t v) {
+  for (std::size_t i = 0; i < 4 && off + i < b->size(); ++i) {
+    (*b)[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+void patch_u64(std::vector<std::uint8_t>* b, std::size_t off,
+               std::uint64_t v) {
+  for (std::size_t i = 0; i < 8 && off + i < b->size(); ++i) {
+    (*b)[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+/// Finds the file offset of section \p name via a (trusted) parse of the
+/// pristine base image. Returns {offset, size}; {0, 0} when absent.
+std::pair<std::uint64_t, std::uint64_t> section_span(const elf::ElfFile& elf,
+                                                     std::string_view name) {
+  for (const elf::Section& s : elf.sections()) {
+    if (s.name == name) {
+      return {s.offset, s.size};
+    }
+  }
+  return {0, 0};
+}
+
+/// Structure-aware mutants derived from one well-formed synthetic binary.
+std::vector<HostileInput> make_mutants() {
+  std::vector<HostileInput> out;
+  // A realistic base: one small self-built corpus program, stripped like
+  // the evaluation corpus.
+  synth::ProgramSpec spec = synth::make_program(
+      synth::projects()[1], synth::profile_for("gcc", "O2"), 0x4057u);
+  spec.stripped = true;
+  const std::vector<std::uint8_t> base = synth::generate(spec).image;
+  const elf::ElfFile parsed({base.data(), base.size()});
+  const auto [eh_off, eh_size] = section_span(parsed, ".eh_frame");
+  const auto [hdr_off, hdr_size] = section_span(parsed, ".eh_frame_hdr");
+
+  auto add = [&out](std::string label, std::vector<std::uint8_t> bytes) {
+    out.push_back({std::move(label), std::move(bytes)});
+  };
+
+  // Whole-file truncations: mid-Ehdr, mid-image, one byte short.
+  add("mutant/trunc_ehdr", {base.begin(), base.begin() + 32});
+  add("mutant/trunc_half",
+      {base.begin(), base.begin() + static_cast<std::ptrdiff_t>(
+                                        base.size() / 2)});
+  add("mutant/trunc_tail", {base.begin(), base.end() - 1});
+
+  // Lying Ehdr fields.
+  std::vector<std::uint8_t> m = base;
+  patch_u64(&m, 0x28, 0xfffffffffffff000ULL);  // e_shoff into the void
+  add("mutant/bad_shoff", std::move(m));
+  m = base;
+  patch_u16(&m, 0x3c, 0xffff);  // e_shnum: 65535 headers
+  add("mutant/huge_shnum", std::move(m));
+  m = base;
+  patch_u16(&m, 0x3a, 0);  // e_shentsize zero
+  add("mutant/zero_shentsize", std::move(m));
+
+  // Truncated .eh_frame: cut the file in the middle of the CFI bytes.
+  if (eh_off != 0 && eh_size > 8) {
+    add("mutant/eh_frame_cut",
+        {base.begin(),
+         base.begin() + static_cast<std::ptrdiff_t>(eh_off + eh_size / 2)});
+    // Garbage .eh_frame: size preserved, content replaced.
+    m = base;
+    std::uint32_t x = 0x9e3779b9;
+    for (std::uint64_t i = 0; i < eh_size; ++i) {
+      x = x * 1664525u + 1013904223u;
+      m[eh_off + i] = static_cast<std::uint8_t>(x >> 24);
+    }
+    add("mutant/eh_frame_garbage", std::move(m));
+  }
+
+  // Lying .eh_frame_hdr: fde_count claims 2^32-1 entries (the header
+  // layout is version/encodings (4) + eh_frame_ptr (4) + fde_count (4)).
+  if (hdr_off != 0 && hdr_size >= 12) {
+    m = base;
+    patch_u32(&m, hdr_off + 8, 0xffffffffu);
+    add("mutant/lying_fde_count", std::move(m));
+  }
+
+  // Section header that lies about .eh_frame's size: extend sh_size far
+  // past end-of-file. Locate the matching header by its sh_offset.
+  if (eh_off != 0) {
+    m = base;
+    std::uint64_t shoff = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      shoff |= static_cast<std::uint64_t>(base[0x28 + i]) << (8 * i);
+    }
+    const std::uint16_t shnum =
+        static_cast<std::uint16_t>(base[0x3c] | (base[0x3d] << 8));
+    const std::uint16_t shentsize =
+        static_cast<std::uint16_t>(base[0x3a] | (base[0x3b] << 8));
+    for (std::uint16_t i = 0; i < shnum; ++i) {
+      const std::size_t off = shoff + std::size_t{i} * shentsize;
+      std::uint64_t sh_offset = 0;
+      for (std::size_t k = 0; k < 8; ++k) {
+        sh_offset |= static_cast<std::uint64_t>(m[off + 0x18 + k]) << (8 * k);
+      }
+      if (sh_offset == eh_off) {
+        patch_u64(&m, off + 0x20, 0x7fffffffffffULL);  // sh_size lie
+        break;
+      }
+    }
+    add("mutant/eh_frame_size_lie", std::move(m));
+  }
+
+  // Overlapping FDEs: a fresh tiny ELF whose .eh_frame carries two FDEs
+  // over intersecting PC ranges (no compiler emits this; Algorithm 1's
+  // range logic must survive it).
+  {
+    const std::uint64_t text_addr = 0x401000;
+    const std::uint64_t hdr_addr = 0x4ff000;
+    const std::uint64_t frame_addr = 0x500000;
+    std::vector<std::uint8_t> text(64, 0x90);  // nop sled
+    text.back() = 0xc3;                        // ret
+    eh::EhFrameBuilder ehb;
+    ehb.add_fde(text_addr, 48, {});
+    ehb.add_fde(text_addr + 16, 48, {});  // overlaps the first
+    std::vector<std::uint8_t> eh_bytes = ehb.build(frame_addr);
+    const eh::EhFrame overlap_eh =
+        eh::EhFrame::parse({eh_bytes.data(), eh_bytes.size()}, frame_addr);
+    std::vector<std::uint8_t> hdr_bytes =
+        eh::build_eh_frame_hdr(overlap_eh, frame_addr, hdr_addr);
+    elf::ElfBuilder builder;
+    builder.add_section(".text", elf::kShtProgbits,
+                        elf::kShfAlloc | elf::kShfExecinstr, text_addr,
+                        std::move(text), 16);
+    builder.add_section(".eh_frame_hdr", elf::kShtProgbits, elf::kShfAlloc,
+                        hdr_addr, std::move(hdr_bytes), 4);
+    builder.add_section(".eh_frame", elf::kShtProgbits, elf::kShfAlloc,
+                        frame_addr, std::move(eh_bytes), 8);
+    builder.emit_symtab(false);
+    builder.set_entry(text_addr);
+    add("mutant/overlapping_fdes", builder.build());
+  }
+
+  for (HostileInput& input : out) {
+    input.elf_shaped = elf_shaped(input.bytes);
+  }
+  return out;
+}
+
+/// Sends raw bytes, half-closes, and reads at most one reply frame. A
+/// missing reply (torn frame → server closes silently) is fine; a reply
+/// that is not a fetch-service-v1 status document is a violation.
+void replay_against_service(const std::string& socket_path,
+                            const HostileInput& input,
+                            bool framed,  ///< wrap bytes in a valid frame
+                            std::size_t* replies, std::size_t* error_replies,
+                            std::vector<std::string>* violations) {
+  const std::string label =
+      input.label + (framed ? " (framed payload)" : " (raw stream)");
+  std::string error;
+  const std::optional<util::Fd> fd = util::unix_connect(socket_path, &error);
+  if (!fd) {
+    violations->push_back(label + ": cannot connect: " + error);
+    return;
+  }
+  std::vector<std::uint8_t> wire;
+  if (framed) {
+    const auto len = static_cast<std::uint32_t>(input.bytes.size());
+    wire = {static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
+            static_cast<std::uint8_t>(len >> 16),
+            static_cast<std::uint8_t>(len >> 24)};
+  }
+  wire.insert(wire.end(), input.bytes.begin(), input.bytes.end());
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd->get(), wire.data() + sent,
+                             wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      break;  // server already dropped us — acceptable for hostile bytes
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd->get(), SHUT_WR);
+  if (util::poll_readable(fd->get(), 2000) <= 0) {
+    violations->push_back(label + ": no response and no hangup within 2s");
+    return;
+  }
+  std::string payload;
+  const util::FrameStatus status =
+      util::read_frame(fd->get(), &payload, &error);
+  if (status != util::FrameStatus::kOk) {
+    return;  // clean close / torn reply: server just dropped the peer
+  }
+  ++*replies;
+  const std::optional<util::json::Value> doc =
+      util::json::Value::parse(payload);
+  const util::json::Value* field =
+      doc && doc->is_object() ? doc->get("status") : nullptr;
+  if (field == nullptr) {
+    violations->push_back(label + ": reply is not a status document");
+    return;
+  }
+  if (field->text() == "error") {
+    ++*error_replies;
+  } else if (framed) {
+    // Framed replays carry raw corpus/mutant bytes as the payload; none
+    // of them is a valid request, so an ok reply means the server
+    // accepted garbage.
+    violations->push_back(label + ": ok reply for a hostile payload");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_dir;
+  std::string socket_path;
+  std::string json_path;
+  std::size_t max_rss_mb = 2048;
+  bool skip_service = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--corpus" && i + 1 < argc) {
+      corpus_dir = argv[++i];
+    } else if (arg.rfind("--corpus=", 0) == 0) {
+      corpus_dir = arg.substr(9);
+    } else if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--max-rss-mb" && i + 1 < argc) {
+      max_rss_mb = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--skip-service") {
+      skip_service = true;
+    } else {
+      return usage();
+    }
+  }
+  if (corpus_dir.empty()) {
+    return usage();
+  }
+  if (socket_path.empty()) {
+    socket_path =
+        "/tmp/fetch-hostile." + std::to_string(::getpid()) + ".sock";
+  }
+
+  // --- Collect inputs: every corpus seed + the structure-aware mutants.
+  std::vector<HostileInput> inputs;
+  {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<std::string> files;
+    for (fs::recursive_directory_iterator it(corpus_dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (it->is_regular_file()) {
+        files.push_back(it->path().string());
+      }
+    }
+    if (ec || files.empty()) {
+      std::cerr << "error: no corpus files under " << corpus_dir << "\n";
+      return 2;
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& path : files) {
+      HostileInput input;
+      input.label = fs::path(path).parent_path().filename().string() + "/" +
+                    fs::path(path).filename().string();
+      if (!util::read_file_bytes(path, &input.bytes)) {
+        std::cerr << "error: cannot read corpus file: " << path << "\n";
+        return 2;
+      }
+      input.elf_shaped = elf_shaped(input.bytes);
+      inputs.push_back(std::move(input));
+    }
+  }
+  for (HostileInput& mutant : make_mutants()) {
+    inputs.push_back(std::move(mutant));
+  }
+
+  std::vector<std::string> violations;
+  std::size_t session_ok = 0;
+  std::size_t session_error = 0;
+
+  // --- Phase 1: the full pipeline, in-process.
+  const eval::AnalysisSession session;
+  for (const HostileInput& input : inputs) {
+    try {
+      const eval::FileAnalysis analysis = session.analyze_image(
+          {input.bytes.data(), input.bytes.size()}, input.label,
+          eval::AnalysisSession::Detail::kFull);
+      if (analysis.row.ok) {
+        ++session_ok;
+        if (!input.elf_shaped) {
+          violations.push_back(input.label +
+                               ": ok row for non-ELF bytes (wrong-success)");
+        }
+      } else {
+        ++session_error;
+      }
+    } catch (const std::exception& e) {
+      violations.push_back(input.label + ": analyze_image threw: " + e.what());
+    } catch (...) {
+      violations.push_back(input.label + ": analyze_image threw");
+    }
+  }
+
+  // --- Phase 2: the live service socket.
+  std::size_t service_replies = 0;
+  std::size_t service_error_replies = 0;
+  std::size_t pings = 0;
+  if (!skip_service) {
+    service::ServerOptions options;
+    options.socket_path = socket_path;
+    options.workers = 2;
+    service::ServiceServer server(options);
+    std::string error;
+    if (!server.start(&error)) {
+      std::cerr << "error: cannot start service: " << error << "\n";
+      return 2;
+    }
+    std::thread runner([&server] { server.run(); });
+    for (const HostileInput& input : inputs) {
+      // A corpus seed that IS a well-formed shutdown frame would stop the
+      // server mid-gate; skip its raw replay (the framed replay wraps the
+      // whole frame as a payload, which is malformed JSON — safe).
+      bool is_shutdown_frame = false;
+      if (input.bytes.size() >= 4) {
+        std::uint32_t adv = 0;
+        for (std::size_t k = 0; k < 4; ++k) {
+          adv |= static_cast<std::uint32_t>(input.bytes[k]) << (8 * k);
+        }
+        if (adv + 4 == input.bytes.size()) {
+          const std::string payload(input.bytes.begin() + 4,
+                                    input.bytes.end());
+          std::string parse_error;
+          const auto request = service::parse_request(payload, &parse_error);
+          is_shutdown_frame = request && request->op == service::Op::kShutdown;
+        }
+      }
+      if (!is_shutdown_frame) {
+        replay_against_service(socket_path, input, /*framed=*/false,
+                               &service_replies, &service_error_replies,
+                               &violations);
+      }
+      replay_against_service(socket_path, input, /*framed=*/true,
+                             &service_replies, &service_error_replies,
+                             &violations);
+      // Liveness: the daemon must answer a fresh ping after every replay.
+      std::optional<service::ServiceClient> client =
+          service::ServiceClient::connect(socket_path, &error);
+      if (!client || !client->ping(&error)) {
+        violations.push_back(input.label + ": ping after replay failed: " +
+                             error);
+        break;  // the daemon is gone; every further replay would repeat this
+      }
+      ++pings;
+    }
+    server.stop();
+    runner.join();
+    ::unlink(socket_path.c_str());
+  }
+
+  // --- Memory bound.
+  struct rusage usage_info {};
+  ::getrusage(RUSAGE_SELF, &usage_info);
+  const auto max_rss_kb = static_cast<std::size_t>(usage_info.ru_maxrss);
+  if (max_rss_kb > max_rss_mb * 1024) {
+    violations.push_back("peak RSS " + std::to_string(max_rss_kb / 1024) +
+                         " MiB exceeds the " + std::to_string(max_rss_mb) +
+                         " MiB bound");
+  }
+
+  // --- Report.
+  std::cout << "hostile check: " << inputs.size() << " inputs, "
+            << session_error << " error rows, " << session_ok
+            << " degraded-ok rows";
+  if (!skip_service) {
+    std::cout << ", " << service_replies << " service replies ("
+              << service_error_replies << " errors), " << pings
+              << " live pings";
+  }
+  std::cout << ", peak RSS " << max_rss_kb / 1024 << " MiB\n";
+  for (const std::string& v : violations) {
+    std::cout << "VIOLATION: " << v << "\n";
+  }
+
+  if (!json_path.empty()) {
+    util::json::Value doc = util::json::Value::object();
+    doc.set("schema", util::json::Value("fetch-hostile-v1"));
+    doc.set("inputs", util::json::Value::number(
+                          static_cast<std::uint64_t>(inputs.size())));
+    util::json::Value session_doc = util::json::Value::object();
+    session_doc.set("error_rows", util::json::Value::number(
+                                      static_cast<std::uint64_t>(
+                                          session_error)));
+    session_doc.set("ok_rows", util::json::Value::number(
+                                   static_cast<std::uint64_t>(session_ok)));
+    doc.set("session", std::move(session_doc));
+    util::json::Value service_doc = util::json::Value::object();
+    service_doc.set("replies", util::json::Value::number(
+                                   static_cast<std::uint64_t>(
+                                       service_replies)));
+    service_doc.set("error_replies",
+                    util::json::Value::number(static_cast<std::uint64_t>(
+                        service_error_replies)));
+    service_doc.set("pings", util::json::Value::number(
+                                 static_cast<std::uint64_t>(pings)));
+    doc.set("service", std::move(service_doc));
+    doc.set("max_rss_kb", util::json::Value::number(
+                              static_cast<std::uint64_t>(max_rss_kb)));
+    util::json::Value list = util::json::Value::array();
+    for (const std::string& v : violations) {
+      list.add(util::json::Value(v));
+    }
+    doc.set("violations", std::move(list));
+    doc.set("verdict",
+            util::json::Value(violations.empty() ? "PASS" : "FAIL"));
+    std::ofstream out(json_path, std::ios::trunc);
+    out << doc.dump() << "\n";
+    out.close();
+    if (out.fail()) {
+      std::cerr << "error: cannot write --json file: " << json_path << "\n";
+      return 2;
+    }
+    std::cerr << "json report: " << json_path << "\n";
+  }
+
+  std::cout << (violations.empty() ? "hostile check: PASS\n"
+                                   : "hostile check: FAIL\n");
+  return violations.empty() ? 0 : 1;
+}

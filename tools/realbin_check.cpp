@@ -7,6 +7,7 @@
 /// `realbin` job) and archives the `fetch-batch-v1` JSON artifact.
 ///
 ///   realbin_check [--jobs N] [--list FILE]... [--thresholds FILE]
+///                 [--tier NAME] [--truth auto|dynsym|ehframe|sidecar]
 ///                 [--json PATH] [<elf>...]
 ///
 /// List entries that do not exist on the current image are skipped with a
@@ -14,9 +15,14 @@
 /// explicitly on the command line are always evaluated. The gate (see
 /// DESIGN.md, "Real-binary regression gate"):
 ///   - at least `min_truth_files` scored files with usable ground truth,
-///   - aggregate F1 over symtab-truth files      >= `min_f1`
-///     (skipped when no file carries a .symtab),
+///   - aggregate F1 over precise-truth files     >= `min_f1`
+///     (symtab or sidecar truth; skipped when no file carries either),
 ///   - aggregate recall over all truth files     >= `min_recall`.
+///
+/// `--tier NAME` reads the thresholds from the nested object `NAME` of
+/// the thresholds file instead of its top level — e.g. the "stripped"
+/// block gates `--truth sidecar` runs over the stripped fixtures while
+/// the top-level numbers keep gating the default symtab tier.
 
 #include <filesystem>
 #include <fstream>
@@ -43,13 +49,14 @@ struct Thresholds {
 
 int usage() {
   std::cerr << "usage: realbin_check [--jobs N] [--list FILE]...\n"
-               "                     [--thresholds FILE] [--json PATH] "
-               "[<elf>...]\n";
+               "                     [--thresholds FILE] [--tier NAME]\n"
+               "                     [--truth auto|dynsym|ehframe|sidecar]\n"
+               "                     [--json PATH] [<elf>...]\n";
   return 2;
 }
 
-bool load_thresholds(const std::string& path, Thresholds* out,
-                     std::string* error) {
+bool load_thresholds(const std::string& path, const std::string& tier,
+                     Thresholds* out, std::string* error) {
   std::ifstream in(path);
   if (!in) {
     *error = "cannot open thresholds file: " + path;
@@ -57,10 +64,18 @@ bool load_thresholds(const std::string& path, Thresholds* out,
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  const auto doc = util::json::Value::parse(buffer.str());
-  if (!doc || !doc->is_object()) {
+  const auto parsed = util::json::Value::parse(buffer.str());
+  if (!parsed || !parsed->is_object()) {
     *error = "thresholds file is not a JSON object: " + path;
     return false;
+  }
+  const util::json::Value* doc = &*parsed;
+  if (!tier.empty()) {
+    doc = parsed->get(tier);
+    if (doc == nullptr || !doc->is_object()) {
+      *error = "thresholds file has no \"" + tier + "\" tier block: " + path;
+      return false;
+    }
   }
   auto number = [&](const char* key, double* value) {
     if (const util::json::Value* v = doc->get(key)) {
@@ -81,6 +96,8 @@ int main(int argc, char** argv) {
   std::size_t jobs = 0;
   std::vector<std::string> lists;
   std::string thresholds_path;
+  std::string tier;
+  eval::TruthMode truth = eval::TruthMode::kAuto;
   std::string json_path;
   std::vector<std::string> explicit_paths;
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +118,22 @@ int main(int argc, char** argv) {
       thresholds_path = argv[++i];
     } else if (arg.rfind("--thresholds=", 0) == 0) {
       thresholds_path = arg.substr(13);
+    } else if (arg == "--tier" && i + 1 < argc) {
+      tier = argv[++i];
+    } else if (arg.rfind("--tier=", 0) == 0) {
+      tier = arg.substr(7);
+    } else if (arg == "--truth" && i + 1 < argc) {
+      const auto mode = eval::parse_truth_mode(argv[++i]);
+      if (!mode) {
+        return usage();
+      }
+      truth = *mode;
+    } else if (arg.rfind("--truth=", 0) == 0) {
+      const auto mode = eval::parse_truth_mode(arg.substr(8));
+      if (!mode) {
+        return usage();
+      }
+      truth = *mode;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
@@ -115,10 +148,13 @@ int main(int argc, char** argv) {
   Thresholds thresholds;
   if (!thresholds_path.empty()) {
     std::string error;
-    if (!load_thresholds(thresholds_path, &thresholds, &error)) {
+    if (!load_thresholds(thresholds_path, tier, &thresholds, &error)) {
       std::cerr << "error: " << error << "\n";
       return 2;
     }
+  } else if (!tier.empty()) {
+    std::cerr << "error: --tier requires --thresholds\n";
+    return 2;
   }
 
   // Pinned-list entries are best effort across images: keep the ones that
@@ -150,7 +186,10 @@ int main(int argc, char** argv) {
 
   eval::BatchOptions options;
   options.jobs = jobs;
+  options.truth = truth;
   const eval::BatchReport report = eval::run_batch(paths, options);
+  std::cout << "truth mode: " << eval::truth_mode_name(truth)
+            << (tier.empty() ? "" : "  tier: " + tier) << "\n";
   report.print(std::cout);
   if (skipped != 0) {
     std::cerr << "note: " << skipped << " pinned list entries missing on "
@@ -171,7 +210,10 @@ int main(int argc, char** argv) {
   // The gate. Every violation is reported before the verdict so a failing
   // CI log is self-explanatory.
   const eval::BatchTotals with_truth = report.totals_with_truth();
-  const eval::BatchTotals symtab = report.totals_symtab();
+  // The F1 gate runs on the rows whose truth is complete (symtab or
+  // sidecar) — the only rows where precision means anything. On the
+  // default tier this is exactly the historical symtab subset.
+  const eval::BatchTotals precise = report.totals_precise();
   bool failed = false;
   if (with_truth.files < thresholds.min_truth_files) {
     std::cout << "GATE: only " << with_truth.files
@@ -179,8 +221,8 @@ int main(int argc, char** argv) {
               << thresholds.min_truth_files << ")\n";
     failed = true;
   }
-  if (symtab.files != 0 && symtab.f1() < thresholds.min_f1) {
-    std::cout << "GATE: symtab F1 " << eval::fmt(symtab.f1(), 4)
+  if (precise.files != 0 && precise.f1() < thresholds.min_f1) {
+    std::cout << "GATE: precise-truth F1 " << eval::fmt(precise.f1(), 4)
               << " below threshold " << eval::fmt(thresholds.min_f1, 4)
               << "\n";
     failed = true;

@@ -1,0 +1,132 @@
+/// \file strip_tool.cpp
+/// Producer side of the stripped evaluation tier: strips an ELF64 binary
+/// (drop .symtab/.strtab, optionally .dynsym/.dynstr) and captures the
+/// binary's *pre-strip* symbol-table ground truth into a fetch-truth-v1
+/// sidecar (`<output>.truth.json`) so the stripped copy can still be
+/// scored with meaningful precision (`--truth sidecar` in fetch-cli
+/// batch / realbin_check).
+///
+///   strip_tool [--drop-dynsym] [--truth-out PATH | --no-truth]
+///              -o OUTPUT INPUT
+///
+/// The transform is elf::strip_image: deterministic, idempotent, and
+/// layout-preserving (allocated sections keep their offsets and
+/// addresses), so detection results on the stripped copy differ from the
+/// original only through the missing symbol tables.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "elf/elf_file.hpp"
+#include "elf/strip.hpp"
+#include "eval/truth_sidecar.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+using namespace fetch;
+
+int usage() {
+  std::cerr << "usage: strip_tool [--drop-dynsym] [--truth-out PATH | "
+               "--no-truth]\n"
+               "                  -o OUTPUT INPUT\n";
+  return 2;
+}
+
+bool write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    *error = "cannot open output file: " + path;
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (out.fail()) {
+    *error = "cannot write output file: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  elf::StripOptions options;
+  std::string input;
+  std::string output;
+  std::string truth_out;
+  bool no_truth = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--drop-dynsym") {
+      options.drop_dynsym = true;
+    } else if (arg == "--no-truth") {
+      no_truth = true;
+    } else if (arg == "--truth-out" && i + 1 < argc) {
+      truth_out = argv[++i];
+    } else if (arg.rfind("--truth-out=", 0) == 0) {
+      truth_out = arg.substr(12);
+    } else if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (!arg.empty() && arg.front() == '-') {
+      return usage();
+    } else if (input.empty()) {
+      input = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty() || output.empty() || (no_truth && !truth_out.empty())) {
+    return usage();
+  }
+
+  std::vector<std::uint8_t> image;
+  if (!util::read_file_bytes(input, &image)) {
+    std::cerr << "error: cannot read input file: " << input << "\n";
+    return 1;
+  }
+
+  try {
+    // Truth must be captured from the *original* image: that is the whole
+    // point of the sidecar — the stripped copy cannot produce it anymore.
+    const elf::ElfFile original({image.data(), image.size()});
+    const elf::FunctionTruth truth = original.function_truth();
+
+    const elf::StripResult result = elf::strip_image(
+        {image.data(), image.size()}, options);
+
+    std::string error;
+    if (!write_bytes(output, result.image, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    if (!no_truth) {
+      const std::string sidecar =
+          truth_out.empty() ? eval::truth_sidecar_path(output) : truth_out;
+      if (!eval::write_truth_sidecar(sidecar, truth, &error)) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+      }
+      std::cout << "truth sidecar: " << sidecar << " (" << truth.starts.size()
+                << " starts, source " << truth.source << ")\n";
+    }
+    std::cout << "stripped " << input << " -> " << output << " (dropped";
+    if (result.dropped.empty()) {
+      std::cout << " nothing";
+    } else {
+      for (const std::string& name : result.dropped) {
+        std::cout << " " << name;
+      }
+    }
+    std::cout << ")\n";
+  } catch (const ParseError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
