@@ -9,6 +9,11 @@
 ///             misses: socket + hash + full analysis)
 ///   warm      N client threads hammering the now-cached set (hits:
 ///             socket + hash only) — QPS and p50/p99 latency
+///   open_loop fixed-rate scheduled arrivals over the cached set;
+///             latency is measured from the scheduled send time, so
+///             server stalls show up as tail latency instead of being
+///             absorbed by the closed loop (coordinated omission). A
+///             log2 histogram of the distribution lands in the report.
 ///
 /// Every served result is byte-compared against a local analysis of the
 /// same file, so the bench doubles as an end-to-end equality check of
@@ -21,11 +26,13 @@
 /// Flags beyond the common set (--jobs/--scale/--json): --socket PATH
 /// targets an already-running external daemon (default: an in-process
 /// server on a private socket); --clients N / --requests N override the
-/// scale-derived load shape.
+/// scale-derived load shape; --open-loop QPS overrides the open-loop
+/// arrival rate.
 
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -59,23 +66,51 @@ struct LoadShape {
   std::size_t files = 3;
   std::size_t clients = 2;
   std::size_t requests_per_client = 40;
+  /// Scheduled arrival rate for the open-loop phase. Unlike the warm
+  /// closed loop (a client waits for its reply before sending again, so
+  /// a slow server quietly throttles its own load), open-loop arrivals
+  /// fire on a fixed clock and latency is measured from the *scheduled*
+  /// send time — queueing delay from a stalled server lands in the tail
+  /// instead of being coordinated away.
+  double open_loop_qps = 300.0;
 };
 
 LoadShape shape_for(const bench::BenchOptions& opts) {
   LoadShape shape;
   switch (opts.scale) {
     case synth::Scale::kSmoke:
-      shape = {3, 2, 40};
+      shape = {3, 2, 40, 300.0};
       break;
     case synth::Scale::kDefault:
-      shape = {8, 4, 250};
+      shape = {8, 4, 250, 800.0};
       break;
     case synth::Scale::kFull:
-      shape = {16, 8, 1000};
+      shape = {16, 8, 1000, 1500.0};
       break;
   }
   return shape;
 }
+
+/// Powers-of-two latency histogram: bucket i counts samples in
+/// [2^i, 2^(i+1)) microseconds; the last bucket is the overflow.
+struct LatencyHistogram {
+  static constexpr std::size_t kBuckets = 21;  // up to ~2 s, then overflow
+  std::array<std::uint64_t, kBuckets> counts{};
+
+  void add(double us) {
+    std::size_t bucket = 0;
+    for (auto v = static_cast<std::uint64_t>(std::max(us, 0.0)); v > 1;
+         v >>= 1) {
+      ++bucket;
+    }
+    counts[std::min(bucket, kBuckets - 1)] += 1;
+  }
+
+  [[nodiscard]] std::uint64_t total() const {
+    return std::accumulate(counts.begin(), counts.end(),
+                           std::uint64_t{0});
+  }
+};
 
 /// Writes \p count deterministic synthetic binaries into a fresh temp
 /// directory and returns their paths.
@@ -145,7 +180,8 @@ int main(int argc, char** argv) {
     auto next = [&]() -> std::string_view {
       if (i + 1 >= passthrough.size()) {
         std::cerr << "usage: bench_service_throughput [common flags] "
-                     "[--socket PATH] [--clients N] [--requests N]\n";
+                     "[--socket PATH] [--clients N] [--requests N] "
+                     "[--open-loop QPS]\n";
         std::exit(2);
       }
       return passthrough[++i];
@@ -161,6 +197,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--requests") {
       if (!util::parse_jobs(next(), &shape.requests_per_client) ||
           shape.requests_per_client == 0) {
+        std::exit(2);
+      }
+    } else if (arg == "--open-loop" || arg.rfind("--open-loop=", 0) == 0) {
+      const std::string value(arg == "--open-loop" ? next()
+                                                   : arg.substr(12));
+      try {
+        shape.open_loop_qps = std::stod(value);
+      } catch (...) {
+        shape.open_loop_qps = -1.0;
+      }
+      if (shape.open_loop_qps <= 0.0) {
+        std::cerr << "error: --open-loop wants a positive arrival rate\n";
         std::exit(2);
       }
     } else {
@@ -279,6 +327,69 @@ int main(int argc, char** argv) {
     warm_us.insert(warm_us.end(), samples.begin(), samples.end());
   }
 
+  // --- open-loop: fixed-rate arrivals over the cached set -------------------
+  // Request k is *scheduled* at start + k/rate regardless of how request
+  // k-1 fared, and its latency runs from that scheduled instant. A server
+  // that stalls therefore accumulates the backlog into the measured tail
+  // (no coordinated omission).
+  std::vector<std::vector<double>> open_loop_per_client(shape.clients);
+  const std::size_t open_loop_total =
+      shape.clients * shape.requests_per_client;
+  const auto open_loop_interval =
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(1.0 / shape.open_loop_qps));
+  const auto open_loop_start = Clock::now() + std::chrono::milliseconds(50);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(shape.clients);
+    for (std::size_t c = 0; c < shape.clients; ++c) {
+      clients.emplace_back([&, c] {
+        service::ServiceClient client = connect_or_die(socket);
+        Rng rng(0xa11d + 131 * c);
+        std::string error;
+        auto& samples = open_loop_per_client[c];
+        samples.reserve(shape.requests_per_client);
+        // The global schedule is interleaved across clients: client c
+        // owns arrivals c, c+clients, c+2*clients, ...
+        for (std::size_t r = c; r < open_loop_total; r += shape.clients) {
+          const auto scheduled =
+              open_loop_start + open_loop_interval * static_cast<long>(r);
+          std::this_thread::sleep_until(scheduled);
+          const std::string& path = files[rng.below(files.size())];
+          const auto result = client.query(path, &error);
+          samples.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() -
+                                                        scheduled)
+                  .count());
+          if (!result || !result->analysis.row.ok) {
+            std::cerr << "error: open-loop query failed: " << error << "\n";
+            failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+  }
+  const double open_loop_elapsed_us = std::chrono::duration<double,
+                                                            std::micro>(
+                                          Clock::now() - open_loop_start)
+                                          .count();
+  if (failed.load()) {
+    return 1;
+  }
+
+  std::vector<double> open_loop_us;
+  LatencyHistogram open_loop_hist;
+  for (const auto& samples : open_loop_per_client) {
+    open_loop_us.insert(open_loop_us.end(), samples.begin(), samples.end());
+    for (const double us : samples) {
+      open_loop_hist.add(us);
+    }
+  }
+
   // Single-flight/caching sanity from the horse's mouth: the daemon must
   // have computed each unique binary exactly once.
   {
@@ -324,6 +435,13 @@ int main(int argc, char** argv) {
                               : static_cast<double>(warm_us.size()) * 1e6 /
                                     warm_elapsed_us;
   const double speedup = warm_mean == 0.0 ? 0.0 : oneshot_mean / warm_mean;
+  const double open_loop_p50 = percentile_us(open_loop_us, 0.50);
+  const double open_loop_p99 = percentile_us(open_loop_us, 0.99);
+  const double open_loop_achieved_qps =
+      open_loop_elapsed_us == 0.0
+          ? 0.0
+          : static_cast<double>(open_loop_us.size()) * 1e6 /
+                open_loop_elapsed_us;
 
   eval::TextTable table({"case", "mean_us", "p50_us", "p99_us"});
   table.add_row({"oneshot", eval::fmt(oneshot_mean, 1),
@@ -334,11 +452,33 @@ int main(int argc, char** argv) {
                  eval::fmt(percentile_us(cold_us, 0.99), 1)});
   table.add_row({"warm_query", eval::fmt(warm_mean, 1),
                  eval::fmt(warm_p50, 1), eval::fmt(warm_p99, 1)});
+  table.add_row({"open_loop", eval::fmt(mean_us(open_loop_us), 1),
+                 eval::fmt(open_loop_p50, 1), eval::fmt(open_loop_p99, 1)});
   table.print(std::cout);
   std::cout << "\nwarm QPS: " << eval::fmt(warm_qps, 1)
             << "  (clients " << shape.clients << ")\n";
   std::cout << "warm speedup over one-shot: " << eval::fmt(speedup, 1)
             << "x\n";
+  std::cout << "open-loop: target " << eval::fmt(shape.open_loop_qps, 1)
+            << " req/s, achieved " << eval::fmt(open_loop_achieved_qps, 1)
+            << " req/s (latency from scheduled arrival)\n";
+  {
+    std::uint64_t peak = 1;
+    for (const std::uint64_t n : open_loop_hist.counts) {
+      peak = std::max(peak, n);
+    }
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      const std::uint64_t n = open_loop_hist.counts[i];
+      if (n == 0) {
+        continue;
+      }
+      const auto bar = static_cast<std::size_t>(40 * n / peak);
+      std::printf("  <%8llu us %6llu %s\n",
+                  static_cast<unsigned long long>(2ull << i),
+                  static_cast<unsigned long long>(n),
+                  std::string(std::max<std::size_t>(bar, 1), '#').c_str());
+    }
+  }
 
   // One metric per results row (name/value/unit), the shape bench_diff
   // matches and the other benches emit.
@@ -359,7 +499,30 @@ int main(int argc, char** argv) {
   add_metric("warm_query_p99", warm_p99, "us/req");
   add_metric("warm_qps", warm_qps, "req/s");
   add_metric("warm_speedup_x", speedup, "x");
+  add_metric("open_loop_p50", open_loop_p50, "us/req");
+  add_metric("open_loop_p99", open_loop_p99, "us/req");
+  add_metric("open_loop_qps", open_loop_achieved_qps, "req/s");
   util::json::Value derived = util::json::Value::object();
+  derived.set("open_loop_target_qps",
+              util::json::Value::number(shape.open_loop_qps,
+                                        eval::fmt(shape.open_loop_qps, 1)));
+  {
+    // Log2 histogram as {le_us, count} rows so a report consumer can
+    // reconstruct the full latency distribution, not just two quantiles.
+    util::json::Value hist = util::json::Value::array();
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      if (open_loop_hist.counts[i] == 0) {
+        continue;
+      }
+      util::json::Value bucket = util::json::Value::object();
+      bucket.set("le_us", util::json::Value::number(
+                              static_cast<std::uint64_t>(2ull << i)));
+      bucket.set("count", util::json::Value::number(
+                              open_loop_hist.counts[i]));
+      hist.add(std::move(bucket));
+    }
+    derived.set("open_loop_histogram", std::move(hist));
+  }
   derived.set("files", util::json::Value::number(
                            static_cast<std::uint64_t>(files.size())));
   derived.set("clients", util::json::Value::number(

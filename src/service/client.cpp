@@ -1,23 +1,54 @@
 #include "service/client.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "util/framing.hpp"
+#include "util/rng.hpp"
 
 namespace fetch::service {
 
-std::optional<ServiceClient> ServiceClient::connect(std::string socket_path,
-                                                    std::string* error) {
+std::optional<ServiceClient> ServiceClient::connect(
+    std::string socket_path, std::string* error,
+    const ClientOptions& options) {
   if (socket_path.empty()) {
     socket_path = default_socket_path();
   }
-  auto fd = util::unix_connect(socket_path, error);
-  if (!fd) {
-    return std::nullopt;
+  // Jittered exponential backoff between connect attempts: a daemon
+  // restarting under load sees its waiting callers return spread out
+  // instead of as a synchronized thundering herd.
+  Rng rng(static_cast<std::uint64_t>(::getpid()) * 0x9e3779b97f4a7c15u ^
+                static_cast<std::uint64_t>(
+                    std::chrono::steady_clock::now().time_since_epoch()
+                        .count()));
+  std::uint64_t backoff_ms =
+      options.backoff_initial_ms == 0 ? 1 : options.backoff_initial_ms;
+  constexpr std::uint64_t kBackoffCapMs = 2'000;
+  for (std::size_t attempt = 0;; ++attempt) {
+    auto fd = util::unix_connect(socket_path, error);
+    if (fd) {
+      if (options.timeout_ms != 0) {
+        // Best-effort: a failed setsockopt degrades to the old
+        // wait-forever behavior rather than failing the request.
+        (void)util::set_recv_timeout(fd->get(), options.timeout_ms);
+      }
+      return ServiceClient(std::move(socket_path), std::move(*fd));
+    }
+    if (attempt >= options.retries) {
+      return std::nullopt;
+    }
+    const std::uint64_t jittered = backoff_ms / 2 + rng.below(backoff_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+    backoff_ms = std::min<std::uint64_t>(backoff_ms * 2, kBackoffCapMs);
   }
-  return ServiceClient(std::move(socket_path), std::move(*fd));
 }
 
 std::optional<util::json::Value> ServiceClient::request(
     const Request& request, std::string* error) {
+  last_error_code_.clear();
   if (!util::write_frame(fd_.get(), request_json(request).dump(), error)) {
     return std::nullopt;
   }
@@ -37,6 +68,7 @@ std::optional<util::json::Value> ServiceClient::request(
     return std::nullopt;
   }
   if (!response_ok(*response, error)) {
+    last_error_code_ = response_error_code(*response);
     return std::nullopt;
   }
   return response;

@@ -6,6 +6,7 @@
 /// sequentially; concurrency is achieved by opening more clients (the
 /// server multiplexes connections onto its worker pool).
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -21,12 +22,28 @@ struct QueryResult {
   std::string cache;  ///< "hit", "miss", "joined", or "none" (unreadable)
 };
 
+/// Client-side robustness knobs. The defaults match the old behavior
+/// (one connect attempt, wait forever); `fetch-cli query|shutdown`
+/// exposes them as --retries / --timeout.
+struct ClientOptions {
+  /// Extra connect attempts after the first fails with "connection
+  /// refused"-class errors, paced by jittered exponential backoff.
+  std::size_t retries = 0;
+  /// Response-read deadline per request, enforced with SO_RCVTIMEO so a
+  /// wedged daemon cannot hang the caller. 0 = no deadline.
+  std::uint64_t timeout_ms = 0;
+  /// First backoff sleep; doubles per retry (jittered, capped at 2 s).
+  std::uint64_t backoff_initial_ms = 50;
+};
+
 class ServiceClient {
  public:
   /// Connects to a serving daemon. nullopt + *error when nothing listens
-  /// on \p socket_path (empty = default_socket_path()).
+  /// on \p socket_path (empty = default_socket_path()) after
+  /// options.retries + 1 attempts.
   [[nodiscard]] static std::optional<ServiceClient> connect(
-      std::string socket_path, std::string* error);
+      std::string socket_path, std::string* error,
+      const ClientOptions& options = {});
 
   /// Round-trips one raw request; nullopt + *error on transport failure
   /// or an error-status response.
@@ -51,12 +68,20 @@ class ServiceClient {
     return socket_path_;
   }
 
+  /// Machine-readable "code" of the last error-status response ("" when
+  /// the last failure was transport-level, e.g. unreachable or timed
+  /// out). kErrOverloaded here means the daemon is up but shedding load.
+  [[nodiscard]] const std::string& last_error_code() const {
+    return last_error_code_;
+  }
+
  private:
   ServiceClient(std::string socket_path, util::Fd fd)
       : socket_path_(std::move(socket_path)), fd_(std::move(fd)) {}
 
   std::string socket_path_;
   util::Fd fd_;
+  std::string last_error_code_;
 };
 
 }  // namespace fetch::service

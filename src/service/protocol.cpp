@@ -154,6 +154,12 @@ Value error_response(const std::string& message) {
   return doc;
 }
 
+Value error_response(const std::string& message, const std::string& code) {
+  Value doc = error_response(message);
+  doc.set("code", Value(code));
+  return doc;
+}
+
 Value analysis_json(const eval::FileAnalysis& fa) {
   Value doc = Value::object();
   doc.set("path", Value(fa.row.path));
@@ -273,6 +279,22 @@ Value stats_json(const util::LruStats& stats, std::size_t capacity,
   return doc;
 }
 
+Value server_stats_json(const ServerStats& stats) {
+  Value doc = Value::object();
+  doc.set("accepted", Value::number(stats.accepted));
+  doc.set("active", Value::number(stats.active));
+  doc.set("peak_active", Value::number(stats.peak_active));
+  doc.set("rejected_connections", Value::number(stats.rejected_connections));
+  doc.set("emfile_rejections", Value::number(stats.emfile_rejections));
+  doc.set("idle_timeouts", Value::number(stats.idle_timeouts));
+  doc.set("write_stall_timeouts", Value::number(stats.write_stall_timeouts));
+  doc.set("queries_shed", Value::number(stats.queries_shed));
+  doc.set("frames_shed", Value::number(stats.frames_shed));
+  doc.set("queue_depth", Value::number(stats.queue_depth));
+  doc.set("queue_high_water", Value::number(stats.queue_high_water));
+  return doc;
+}
+
 bool response_ok(const util::json::Value& response, std::string* error) {
   const Value* schema = response.get("schema");
   if (schema == nullptr || schema->text() != kSchema) {
@@ -286,6 +308,12 @@ bool response_ok(const util::json::Value& response, std::string* error) {
     return false;
   }
   return true;
+}
+
+std::string response_error_code(const util::json::Value& response) {
+  const Value* code = response.get("code");
+  return code != nullptr && code->kind() == Value::Kind::kString ? code->text()
+                                                                 : std::string();
 }
 
 }  // namespace fetch::service

@@ -33,6 +33,12 @@ namespace fetch::service {
 
 inline constexpr const char* kSchema = "fetch-service-v1";
 
+/// Machine-readable error code carried in the "code" member of error
+/// responses that clients must distinguish from generic failures:
+/// "overloaded" means the daemon is healthy but shedding load (retry
+/// later), which callers must not confuse with "unreachable".
+inline constexpr const char* kErrOverloaded = "overloaded";
+
 enum class Op : std::uint8_t { kPing, kQuery, kStats, kShutdown };
 
 [[nodiscard]] const char* op_name(Op op);
@@ -61,6 +67,11 @@ struct Request {
 [[nodiscard]] util::json::Value ok_response(Op op);
 [[nodiscard]] util::json::Value error_response(const std::string& message);
 
+/// Error response with a machine-readable "code" member (e.g.
+/// kErrOverloaded) in addition to the human-readable message.
+[[nodiscard]] util::json::Value error_response(const std::string& message,
+                                               const std::string& code);
+
 /// Serializes one analysis (the value the result cache stores). Counts
 /// are JSON numbers; addresses travel as hex strings so 64-bit values
 /// cannot lose precision in a double.
@@ -74,9 +85,33 @@ struct Request {
                                            std::size_t capacity,
                                            std::size_t shards);
 
+/// Robustness counters the event-loop server maintains alongside the
+/// cache counters; serialized as the "server" object nested inside the
+/// stats response so existing cache-shape consumers are unaffected.
+struct ServerStats {
+  std::uint64_t accepted = 0;            ///< connections ever accepted
+  std::uint64_t active = 0;              ///< connections open right now
+  std::uint64_t peak_active = 0;         ///< high-water mark of active
+  std::uint64_t rejected_connections = 0;///< over the --max-connections cap
+  std::uint64_t emfile_rejections = 0;   ///< shed via the reserve-fd path
+  std::uint64_t idle_timeouts = 0;       ///< connections evicted for idling
+  std::uint64_t write_stall_timeouts = 0;///< evicted for not draining writes
+  std::uint64_t queries_shed = 0;        ///< queries answered "overloaded"
+  std::uint64_t frames_shed = 0;         ///< frames dropped (poisoned stream)
+  std::uint64_t queue_depth = 0;         ///< analysis queue depth right now
+  std::uint64_t queue_high_water = 0;    ///< max queue depth ever observed
+};
+
+[[nodiscard]] util::json::Value server_stats_json(const ServerStats& stats);
+
 /// True when \p response has schema fetch-service-v1 and status "ok";
 /// otherwise fills *error from the response (or with a schema complaint).
 [[nodiscard]] bool response_ok(const util::json::Value& response,
                                std::string* error);
+
+/// The "code" member of an error response, or "" when absent. Lets
+/// callers branch on kErrOverloaded without string-matching messages.
+[[nodiscard]] std::string response_error_code(
+    const util::json::Value& response);
 
 }  // namespace fetch::service

@@ -1,18 +1,56 @@
 #include "service/server.hpp"
 
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
-#include "service/protocol.hpp"
-#include "util/framing.hpp"
+#include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fetch::service {
 
 namespace {
+
+/// epoll user-data tags for the two non-connection descriptors; real
+/// connection ids start at 1 and never reach this range.
+constexpr std::uint64_t kListenerTag = ~std::uint64_t{0};
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0} - 1;
+
+/// Pause reading from a connection once this much response data is
+/// buffered for it — backpressure instead of unbounded memory growth
+/// when a client pipelines queries faster than it drains answers.
+constexpr std::size_t kOutbufPauseBytes = 1u << 20;
+
+/// How long accept() stays parked after EMFILE/ENFILE before retrying.
+constexpr std::uint64_t kEmfileBackoffMs = 100;
+
+/// How long a graceful drain may take before remaining connections are
+/// closed with responses unflushed (a stalled reader must not be able
+/// to block shutdown forever).
+constexpr std::uint64_t kDrainDeadlineMs = 5'000;
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Timer-wheel ids: each connection arms at most one idle and one
+/// write-stall deadline, multiplexed over one id space.
+std::uint64_t idle_timer_id(std::uint64_t conn_id) { return conn_id * 2; }
+std::uint64_t write_timer_id(std::uint64_t conn_id) { return conn_id * 2 + 1; }
 
 const char* outcome_name(
     util::ShardedLru<eval::FileAnalysis>::Outcome outcome) {
@@ -28,167 +66,9 @@ const char* outcome_name(
   return "?";
 }
 
-}  // namespace
-
-ServiceServer::ServiceServer(ServerOptions options)
-    : options_(std::move(options)),
-      session_(options_.detector),
-      cache_(options_.cache_capacity, options_.cache_shards) {
-  if (options_.socket_path.empty()) {
-    options_.socket_path = default_socket_path();
-  }
-}
-
-ServiceServer::~ServiceServer() {
-  if (listener_.valid()) {
-    listener_.reset();
-    ::unlink(options_.socket_path.c_str());
-  }
-}
-
-bool ServiceServer::start(std::string* error) {
-  auto fd = util::unix_listen(options_.socket_path, /*backlog=*/64, error);
-  if (!fd) {
-    return false;
-  }
-  listener_ = std::move(*fd);
-  return true;
-}
-
-void ServiceServer::run() {
-  FETCH_ASSERT(listener_.valid());
-  util::ThreadPool pool(options_.workers == 0 ? util::default_jobs()
-                                              : options_.workers);
-  while (!stopping()) {
-    // Poll with a timeout instead of blocking in accept() forever, so a
-    // stop() from a handler thread or a signal flag poller is noticed
-    // within 100 ms without fd-close races.
-    const int ready = util::poll_readable(listener_.get(), 100);
-    if (ready < 0) {
-      break;
-    }
-    if (ready == 0) {
-      continue;
-    }
-    const int fd = ::accept(listener_.get(), nullptr, nullptr);
-    if (fd < 0) {
-      continue;  // transient (EINTR, aborted handshake): keep serving
-    }
-    register_connection(fd);
-    pool.submit([this, fd] { handle_connection(fd); });
-  }
-  // ThreadPool's destructor joins after the queue drains, so every
-  // accepted connection finishes its in-flight request; stop() has
-  // already half-closed their read sides so none can linger idle.
-  listener_.reset();
-  ::unlink(options_.socket_path.c_str());
-}
-
-void ServiceServer::stop() {
-  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
-    return;
-  }
-  const std::lock_guard<std::mutex> lock(connections_mu_);
-  for (const int fd : connections_) {
-    // Half-close: the handler's next read sees EOF and exits, but the
-    // response it is currently computing still goes out on the write
-    // side (graceful shutdown with in-flight requests).
-    ::shutdown(fd, SHUT_RD);
-  }
-}
-
-void ServiceServer::register_connection(int fd) {
-  const std::lock_guard<std::mutex> lock(connections_mu_);
-  connections_.insert(fd);
-  if (stopping()) {
-    ::shutdown(fd, SHUT_RD);
-  }
-}
-
-void ServiceServer::unregister_connection(int fd) {
-  const std::lock_guard<std::mutex> lock(connections_mu_);
-  connections_.erase(fd);
-}
-
-void ServiceServer::handle_connection(int fd) {
-  std::string payload;
-  std::string error;
-  for (;;) {
-    const util::FrameStatus status = util::read_frame(fd, &payload, &error);
-    if (status == util::FrameStatus::kEof) {
-      break;  // client hung up cleanly
-    }
-    if (status == util::FrameStatus::kError) {
-      // Torn or oversize frame: this stream cannot be resynchronized
-      // (the next bytes are mid-message), so answer and drop the
-      // connection. The server itself keeps serving everyone else.
-      send_response(fd, error_response(error));
-      break;
-    }
-    if (!handle_request(fd, payload)) {
-      break;
-    }
-  }
-  unregister_connection(fd);
-  ::close(fd);
-}
-
-bool ServiceServer::handle_request(int fd, const std::string& payload) {
-  std::string error;
-  const auto request = parse_request(payload, &error);
-  if (!request) {
-    // A malformed *request* in a well-formed frame is recoverable: reply
-    // with the parse error and keep the connection open.
-    return send_response(fd, error_response(error));
-  }
-  switch (request->op) {
-    case Op::kPing:
-      return send_response(fd, ok_response(Op::kPing));
-    case Op::kStats: {
-      util::json::Value response = ok_response(Op::kStats);
-      response.set("stats", stats_json(cache_stats(), cache_.capacity(),
-                                       cache_.shard_count()));
-      return send_response(fd, response);
-    }
-    case Op::kShutdown: {
-      stop();
-      util::json::Value response = ok_response(Op::kShutdown);
-      response.set("stats", stats_json(cache_stats(), cache_.capacity(),
-                                       cache_.shard_count()));
-      send_response(fd, response);
-      return false;  // nothing more to serve on this connection
-    }
-    case Op::kQuery:
-      break;
-  }
-
-  // Query: hash the content first, then consult the cache. Reading the
-  // file on every query is what makes the cache content-addressed — a
-  // changed binary at the same path is a different key, and the same
-  // binary at a different path is a hit.
-  std::vector<std::uint8_t> bytes;
-  if (!util::read_file_bytes(request->path, &bytes)) {
-    util::json::Value response = ok_response(Op::kQuery);
-    response.set("cache", util::json::Value("none"));
-    response.set("result",
-                 analysis_json(eval::AnalysisSession::unreadable(
-                     request->path)));
-    return send_response(fd, response);
-  }
-  const std::uint64_t key =
-      eval::AnalysisSession::content_hash({bytes.data(), bytes.size()});
-  const auto [analysis, outcome] = cache_.get_or_compute(key, [&] {
-    return session_.analyze_image({bytes.data(), bytes.size()},
-                                  request->path);
-  });
-  util::json::Value response = ok_response(Op::kQuery);
-  response.set("cache", util::json::Value(outcome_name(outcome)));
-  response.set("result", analysis_json(*analysis));
-  return send_response(fd, response);
-}
-
-bool ServiceServer::send_response(int fd, const util::json::Value& response) {
-  std::string error;
+/// Serializes a response into wire bytes (4-byte LE header + payload),
+/// substituting an in-band error for a result too large to frame.
+std::string encode_frame(const util::json::Value& response) {
   std::string payload = response.dump();
   if (payload.size() > util::kMaxFrameBytes) {
     // A result too large for one frame (a binary with millions of
@@ -199,7 +79,710 @@ bool ServiceServer::send_response(int fd, const util::json::Value& response) {
                              " bytes exceeds the frame cap")
                   .dump();
   }
-  return util::write_frame(fd, payload, &error);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string wire;
+  wire.reserve(payload.size() + 4);
+  wire.push_back(static_cast<char>(len & 0xff));
+  wire.push_back(static_cast<char>((len >> 8) & 0xff));
+  wire.push_back(static_cast<char>((len >> 16) & 0xff));
+  wire.push_back(static_cast<char>((len >> 24) & 0xff));
+  wire.append(payload);
+  return wire;
+}
+
+void bump_high_water(std::atomic<std::uint64_t>* high_water,
+                     std::uint64_t value) {
+  std::uint64_t seen = high_water->load(std::memory_order_relaxed);
+  while (value > seen &&
+         !high_water->compare_exchange_weak(seen, value,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(ServerOptions options)
+    : options_(std::move(options)),
+      session_(options_.detector),
+      cache_(options_.cache_capacity, options_.cache_shards) {
+  if (options_.socket_path.empty()) {
+    options_.socket_path = default_socket_path();
+  }
+  if (options_.workers == 0) {
+    options_.workers = util::default_jobs();
+  }
+  effective_queue_depth_ = options_.queue_depth != 0
+                               ? options_.queue_depth
+                               : std::max<std::size_t>(32, 8 * options_.workers);
+}
+
+ServiceServer::~ServiceServer() {
+  if (listener_.valid()) {
+    listener_.reset();
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+bool ServiceServer::start(std::string* error) {
+  auto fd = util::unix_listen(options_.socket_path, /*backlog=*/128, error);
+  if (!fd) {
+    return false;
+  }
+  if (!util::set_nonblocking(fd->get())) {
+    *error = "cannot make listener non-blocking";
+    return false;
+  }
+  listener_ = std::move(*fd);
+  // Create the event-loop descriptors here, on the caller's thread,
+  // before run() can be spawned: stop() reads wake_event_ from
+  // arbitrary threads, so these members must never be assigned once
+  // the loop thread exists.
+  epoll_ = util::Fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) {
+    *error = "cannot create epoll instance";
+    return false;
+  }
+  wake_event_ = util::Fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wake_event_.valid()) {
+    *error = "cannot create wakeup eventfd";
+    return false;
+  }
+  reserve_fd_ = util::Fd(::open("/dev/null", O_RDONLY | O_CLOEXEC));
+  return true;
+}
+
+ServerStats ServiceServer::server_stats() const {
+  ServerStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.active = active_.load(std::memory_order_relaxed);
+  stats.peak_active = peak_active_.load(std::memory_order_relaxed);
+  stats.rejected_connections =
+      rejected_connections_.load(std::memory_order_relaxed);
+  stats.emfile_rejections = emfile_rejections_.load(std::memory_order_relaxed);
+  stats.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
+  stats.write_stall_timeouts =
+      write_stall_timeouts_.load(std::memory_order_relaxed);
+  stats.queries_shed = queries_shed_.load(std::memory_order_relaxed);
+  stats.frames_shed = frames_shed_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  stats.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ServiceServer::run() {
+  FETCH_ASSERT(listener_.valid());
+  // epoll_ / wake_event_ were created in start(); never reassign them
+  // here — stop() may read wake_event_ concurrently from any thread.
+  FETCH_ASSERT(epoll_.valid());
+  FETCH_ASSERT(wake_event_.valid());
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(), &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_event_.get(), &ev);
+
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  std::vector<epoll_event> events(64);
+  std::vector<std::uint64_t> expired;
+  for (;;) {
+    const std::uint64_t loop_now = now_ms();
+    if (stopping() && !draining_) {
+      begin_drain(loop_now);
+    }
+    if (draining_ &&
+        (drain_complete() || loop_now >= drain_deadline_ms_)) {
+      break;
+    }
+    // Resume a listener parked by EMFILE backoff.
+    if (listener_paused_until_ms_ != 0 &&
+        loop_now >= listener_paused_until_ms_ && !draining_) {
+      listener_paused_until_ms_ = 0;
+      epoll_event lev{};
+      lev.events = EPOLLIN;
+      lev.data.u64 = kListenerTag;
+      ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(), &lev);
+    }
+
+    // Bound the wait by the earliest timer (or EMFILE resume), capped at
+    // 100 ms so external state changes are never missed for long.
+    int timeout = 100;
+    std::uint64_t next = timers_.next_deadline();
+    if (listener_paused_until_ms_ != 0 &&
+        (next == 0 || listener_paused_until_ms_ < next)) {
+      next = listener_paused_until_ms_;
+    }
+    if (next != 0) {
+      timeout = next <= loop_now
+                    ? 0
+                    : static_cast<int>(
+                          std::min<std::uint64_t>(next - loop_now, 100));
+    }
+    const int n =
+        ::epoll_wait(epoll_.get(), events.data(),
+                     static_cast<int>(events.size()), timeout);
+    const std::uint64_t wake_now = now_ms();
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        accept_ready(wake_now);
+        continue;
+      }
+      if (tag == kWakeTag) {
+        std::uint64_t counter = 0;
+        while (::read(wake_event_.get(), &counter, sizeof(counter)) ==
+               static_cast<ssize_t>(sizeof(counter))) {
+        }
+        drain_completions(wake_now);
+        continue;
+      }
+      const auto it = connections_.find(tag);
+      if (it == connections_.end()) {
+        continue;  // closed earlier in this batch
+      }
+      Connection* conn = it->second.get();
+      const std::uint32_t flags = events[i].events;
+      if ((flags & (EPOLLERR | EPOLLHUP)) != 0 && (flags & EPOLLIN) == 0) {
+        close_conn(tag);
+        continue;
+      }
+      if ((flags & EPOLLOUT) != 0) {
+        flush_conn(conn, wake_now);
+        if (connections_.find(tag) == connections_.end()) {
+          continue;  // flush closed it
+        }
+      }
+      if ((flags & (EPOLLIN | EPOLLHUP)) != 0) {
+        read_ready(conn, wake_now);
+      }
+    }
+    // Completions can also arrive while we were busy with sockets.
+    drain_completions(wake_now);
+    expire_timers(wake_now);
+  }
+
+  // Workers: the drain barrier (jobs_outstanding_ == 0) means the queue
+  // is already empty, so the stop flag is observed immediately.
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+
+  connections_.clear();
+  active_.store(0, std::memory_order_relaxed);
+  // epoll_ and wake_event_ stay open until destruction: a racing stop()
+  // from another thread may still poke the eventfd, and writing into a
+  // recycled descriptor would be far worse than holding two fds.
+}
+
+void ServiceServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Wake the event loop if it is parked in epoll_wait.
+  if (wake_event_.valid()) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t rc =
+        ::write(wake_event_.get(), &one, sizeof(one));
+  }
+}
+
+void ServiceServer::begin_drain(std::uint64_t now) {
+  draining_ = true;
+  drain_deadline_ms_ = now + kDrainDeadlineMs;
+  // No new clients, no new requests: close the listener and stop
+  // reading everywhere. Queued and running analyses still complete and
+  // their responses still flush.
+  if (listener_.valid()) {
+    ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.get(), nullptr);
+    listener_.reset();
+    ::unlink(options_.socket_path.c_str());
+  }
+  std::vector<std::uint64_t> idle_ids;
+  for (auto& [id, conn] : connections_) {
+    conn->read_open = false;
+    update_interest(conn.get());
+    if (conn->inflight == 0 && !conn->output_pending()) {
+      idle_ids.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : idle_ids) {
+    close_conn(id);
+  }
+}
+
+bool ServiceServer::drain_complete() const {
+  if (jobs_outstanding_.load(std::memory_order_acquire) != 0) {
+    return false;
+  }
+  for (const auto& [id, conn] : connections_) {
+    if (conn->output_pending() || conn->inflight != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- Accept path ------------------------------------------------------------
+
+void ServiceServer::accept_ready(std::uint64_t now) {
+  if (draining_ || listener_paused_until_ms_ != 0) {
+    return;
+  }
+  for (;;) {
+    const int cfd = ::accept4(listener_.get(), nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        handle_emfile();
+        return;
+      }
+      return;  // transient (ECONNABORTED etc.): keep serving
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (connections_.size() >= options_.max_connections) {
+      // Over the hard cap: tell the client it is load, not protocol,
+      // then hang up. Best-effort — the socket buffer of a freshly
+      // accepted connection is empty, so the frame virtually always
+      // fits without blocking.
+      rejected_connections_.fetch_add(1, std::memory_order_relaxed);
+      const std::string frame = encode_frame(error_response(
+          "server is at its connection limit", kErrOverloaded));
+      [[maybe_unused]] const ssize_t rc =
+          ::send(cfd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(cfd);
+      continue;
+    }
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>();
+    conn->fd = util::Fd(cfd);
+    conn->id = id;
+    conn->events = EPOLLIN;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, cfd, &ev) != 0) {
+      continue;  // conn's Fd closes it on scope exit
+    }
+    arm_idle(conn.get(), now);
+    connections_.emplace(id, std::move(conn));
+    const auto active = static_cast<std::uint64_t>(connections_.size());
+    active_.store(active, std::memory_order_relaxed);
+    bump_high_water(&peak_active_, active);
+  }
+}
+
+void ServiceServer::handle_emfile() {
+  // Out of descriptors: accept() fails but the pending connection keeps
+  // the listener readable, which level-triggered epoll would turn into
+  // a 100% CPU spin. Sacrifice the reserved fd to accept-then-close the
+  // connection (the client sees a hangup instead of a dead socket),
+  // then park the listener briefly so the loop stays quiet even if the
+  // backlog is full of further connections we cannot serve.
+  emfile_rejections_.fetch_add(1, std::memory_order_relaxed);
+  if (reserve_fd_.valid()) {
+    reserve_fd_.reset();
+    const int cfd = ::accept(listener_.get(), nullptr, nullptr);
+    if (cfd >= 0) {
+      ::close(cfd);
+    }
+    reserve_fd_ = util::Fd(::open("/dev/null", O_RDONLY | O_CLOEXEC));
+  }
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.get(), nullptr);
+  listener_paused_until_ms_ = now_ms() + kEmfileBackoffMs;
+}
+
+// --- Read path --------------------------------------------------------------
+
+void ServiceServer::read_ready(Connection* conn, std::uint64_t now) {
+  if (!conn->read_open) {
+    return;
+  }
+  const std::uint64_t id = conn->id;
+  std::uint8_t buf[64 * 1024];
+  bool saw_eof = false;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      std::string perr;
+      if (!conn->assembler.push({buf, static_cast<std::size_t>(n)}, &perr)) {
+        // Oversize header: the stream cannot be resynchronized. Answer
+        // with the reason, then close once the reply has flushed.
+        frames_shed_.fetch_add(1, std::memory_order_relaxed);
+        dispatch_frames(conn, now);  // frames completed before the poison
+        if (connections_.find(id) == connections_.end()) {
+          return;
+        }
+        conn->read_open = false;
+        conn->close_after_flush = true;
+        const std::uint64_t seq = conn->seq_alloc++;
+        queue_reply(conn, seq, encode_frame(error_response(perr)), now);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    close_conn(id);  // ECONNRESET and friends
+    return;
+  }
+  dispatch_frames(conn, now);
+  if (connections_.find(id) == connections_.end()) {
+    return;  // a dispatched frame closed the connection
+  }
+  if (saw_eof) {
+    conn->read_open = false;
+    if (conn->assembler.mid_frame()) {
+      // Mid-frame disconnect: nobody is left to read a reply; count it
+      // and let the close path run.
+      frames_shed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    update_interest(conn);
+    if (conn->inflight == 0 && !conn->output_pending()) {
+      close_conn(id);
+    }
+  }
+}
+
+void ServiceServer::dispatch_frames(Connection* conn, std::uint64_t now) {
+  std::string payload;
+  bool any = false;
+  const std::uint64_t id = conn->id;
+  while (conn->assembler.next(&payload)) {
+    any = true;
+    handle_frame(conn, payload, now);
+    if (connections_.find(id) == connections_.end()) {
+      return;  // handle_frame closed it
+    }
+  }
+  if (any) {
+    // Idle means "no complete request frame for a while" — trickled
+    // bytes deliberately do not re-arm this clock.
+    arm_idle(conn, now);
+  }
+}
+
+void ServiceServer::handle_frame(Connection* conn, const std::string& payload,
+                                 std::uint64_t now) {
+  const std::uint64_t seq = conn->seq_alloc++;
+  std::string error;
+  const auto request = parse_request(payload, &error);
+  if (!request) {
+    // A malformed *request* in a well-formed frame is recoverable: reply
+    // with the parse error and keep the connection open.
+    queue_reply(conn, seq, encode_frame(error_response(error)), now);
+    return;
+  }
+  switch (request->op) {
+    case Op::kPing:
+      queue_reply(conn, seq, encode_frame(ok_response(Op::kPing)), now);
+      return;
+    case Op::kStats:
+      queue_reply(conn, seq, encode_frame(stats_response(Op::kStats)), now);
+      return;
+    case Op::kShutdown: {
+      const std::uint64_t id = conn->id;
+      conn->close_after_flush = true;
+      conn->read_open = false;
+      queue_reply(conn, seq, encode_frame(stats_response(Op::kShutdown)),
+                  now);
+      if (const auto it = connections_.find(id); it != connections_.end()) {
+        update_interest(it->second.get());
+      }
+      stop();
+      return;
+    }
+    case Op::kQuery:
+      break;
+  }
+  // Bounded handoff to the worker pool; a full queue is answered
+  // immediately with `overloaded` instead of queueing without limit
+  // (the client can back off and retry; a hang helps nobody).
+  bool enqueued = false;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() < effective_queue_depth_) {
+      queue_.push_back(Job{conn->id, seq, request->path});
+      const auto depth = static_cast<std::uint64_t>(queue_.size());
+      queue_depth_.store(depth, std::memory_order_relaxed);
+      bump_high_water(&queue_high_water_, depth);
+      enqueued = true;
+    }
+  }
+  if (!enqueued) {
+    queries_shed_.fetch_add(1, std::memory_order_relaxed);
+    queue_reply(
+        conn, seq,
+        encode_frame(error_response("analysis queue is full", kErrOverloaded)),
+        now);
+    return;
+  }
+  conn->inflight++;
+  jobs_outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  queue_cv_.notify_one();
+}
+
+util::json::Value ServiceServer::stats_response(Op op) const {
+  util::json::Value response = ok_response(op);
+  util::json::Value stats =
+      stats_json(cache_stats(), cache_.capacity(), cache_.shard_count());
+  stats.set("server", server_stats_json(server_stats()));
+  response.set("stats", std::move(stats));
+  return response;
+}
+
+// --- Write path -------------------------------------------------------------
+
+void ServiceServer::queue_reply(Connection* conn, std::uint64_t seq,
+                                std::string frame, std::uint64_t now) {
+  conn->ready.emplace(seq, std::move(frame));
+  bool appended = false;
+  for (auto it = conn->ready.find(conn->seq_send); it != conn->ready.end();
+       it = conn->ready.find(conn->seq_send)) {
+    if (conn->outbuf.empty()) {
+      conn->outbuf = std::move(it->second);
+      conn->out_off = 0;
+    } else {
+      conn->outbuf.append(it->second);
+    }
+    conn->ready.erase(it);
+    conn->seq_send++;
+    appended = true;
+  }
+  if (appended) {
+    flush_conn(conn, now);
+  }
+}
+
+void ServiceServer::flush_conn(Connection* conn, std::uint64_t now) {
+  const std::uint64_t id = conn->id;
+  while (conn->out_off < conn->outbuf.size()) {
+    const ssize_t n =
+        ::send(conn->fd.get(), conn->outbuf.data() + conn->out_off,
+               conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n >= 0) {
+      conn->out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Kernel buffer full: hand the rest to epoll and start (or keep)
+      // the write-stall clock — a reader that never drains is evicted.
+      if (conn->write_deadline_ms == 0 && options_.write_stall_ms != 0) {
+        conn->write_deadline_ms = now + options_.write_stall_ms;
+        timers_.schedule(write_timer_id(id), conn->write_deadline_ms);
+      }
+      if (conn->outbuf.size() - conn->out_off > kOutbufPauseBytes &&
+          !conn->reads_paused) {
+        conn->reads_paused = true;
+      }
+      update_interest(conn);
+      return;
+    }
+    close_conn(id);  // EPIPE/ECONNRESET: peer is gone
+    return;
+  }
+  // Fully drained.
+  conn->outbuf.clear();
+  conn->out_off = 0;
+  conn->write_deadline_ms = 0;
+  timers_.cancel(write_timer_id(id));
+  conn->reads_paused = false;
+  if ((conn->close_after_flush || !conn->read_open) && conn->inflight == 0 &&
+      conn->ready.empty()) {
+    close_conn(id);
+    return;
+  }
+  update_interest(conn);
+}
+
+void ServiceServer::update_interest(Connection* conn) {
+  std::uint32_t want = 0;
+  if (conn->read_open && !conn->reads_paused && !draining_) {
+    want |= EPOLLIN;
+  }
+  if (conn->out_off < conn->outbuf.size()) {
+    want |= EPOLLOUT;
+  }
+  if (want == conn->events) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev) == 0) {
+    conn->events = want;
+  }
+}
+
+// --- Timers -----------------------------------------------------------------
+
+void ServiceServer::arm_idle(Connection* conn, std::uint64_t now) {
+  if (options_.idle_timeout_ms == 0) {
+    return;
+  }
+  conn->idle_deadline_ms = now + options_.idle_timeout_ms;
+  timers_.schedule(idle_timer_id(conn->id), conn->idle_deadline_ms);
+}
+
+void ServiceServer::expire_timers(std::uint64_t now) {
+  std::vector<std::uint64_t> expired;
+  timers_.expire(now, &expired);
+  for (const std::uint64_t tid : expired) {
+    const std::uint64_t conn_id = tid / 2;
+    const auto it = connections_.find(conn_id);
+    if (it == connections_.end()) {
+      continue;  // stale entry for a closed connection
+    }
+    Connection* conn = it->second.get();
+    if (tid == idle_timer_id(conn_id)) {
+      if (conn->idle_deadline_ms == 0 || now < conn->idle_deadline_ms) {
+        if (conn->idle_deadline_ms != 0) {
+          timers_.schedule(tid, conn->idle_deadline_ms);
+        }
+        continue;
+      }
+      if (conn->inflight != 0 || conn->write_deadline_ms != 0) {
+        // Busy is not idle: an analysis is still running for this
+        // client, or a stalled flush is already on the write-stall
+        // clock (which owns the eviction decision). Re-arm and check
+        // again later.
+        arm_idle(conn, now);
+        continue;
+      }
+      idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(conn_id);
+    } else {
+      if (conn->write_deadline_ms == 0 || now < conn->write_deadline_ms) {
+        if (conn->write_deadline_ms != 0) {
+          timers_.schedule(tid, conn->write_deadline_ms);
+        }
+        continue;
+      }
+      if (conn->out_off >= conn->outbuf.size()) {
+        continue;  // drained in the meantime; flush already disarmed
+      }
+      write_stall_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(conn_id);
+    }
+  }
+}
+
+void ServiceServer::close_conn(std::uint64_t id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    return;
+  }
+  timers_.cancel(idle_timer_id(id));
+  timers_.cancel(write_timer_id(id));
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, it->second->fd.get(), nullptr);
+  connections_.erase(it);
+  active_.store(static_cast<std::uint64_t>(connections_.size()),
+                std::memory_order_relaxed);
+}
+
+// --- Worker side ------------------------------------------------------------
+
+void ServiceServer::drain_completions(std::uint64_t now) {
+  std::vector<Completion> batch;
+  {
+    const std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    const auto it = connections_.find(completion.conn_id);
+    if (it != connections_.end()) {
+      Connection* conn = it->second.get();
+      conn->inflight--;
+      queue_reply(conn, completion.seq, std::move(completion.frame), now);
+      // queue_reply may close the connection (write error, or EOF seen
+      // earlier with this being the last in-flight response).
+    }
+    jobs_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ServiceServer::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return workers_stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // workers_stop_ and nothing left to do
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_.store(static_cast<std::uint64_t>(queue_.size()),
+                         std::memory_order_relaxed);
+    }
+    std::string frame = run_query(job.path);
+    {
+      const std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(
+          Completion{job.conn_id, job.seq, std::move(frame)});
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t rc =
+        ::write(wake_event_.get(), &one, sizeof(one));
+  }
+}
+
+std::string ServiceServer::run_query(const std::string& path) {
+  // Query: hash the content first, then consult the cache. Reading the
+  // file on every query is what makes the cache content-addressed — a
+  // changed binary at the same path is a different key, and the same
+  // binary at a different path is a hit. mmap avoids copying multi-MiB
+  // binaries into a heap buffer just to hash them; non-regular or
+  // unmappable files fall back to a plain read.
+  std::span<const std::uint8_t> bytes;
+  std::optional<util::MappedFile> mapped = util::MappedFile::map(path);
+  std::vector<std::uint8_t> fallback;
+  if (mapped) {
+    bytes = mapped->bytes();
+  } else if (util::read_file_bytes(path, &fallback)) {
+    bytes = {fallback.data(), fallback.size()};
+  } else {
+    util::json::Value response = ok_response(Op::kQuery);
+    response.set("cache", util::json::Value("none"));
+    response.set("result",
+                 analysis_json(eval::AnalysisSession::unreadable(path)));
+    return encode_frame(response);
+  }
+  const std::uint64_t key = eval::AnalysisSession::content_hash(bytes);
+  const auto [analysis, outcome] = cache_.get_or_compute(
+      key, [&] { return session_.analyze_image(bytes, path); });
+  util::json::Value response = ok_response(Op::kQuery);
+  response.set("cache", util::json::Value(outcome_name(outcome)));
+  response.set("result", analysis_json(*analysis));
+  return encode_frame(response);
 }
 
 }  // namespace fetch::service

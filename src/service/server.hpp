@@ -1,44 +1,60 @@
 #pragma once
 
 /// \file server.hpp
-/// The resident analysis daemon behind `fetch-cli serve`: accepts
-/// `fetch-service-v1` connections on a Unix-domain socket and answers
-/// queries from a sharded, capacity-bounded LRU result cache keyed by
-/// file *content* hash — so the same binary under two paths, or N
-/// repeated queries for one binary, cost one analysis. Cache misses run
-/// the shared eval::AnalysisSession on the connection's util::ThreadPool
-/// worker, with single-flight deduplication (util/lru.hpp): concurrent
-/// queries for the same new content trigger exactly one analysis.
+/// The resident analysis daemon behind `fetch-cli serve`, rebuilt as an
+/// event-driven server that degrades gracefully under overload instead
+/// of hanging or crashing.
 ///
-/// Threading model: run() owns the accept loop (poll + accept, so stop()
-/// never has to race a blocking accept); each accepted connection becomes
-/// one pool task that serves that client's requests until it hangs up.
+/// Threading model: run() is the I/O thread. It owns every socket in
+/// non-blocking mode behind one epoll instance, assembles frames
+/// incrementally (util::FrameAssembler — a client trickling one byte per
+/// second costs a buffer, never a thread), and answers cheap ops (ping,
+/// stats, shutdown, protocol errors) inline. Queries are pushed onto a
+/// **bounded** queue consumed by a fixed worker pool; when the queue is
+/// full the client gets an immediate `overloaded` error response — shed
+/// load, never hang. Workers analyze (mmap read path, content-hash
+/// keyed single-flight LRU) and hand the serialized response back to the
+/// I/O thread through a completion list + eventfd wakeup; only the I/O
+/// thread ever writes to a socket.
+///
+/// Deadlines: a timer wheel enforces a per-connection idle timeout
+/// (measured from the last *complete* frame, so slow-loris byte
+/// trickling does not count as activity) and a write-stall timeout (a
+/// client that stops draining its responses is evicted once its
+/// buffered output has aged past the deadline). Connections beyond
+/// --max-connections are rejected at accept time with a best-effort
+/// `overloaded` frame; EMFILE/ENFILE is absorbed by a reserved-fd
+/// accept-then-reject plus a listener backoff instead of a busy spin.
+///
 /// stop() — from a shutdown request, a signal, or another thread —
-/// closes the listener, half-closes every active connection's read side
-/// (in-flight requests still complete and respond), and run() returns
-/// after the pool drains.
+/// stops reads and the listener, lets queued and running analyses
+/// finish, flushes every response, then returns from run().
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "core/detector.hpp"
 #include "eval/session.hpp"
+#include "service/protocol.hpp"
+#include "util/framing.hpp"
 #include "util/lru.hpp"
 #include "util/socket.hpp"
-
-namespace fetch::util {
-class ThreadPool;
-}  // namespace fetch::util
+#include "util/timer_wheel.hpp"
 
 namespace fetch::service {
 
 struct ServerOptions {
   std::string socket_path;  ///< empty = default_socket_path()
-  /// Connection-handler workers (one analysis can run per worker);
+  /// Analysis workers (one analysis can run per worker);
   /// 0 = FETCH_JOBS env, else hardware concurrency.
   std::size_t workers = 0;
   /// Total result-cache entries across all shards.
@@ -46,6 +62,18 @@ struct ServerOptions {
   /// Result-cache shards (lock granularity). 1 = fully deterministic
   /// global LRU order; the default trades that for less contention.
   std::size_t cache_shards = 8;
+  /// Hard cap on concurrently open client connections; further clients
+  /// are rejected at accept time with an `overloaded` error frame.
+  std::size_t max_connections = 256;
+  /// Bounded analysis-queue depth; 0 = max(32, 8 × workers). A full
+  /// queue sheds queries with an immediate `overloaded` error.
+  std::size_t queue_depth = 0;
+  /// Evict a connection after this long without a complete request
+  /// frame (and with no analysis in flight for it). 0 disables.
+  std::uint64_t idle_timeout_ms = 30'000;
+  /// Evict a connection whose buffered responses it has not drained for
+  /// this long (slow/stalled reader). 0 disables.
+  std::uint64_t write_stall_ms = 10'000;
   /// Detector configuration for every analysis (the service equivalent
   /// of BatchOptions::detector; defaults to the full FETCH pipeline).
   core::DetectorOptions detector;
@@ -77,30 +105,122 @@ class ServiceServer {
     return options_.socket_path;
   }
   [[nodiscard]] util::LruStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] ServerStats server_stats() const;
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 
  private:
-  class Connection;
+  /// Per-connection state, owned exclusively by the I/O thread.
+  ///
+  /// The protocol has no request ids, so a pipelining client must see
+  /// responses in request order even though workers finish out of
+  /// order and cheap ops are answered inline. Every request frame is
+  /// assigned a sequence number (seq_alloc); its reply parks in
+  /// `ready` until every earlier reply has been appended to outbuf.
+  struct Connection {
+    util::Fd fd;
+    std::uint64_t id = 0;
+    util::FrameAssembler assembler;
+    std::string outbuf;        ///< wire bytes not yet accepted by send()
+    std::size_t out_off = 0;   ///< bytes of outbuf already sent
+    std::size_t inflight = 0;  ///< queued or running analyses for this conn
+    std::uint64_t seq_alloc = 0;  ///< next request sequence number
+    std::uint64_t seq_send = 0;   ///< next reply sequence to emit
+    std::map<std::uint64_t, std::string> ready;  ///< out-of-order replies
+    std::uint32_t events = 0;  ///< epoll interest mask currently armed
+    bool read_open = true;     ///< false after EOF / poisoned stream / drain
+    bool reads_paused = false; ///< backpressure: outbuf too large
+    bool close_after_flush = false;
+    std::uint64_t idle_deadline_ms = 0;   ///< 0 = disarmed
+    std::uint64_t write_deadline_ms = 0;  ///< 0 = disarmed
 
-  void handle_connection(int fd);
-  /// Answers one request; returns false when the connection should close
-  /// (protocol error or write failure).
-  bool handle_request(int fd, const std::string& payload);
-  bool send_response(int fd, const util::json::Value& response);
+    /// Response bytes still owed to the client (buffered or parked).
+    [[nodiscard]] bool output_pending() const {
+      return out_off < outbuf.size() || !ready.empty();
+    }
+  };
 
-  /// Registers a live connection fd; immediately half-closes it when the
-  /// server is already stopping.
-  void register_connection(int fd);
-  void unregister_connection(int fd);
+  struct Job {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;  ///< reply slot on that connection
+    std::string path;
+  };
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string frame;  ///< full wire bytes: header + payload
+  };
+
+  // --- I/O-thread helpers (never called from workers) ---
+  void accept_ready(std::uint64_t now_ms);
+  void handle_emfile();
+  void read_ready(Connection* conn, std::uint64_t now_ms);
+  void dispatch_frames(Connection* conn, std::uint64_t now_ms);
+  void handle_frame(Connection* conn, const std::string& payload,
+                    std::uint64_t now_ms);
+  /// Parks \p frame in reply slot \p seq and appends every slot that is
+  /// now contiguous to outbuf, then flushes.
+  void queue_reply(Connection* conn, std::uint64_t seq, std::string frame,
+                   std::uint64_t now_ms);
+  void flush_conn(Connection* conn, std::uint64_t now_ms);
+  void update_interest(Connection* conn);
+  void arm_idle(Connection* conn, std::uint64_t now_ms);
+  void close_conn(std::uint64_t id);
+  void drain_completions(std::uint64_t now_ms);
+  void expire_timers(std::uint64_t now_ms);
+  void begin_drain(std::uint64_t now_ms);
+  [[nodiscard]] bool drain_complete() const;
+  [[nodiscard]] util::json::Value stats_response(Op op) const;
+
+  // --- worker-side ---
+  void worker_loop();
+  [[nodiscard]] std::string run_query(const std::string& path);
 
   ServerOptions options_;
+  std::size_t effective_queue_depth_ = 0;
   eval::AnalysisSession session_;
   util::ShardedLru<eval::FileAnalysis> cache_;
   util::Fd listener_;
+  util::Fd epoll_;
+  util::Fd wake_event_;   ///< eventfd: worker completions + stop() wakeups
+  util::Fd reserve_fd_;   ///< /dev/null, sacrificed to accept under EMFILE
   std::atomic<bool> stopping_{false};
 
-  std::mutex connections_mu_;
-  std::set<int> connections_;
+  // I/O-thread-only state.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_conn_id_ = 1;
+  util::TimerWheel timers_;
+  std::uint64_t listener_paused_until_ms_ = 0;  ///< EMFILE backoff
+  bool draining_ = false;
+  std::uint64_t drain_deadline_ms_ = 0;
+
+  // Analysis queue (I/O thread enqueues, workers dequeue).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool workers_stop_ = false;
+  std::vector<std::thread> workers_;
+
+  // Completions (workers append, I/O thread drains after eventfd wake).
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  /// Queries enqueued but whose responses the I/O thread has not yet
+  /// consumed — the drain barrier for graceful shutdown.
+  std::atomic<std::uint64_t> jobs_outstanding_{0};
+
+  // Robustness counters (relaxed: monotonic telemetry, not synchronization).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> peak_active_{0};
+  std::atomic<std::uint64_t> rejected_connections_{0};
+  std::atomic<std::uint64_t> emfile_rejections_{0};
+  std::atomic<std::uint64_t> idle_timeouts_{0};
+  std::atomic<std::uint64_t> write_stall_timeouts_{0};
+  std::atomic<std::uint64_t> queries_shed_{0};
+  std::atomic<std::uint64_t> frames_shed_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> queue_high_water_{0};
+  std::atomic<std::uint64_t> active_{0};
 };
 
 }  // namespace fetch::service

@@ -14,6 +14,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace fetch::util {
 
@@ -56,7 +58,12 @@ inline bool recv_exact(int fd, void* buf, std::size_t len, bool* eof_at_start,
       if (errno == EINTR) {
         continue;
       }
-      *error = std::string("recv: ") + std::strerror(errno);
+      // With SO_RCVTIMEO armed (client response deadlines) a timeout
+      // surfaces as EAGAIN; name it so callers can tell "wedged daemon"
+      // from a genuine socket error.
+      *error = errno == EAGAIN || errno == EWOULDBLOCK
+                   ? std::string("receive timed out")
+                   : std::string("recv: ") + std::strerror(errno);
       return false;
     }
     got += static_cast<std::size_t>(n);
@@ -105,6 +112,94 @@ inline FrameStatus read_frame(int fd, std::string* payload,
   }
   return FrameStatus::kOk;
 }
+
+/// Resumable incremental frame assembler — the read half of the framing
+/// protocol for a *non-blocking* socket. The epoll event loop feeds it
+/// whatever recv() produced (possibly a fraction of a header, possibly
+/// several pipelined frames) and pulls out complete payloads; no thread
+/// ever blocks waiting for the rest of a frame. The oversize-header cap
+/// is enforced the moment the fourth header byte arrives, before any
+/// payload allocation, and poisons the stream permanently: bytes after a
+/// rejected header are mid-message garbage that cannot be resynchronized.
+class FrameAssembler {
+ public:
+  /// Feeds raw stream bytes. Returns false (+ *error, once) when a
+  /// completed header advertises more than kMaxFrameBytes; the assembler
+  /// stays poisoned and ignores further input.
+  bool push(std::span<const std::uint8_t> data, std::string* error) {
+    if (poisoned_) {
+      *error = poison_reason_;
+      return false;
+    }
+    std::size_t i = 0;
+    while (i < data.size()) {
+      if (header_filled_ < kHeaderBytes) {
+        header_[header_filled_++] = data[i++];
+        if (header_filled_ < kHeaderBytes) {
+          continue;
+        }
+        const std::optional<std::uint32_t> len = decode_frame_header(
+            std::span<const std::uint8_t, 4>(header_), error);
+        if (!len) {
+          poisoned_ = true;
+          poison_reason_ = *error;
+          return false;
+        }
+        expected_ = *len;
+        payload_.clear();
+        if (expected_ == 0) {
+          complete_.emplace_back();
+          header_filled_ = 0;
+        }
+        continue;
+      }
+      const std::size_t take =
+          std::min<std::size_t>(expected_ - payload_.size(), data.size() - i);
+      payload_.insert(payload_.end(), data.begin() + static_cast<std::ptrdiff_t>(i),
+                      data.begin() + static_cast<std::ptrdiff_t>(i + take));
+      i += take;
+      if (payload_.size() == expected_) {
+        complete_.push_back(std::move(payload_));
+        payload_.clear();
+        header_filled_ = 0;
+      }
+    }
+    return true;
+  }
+
+  /// Dequeues the next complete payload; false when none is ready.
+  bool next(std::string* payload) {
+    if (complete_.empty()) {
+      return false;
+    }
+    *payload = std::move(complete_.front());
+    complete_.erase(complete_.begin());
+    return true;
+  }
+
+  /// True once an oversize header has been seen; the stream is dead.
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+  /// True when bytes of an unfinished frame are buffered — an EOF here is
+  /// a torn frame, not a clean hangup.
+  [[nodiscard]] bool mid_frame() const {
+    return header_filled_ != 0 || !payload_.empty();
+  }
+
+  /// Complete frames parsed but not yet dequeued.
+  [[nodiscard]] std::size_t pending() const { return complete_.size(); }
+
+ private:
+  static constexpr std::size_t kHeaderBytes = 4;
+
+  std::uint8_t header_[kHeaderBytes] = {};
+  std::size_t header_filled_ = 0;
+  std::uint32_t expected_ = 0;
+  std::string payload_;
+  std::vector<std::string> complete_;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
 
 namespace detail {
 

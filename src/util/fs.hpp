@@ -8,14 +8,94 @@
 /// they accept — and a bad value fails up front with a clear message
 /// instead of mid-run inside the corpus store.
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fetch::util {
+
+/// Read-only memory-mapped view of a regular file. The analysis daemon
+/// hashes and parses multi-MiB binaries per query; mmap lets it do that
+/// straight from the page cache instead of copying every byte into a
+/// heap vector first (no double-buffering on the service read path).
+/// Move-only; unmaps on destruction. map() returns nullopt for anything
+/// that is not an openable regular file — callers fall back to
+/// read_file_bytes, which also covers pseudo-files mmap cannot serve.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { reset(); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept
+      : addr_(other.addr_), size_(other.size_) {
+    other.addr_ = nullptr;
+    other.size_ = 0;
+  }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      reset();
+      addr_ = other.addr_;
+      size_ = other.size_;
+      other.addr_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] static std::optional<MappedFile> map(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return std::nullopt;
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    MappedFile out;
+    out.size_ = static_cast<std::size_t>(st.st_size);
+    if (out.size_ != 0) {
+      void* addr = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (addr == MAP_FAILED) {
+        ::close(fd);
+        return std::nullopt;
+      }
+      out.addr_ = addr;
+    }
+    // The mapping keeps the pages alive; the descriptor is not needed.
+    ::close(fd);
+    return out;
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {static_cast<const std::uint8_t*>(addr_), size_};
+  }
+
+ private:
+  void reset() {
+    if (addr_ != nullptr) {
+      ::munmap(addr_, size_);
+      addr_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 /// Reads a whole file in one sized read (seek-to-end + resize + read) —
 /// the shared loader for every "slurp the binary" site (ElfFile::load,

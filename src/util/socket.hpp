@@ -12,12 +12,15 @@
 /// filesystem), so a TCP listener would silently promise a remote mode
 /// that cannot work.
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -156,6 +159,38 @@ inline int poll_readable(int fd, int timeout_ms) {
     return errno == EINTR ? 0 : -1;
   }
   return rc == 0 ? 0 : 1;
+}
+
+/// Same contract for writability (the event loop's flush path and the
+/// fault-injection clients use it to pace slow writers deliberately).
+inline int poll_writable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    return errno == EINTR ? 0 : -1;
+  }
+  return rc == 0 ? 0 : 1;
+}
+
+/// Switches \p fd to non-blocking mode (the event loop owns every socket
+/// in this mode; a blocking read or write on the I/O thread would let one
+/// slow client stall all of them). Returns false on fcntl failure.
+inline bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Arms a kernel receive deadline: recv() returns EAGAIN after
+/// \p timeout_ms without data, which framing reports as "receive timed
+/// out". 0 disables. This is the client-side guard that makes a wedged
+/// daemon unable to hang its callers.
+inline bool set_recv_timeout(int fd, std::uint64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
 }
 
 }  // namespace fetch::util

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file timer_wheel.hpp
+/// Hashed timer wheel for the service event loop's per-connection
+/// deadlines (idle timeout, write-stall timeout). One deadline per id;
+/// re-scheduling an id supersedes its previous deadline lazily — stale
+/// wheel entries are dropped at expiry instead of being searched for and
+/// erased, so schedule() is O(1) amortized regardless of how often a busy
+/// connection touches its deadline (every completed frame re-arms it).
+///
+/// Single-threaded by design: only the I/O thread owns connections, so
+/// only the I/O thread ticks the wheel. expire() hands back *candidate*
+/// ids; because entries can be stale, the caller must re-check the
+/// connection's authoritative deadline before acting (the server does,
+/// and re-schedules ids whose true deadline is still in the future).
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fetch::util {
+
+class TimerWheel {
+ public:
+  /// \p tick_ms is the wheel's resolution (deadlines are rounded up to
+  /// the next tick); \p slots is the wheel circumference. Deadlines
+  /// further out than tick_ms*slots simply land in their modulo slot and
+  /// survive extra revolutions via the stored absolute deadline.
+  explicit TimerWheel(std::uint64_t tick_ms = 100, std::size_t slots = 256)
+      : tick_ms_(tick_ms == 0 ? 1 : tick_ms),
+        slots_(slots == 0 ? 1 : slots),
+        wheel_(slots_) {}
+
+  /// Arms (or re-arms) the deadline for \p id at absolute time
+  /// \p deadline_ms. The newest call wins; older wheel entries for the
+  /// same id become stale and are discarded when their slot fires.
+  void schedule(std::uint64_t id, std::uint64_t deadline_ms) {
+    deadlines_[id] = deadline_ms;
+    wheel_[slot_for(deadline_ms)].push_back(Entry{id, deadline_ms});
+  }
+
+  /// Disarms \p id. O(1): the wheel entry stays behind but no longer
+  /// matches an armed deadline, so expire() skips it.
+  void cancel(std::uint64_t id) { deadlines_.erase(id); }
+
+  /// Advances the wheel to \p now_ms and appends every id whose armed
+  /// deadline has passed to *expired (each id at most once; it is
+  /// disarmed before being reported). Entries whose id was cancelled or
+  /// re-armed for a later time are dropped or re-queued silently.
+  void expire(std::uint64_t now_ms, std::vector<std::uint64_t>* expired) {
+    if (now_ms < cursor_ms_) {
+      return;
+    }
+    // Sweep every slot the clock passed over since the last call, plus
+    // the current one.
+    const std::uint64_t first_tick = cursor_ms_ / tick_ms_;
+    const std::uint64_t last_tick = now_ms / tick_ms_;
+    const std::uint64_t span = last_tick - first_tick + 1;
+    const std::uint64_t sweeps = span < slots_ ? span : slots_;
+    for (std::uint64_t s = 0; s < sweeps; ++s) {
+      auto& bucket = wheel_[(first_tick + s) % slots_];
+      std::size_t kept = 0;
+      for (Entry& entry : bucket) {
+        const auto it = deadlines_.find(entry.id);
+        if (it == deadlines_.end() || it->second != entry.deadline_ms) {
+          continue;  // cancelled or superseded — stale entry, drop it
+        }
+        if (entry.deadline_ms > now_ms) {
+          bucket[kept++] = entry;  // future revolution of this slot
+          continue;
+        }
+        deadlines_.erase(it);
+        expired->push_back(entry.id);
+      }
+      bucket.resize(kept);
+    }
+    cursor_ms_ = now_ms;
+  }
+
+  /// Earliest armed deadline, or 0 when nothing is armed — the event
+  /// loop uses it to bound its epoll_wait timeout.
+  [[nodiscard]] std::uint64_t next_deadline() const {
+    std::uint64_t earliest = 0;
+    for (const auto& [id, deadline] : deadlines_) {
+      if (earliest == 0 || deadline < earliest) {
+        earliest = deadline;
+      }
+    }
+    return earliest;
+  }
+
+  [[nodiscard]] std::size_t armed() const { return deadlines_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t deadline_ms;
+  };
+
+  [[nodiscard]] std::size_t slot_for(std::uint64_t deadline_ms) const {
+    return static_cast<std::size_t>((deadline_ms / tick_ms_) % slots_);
+  }
+
+  std::uint64_t tick_ms_;
+  std::size_t slots_;
+  std::vector<std::vector<Entry>> wheel_;
+  std::unordered_map<std::uint64_t, std::uint64_t> deadlines_;
+  std::uint64_t cursor_ms_ = 0;
+};
+
+}  // namespace fetch::util

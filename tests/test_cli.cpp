@@ -293,14 +293,15 @@ TEST(Cli, ServedQueryIsByteIdenticalToDetect) {
                       " /nonexistent-file >/dev/null 2>/dev/null"),
             1);
 
-  // Graceful stop; a second shutdown finds nobody listening.
+  // Graceful stop; a second shutdown finds nobody listening and exits
+  // with the distinct "daemon unreachable" code.
   EXPECT_EQ(run_shell(cli + " shutdown --socket " + sock +
                       " >/dev/null 2>/dev/null"),
             0);
   bool down = false;
   for (int i = 0; i < 100 && !down; ++i) {
     down = run_shell(cli + " shutdown --socket " + sock +
-                     " >/dev/null 2>/dev/null") == 1;
+                     " >/dev/null 2>/dev/null") == 3;
     if (!down) {
       usleep(100 * 1000);
     }

@@ -155,6 +155,66 @@ TEST(ServiceFraming, RejectsOversizeHeaderWithoutAllocating) {
   ::close(fds[1]);
 }
 
+TEST(ServiceFraming, AssemblerReassemblesByteAtATime) {
+  util::FrameAssembler assembler;
+  const std::string payload = "{\"op\":\"ping\"}";
+  std::vector<std::uint8_t> wire;
+  wire.reserve(payload.size() + 4);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (std::size_t k = 0; k < 4; ++k) {
+    wire.push_back(static_cast<std::uint8_t>(len >> (8 * k)));
+  }
+  for (const char c : payload) {
+    wire.push_back(static_cast<std::uint8_t>(c));
+  }
+
+  std::string error;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(assembler.push({&wire[i], 1}, &error)) << error;
+    // Mid-frame at every split point except the very end.
+    EXPECT_EQ(assembler.mid_frame(), i + 1 != wire.size());
+  }
+  std::string got;
+  ASSERT_TRUE(assembler.next(&got));
+  EXPECT_EQ(got, payload);
+  EXPECT_FALSE(assembler.next(&got));
+  EXPECT_FALSE(assembler.mid_frame());
+}
+
+TEST(ServiceFraming, AssemblerSplitsCoalescedFramesIncludingEmpty) {
+  util::FrameAssembler assembler;
+  // Three frames in one chunk: "a", "", "bc".
+  const std::vector<std::uint8_t> wire = {1, 0, 0, 0, 'a',  //
+                                          0, 0, 0, 0,       //
+                                          2, 0, 0, 0, 'b', 'c'};
+  std::string error;
+  ASSERT_TRUE(assembler.push({wire.data(), wire.size()}, &error)) << error;
+  EXPECT_EQ(assembler.pending(), 3u);
+  std::string got;
+  ASSERT_TRUE(assembler.next(&got));
+  EXPECT_EQ(got, "a");
+  ASSERT_TRUE(assembler.next(&got));
+  EXPECT_EQ(got, "");
+  ASSERT_TRUE(assembler.next(&got));
+  EXPECT_EQ(got, "bc");
+}
+
+TEST(ServiceFraming, AssemblerPoisonsOnOversizeHeaderAndStaysDead) {
+  util::FrameAssembler assembler;
+  const std::vector<std::uint8_t> huge = {0xff, 0xff, 0xff, 0xff};
+  std::string error;
+  EXPECT_FALSE(assembler.push({huge.data(), huge.size()}, &error));
+  EXPECT_TRUE(assembler.poisoned());
+  EXPECT_NE(error.find("cap"), std::string::npos) << error;
+  // Further input is ignored, not reinterpreted as a fresh stream.
+  const std::vector<std::uint8_t> valid = {1, 0, 0, 0, 'x'};
+  error.clear();
+  EXPECT_FALSE(assembler.push({valid.data(), valid.size()}, &error));
+  EXPECT_TRUE(assembler.poisoned());
+  std::string got;
+  EXPECT_FALSE(assembler.next(&got));
+}
+
 // --- Query path and cache ---------------------------------------------------
 
 TEST(Service, QueryMissThenHitReturnsIdenticalResults) {
@@ -398,6 +458,256 @@ TEST(Service, ShutdownCompletesInFlightRequests) {
   EXPECT_TRUE(query_ok.load());
   // The daemon removed its socket file on the way out.
   EXPECT_FALSE(std::filesystem::exists(options.socket_path));
+}
+
+// --- Overload and deadlines -------------------------------------------------
+
+std::vector<std::uint8_t> wire_frame(const std::string& payload) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(payload.size() + 4);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (std::size_t k = 0; k < 4; ++k) {
+    wire.push_back(static_cast<std::uint8_t>(len >> (8 * k)));
+  }
+  for (const char c : payload) {
+    wire.push_back(static_cast<std::uint8_t>(c));
+  }
+  return wire;
+}
+
+std::vector<std::uint8_t> wire_request(const service::Request& request) {
+  return wire_frame(service::request_json(request).dump());
+}
+
+/// Polls \p predicate against the server's robustness counters until it
+/// holds or \p deadline_ms passes.
+template <typename Predicate>
+bool stats_eventually(service::ServiceServer& server, Predicate predicate,
+                      int deadline_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate(server.server_stats())) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return predicate(server.server_stats());
+}
+
+TEST(ServiceOverload, IdleCamperIsEvictedOnDeadline) {
+  service::ServerOptions options;
+  options.idle_timeout_ms = 200;
+  TestServer server(options);
+  std::string error;
+  auto fd = util::unix_connect(server.socket(), &error);
+  ASSERT_TRUE(fd.has_value()) << error;
+  // Never send a byte: the server must hang up on its own.
+  ASSERT_GT(util::poll_readable(fd->get(), 5000), 0)
+      << "camper still connected after 5 s";
+  std::uint8_t scratch[8];
+  EXPECT_EQ(::recv(fd->get(), scratch, sizeof(scratch), 0), 0);
+  EXPECT_TRUE(stats_eventually(server.server(), [](const auto& s) {
+    return s.idle_timeouts >= 1;
+  }));
+  // The daemon itself is fine.
+  auto client = server.connect();
+  EXPECT_TRUE(client.ping(&error)) << error;
+}
+
+TEST(ServiceOverload, SlowLorisTrickleDoesNotResetIdleClock) {
+  service::ServerOptions options;
+  options.idle_timeout_ms = 300;
+  TestServer server(options);
+  std::string error;
+  auto fd = util::unix_connect(server.socket(), &error);
+  ASSERT_TRUE(fd.has_value()) << error;
+  // One byte of a valid ping frame every 50 ms: each gap is well inside
+  // the idle window, but the deadline is re-armed only on *complete*
+  // frames, so the trickler must still be evicted mid-frame.
+  const std::vector<std::uint8_t> wire =
+      wire_request({service::Op::kPing, {}});
+  bool evicted = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (std::size_t i = 0; !evicted; i = (i + 1) % (wire.size() - 1)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "trickler was never evicted";
+    if (::send(fd->get(), &wire[i], 1, MSG_NOSIGNAL) <= 0) {
+      evicted = true;
+      break;
+    }
+    if (util::poll_readable(fd->get(), 50) > 0) {
+      std::uint8_t scratch[8];
+      evicted = ::recv(fd->get(), scratch, sizeof(scratch), 0) <= 0;
+    }
+  }
+  EXPECT_TRUE(evicted);
+  EXPECT_TRUE(stats_eventually(server.server(), [](const auto& s) {
+    return s.idle_timeouts >= 1;
+  }));
+}
+
+TEST(ServiceOverload, QueueFullGetsImmediateOverloadedReply) {
+  service::ServerOptions options;
+  options.workers = 1;
+  options.queue_depth = 1;
+  TestServer server(options);
+  const std::string path =
+      write_sample_binary("svc_overload.bin", 0, 0x0e44);
+
+  // Pipeline a burst far deeper than worker + queue can hold. Every
+  // request must still get exactly one reply: ok for the ones that fit,
+  // an immediate `overloaded` error for the shed remainder.
+  constexpr std::size_t kBurst = 32;
+  std::string error;
+  auto fd = util::unix_connect(server.socket(), &error);
+  ASSERT_TRUE(fd.has_value()) << error;
+  const std::vector<std::uint8_t> wire =
+      wire_request({service::Op::kQuery, path});
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = ::send(fd->get(), wire.data() + sent,
+                               wire.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::size_t ok_replies = 0;
+  std::size_t overloaded_replies = 0;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    std::string reply;
+    ASSERT_EQ(util::read_frame(fd->get(), &reply, &error),
+              util::FrameStatus::kOk)
+        << "reply " << i << ": " << error;
+    const auto doc = util::json::Value::parse(reply);
+    ASSERT_TRUE(doc.has_value()) << reply;
+    if (service::response_ok(*doc, &error)) {
+      ++ok_replies;
+    } else {
+      ASSERT_EQ(service::response_error_code(*doc), service::kErrOverloaded)
+          << reply;
+      ++overloaded_replies;
+    }
+  }
+  EXPECT_EQ(ok_replies + overloaded_replies, kBurst);
+  EXPECT_GE(overloaded_replies, 1u);
+  EXPECT_GE(ok_replies, 1u);  // shedding is not a blanket refusal
+  const service::ServerStats stats = server.server().server_stats();
+  EXPECT_EQ(stats.queries_shed, overloaded_replies);
+  EXPECT_GE(stats.queue_high_water, 1u);
+}
+
+TEST(ServiceOverload, ConnectionLimitRejectsAtAccept) {
+  service::ServerOptions options;
+  options.max_connections = 2;
+  TestServer server(options);
+  std::string error;
+  // Two clients pinned open (pings prove they are fully registered).
+  auto first = server.connect();
+  auto second = server.connect();
+  ASSERT_TRUE(first.ping(&error)) << error;
+  ASSERT_TRUE(second.ping(&error)) << error;
+
+  // The third is told `overloaded` and hung up on, at accept time.
+  auto fd = util::unix_connect(server.socket(), &error);
+  ASSERT_TRUE(fd.has_value()) << error;
+  std::string reply;
+  ASSERT_EQ(util::read_frame(fd->get(), &reply, &error),
+            util::FrameStatus::kOk)
+      << error;
+  const auto doc = util::json::Value::parse(reply);
+  ASSERT_TRUE(doc.has_value()) << reply;
+  EXPECT_EQ(service::response_error_code(*doc), service::kErrOverloaded)
+      << reply;
+  EXPECT_EQ(util::read_frame(fd->get(), &reply, &error),
+            util::FrameStatus::kEof);
+  EXPECT_GE(server.server().server_stats().rejected_connections, 1u);
+
+  // Capacity frees up as soon as a pinned client leaves.
+  first = std::move(second);  // drops first's connection
+  EXPECT_TRUE(stats_eventually(server.server(), [](const auto& s) {
+    return s.active <= 1;
+  }));
+  auto third = server.connect();
+  EXPECT_TRUE(third.ping(&error)) << error;
+}
+
+TEST(ServiceOverload, MidFrameDisconnectsLeaveServerHealthy) {
+  TestServer server;
+  std::string error;
+  for (int round = 0; round < 5; ++round) {
+    auto fd = util::unix_connect(server.socket(), &error);
+    ASSERT_TRUE(fd.has_value()) << error;
+    // Half a header, then vanish.
+    const std::uint8_t partial[] = {0x40, 0x00};
+    ASSERT_EQ(::send(fd->get(), partial, sizeof(partial), MSG_NOSIGNAL), 2);
+    fd.reset();
+  }
+  EXPECT_TRUE(stats_eventually(server.server(), [](const auto& s) {
+    return s.frames_shed >= 5;
+  }));
+  auto client = server.connect();
+  EXPECT_TRUE(client.ping(&error)) << error;
+}
+
+TEST(ServiceOverload, StalledReaderIsEvictedByWriteDeadline) {
+  service::ServerOptions options;
+  options.write_stall_ms = 200;
+  options.idle_timeout_ms = 60'000;  // the write clock must act first
+  TestServer server(options);
+  std::string error;
+  auto fd = util::unix_connect(server.socket(), &error);
+  ASSERT_TRUE(fd.has_value()) << error;
+  // Pipeline far more stats requests than the socket buffer holds
+  // replies for, and never read: the flush stalls and the write-stall
+  // deadline must evict us.
+  const std::vector<std::uint8_t> wire =
+      wire_request({service::Op::kStats, {}});
+  for (std::size_t i = 0; i < 1'500; ++i) {
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = ::send(fd->get(), wire.data() + sent,
+                               wire.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+  EXPECT_TRUE(stats_eventually(server.server(), [](const auto& s) {
+    return s.write_stall_timeouts >= 1;
+  }));
+  auto client = server.connect();
+  EXPECT_TRUE(client.ping(&error)) << error;
+}
+
+TEST(ServiceOverload, StatsOpSurfacesRobustnessCounters) {
+  service::ServerOptions options;
+  options.max_connections = 1;
+  TestServer server(options);
+  auto client = server.connect();
+  std::string error;
+  // Trip the connection limit once so a counter is provably nonzero.
+  {
+    auto fd = util::unix_connect(server.socket(), &error);
+    ASSERT_TRUE(fd.has_value()) << error;
+    std::string reply;
+    ASSERT_EQ(util::read_frame(fd->get(), &reply, &error),
+              util::FrameStatus::kOk);
+  }
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  const util::json::Value* nested = stats->get("server");
+  ASSERT_NE(nested, nullptr) << "stats reply lacks the server object";
+  for (const char* key :
+       {"accepted", "active", "peak_active", "rejected_connections",
+        "emfile_rejections", "idle_timeouts", "write_stall_timeouts",
+        "queries_shed", "frames_shed", "queue_depth", "queue_high_water"}) {
+    ASSERT_NE(nested->get(key), nullptr) << key;
+  }
+  EXPECT_GE(nested->get("rejected_connections")->as_double(), 1.0);
+  EXPECT_GE(nested->get("accepted")->as_double(), 1.0);
 }
 
 // The sanitizer-matrix stress cases (ctest label "concurrency", run under

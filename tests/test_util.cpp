@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
@@ -11,6 +12,7 @@
 #include "util/interval_set.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer_wheel.hpp"
 
 namespace fetch {
 namespace {
@@ -297,6 +299,81 @@ TEST(ThreadPool, DefaultJobsHonorsEnvVariable) {
   EXPECT_GE(util::default_jobs(), 1u);
   ::unsetenv("FETCH_JOBS");
   EXPECT_GE(util::default_jobs(), 1u);
+}
+
+TEST(TimerWheel, FiresExactlyOnceAtOrAfterDeadline) {
+  util::TimerWheel wheel(10, 16);
+  wheel.schedule(7, 100);
+  std::vector<std::uint64_t> expired;
+  wheel.expire(99, &expired);
+  EXPECT_TRUE(expired.empty());
+  wheel.expire(100, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 7u);
+  EXPECT_EQ(wheel.armed(), 0u);
+  // Firing disarms: later sweeps stay quiet.
+  expired.clear();
+  wheel.expire(500, &expired);
+  EXPECT_TRUE(expired.empty());
+}
+
+TEST(TimerWheel, RescheduleSupersedesAndCancelDisarms) {
+  util::TimerWheel wheel(10, 16);
+  wheel.schedule(1, 50);
+  wheel.schedule(1, 300);  // newest wins; the 50 ms entry is now stale
+  wheel.schedule(2, 50);
+  wheel.cancel(2);
+  std::vector<std::uint64_t> expired;
+  wheel.expire(200, &expired);
+  EXPECT_TRUE(expired.empty()) << "stale or cancelled entry fired";
+  wheel.expire(300, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 1u);
+}
+
+TEST(TimerWheel, DeadlinesBeyondOneRevolutionSurvive) {
+  // Circumference 8 slots x 10 ms = 80 ms; a 250 ms deadline shares a
+  // slot with earlier ticks and must ride out two full revolutions.
+  util::TimerWheel wheel(10, 8);
+  wheel.schedule(9, 250);
+  std::vector<std::uint64_t> expired;
+  for (std::uint64_t now = 10; now < 250; now += 10) {
+    wheel.expire(now, &expired);
+    ASSERT_TRUE(expired.empty()) << "fired early at " << now << " ms";
+  }
+  wheel.expire(250, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 9u);
+}
+
+TEST(TimerWheel, NextDeadlineTracksEarliestArmed) {
+  util::TimerWheel wheel;
+  EXPECT_EQ(wheel.next_deadline(), 0u);
+  wheel.schedule(1, 900);
+  wheel.schedule(2, 400);
+  wheel.schedule(3, 1200);
+  EXPECT_EQ(wheel.next_deadline(), 400u);
+  wheel.cancel(2);
+  EXPECT_EQ(wheel.next_deadline(), 900u);
+  std::vector<std::uint64_t> expired;
+  wheel.expire(1200, &expired);
+  EXPECT_EQ(expired.size(), 2u);
+  EXPECT_EQ(wheel.next_deadline(), 0u);
+}
+
+TEST(TimerWheel, ManyIdsExpireAcrossOneSweep) {
+  util::TimerWheel wheel(10, 32);
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    wheel.schedule(id, 10 + id * 3);
+  }
+  std::vector<std::uint64_t> expired;
+  wheel.expire(1000, &expired);
+  EXPECT_EQ(expired.size(), 100u);
+  std::sort(expired.begin(), expired.end());
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(expired[id], id);
+  }
+  EXPECT_EQ(wheel.armed(), 0u);
 }
 
 }  // namespace

@@ -42,12 +42,23 @@
 /// once; a note about dropped duplicates goes to stderr.
 ///
 /// Service options: --socket PATH (default: FETCH_SOCKET env, else
-/// /tmp/fetch-serve.<uid>.sock) for serve/query/shutdown;
-/// --cache-capacity N (serve only; result-cache entries, default 256).
+/// /tmp/fetch-serve.<uid>.sock) for serve/query/shutdown.
+/// Serve-only: --cache-capacity N (result-cache entries, default 256),
+/// --max-connections N, --queue-depth N, --idle-timeout-ms N,
+/// --write-stall-ms N, --daemonize, --pidfile PATH.
+/// Client-only (query/shutdown): --retries N (connect retry with
+/// jittered exponential backoff), --timeout MS (response deadline),
+/// --op ping|stats|query (query). Exit codes: 0 ok, 1 error, 2 usage,
+/// 3 daemon unreachable or timed out, 4 daemon overloaded.
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -287,13 +298,95 @@ int cmd_corpus(const std::string& which, const eval::CorpusOptions& options) {
 
 /// Service front-end state collected by the argument loop.
 struct ServiceArgs {
+  static constexpr std::uint64_t kUnsetMs = ~std::uint64_t{0};
+
   std::string socket;           ///< --socket PATH ("" = default path)
   std::size_t cache_capacity = 0;  ///< --cache-capacity N (0 = default)
 
+  // serve-only knobs.
+  std::size_t max_connections = 0;        ///< --max-connections N
+  std::size_t queue_depth = 0;            ///< --queue-depth N
+  std::uint64_t idle_timeout_ms = kUnsetMs;   ///< --idle-timeout-ms N
+  std::uint64_t write_stall_ms = kUnsetMs;    ///< --write-stall-ms N
+  bool daemonize = false;                 ///< --daemonize
+  std::string pidfile;                    ///< --pidfile PATH
+
+  // query/shutdown-only knobs.
+  std::size_t retries = 0;       ///< --retries N (connect attempts - 1)
+  std::uint64_t timeout_ms = 0;  ///< --timeout MS (response deadline)
+  std::string op;                ///< --op ping|stats|query (query only)
+
   [[nodiscard]] bool any() const {
-    return !socket.empty() || cache_capacity != 0;
+    return !socket.empty() || cache_capacity != 0 || serve_only() ||
+           client_only();
+  }
+  [[nodiscard]] bool serve_only() const {
+    return max_connections != 0 || queue_depth != 0 ||
+           idle_timeout_ms != kUnsetMs || write_stall_ms != kUnsetMs ||
+           daemonize || !pidfile.empty();
+  }
+  [[nodiscard]] bool client_only() const {
+    return retries != 0 || timeout_ms != 0 || !op.empty();
   }
 };
+
+/// Exit codes for the service client commands, distinct so scripts can
+/// tell a daemon that is *down* from one that is *shedding load*:
+/// 0 ok, 1 error, 2 usage, 3 unreachable/timed out, 4 overloaded.
+constexpr int kExitUnreachable = 3;
+constexpr int kExitOverloaded = 4;
+
+/// Classifies a failed client call into an exit code. \p client may be
+/// null (connect never succeeded).
+int client_exit_code(const service::ServiceClient* client,
+                     const std::string& error) {
+  if (client != nullptr &&
+      client->last_error_code() == service::kErrOverloaded) {
+    return kExitOverloaded;
+  }
+  if (client == nullptr || error == "receive timed out" ||
+      error == "server closed the connection") {
+    return kExitUnreachable;
+  }
+  return 1;
+}
+
+/// Classic double-fork daemonization: detach from the controlling
+/// terminal and session, then point stdio at /dev/null. Called after
+/// the listener is bound (bind errors still reach the caller's stderr)
+/// and before any thread is spawned (threads do not survive fork).
+bool daemonize_self(std::string* error) {
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    *error = std::string("fork: ") + std::strerror(errno);
+    return false;
+  }
+  if (pid > 0) {
+    ::_exit(0);  // original caller returns immediately
+  }
+  if (::setsid() < 0) {
+    *error = std::string("setsid: ") + std::strerror(errno);
+    return false;
+  }
+  pid = ::fork();  // second fork: never reacquire a controlling terminal
+  if (pid < 0) {
+    *error = std::string("fork: ") + std::strerror(errno);
+    return false;
+  }
+  if (pid > 0) {
+    ::_exit(0);
+  }
+  const int devnull = ::open("/dev/null", O_RDWR);
+  if (devnull >= 0) {
+    ::dup2(devnull, STDIN_FILENO);
+    ::dup2(devnull, STDOUT_FILENO);
+    ::dup2(devnull, STDERR_FILENO);
+    if (devnull > STDERR_FILENO) {
+      ::close(devnull);
+    }
+  }
+  return true;
+}
 
 /// Signal → clean daemon shutdown. The handler only stores the signal
 /// number (async-signal-safe); a watcher thread notices and calls
@@ -311,6 +404,18 @@ int cmd_serve(std::size_t jobs, const ServiceArgs& service) {
   if (service.cache_capacity != 0) {
     options.cache_capacity = service.cache_capacity;
   }
+  if (service.max_connections != 0) {
+    options.max_connections = service.max_connections;
+  }
+  if (service.queue_depth != 0) {
+    options.queue_depth = service.queue_depth;
+  }
+  if (service.idle_timeout_ms != ServiceArgs::kUnsetMs) {
+    options.idle_timeout_ms = service.idle_timeout_ms;
+  }
+  if (service.write_stall_ms != ServiceArgs::kUnsetMs) {
+    options.write_stall_ms = service.write_stall_ms;
+  }
   service::ServiceServer server(options);
   std::string error;
   if (!server.start(&error)) {
@@ -319,7 +424,20 @@ int cmd_serve(std::size_t jobs, const ServiceArgs& service) {
   }
   std::cerr << "fetch-serve: listening on " << server.socket_path()
             << " (cache capacity "
-            << server.options().cache_capacity << " entries)\n";
+            << server.options().cache_capacity << " entries, "
+            << server.options().max_connections << " connections max)\n";
+  if (service.daemonize && !daemonize_self(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  if (!service.pidfile.empty()) {
+    std::ofstream out(service.pidfile, std::ios::trunc);
+    out << ::getpid() << "\n";
+    if (!out) {
+      std::cerr << "error: cannot write pidfile " << service.pidfile << "\n";
+      return 1;
+    }
+  }
   std::signal(SIGINT, record_signal);
   std::signal(SIGTERM, record_signal);
   std::thread watcher([&server] {
@@ -333,20 +451,67 @@ int cmd_serve(std::size_t jobs, const ServiceArgs& service) {
   });
   server.run();
   watcher.join();
+  if (!service.pidfile.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(service.pidfile, ec);
+  }
   const util::LruStats stats = server.cache_stats();
+  const service::ServerStats robustness = server.server_stats();
   std::cerr << "fetch-serve: stopped (hits " << stats.hits << ", misses "
             << stats.misses << ", joined " << stats.joined << ", evictions "
-            << stats.evictions << ")\n";
+            << stats.evictions << ", shed " << robustness.queries_shed
+            << ", rejected " << robustness.rejected_connections << ")\n";
+  return 0;
+}
+
+service::ClientOptions client_options(const ServiceArgs& service) {
+  service::ClientOptions options;
+  options.retries = service.retries;
+  options.timeout_ms = service.timeout_ms;
+  return options;
+}
+
+/// `query --op stats`: dump the daemon's cache + robustness counters,
+/// one `key: value` line each (the nested "server" object is flattened
+/// with a `server.` prefix).
+int render_stats(const util::json::Value& stats) {
+  for (const auto& [key, value] : stats.members()) {
+    if (value.is_object()) {
+      for (const auto& [sub_key, sub_value] : value.members()) {
+        std::cout << key << "." << sub_key << ": " << sub_value.dump()
+                  << "\n";
+      }
+      continue;
+    }
+    std::cout << key << ": " << value.dump() << "\n";
+  }
   return 0;
 }
 
 int cmd_query(const std::vector<const char*>& args,
               const ServiceArgs& service) {
   std::string error;
-  auto client = service::ServiceClient::connect(service.socket, &error);
+  auto client = service::ServiceClient::connect(service.socket, &error,
+                                                client_options(service));
   if (!client) {
     std::cerr << "error: " << error << "\n";
-    return 1;
+    return kExitUnreachable;
+  }
+  if (service.op == "ping") {
+    if (!client->ping(&error)) {
+      std::cerr << "error: " << error << "\n";
+      return client_exit_code(&*client, error);
+    }
+    std::cout << "ok\n";
+    return 0;
+  }
+  if (service.op == "stats") {
+    const auto stats = client->stats(&error);
+    if (!stats) {
+      std::cerr << "error: " << error << "\n";
+      return client_exit_code(&*client, error);
+    }
+    return render_stats(*stats);
   }
   int rc = 0;
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -360,7 +525,7 @@ int cmd_query(const std::vector<const char*>& args,
     auto result = client->query(sent, &error);
     if (!result) {
       std::cerr << "error: " << error << "\n";
-      return 1;
+      return client_exit_code(&*client, error);
     }
     // Error messages name the absolutized path; restore the caller's
     // spelling so failures too are byte-identical to one-shot `detect`.
@@ -378,14 +543,15 @@ int cmd_query(const std::vector<const char*>& args,
 
 int cmd_shutdown(const ServiceArgs& service) {
   std::string error;
-  auto client = service::ServiceClient::connect(service.socket, &error);
+  auto client = service::ServiceClient::connect(service.socket, &error,
+                                                client_options(service));
   if (!client) {
     std::cerr << "error: " << error << "\n";
-    return 1;
+    return kExitUnreachable;
   }
   if (!client->shutdown_server(&error)) {
     std::cerr << "error: " << error << "\n";
-    return 1;
+    return client_exit_code(&*client, error);
   }
   std::cerr << "fetch-serve: shutdown acknowledged\n";
   return 0;
@@ -488,8 +654,14 @@ int usage() {
                "[<elf>...]\n"
                "       fetch-cli [opts] serve [--socket PATH] "
                "[--cache-capacity N]\n"
-               "       fetch-cli [opts] query [--socket PATH] <elf>...\n"
-               "       fetch-cli [opts] shutdown [--socket PATH]\n";
+               "                 [--max-connections N] [--queue-depth N]\n"
+               "                 [--idle-timeout-ms N] [--write-stall-ms N]\n"
+               "                 [--daemonize] [--pidfile PATH]\n"
+               "       fetch-cli [opts] query [--socket PATH] [--retries N] "
+               "[--timeout MS]\n"
+               "                 [--op ping|stats|query] [<elf>...]\n"
+               "       fetch-cli [opts] shutdown [--socket PATH] "
+               "[--retries N] [--timeout MS]\n";
   return 2;
 }
 
@@ -572,6 +744,80 @@ int main(int argc, char** argv) {
           service.cache_capacity == 0) {
         return usage();
       }
+    } else if (arg == "--max-connections" && i + 1 < argc) {
+      if (!util::parse_jobs(argv[++i], &service.max_connections) ||
+          service.max_connections == 0) {
+        return usage();
+      }
+    } else if (arg.rfind("--max-connections=", 0) == 0) {
+      if (!util::parse_jobs(arg.substr(18), &service.max_connections) ||
+          service.max_connections == 0) {
+        return usage();
+      }
+    } else if (arg == "--queue-depth" && i + 1 < argc) {
+      if (!util::parse_jobs(argv[++i], &service.queue_depth) ||
+          service.queue_depth == 0) {
+        return usage();
+      }
+    } else if (arg.rfind("--queue-depth=", 0) == 0) {
+      if (!util::parse_jobs(arg.substr(14), &service.queue_depth) ||
+          service.queue_depth == 0) {
+        return usage();
+      }
+    } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+      std::size_t ms = 0;
+      if (!util::parse_jobs(argv[++i], &ms)) {
+        return usage();
+      }
+      service.idle_timeout_ms = ms;  // 0 = disabled
+    } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+      std::size_t ms = 0;
+      if (!util::parse_jobs(arg.substr(18), &ms)) {
+        return usage();
+      }
+      service.idle_timeout_ms = ms;
+    } else if (arg == "--write-stall-ms" && i + 1 < argc) {
+      std::size_t ms = 0;
+      if (!util::parse_jobs(argv[++i], &ms)) {
+        return usage();
+      }
+      service.write_stall_ms = ms;  // 0 = disabled
+    } else if (arg.rfind("--write-stall-ms=", 0) == 0) {
+      std::size_t ms = 0;
+      if (!util::parse_jobs(arg.substr(17), &ms)) {
+        return usage();
+      }
+      service.write_stall_ms = ms;
+    } else if (arg == "--daemonize") {
+      service.daemonize = true;
+    } else if (arg == "--pidfile" && i + 1 < argc) {
+      service.pidfile = argv[++i];
+    } else if (arg.rfind("--pidfile=", 0) == 0) {
+      service.pidfile = arg.substr(10);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      if (!util::parse_jobs(argv[++i], &service.retries)) {
+        return usage();
+      }
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      if (!util::parse_jobs(arg.substr(10), &service.retries)) {
+        return usage();
+      }
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      std::size_t ms = 0;
+      if (!util::parse_jobs(argv[++i], &ms) || ms == 0) {
+        return usage();
+      }
+      service.timeout_ms = ms;
+    } else if (arg.rfind("--timeout=", 0) == 0) {
+      std::size_t ms = 0;
+      if (!util::parse_jobs(arg.substr(10), &ms) || ms == 0) {
+        return usage();
+      }
+      service.timeout_ms = ms;
+    } else if (arg == "--op" && i + 1 < argc) {
+      service.op = argv[++i];
+    } else if (arg.rfind("--op=", 0) == 0) {
+      service.op = arg.substr(5);
     } else if (!arg.empty() && arg.front() == '-') {
       return usage();  // unknown flags must not pass as positionals
     } else {
@@ -591,8 +837,17 @@ int main(int argc, char** argv) {
   if (service.any() && !service_cmd) {
     return usage();  // service-only flags on a non-service command
   }
-  if (service.cache_capacity != 0 && cmd != "serve") {
-    return usage();  // the cache lives in the daemon
+  if ((service.cache_capacity != 0 || service.serve_only()) &&
+      cmd != "serve") {
+    return usage();  // daemon knobs only make sense on the daemon
+  }
+  if (service.client_only() && cmd == "serve") {
+    return usage();  // client knobs only make sense on client commands
+  }
+  if (!service.op.empty() &&
+      (cmd != "query" || (service.op != "ping" && service.op != "stats" &&
+                          service.op != "query"))) {
+    return usage();
   }
   if (cmd == "batch") {
     return cmd_batch(args, batch, jobs);
@@ -601,6 +856,11 @@ int main(int argc, char** argv) {
     return args.size() == 1 ? cmd_serve(jobs, service) : usage();
   }
   if (cmd == "query") {
+    // `--op ping|stats` take no paths; a path-analyzing query needs ≥ 1.
+    const bool pathless = service.op == "ping" || service.op == "stats";
+    if (pathless) {
+      return args.size() == 1 ? cmd_query(args, service) : usage();
+    }
     return args.size() >= 2 ? cmd_query(args, service) : usage();
   }
   if (cmd == "shutdown") {

@@ -7,8 +7,20 @@
 /// outcome. CI runs this per push (the `stripped-and-hostile` job) and
 /// archives the `fetch-hostile-v1` JSON artifact.
 ///
-///   hostile_check --corpus DIR [--socket PATH] [--json PATH]
-///                 [--max-rss-mb N] [--skip-service]
+///   hostile_check [--corpus DIR] [--socket PATH] [--json PATH]
+///                 [--max-rss-mb N] [--skip-service] [--clients N]
+///
+/// `--clients N` runs the fault-injection *client* phase against an
+/// in-process daemon configured like the overload acceptance scenario
+/// (4 workers, 64-connection limit, bounded queue, short idle and
+/// write-stall deadlines): N adversarial connections split across idle
+/// campers, slow-loris writers, half-open floods, mid-frame
+/// disconnectors, and read-side stalls, while a healthy probe client
+/// must keep getting answers (ok or `overloaded`) within its deadline.
+/// The phase FAILs unless the daemon evicts the idlers and stalled
+/// readers (counters prove it) and rejects an accept-time connection
+/// flood over the limit. `--corpus` is optional when `--clients` is
+/// given; with both, all phases run.
 ///
 /// Outcome taxonomy (see DESIGN.md, "Stripped & hostile evaluation"):
 ///   - non-ELF bytes MUST produce an error row (ok == false); an ok row
@@ -26,7 +38,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+// Clang spells sanitizer detection __has_feature; GCC defines
+// __SANITIZE_THREAD__ instead. Normalize so both can be tested in one
+// preprocessor expression.
+#if defined(__has_feature)
+#define FETCH_HAS_FEATURE(x) __has_feature(x)
+#else
+#define FETCH_HAS_FEATURE(x) 0
+#endif
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -63,9 +88,10 @@ struct HostileInput {
 };
 
 int usage() {
-  std::cerr << "usage: hostile_check --corpus DIR [--socket PATH]\n"
+  std::cerr << "usage: hostile_check [--corpus DIR] [--socket PATH]\n"
                "                     [--json PATH] [--max-rss-mb N]\n"
-               "                     [--skip-service]\n";
+               "                     [--skip-service] [--clients N]\n"
+               "       (at least one of --corpus / --clients)\n";
   return 2;
 }
 
@@ -296,6 +322,324 @@ void replay_against_service(const std::string& socket_path,
   }
 }
 
+// --- Fault-injection clients -------------------------------------------------
+
+/// Wire bytes of one framed fetch-service-v1 request.
+std::vector<std::uint8_t> frame_request(const service::Request& request) {
+  const std::string payload = service::request_json(request).dump();
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> wire;
+  wire.reserve(payload.size() + 4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    wire.push_back(static_cast<std::uint8_t>(len >> (8 * k)));
+  }
+  for (const char c : payload) {
+    wire.push_back(static_cast<std::uint8_t>(c));
+  }
+  return wire;
+}
+
+/// Non-blocking-ish send that gives up when \p stop is raised or the
+/// peer vanishes — an adversarial client thread must never wedge the
+/// harness itself.
+void send_until_stopped(int fd, const std::uint8_t* data, std::size_t len,
+                        const std::atomic<bool>& stop) {
+  std::size_t sent = 0;
+  while (sent < len && !stop.load(std::memory_order_relaxed)) {
+    const ssize_t n =
+        ::send(fd, data + sent, len - sent, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      (void)util::poll_writable(fd, 100);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return;  // peer gone (evicted) — expected for hostile clients
+  }
+}
+
+/// Blocks until the peer hangs up (or \p stop). Returns true on EOF —
+/// i.e. the server actively evicted this connection.
+bool wait_for_eviction(int fd, const std::atomic<bool>& stop) {
+  std::uint8_t scratch[256];
+  for (;;) {
+    if (stop.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    if (util::poll_readable(fd, 100) <= 0) {
+      continue;
+    }
+    const ssize_t n = ::recv(fd, scratch, sizeof(scratch), MSG_DONTWAIT);
+    if (n == 0) {
+      return true;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return true;  // reset counts as eviction
+    }
+  }
+}
+
+/// The overload acceptance scenario: an in-process daemon with the
+/// ISSUE's shape (4 workers, 64 connections, bounded queue, short
+/// deadlines) under \p clients adversarial connections, probed by a
+/// healthy client throughout. Appends human-readable violations;
+/// returns the counters for the JSON report.
+service::ServerStats run_client_phase(std::size_t clients,
+                                      const std::string& socket_path,
+                                      std::vector<std::string>* violations,
+                                      std::size_t* probe_answers,
+                                      std::size_t* probe_overloaded) {
+  constexpr std::uint64_t kIdleMs = 1'500;
+  constexpr std::uint64_t kStallMs = 1'500;
+  // ThreadSanitizer slows this CPU-bound pipeline by roughly an order
+  // of magnitude; stretch the probe's patience (never the server's
+  // eviction deadlines) so the gate still asserts liveness, just on a
+  // slower clock.
+#if defined(__SANITIZE_THREAD__) || FETCH_HAS_FEATURE(thread_sanitizer)
+  constexpr std::uint64_t kProbeDeadlineMs = 30'000;
+  constexpr std::uint64_t kProbeWindowMs = 12'000;
+#else
+  constexpr std::uint64_t kProbeDeadlineMs = 3'000;
+  constexpr std::uint64_t kProbeWindowMs = 4'500;
+#endif
+  constexpr std::size_t kMaxConnections = 64;
+
+  // One real binary for queries (multi-KiB responses: enough volume for
+  // the read-stall cohort to wedge its write buffer).
+  const std::string sample_path = "/tmp/fetch-hostile-client." +
+                                  std::to_string(::getpid()) + ".bin";
+  {
+    const synth::ProgramSpec spec = synth::make_program(
+        synth::projects()[0], synth::profile_for("gcc", "O2"), 0xc11e57u);
+    const std::vector<std::uint8_t> image = synth::generate(spec).image;
+    std::ofstream out(sample_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+  }
+
+  service::ServerOptions options;
+  options.socket_path = socket_path;
+  options.workers = 4;
+  options.max_connections = kMaxConnections;
+  options.queue_depth = 8;
+  options.idle_timeout_ms = kIdleMs;
+  options.write_stall_ms = kStallMs;
+  service::ServiceServer server(options);
+  std::string error;
+  if (!server.start(&error)) {
+    violations->push_back("clients: cannot start service: " + error);
+    ::unlink(sample_path.c_str());
+    return {};
+  }
+  std::thread runner([&server] { server.run(); });
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> evicted{0};
+  std::vector<std::thread> hostiles;
+  const std::vector<std::uint8_t> query_wire =
+      frame_request({service::Op::kQuery, sample_path});
+  const std::vector<std::uint8_t> stats_wire =
+      frame_request({service::Op::kStats, {}});
+
+  // Five cohorts, round-robin. Every cohort models one way a client can
+  // hold resources without doing useful work.
+  for (std::size_t i = 0; i < clients; ++i) {
+    switch (i % 5) {
+      case 0:  // idle camper: connect, never send a byte
+        hostiles.emplace_back([&] {
+          std::string cerr2;
+          const auto fd = util::unix_connect(socket_path, &cerr2);
+          if (fd && wait_for_eviction(fd->get(), stop)) {
+            evicted.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+        break;
+      case 1:  // slow loris: trickle a valid frame one byte at a time
+        hostiles.emplace_back([&] {
+          std::string cerr2;
+          const auto fd = util::unix_connect(socket_path, &cerr2);
+          if (!fd) {
+            return;
+          }
+          for (std::size_t k = 0;
+               k < query_wire.size() && !stop.load(std::memory_order_relaxed);
+               ++k) {
+            const ssize_t n = ::send(fd->get(), query_wire.data() + k, 1,
+                                     MSG_NOSIGNAL | MSG_DONTWAIT);
+            if (n <= 0) {
+              evicted.fetch_add(1, std::memory_order_relaxed);
+              return;  // server hung up on the trickler
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          }
+        });
+        break;
+      case 2:  // half-open flood: connect, half-close, camp
+        hostiles.emplace_back([&] {
+          std::string cerr2;
+          const auto fd = util::unix_connect(socket_path, &cerr2);
+          if (!fd) {
+            return;
+          }
+          ::shutdown(fd->get(), SHUT_WR);
+          if (wait_for_eviction(fd->get(), stop)) {
+            evicted.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+        break;
+      case 3:  // mid-frame disconnect churn
+        hostiles.emplace_back([&] {
+          while (!stop.load(std::memory_order_relaxed)) {
+            std::string cerr2;
+            const auto fd = util::unix_connect(socket_path, &cerr2);
+            if (fd) {
+              // Half a header, then vanish.
+              send_until_stopped(fd->get(), query_wire.data(), 2, stop);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        });
+        break;
+      default:  // read-side stall: pipeline inline ops, never read
+        hostiles.emplace_back([&] {
+          std::string cerr2;
+          const auto fd = util::unix_connect(socket_path, &cerr2);
+          if (!fd) {
+            return;
+          }
+          // Stats replies are produced inline (no queue to shed them), so
+          // a pipelined burst piles hundreds of KiB of unread output onto
+          // this connection — more than its socket buffer holds — and the
+          // flush must hit EAGAIN and arm the write-stall deadline.
+          for (std::size_t k = 0;
+               k < 1'200 && !stop.load(std::memory_order_relaxed); ++k) {
+            send_until_stopped(fd->get(), stats_wire.data(),
+                               stats_wire.size(), stop);
+          }
+          // Hold the connection open without ever reading: the unread
+          // responses pin the server's outbuf until its write-stall
+          // clock evicts us (server_stats().write_stall_timeouts is the
+          // authoritative witness; unread data masks the EOF here).
+          while (!stop.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          }
+        });
+        break;
+    }
+  }
+
+  // Healthy probe: one query every ~100 ms for long enough to span the
+  // idle/stall evictions. Every probe must complete — ok or an honest
+  // `overloaded` — within its deadline; silence is the one outcome the
+  // rebuilt server must never produce.
+  const auto probe_until =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(kProbeWindowMs);
+  while (std::chrono::steady_clock::now() < probe_until) {
+    const auto t0 = std::chrono::steady_clock::now();
+    service::ClientOptions copts;
+    copts.timeout_ms = kProbeDeadlineMs;
+    copts.retries = 2;
+    std::string perr;
+    auto client = service::ServiceClient::connect(socket_path, &perr, copts);
+    if (!client) {
+      violations->push_back("clients: healthy probe cannot connect: " + perr);
+      break;
+    }
+    const auto result = client->query(sample_path, &perr);
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (result) {
+      ++*probe_answers;
+    } else if (client->last_error_code() == service::kErrOverloaded) {
+      ++*probe_answers;
+      ++*probe_overloaded;
+    } else {
+      violations->push_back("clients: healthy probe failed (" + perr + ")");
+      break;
+    }
+    if (elapsed_ms > static_cast<long long>(kProbeDeadlineMs + 500)) {
+      violations->push_back("clients: probe took " +
+                            std::to_string(elapsed_ms) + " ms (deadline " +
+                            std::to_string(kProbeDeadlineMs) + " ms)");
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : hostiles) {
+    t.join();
+  }
+
+  // Accept-time rejection: a burst past the connection limit must be
+  // answered with `overloaded` frames (or an immediate hangup), never
+  // left hanging in the backlog.
+  {
+    std::vector<util::Fd> flood;
+    std::size_t refused = 0;
+    for (std::size_t i = 0; i < kMaxConnections + 16; ++i) {
+      std::string cerr2;
+      auto fd = util::unix_connect(socket_path, &cerr2);
+      if (!fd) {
+        ++refused;  // kernel backlog full also counts as rejection
+        continue;
+      }
+      flood.push_back(std::move(*fd));
+    }
+    std::size_t rejected_replies = 0;
+    for (util::Fd& fd : flood) {
+      if (util::poll_readable(fd.get(), 200) <= 0) {
+        continue;
+      }
+      std::string payload;
+      std::string ferr;
+      if (util::read_frame(fd.get(), &payload, &ferr) ==
+          util::FrameStatus::kOk) {
+        const auto doc = util::json::Value::parse(payload);
+        if (doc && service::response_error_code(*doc) ==
+                       service::kErrOverloaded) {
+          ++rejected_replies;
+        }
+      }
+    }
+    if (rejected_replies + refused == 0) {
+      violations->push_back(
+          "clients: no connection in an over-limit flood was rejected");
+    }
+  }
+
+  const service::ServerStats stats = server.server_stats();
+  if (stats.idle_timeouts == 0) {
+    violations->push_back("clients: no idle camper was ever evicted");
+  }
+  if (stats.write_stall_timeouts == 0) {
+    violations->push_back("clients: no stalled reader was ever evicted");
+  }
+  if (stats.rejected_connections == 0) {
+    violations->push_back(
+        "clients: rejected_connections stayed 0 despite the over-limit "
+        "flood");
+  }
+  if (evicted.load(std::memory_order_relaxed) == 0) {
+    violations->push_back(
+        "clients: no adversarial client observed a server-side hangup");
+  }
+
+  server.stop();
+  runner.join();
+  ::unlink(socket_path.c_str());
+  ::unlink(sample_path.c_str());
+  return stats;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -304,6 +648,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::size_t max_rss_mb = 2048;
   bool skip_service = false;
+  std::size_t clients = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--corpus" && i + 1 < argc) {
@@ -322,11 +667,16 @@ int main(int argc, char** argv) {
       max_rss_mb = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--skip-service") {
       skip_service = true;
+    } else if (arg == "--clients" && i + 1 < argc) {
+      clients = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      clients = static_cast<std::size_t>(
+          std::stoul(std::string(arg.substr(10))));
     } else {
       return usage();
     }
   }
-  if (corpus_dir.empty()) {
+  if (corpus_dir.empty() && clients == 0) {
     return usage();
   }
   if (socket_path.empty()) {
@@ -335,8 +685,9 @@ int main(int argc, char** argv) {
   }
 
   // --- Collect inputs: every corpus seed + the structure-aware mutants.
+  // A --clients-only run skips the byte-replay phases entirely.
   std::vector<HostileInput> inputs;
-  {
+  if (!corpus_dir.empty()) {
     namespace fs = std::filesystem;
     std::error_code ec;
     std::vector<std::string> files;
@@ -363,8 +714,10 @@ int main(int argc, char** argv) {
       inputs.push_back(std::move(input));
     }
   }
-  for (HostileInput& mutant : make_mutants()) {
-    inputs.push_back(std::move(mutant));
+  if (!corpus_dir.empty()) {
+    for (HostileInput& mutant : make_mutants()) {
+      inputs.push_back(std::move(mutant));
+    }
   }
 
   std::vector<std::string> violations;
@@ -398,7 +751,7 @@ int main(int argc, char** argv) {
   std::size_t service_replies = 0;
   std::size_t service_error_replies = 0;
   std::size_t pings = 0;
-  if (!skip_service) {
+  if (!skip_service && !inputs.empty()) {
     service::ServerOptions options;
     options.socket_path = socket_path;
     options.workers = 2;
@@ -450,6 +803,15 @@ int main(int argc, char** argv) {
     ::unlink(socket_path.c_str());
   }
 
+  // --- Phase 3: adversarial clients against an overload-shaped daemon.
+  service::ServerStats client_stats;
+  std::size_t probe_answers = 0;
+  std::size_t probe_overloaded = 0;
+  if (clients != 0) {
+    client_stats = run_client_phase(clients, socket_path, &violations,
+                                    &probe_answers, &probe_overloaded);
+  }
+
   // --- Memory bound.
   struct rusage usage_info {};
   ::getrusage(RUSAGE_SELF, &usage_info);
@@ -468,6 +830,13 @@ int main(int argc, char** argv) {
     std::cout << ", " << service_replies << " service replies ("
               << service_error_replies << " errors), " << pings
               << " live pings";
+  }
+  if (clients != 0) {
+    std::cout << ", " << clients << " hostile clients (" << probe_answers
+              << " probe answers, " << probe_overloaded << " overloaded, "
+              << client_stats.idle_timeouts << " idle evictions, "
+              << client_stats.write_stall_timeouts << " stall evictions, "
+              << client_stats.rejected_connections << " rejected)";
   }
   std::cout << ", peak RSS " << max_rss_kb / 1024 << " MiB\n";
   for (const std::string& v : violations) {
@@ -496,6 +865,19 @@ int main(int argc, char** argv) {
     service_doc.set("pings", util::json::Value::number(
                                  static_cast<std::uint64_t>(pings)));
     doc.set("service", std::move(service_doc));
+    if (clients != 0) {
+      util::json::Value clients_doc = util::json::Value::object();
+      clients_doc.set("hostile", util::json::Value::number(
+                                     static_cast<std::uint64_t>(clients)));
+      clients_doc.set("probe_answers",
+                      util::json::Value::number(
+                          static_cast<std::uint64_t>(probe_answers)));
+      clients_doc.set("probe_overloaded",
+                      util::json::Value::number(
+                          static_cast<std::uint64_t>(probe_overloaded)));
+      clients_doc.set("server", service::server_stats_json(client_stats));
+      doc.set("clients", std::move(clients_doc));
+    }
     doc.set("max_rss_kb", util::json::Value::number(
                               static_cast<std::uint64_t>(max_rss_kb)));
     util::json::Value list = util::json::Value::array();
