@@ -1,0 +1,64 @@
+# Acceptance check for the experiment runner: two exp_run invocations of
+# the same spec must produce byte-identical trajectory reports modulo the
+# timing fields (the `"value": N` numbers inside results rows), and a
+# third invocation must APPEND to an existing trajectory, not rewrite it.
+#
+# Inputs: -DEXP_RUN=<exp_run binary> -DSPEC=<spec json> -DBIN_DIR=<bench
+# binary dir> -DWORK_DIR=<scratch dir>
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_exp out_dir trajectory commit)
+  execute_process(
+    COMMAND ${EXP_RUN} --spec ${SPEC} --bin-dir ${BIN_DIR}
+            --out-dir ${out_dir} --trajectory ${trajectory}
+            --commit ${commit}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "exp_run failed (rc=${rc}):\n${out}\n${err}")
+  endif()
+endfunction()
+
+run_exp(${WORK_DIR}/run1 ${WORK_DIR}/t1.json pinned-commit)
+run_exp(${WORK_DIR}/run2 ${WORK_DIR}/t2.json pinned-commit)
+
+# Blank out the measured numbers — everything else (structure, ids,
+# ordering, axes, units, spec hash) must match byte for byte. The
+# fetch-bench-v1 producers keep timings in `value` rows except
+# bench_table5_runtime, whose rows carry avg_ms_per_binary/total_s.
+function(normalized path out_var)
+  file(READ ${path} text)
+  foreach(field value avg_ms_per_binary total_s)
+    string(REGEX REPLACE "\"${field}\": [-+0-9.eE]+" "\"${field}\": X"
+           text "${text}")
+  endforeach()
+  set(${out_var} "${text}" PARENT_SCOPE)
+endfunction()
+
+normalized(${WORK_DIR}/t1.json first)
+normalized(${WORK_DIR}/t2.json second)
+if(NOT first STREQUAL second)
+  file(WRITE ${WORK_DIR}/t1.normalized "${first}")
+  file(WRITE ${WORK_DIR}/t2.normalized "${second}")
+  message(FATAL_ERROR "trajectory reports differ beyond timing fields: "
+          "diff ${WORK_DIR}/t1.normalized ${WORK_DIR}/t2.normalized")
+endif()
+
+# Appending: a second entry lands behind the first, history intact.
+run_exp(${WORK_DIR}/run3 ${WORK_DIR}/t1.json later-commit)
+file(READ ${WORK_DIR}/t1.json appended)
+string(REGEX MATCHALL "\"commit\": \"pinned-commit\"" first_entries
+       "${appended}")
+string(REGEX MATCHALL "\"commit\": \"later-commit\"" second_entries
+       "${appended}")
+list(LENGTH first_entries first_count)
+list(LENGTH second_entries second_count)
+if(NOT first_count EQUAL 1 OR NOT second_count EQUAL 1)
+  message(FATAL_ERROR "trajectory append rewrote history: "
+          "pinned=${first_count} later=${second_count}")
+endif()
+
+message(STATUS "trajectory determinism + append OK")

@@ -1,0 +1,24 @@
+#include "util/json_schema.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace fetch::util::json {
+
+std::optional<Value> load_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto doc = Value::parse(buffer.str());
+  if (!doc) {
+    *error = "not valid JSON: " + path;
+    return std::nullopt;
+  }
+  return doc;
+}
+
+}  // namespace fetch::util::json

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file json_schema.hpp
+/// Field-level validation helpers for the checked-in JSON configs
+/// (experiment specs, tolerance policies, trajectory reports, realbin
+/// thresholds). Every consumer used to hand-roll "get + kind check +
+/// error string" triples; these helpers keep the error messages uniform
+/// (`<context>: missing field "x"` / `<context>: field "x" must be a
+/// string`) and make the parse code read like the schema it enforces.
+///
+/// All helpers return nullptr/false on violation and fill *error exactly
+/// once — callers can chain them and bail on the first failure.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace fetch::util::json {
+
+[[nodiscard]] inline std::string kind_name(Value::Kind kind) {
+  switch (kind) {
+    case Value::Kind::kNull:
+      return "null";
+    case Value::Kind::kBool:
+      return "a boolean";
+    case Value::Kind::kNumber:
+      return "a number";
+    case Value::Kind::kString:
+      return "a string";
+    case Value::Kind::kArray:
+      return "an array";
+    case Value::Kind::kObject:
+      return "an object";
+  }
+  return "unknown";
+}
+
+/// Required member of \p kind: nullptr + *error when absent or mistyped.
+[[nodiscard]] inline const Value* require(const Value& obj,
+                                          std::string_view key,
+                                          Value::Kind kind,
+                                          std::string* error,
+                                          std::string_view context) {
+  const Value* member = obj.get(key);
+  if (member == nullptr) {
+    *error = std::string(context) + ": missing field \"" + std::string(key) +
+             "\"";
+    return nullptr;
+  }
+  if (member->kind() != kind) {
+    *error = std::string(context) + ": field \"" + std::string(key) +
+             "\" must be " + kind_name(kind);
+    return nullptr;
+  }
+  return member;
+}
+
+/// Optional member: absent is fine (returns nullptr, *error untouched);
+/// present-but-mistyped is a violation like require().
+[[nodiscard]] inline const Value* optional(const Value& obj,
+                                           std::string_view key,
+                                           Value::Kind kind,
+                                           std::string* error,
+                                           std::string_view context) {
+  const Value* member = obj.get(key);
+  if (member == nullptr) {
+    return nullptr;
+  }
+  if (member->kind() != kind) {
+    *error = std::string(context) + ": field \"" + std::string(key) +
+             "\" must be " + kind_name(kind);
+    return nullptr;
+  }
+  return member;
+}
+
+/// Checks the document's "schema" tag — the versioned contract every
+/// fetch JSON artifact leads with (fetch-bench-v1, fetch-exp-v1, ...).
+[[nodiscard]] inline bool expect_schema(const Value& doc,
+                                        std::string_view tag,
+                                        std::string* error,
+                                        std::string_view context) {
+  if (!doc.is_object()) {
+    *error = std::string(context) + ": document is not a JSON object";
+    return false;
+  }
+  const Value* schema = doc.get("schema");
+  if (schema == nullptr || schema->kind() != Value::Kind::kString ||
+      schema->text() != tag) {
+    *error = std::string(context) + ": not a " + std::string(tag) +
+             " document";
+    return false;
+  }
+  return true;
+}
+
+/// Slurps and parses a JSON file. std::nullopt + *error on I/O or syntax
+/// failure; the schema tag is the caller's to check (expect_schema).
+[[nodiscard]] std::optional<Value> load_file(const std::string& path,
+                                             std::string* error);
+
+}  // namespace fetch::util::json

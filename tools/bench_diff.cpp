@@ -1,29 +1,39 @@
 /// \file bench_diff.cpp
-/// Perf-regression comparator for `fetch-bench-v1` JSON reports: match the
-/// `results` rows of a baseline and a current snapshot by name and flag
-/// values that moved outside a (deliberately generous) tolerance band.
-/// Timing on shared CI runners is noisy, so CI runs this as a
-/// *non-blocking* warn step — a red ratio is a prompt to look at the
-/// artifact history, not an automatic revert (see DESIGN.md).
+/// Perf-regression comparator for `fetch-bench-v1` JSON reports, the
+/// blocking CI gate behind every checked-in baseline. Rows are matched
+/// by name and judged under per-metric tolerance policies loaded from a
+/// checked-in config (`bench/baselines/tolerances.json`, schema
+/// fetch-tol-v1): ratio band, direction (higher-/lower-is-better, so an
+/// improvement never fails), absolute slack for sub-millisecond jitter,
+/// and explicit warn-only marks for metrics too noisy to block on. See
+/// DESIGN.md, "Experiment matrix & perf gating".
 ///
-///   bench_diff [--tolerance X] [--strict] BASELINE CURRENT
+///   bench_diff [--tolerances FILE | --tolerance X] [--strict]
+///              [--json PATH] [--markdown PATH] BASELINE CURRENT
 ///
-/// A row regresses when current/baseline > X or < 1/X (default X = 3.0 —
-/// wide enough to absorb runner variance, narrow enough to catch an
-/// accidental O(n^2) or a dropped cache). Rows present in only one file
-/// are reported informationally. Exit code: 0 unless --strict is given,
-/// in which case any flagged row exits 1.
+///   --tolerances FILE  per-metric policy config (the CI mode)
+///   --tolerance X      legacy flat symmetric band (default X = 3.0)
+///   --json PATH        machine-readable fetch-bench-diff-v1 verdict
+///   --markdown PATH    GitHub step-summary table
+///
+/// Exit codes (--strict): 0 ok or warn-only movement · 1 a blocking
+/// metric regressed · 3 a baseline metric is missing from CURRENT (and
+/// nothing regressed) · 2 usage or unreadable input. Without --strict
+/// everything but a load/usage error exits 0 (advisory mode). Missing
+/// metrics get their own code because "someone renamed a metric" must
+/// not triage like "the hot path got slower".
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "eval/table.hpp"
+#include "exp/tolerance.hpp"
 #include "util/json.hpp"
+#include "util/json_schema.hpp"
 
 namespace {
 
@@ -31,27 +41,16 @@ using namespace fetch;
 using util::json::Value;
 
 int usage() {
-  std::cerr << "usage: bench_diff [--tolerance X] [--strict] "
+  std::cerr << "usage: bench_diff [--tolerances FILE | --tolerance X] "
+               "[--strict] [--json PATH] [--markdown PATH] "
                "BASELINE.json CURRENT.json\n";
   return 2;
 }
 
 bool load_report(const std::string& path, Value* out, std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    *error = "cannot open " + path;
-    return false;
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  auto doc = Value::parse(buffer.str());
-  if (!doc) {
-    *error = "not valid JSON: " + path;
-    return false;
-  }
-  const Value* schema = doc->get("schema");
-  if (schema == nullptr || schema->text() != "fetch-bench-v1") {
-    *error = "not a fetch-bench-v1 report: " + path;
+  auto doc = util::json::load_file(path, error);
+  if (!doc || !util::json::expect_schema(*doc, "fetch-bench-v1", error,
+                                         path)) {
     return false;
   }
   if (const Value* results = doc->get("results");
@@ -63,28 +62,40 @@ bool load_report(const std::string& path, Value* out, std::string* error) {
   return true;
 }
 
-const Value* find_row(const Value& report, const std::string& name) {
-  for (const Value& row : report.get("results")->items()) {
-    const Value* row_name = row.get("name");
-    if (row_name != nullptr && row_name->text() == name) {
-      return &row;
-    }
+bool write_text_file(const std::string& path, const std::string& text,
+                     std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  out.close();
+  if (out.fail()) {
+    *error = "cannot write " + path;
+    return false;
   }
-  return nullptr;
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  double tolerance = 3.0;
+  double flat_tolerance = 3.0;
+  std::string tolerances_path;
+  std::string json_path;
+  std::string markdown_path;
   bool strict = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--tolerance" && i + 1 < argc) {
-      tolerance = std::strtod(argv[++i], nullptr);
+      flat_tolerance = std::strtod(argv[++i], nullptr);
     } else if (arg.rfind("--tolerance=", 0) == 0) {
-      tolerance = std::strtod(std::string(arg.substr(12)).c_str(), nullptr);
+      flat_tolerance =
+          std::strtod(std::string(arg.substr(12)).c_str(), nullptr);
+    } else if (arg == "--tolerances" && i + 1 < argc) {
+      tolerances_path = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--markdown" && i + 1 < argc) {
+      markdown_path = argv[++i];
     } else if (arg == "--strict") {
       strict = true;
     } else if (!arg.empty() && arg.front() == '-') {
@@ -93,62 +104,81 @@ int main(int argc, char** argv) {
       paths.emplace_back(argv[i]);
     }
   }
-  if (paths.size() != 2 || tolerance <= 1.0) {
+  if (paths.size() != 2 || flat_tolerance <= 1.0) {
     return usage();
+  }
+
+  std::string error;
+  exp::TolerancePolicy policy = exp::TolerancePolicy::flat(flat_tolerance);
+  std::string policy_source =
+      "flat " + eval::fmt(flat_tolerance, 1) + "x";
+  if (!tolerances_path.empty()) {
+    auto loaded = exp::TolerancePolicy::load(tolerances_path, &error);
+    if (!loaded) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    policy = std::move(*loaded);
+    policy_source = tolerances_path;
   }
 
   Value baseline;
   Value current;
-  std::string error;
   if (!load_report(paths[0], &baseline, &error) ||
       !load_report(paths[1], &current, &error)) {
     std::cerr << "error: " << error << "\n";
     return 2;
   }
 
+  const exp::DiffReport report = exp::diff_reports(baseline, current, policy);
+
   eval::TextTable table({"metric", "baseline", "current", "ratio", "status"});
-  std::size_t flagged = 0;
-  std::size_t compared = 0;
-  for (const Value& row : baseline.get("results")->items()) {
-    const Value* name = row.get("name");
-    const Value* base_value = row.get("value");
-    if (name == nullptr || base_value == nullptr) {
-      continue;
-    }
-    const Value* other = find_row(current, name->text());
-    if (other == nullptr || other->get("value") == nullptr) {
-      table.add_row({name->text(), base_value->text(), "-", "-", "missing"});
-      continue;
-    }
-    const double base = base_value->as_double();
-    const double cur = other->get("value")->as_double();
-    if (base <= 0.0) {
-      table.add_row({name->text(), base_value->text(),
-                     other->get("value")->text(), "-", "skipped"});
-      continue;
-    }
-    ++compared;
-    const double ratio = cur / base;
-    const bool bad = ratio > tolerance || ratio < 1.0 / tolerance;
-    flagged += bad ? 1 : 0;
-    table.add_row({name->text(), base_value->text(),
-                   other->get("value")->text(), eval::fmt(ratio, 2),
-                   bad ? "WARN" : "ok"});
-  }
-  for (const Value& row : current.get("results")->items()) {
-    const Value* name = row.get("name");
-    if (name != nullptr && find_row(baseline, name->text()) == nullptr) {
-      const Value* value = row.get("value");
-      table.add_row({name->text(), "-", value == nullptr ? "-" : value->text(),
-                     "-", "new"});
-    }
+  for (const exp::MetricVerdict& v : report.rows) {
+    table.add_row({v.name, v.baseline_text.empty() ? "-" : v.baseline_text,
+                   v.current_text.empty() ? "-" : v.current_text,
+                   v.ratio == 0.0 ? "-" : eval::fmt(v.ratio, 2),
+                   std::string(exp::status_name(v.status))});
   }
   table.print(std::cout);
-  std::cout << "\ncompared " << compared << " metrics, " << flagged
-            << " outside " << eval::fmt(tolerance, 1) << "x tolerance\n";
-  if (flagged != 0) {
-    std::cout << "note: CI treats this as a warning, not a failure — "
-                 "check artifact history before acting\n";
+  std::cout << "\npolicy: " << policy_source << " — " << report.compared
+            << " compared, " << report.regressed << " regressed, "
+            << report.warned << " warned, " << report.missing
+            << " missing, " << report.added << " new\n";
+
+  if (!json_path.empty()) {
+    const Value verdict =
+        exp::verdict_json(report, paths[0], paths[1], policy_source);
+    if (!write_text_file(json_path, verdict.dump() + "\n", &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
   }
-  return strict && flagged != 0 ? 1 : 0;
+  if (!markdown_path.empty()) {
+    const std::string md = exp::verdict_markdown(
+        report, "bench_diff " + paths[0] + " vs " + paths[1]);
+    if (!write_text_file(markdown_path, md, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+  }
+
+  if (!strict) {
+    if (report.gate_failed() || report.any_missing()) {
+      std::cout << "note: advisory mode (no --strict) — exit 0 despite the "
+                   "flagged rows above\n";
+    }
+    return 0;
+  }
+  if (report.gate_failed()) {
+    std::cout << "gate: REGRESSED — if intended, refresh the baseline "
+                 "(exp_run --update-baselines) and commit the reviewed "
+                 "diff\n";
+    return 1;
+  }
+  if (report.any_missing()) {
+    std::cout << "gate: baseline metric(s) missing from " << paths[1]
+              << " — renamed or dropped without a baseline update\n";
+    return 3;
+  }
+  return 0;
 }
