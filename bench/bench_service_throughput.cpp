@@ -46,6 +46,7 @@
 
 #include "bench/common.hpp"
 #include "eval/session.hpp"
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "synth/codegen.hpp"
@@ -90,27 +91,6 @@ LoadShape shape_for(const bench::BenchOptions& opts) {
   }
   return shape;
 }
-
-/// Powers-of-two latency histogram: bucket i counts samples in
-/// [2^i, 2^(i+1)) microseconds; the last bucket is the overflow.
-struct LatencyHistogram {
-  static constexpr std::size_t kBuckets = 21;  // up to ~2 s, then overflow
-  std::array<std::uint64_t, kBuckets> counts{};
-
-  void add(double us) {
-    std::size_t bucket = 0;
-    for (auto v = static_cast<std::uint64_t>(std::max(us, 0.0)); v > 1;
-         v >>= 1) {
-      ++bucket;
-    }
-    counts[std::min(bucket, kBuckets - 1)] += 1;
-  }
-
-  [[nodiscard]] std::uint64_t total() const {
-    return std::accumulate(counts.begin(), counts.end(),
-                           std::uint64_t{0});
-  }
-};
 
 /// Writes \p count deterministic synthetic binaries into a fresh temp
 /// directory and returns their paths.
@@ -382,11 +362,14 @@ int main(int argc, char** argv) {
   }
 
   std::vector<double> open_loop_us;
-  LatencyHistogram open_loop_hist;
+  // The telemetry subsystem's log2-µs histogram, doubling as its
+  // single-threaded soak test under a realistic latency distribution.
+  obs::Histogram open_loop_hist;
   for (const auto& samples : open_loop_per_client) {
     open_loop_us.insert(open_loop_us.end(), samples.begin(), samples.end());
     for (const double us : samples) {
-      open_loop_hist.add(us);
+      open_loop_hist.record_us(
+          static_cast<std::uint64_t>(std::max(us, 0.0)));
     }
   }
 
@@ -464,17 +447,17 @@ int main(int argc, char** argv) {
             << " req/s (latency from scheduled arrival)\n";
   {
     std::uint64_t peak = 1;
-    for (const std::uint64_t n : open_loop_hist.counts) {
-      peak = std::max(peak, n);
+    for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+      peak = std::max(peak, open_loop_hist.bucket_count(i));
     }
-    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
-      const std::uint64_t n = open_loop_hist.counts[i];
+    for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+      const std::uint64_t n = open_loop_hist.bucket_count(i);
       if (n == 0) {
         continue;
       }
       const auto bar = static_cast<std::size_t>(40 * n / peak);
       std::printf("  <%8llu us %6llu %s\n",
-                  static_cast<unsigned long long>(2ull << i),
+                  static_cast<unsigned long long>(obs::Histogram::le_us(i)),
                   static_cast<unsigned long long>(n),
                   std::string(std::max<std::size_t>(bar, 1), '#').c_str());
     }
@@ -510,15 +493,14 @@ int main(int argc, char** argv) {
     // Log2 histogram as {le_us, count} rows so a report consumer can
     // reconstruct the full latency distribution, not just two quantiles.
     util::json::Value hist = util::json::Value::array();
-    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
-      if (open_loop_hist.counts[i] == 0) {
+    for (const auto& [le, count] :
+         obs::freeze_histogram(open_loop_hist).buckets) {
+      if (count == 0) {
         continue;
       }
       util::json::Value bucket = util::json::Value::object();
-      bucket.set("le_us", util::json::Value::number(
-                              static_cast<std::uint64_t>(2ull << i)));
-      bucket.set("count", util::json::Value::number(
-                              open_loop_hist.counts[i]));
+      bucket.set("le_us", util::json::Value::number(le));
+      bucket.set("count", util::json::Value::number(count));
       hist.add(std::move(bucket));
     }
     derived.set("open_loop_histogram", std::move(hist));

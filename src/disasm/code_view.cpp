@@ -4,6 +4,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "x86/decoder.hpp"
@@ -20,6 +21,26 @@ constexpr std::uint64_t kMaxInsnBytes = 15;
 // publish is a plain struct copy followed by one release store.
 static_assert(std::is_trivially_copyable_v<x86::Insn>,
               "arena records must be flat copyable structs");
+
+/// Cold-path decode-cache counters (global registry: CodeViews are
+/// per-binary and ephemeral, the aggregate is what matters). Looked up
+/// once; the handles are stable references.
+struct CacheMetrics {
+  obs::Counter& claims;           ///< slots won (empty → decoding)
+  obs::Counter& decoded;          ///< claims published as records
+  obs::Counter& invalid;          ///< claims published as undecodable
+  obs::Counter& resync_failures;  ///< 1-byte resteps during predecode
+
+  static CacheMetrics& get() {
+    static CacheMetrics metrics{
+        obs::Registry::global().counter("codeview_slot_claims_total"),
+        obs::Registry::global().counter("codeview_decoded_total"),
+        obs::Registry::global().counter("codeview_invalid_total"),
+        obs::Registry::global().counter("codeview_resync_failures_total"),
+    };
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -105,14 +126,18 @@ const x86::Insn* CodeView::decode_slot(const Shard& shard, std::uint64_t off,
                                      std::memory_order_acquire)) {
       // We own the claim: decode once, publish once. The window is clamped
       // to the shard so it cannot cross the section boundary.
+      CacheMetrics& metrics = CacheMetrics::get();
+      metrics.claims.add();
       const std::uint64_t window =
           std::min<std::uint64_t>(kMaxInsnBytes, shard.slot_count - off);
       const auto insn = x86::decode({shard.bytes + off, window}, addr);
       if (!insn) {
+        metrics.invalid.add();
         slot.store(kInvalid, std::memory_order_release);
         return nullptr;
       }
       const std::uint32_t index = append_record(*insn);
+      metrics.decoded.add();
       slot.store(index + kFirstRecord, std::memory_order_release);
       return record_at(index);
     }
@@ -148,9 +173,18 @@ void CodeView::predecode(std::size_t jobs) const {
   util::parallel_for(jobs, ranges.size(), [&](std::size_t i) {
     const Range& range = ranges[i];
     std::uint64_t off = range.lo;
+    std::uint64_t resync_failures = 0;
     while (off < range.hi) {
       const x86::Insn* insn = insn_at(range.shard->addr + off);
-      off += insn != nullptr ? insn->length : 1;
+      if (insn != nullptr) {
+        off += insn->length;
+      } else {
+        off += 1;  // one-byte resynchronization
+        ++resync_failures;
+      }
+    }
+    if (resync_failures != 0) {
+      CacheMetrics::get().resync_failures.add(resync_failures);
     }
   });
 }

@@ -59,6 +59,10 @@ class CodeView {
       return nullptr;
     }
     const std::uint64_t off = addr - shard->addr;
+    // Deliberately uninstrumented: even a striped relaxed fetch_add is
+    // an atomic RMW (~6 ns) on this ~4 ns read, which the
+    // warm_speedup_vs_mutex_map bench gate rejects. The decode (cold)
+    // path carries the codeview_* counters instead.
     const std::uint32_t slot =
         shard->slots[off].load(std::memory_order_acquire);
     if (slot >= kFirstRecord) {

@@ -8,6 +8,8 @@
 
 #include "eval/session.hpp"
 #include "eval/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fetch::eval {
@@ -105,11 +107,22 @@ BatchReport run_batch(const std::vector<std::string>& paths,
   // One pool across all files, one job per file, slot-per-index results:
   // the reduction below walks input order, so the report is byte-identical
   // to a serial run regardless of the worker count.
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& files_total = reg.counter("batch_files_total");
+  obs::Counter& errors_total = reg.counter("batch_errors_total");
+  obs::Histogram& file_us = reg.histogram("batch_file_us");
   const AnalysisSession session(options.detector, options.truth);
   std::vector<BatchRow> rows = util::parallel_map<BatchRow>(
       options.jobs, paths.size(), [&](std::size_t i) {
-        return session.analyze_file(paths[i], AnalysisSession::Detail::kRowOnly)
-            .row;
+        obs::Span span(nullptr, "batch_file", &file_us);
+        BatchRow row =
+            session.analyze_file(paths[i], AnalysisSession::Detail::kRowOnly)
+                .row;
+        files_total.add();
+        if (!row.ok) {
+          errors_total.add();
+        }
+        return row;
       });
   return BatchReport(std::move(rows), options.detector_label);
 }

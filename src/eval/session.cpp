@@ -3,12 +3,40 @@
 #include "ehframe/eh_frame_hdr.hpp"
 #include "elf/elf_file.hpp"
 #include "eval/truth_sidecar.hpp"
+#include "obs/metrics.hpp"
 #include "util/fs.hpp"
 #include "util/hash.hpp"
 
 namespace fetch::eval {
 
 namespace {
+
+/// Pipeline-stage metrics (global registry: sessions are shared across
+/// threads and front ends; the aggregate per-stage latency is the
+/// interesting signal). Resolved once, handles are stable.
+struct SessionMetrics {
+  obs::Counter& analyses;
+  obs::Counter& errors;
+  obs::Histogram& elf_parse_us;
+  obs::Histogram& truth_us;
+  obs::Histogram& detector_build_us;
+  obs::Histogram& detect_us;
+  obs::Histogram& score_us;
+
+  static SessionMetrics& get() {
+    obs::Registry& reg = obs::Registry::global();
+    static SessionMetrics metrics{
+        reg.counter("session_analyses_total"),
+        reg.counter("session_errors_total"),
+        reg.histogram("session_elf_parse_us"),
+        reg.histogram("session_truth_us"),
+        reg.histogram("session_detector_build_us"),
+        reg.histogram("session_detect_us"),
+        reg.histogram("session_score_us"),
+    };
+    return metrics;
+  }
+};
 
 /// Resolves the ground truth a row is scored against. Every mode
 /// degrades to source "none" rather than throwing: a missing sidecar or
@@ -53,17 +81,19 @@ FileAnalysis AnalysisSession::unreadable(const std::string& path) {
 }
 
 FileAnalysis AnalysisSession::analyze_file(const std::string& path,
-                                           Detail detail) const {
+                                           Detail detail,
+                                           obs::Trace* trace) const {
   std::vector<std::uint8_t> bytes;
   if (!util::read_file_bytes(path, &bytes)) {
     return unreadable(path);
   }
-  return analyze_image({bytes.data(), bytes.size()}, path, detail);
+  return analyze_image({bytes.data(), bytes.size()}, path, detail, trace);
 }
 
 FileAnalysis AnalysisSession::analyze_image(
     std::span<const std::uint8_t> image, const std::string& label,
-    Detail detail) const {
+    Detail detail, obs::Trace* trace) const {
+  SessionMetrics& metrics = SessionMetrics::get();
   FileAnalysis out;
   BatchRow& row = out.row;
   row.path = label;
@@ -71,11 +101,23 @@ FileAnalysis AnalysisSession::analyze_image(
     out.content_hash = content_hash(image);
   }
   try {
+    obs::Span parse_span(trace, "elf_parse", &metrics.elf_parse_us);
     const elf::ElfFile elf(image);
-    const elf::FunctionTruth truth = resolve_truth(elf, label, truth_);
-    const core::FunctionDetector detector(elf);
-    const core::DetectionResult result = detector.run(options_);
+    parse_span.finish();
 
+    obs::Span truth_span(trace, "truth", &metrics.truth_us);
+    const elf::FunctionTruth truth = resolve_truth(elf, label, truth_);
+    truth_span.finish();
+
+    obs::Span build_span(trace, "detector_build", &metrics.detector_build_us);
+    const core::FunctionDetector detector(elf);
+    build_span.finish();
+
+    obs::Span detect_span(trace, "detect", &metrics.detect_us);
+    const core::DetectionResult result = detector.run(options_);
+    detect_span.finish();
+
+    obs::Span score_span(trace, "score", &metrics.score_us);
     if (detail == Detail::kFull) {
       out.functions.reserve(result.functions.size());
       for (const auto& [addr, provenance] : result.functions) {
@@ -118,6 +160,7 @@ FileAnalysis AnalysisSession::analyze_image(
       }
       row.fn = row.truth - row.tp;
     }
+    score_span.finish();
     row.ok = true;
   } catch (const std::exception& e) {
     // Per-file resilience contract: a malformed input is an error *row*,
@@ -126,7 +169,9 @@ FileAnalysis AnalysisSession::analyze_image(
     row.ok = false;
     row.error = e.what();
     out.functions.clear();
+    metrics.errors.add();
   }
+  metrics.analyses.add();
   return out;
 }
 

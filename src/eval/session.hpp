@@ -17,6 +17,7 @@
 
 #include "core/detector.hpp"
 #include "eval/batch.hpp"
+#include "obs/trace.hpp"
 
 namespace fetch::eval {
 
@@ -72,13 +73,18 @@ class AnalysisSession {
   /// Reads \p path and analyzes its bytes. Never throws: unreadable or
   /// malformed inputs produce an error row (`row.ok` false).
   [[nodiscard]] FileAnalysis analyze_file(
-      const std::string& path, Detail detail = Detail::kFull) const;
+      const std::string& path, Detail detail = Detail::kFull,
+      obs::Trace* trace = nullptr) const;
 
   /// Analyzes an in-memory image; \p label becomes `row.path`. Never
-  /// throws.
+  /// throws. When \p trace is non-null the pipeline stages (elf_parse,
+  /// truth, detector_build, detect, score) record their spans into it;
+  /// per-stage latency histograms in Registry::global() are fed either
+  /// way.
   [[nodiscard]] FileAnalysis analyze_image(std::span<const std::uint8_t> image,
                                            const std::string& label,
-                                           Detail detail = Detail::kFull) const;
+                                           Detail detail = Detail::kFull,
+                                           obs::Trace* trace = nullptr) const;
 
   /// The error analysis every front end reports for a file that cannot
   /// be opened — one definition, so the served and one-shot paths can

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file log.hpp
+/// Structured, leveled logging for the pipeline and the daemon. Two
+/// sinks: a human-readable line on stderr and an optional JSON-lines
+/// file (one event per line) — NEVER stdout, so `detect`/`query`/batch
+/// stdout stays byte-identical with logging enabled at any level.
+///
+/// Events carry a level, a component tag ("serve", "service", "batch",
+/// ...), a message, and key=value fields. The level check is one
+/// relaxed atomic load, so a disabled log site costs a compare and a
+/// branch — cheap enough to leave in worker loops.
+///
+/// Configuration: the FETCH_LOG environment variable names the initial
+/// level (trace|debug|info|warn|error|off; default info); `--log-level`
+/// overrides it and `--log-file PATH` opens the JSON-lines sink (both
+/// plumbed by fetch-cli and the tools).
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fetch::obs {
+
+enum class LogLevel : std::uint8_t {
+  kTrace = 0,
+  kDebug,
+  kInfo,
+  kWarn,
+  kError,
+  kOff,  ///< threshold only: silences every sink
+};
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// One pre-rendered key=value pair attached to an event.
+struct LogField {
+  std::string key;
+  std::string value;
+};
+
+class Logger {
+ public:
+  /// The process-wide logger. First call reads FETCH_LOG for the level.
+  [[nodiscard]] static Logger& instance();
+
+  void set_level(LogLevel level) {
+    level_.store(static_cast<std::uint8_t>(level),
+                 std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  /// The hot-path gate: true when an event at \p level would be emitted.
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<std::uint8_t>(level) >=
+               level_.load(std::memory_order_relaxed) &&
+           level < LogLevel::kOff;
+  }
+
+  /// Opens (truncating) the JSON-lines sink. false + *error when the
+  /// file cannot be created; the stderr sink is unaffected either way.
+  [[nodiscard]] bool open_file(const std::string& path, std::string* error);
+  void close_file();
+
+  /// Emits one event to every active sink (no-op below the level).
+  /// Thread-safe; the sinks are mutex-serialized, the level gate is not.
+  void write(LogLevel level, std::string_view component,
+             std::string_view message,
+             std::initializer_list<LogField> fields = {});
+
+ private:
+  Logger();
+
+  std::atomic<std::uint8_t> level_;
+  // Sink state lives behind instance()'s function-local static; the
+  // mutex guarding it is in the .cpp to keep this header light.
+};
+
+/// Convenience wrappers over Logger::instance().write().
+void log_event(LogLevel level, std::string_view component,
+               std::string_view message,
+               std::initializer_list<LogField> fields = {});
+
+inline void log_debug(std::string_view component, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) {
+  log_event(LogLevel::kDebug, component, message, fields);
+}
+inline void log_info(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  log_event(LogLevel::kInfo, component, message, fields);
+}
+inline void log_warn(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  log_event(LogLevel::kWarn, component, message, fields);
+}
+inline void log_error(std::string_view component, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) {
+  log_event(LogLevel::kError, component, message, fields);
+}
+
+}  // namespace fetch::obs

@@ -1,0 +1,39 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/hash.hpp"
+
+namespace fetch::obs {
+
+util::json::Value Trace::stages_json() const {
+  util::json::Value out = util::json::Value::array();
+  for (const Stage& stage : stages_) {
+    util::json::Value row = util::json::Value::object();
+    row.set("stage", util::json::Value(stage.name));
+    row.set("us", util::json::Value::number(stage.us));
+    out.add(std::move(row));
+  }
+  return out;
+}
+
+std::string mint_trace_id() {
+  static std::atomic<std::uint64_t> sequence{0};
+  util::Fnv1a hasher;
+  const std::uint64_t seq = sequence.fetch_add(1, std::memory_order_relaxed);
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+  const auto ticks = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  hasher.value(seq);
+  hasher.value(pid);
+  hasher.value(ticks);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hasher.digest()));
+  return buf;
+}
+
+}  // namespace fetch::obs

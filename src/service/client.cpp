@@ -75,12 +75,13 @@ std::optional<util::json::Value> ServiceClient::request(
 }
 
 bool ServiceClient::ping(std::string* error) {
-  return request({Op::kPing, {}}, error).has_value();
+  return request({Op::kPing, {}, {}}, error).has_value();
 }
 
 std::optional<QueryResult> ServiceClient::query(const std::string& path,
-                                                std::string* error) {
-  const auto response = request({Op::kQuery, path}, error);
+                                                std::string* error,
+                                                const std::string& trace) {
+  const auto response = request({Op::kQuery, path, trace}, error);
   if (!response) {
     return std::nullopt;
   }
@@ -97,12 +98,19 @@ std::optional<QueryResult> ServiceClient::query(const std::string& path,
   out.analysis = std::move(*analysis);
   const util::json::Value* cache = response->get("cache");
   out.cache = cache == nullptr ? "?" : cache->text();
+  if (const util::json::Value* id = response->get("trace"); id != nullptr) {
+    out.trace = id->text();
+  }
+  if (const util::json::Value* stages = response->get("stages");
+      stages != nullptr && stages->is_array()) {
+    out.stages = *stages;
+  }
   return out;
 }
 
 std::optional<util::json::Value> ServiceClient::shutdown_server(
     std::string* error) {
-  auto response = request({Op::kShutdown, {}}, error);
+  auto response = request({Op::kShutdown, {}, {}}, error);
   if (!response) {
     return std::nullopt;
   }
@@ -111,7 +119,7 @@ std::optional<util::json::Value> ServiceClient::shutdown_server(
 }
 
 std::optional<util::json::Value> ServiceClient::stats(std::string* error) {
-  auto response = request({Op::kStats, {}}, error);
+  auto response = request({Op::kStats, {}, {}}, error);
   if (!response) {
     return std::nullopt;
   }
@@ -121,6 +129,19 @@ std::optional<util::json::Value> ServiceClient::stats(std::string* error) {
     return std::nullopt;
   }
   return *stats;
+}
+
+std::optional<util::json::Value> ServiceClient::metrics(std::string* error) {
+  auto response = request({Op::kMetrics, {}, {}}, error);
+  if (!response) {
+    return std::nullopt;
+  }
+  const util::json::Value* metrics = response->get("metrics");
+  if (metrics == nullptr) {
+    *error = "metrics response has no metrics";
+    return std::nullopt;
+  }
+  return *metrics;
 }
 
 }  // namespace fetch::service

@@ -20,6 +20,10 @@ namespace fetch::service {
 struct QueryResult {
   eval::FileAnalysis analysis;
   std::string cache;  ///< "hit", "miss", "joined", or "none" (unreadable)
+  std::string trace;  ///< trace id echoed (or minted) by the daemon
+  /// Per-stage timings, [{"stage":...,"us":...}, ...]; empty array for
+  /// cache hits/joins (only a miss runs the pipeline).
+  util::json::Value stages = util::json::Value::array();
 };
 
 /// Client-side robustness knobs. The defaults match the old behavior
@@ -54,15 +58,21 @@ class ServiceClient {
 
   /// Analyzes \p path (server-side, cache-aware). Transport/protocol
   /// failures return nullopt; a failed *analysis* is a QueryResult whose
-  /// row has ok == false, exactly like the one-shot path.
+  /// row has ok == false, exactly like the one-shot path. A non-empty
+  /// \p trace travels with the request and is echoed in the reply;
+  /// otherwise the daemon mints one.
   [[nodiscard]] std::optional<QueryResult> query(const std::string& path,
-                                                 std::string* error);
+                                                 std::string* error,
+                                                 const std::string& trace = {});
 
   /// Asks the daemon to stop; returns its final cache stats JSON.
   [[nodiscard]] std::optional<util::json::Value> shutdown_server(
       std::string* error);
 
   [[nodiscard]] std::optional<util::json::Value> stats(std::string* error);
+
+  /// The daemon's fetch-metrics-v1 document (see src/obs/metrics.hpp).
+  [[nodiscard]] std::optional<util::json::Value> metrics(std::string* error);
 
   [[nodiscard]] const std::string& socket_path() const {
     return socket_path_;

@@ -75,6 +75,8 @@ const char* op_name(Op op) {
       return "query";
     case Op::kStats:
       return "stats";
+    case Op::kMetrics:
+      return "metrics";
     case Op::kShutdown:
       return "shutdown";
   }
@@ -96,6 +98,9 @@ Value request_json(const Request& request) {
   doc.set("op", Value(op_name(request.op)));
   if (request.op == Op::kQuery) {
     doc.set("path", Value(request.path));
+    if (!request.trace.empty()) {
+      doc.set("trace", Value(request.trace));
+    }
   }
   return doc;
 }
@@ -124,6 +129,8 @@ std::optional<Request> parse_request(const std::string& payload,
     request.op = Op::kQuery;
   } else if (op->text() == "stats") {
     request.op = Op::kStats;
+  } else if (op->text() == "metrics") {
+    request.op = Op::kMetrics;
   } else if (op->text() == "shutdown") {
     request.op = Op::kShutdown;
   } else {
@@ -138,6 +145,13 @@ std::optional<Request> parse_request(const std::string& payload,
       return std::nullopt;
     }
     request.path = path->text();
+    if (const Value* trace = doc->get("trace"); trace != nullptr) {
+      if (trace->kind() != Value::Kind::kString) {
+        *error = "query \"trace\" must be a string";
+        return std::nullopt;
+      }
+      request.trace = trace->text();
+    }
   }
   return request;
 }
@@ -292,6 +306,9 @@ Value server_stats_json(const ServerStats& stats) {
   doc.set("frames_shed", Value::number(stats.frames_shed));
   doc.set("queue_depth", Value::number(stats.queue_depth));
   doc.set("queue_high_water", Value::number(stats.queue_high_water));
+  doc.set("slow_queries", Value::number(stats.slow_queries));
+  doc.set("uptime_ms", Value::number(stats.uptime_ms));
+  doc.set("workers", Value::number(stats.workers));
   return doc;
 }
 

@@ -10,16 +10,22 @@
 /// Requests:
 ///   {"schema":"fetch-service-v1","op":"ping"}
 ///   {"schema":"fetch-service-v1","op":"query","path":"/abs/elf"}
+///   {"schema":"fetch-service-v1","op":"query","path":"...","trace":"id"}
 ///   {"schema":"fetch-service-v1","op":"stats"}
+///   {"schema":"fetch-service-v1","op":"metrics"}
 ///   {"schema":"fetch-service-v1","op":"shutdown"}
 ///
 /// Responses always carry "schema" and "status" ("ok"/"error"); error
 /// responses add "error". Query responses add "cache" ("hit", "miss", or
 /// "joined" for a request that waited on another client's in-flight
-/// analysis of the same content), "content_hash" (16 hex digits), and
-/// "result" (the serialized eval::FileAnalysis). Stats and shutdown
-/// responses add "stats" (cache counters). See DESIGN.md,
-/// "Analysis service" for the full schema.
+/// analysis of the same content), "content_hash" (16 hex digits),
+/// "result" (the serialized eval::FileAnalysis), "trace" (the request's
+/// trace id — echoed when the client supplied one, minted by the daemon
+/// otherwise), and "stages" (per-stage microsecond timings for a miss;
+/// empty for hits/joins). Stats and shutdown responses add "stats"
+/// (cache counters). Metrics responses add "metrics" (a fetch-metrics-v1
+/// document, src/obs/metrics.hpp). See DESIGN.md, "Analysis service"
+/// and "Observability" for the full schemas.
 
 #include <cstdint>
 #include <optional>
@@ -39,13 +45,14 @@ inline constexpr const char* kSchema = "fetch-service-v1";
 /// later), which callers must not confuse with "unreachable".
 inline constexpr const char* kErrOverloaded = "overloaded";
 
-enum class Op : std::uint8_t { kPing, kQuery, kStats, kShutdown };
+enum class Op : std::uint8_t { kPing, kQuery, kStats, kMetrics, kShutdown };
 
 [[nodiscard]] const char* op_name(Op op);
 
 struct Request {
   Op op = Op::kPing;
-  std::string path;  ///< query only: the binary to analyze
+  std::string path;   ///< query only: the binary to analyze
+  std::string trace;  ///< query only, optional: client-chosen trace id
 };
 
 /// The socket path used when `--socket` is not given: the FETCH_SOCKET
@@ -100,6 +107,9 @@ struct ServerStats {
   std::uint64_t frames_shed = 0;         ///< frames dropped (poisoned stream)
   std::uint64_t queue_depth = 0;         ///< analysis queue depth right now
   std::uint64_t queue_high_water = 0;    ///< max queue depth ever observed
+  std::uint64_t slow_queries = 0;        ///< queries over --slow-query-ms
+  std::uint64_t uptime_ms = 0;           ///< ms since the loop started
+  std::uint64_t workers = 0;             ///< analysis worker threads
 };
 
 [[nodiscard]] util::json::Value server_stats_json(const ServerStats& stats);

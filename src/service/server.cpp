@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/thread_pool.hpp"
@@ -43,6 +45,13 @@ constexpr std::uint64_t kDrainDeadlineMs = 5'000;
 std::uint64_t now_ms() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
@@ -148,6 +157,7 @@ bool ServiceServer::start(std::string* error) {
     return false;
   }
   reserve_fd_ = util::Fd(::open("/dev/null", O_RDONLY | O_CLOEXEC));
+  start_ms_ = now_ms();
   return true;
 }
 
@@ -166,6 +176,9 @@ ServerStats ServiceServer::server_stats() const {
   stats.frames_shed = frames_shed_.load(std::memory_order_relaxed);
   stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   stats.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  stats.slow_queries = slow_queries_.load(std::memory_order_relaxed);
+  stats.uptime_ms = start_ms_ != 0 ? now_ms() - start_ms_ : 0;
+  stats.workers = static_cast<std::uint64_t>(options_.workers);
   return stats;
 }
 
@@ -187,6 +200,12 @@ void ServiceServer::run() {
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  obs::log_info("service", "serving",
+                {{"socket", options_.socket_path},
+                 {"workers", std::to_string(options_.workers)},
+                 {"queue_depth", std::to_string(effective_queue_depth_)},
+                 {"max_connections",
+                  std::to_string(options_.max_connections)}});
 
   std::vector<epoll_event> events(64);
   std::vector<std::uint64_t> expired;
@@ -280,6 +299,10 @@ void ServiceServer::run() {
 
   connections_.clear();
   active_.store(0, std::memory_order_relaxed);
+  obs::log_info("service", "stopped",
+                {{"socket", options_.socket_path},
+                 {"uptime_ms",
+                  std::to_string(start_ms_ != 0 ? now_ms() - start_ms_ : 0)}});
   // epoll_ and wake_event_ stay open until destruction: a racing stop()
   // from another thread may still poke the eventfd, and writing into a
   // recycled descriptor would be far worse than holding two fds.
@@ -300,6 +323,11 @@ void ServiceServer::stop() {
 void ServiceServer::begin_drain(std::uint64_t now) {
   draining_ = true;
   drain_deadline_ms_ = now + kDrainDeadlineMs;
+  obs::log_info(
+      "service", "draining",
+      {{"connections", std::to_string(connections_.size())},
+       {"jobs_outstanding",
+        std::to_string(jobs_outstanding_.load(std::memory_order_acquire))}});
   // No new clients, no new requests: close the listener and stop
   // reading everywhere. Queued and running analyses still complete and
   // their responses still flush.
@@ -362,6 +390,8 @@ void ServiceServer::accept_ready(std::uint64_t now) {
       // accepted connection is empty, so the frame virtually always
       // fits without blocking.
       rejected_connections_.fetch_add(1, std::memory_order_relaxed);
+      obs::log_warn("service", "connection rejected: at --max-connections",
+                    {{"active", std::to_string(connections_.size())}});
       const std::string frame = encode_frame(error_response(
           "server is at its connection limit", kErrOverloaded));
       [[maybe_unused]] const ssize_t rc =
@@ -396,6 +426,7 @@ void ServiceServer::handle_emfile() {
   // then park the listener briefly so the loop stays quiet even if the
   // backlog is full of further connections we cannot serve.
   emfile_rejections_.fetch_add(1, std::memory_order_relaxed);
+  obs::log_warn("service", "out of file descriptors: shedding via reserve fd");
   if (reserve_fd_.valid()) {
     reserve_fd_.reset();
     const int cfd = ::accept(listener_.get(), nullptr, nullptr);
@@ -504,6 +535,9 @@ void ServiceServer::handle_frame(Connection* conn, const std::string& payload,
     case Op::kStats:
       queue_reply(conn, seq, encode_frame(stats_response(Op::kStats)), now);
       return;
+    case Op::kMetrics:
+      queue_reply(conn, seq, encode_frame(metrics_response()), now);
+      return;
     case Op::kShutdown: {
       const std::uint64_t id = conn->id;
       conn->close_after_flush = true;
@@ -526,7 +560,12 @@ void ServiceServer::handle_frame(Connection* conn, const std::string& payload,
   {
     const std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_.size() < effective_queue_depth_) {
-      queue_.push_back(Job{conn->id, seq, request->path});
+      // The trace id travels with the job and is echoed in the reply:
+      // client-supplied when present, minted here otherwise.
+      queue_.push_back(Job{conn->id, seq, request->path,
+                           request->trace.empty() ? obs::mint_trace_id()
+                                                  : request->trace,
+                           now_us()});
       const auto depth = static_cast<std::uint64_t>(queue_.size());
       queue_depth_.store(depth, std::memory_order_relaxed);
       bump_high_water(&queue_high_water_, depth);
@@ -535,6 +574,8 @@ void ServiceServer::handle_frame(Connection* conn, const std::string& payload,
   }
   if (!enqueued) {
     queries_shed_.fetch_add(1, std::memory_order_relaxed);
+    obs::log_warn("service", "query shed: analysis queue is full",
+                  {{"path", request->path}});
     queue_reply(
         conn, seq,
         encode_frame(error_response("analysis queue is full", kErrOverloaded)),
@@ -552,6 +593,58 @@ util::json::Value ServiceServer::stats_response(Op op) const {
       stats_json(cache_stats(), cache_.capacity(), cache_.shard_count());
   stats.set("server", server_stats_json(server_stats()));
   response.set("stats", std::move(stats));
+  return response;
+}
+
+util::json::Value ServiceServer::metrics_response() const {
+  obs::Snapshot snap;
+  // Library-level metrics first (decode cache, session stages, batch);
+  // per-server values follow and win any (unexpected) name collision.
+  obs::Registry::global().collect(&snap);
+
+  const ServerStats server = server_stats();
+  snap.set_counter("service_accepted_total", server.accepted);
+  snap.set_counter("service_rejected_connections_total",
+                   server.rejected_connections);
+  snap.set_counter("service_emfile_rejections_total",
+                   server.emfile_rejections);
+  snap.set_counter("service_idle_timeouts_total", server.idle_timeouts);
+  snap.set_counter("service_write_stall_timeouts_total",
+                   server.write_stall_timeouts);
+  snap.set_counter("service_queries_shed_total", server.queries_shed);
+  snap.set_counter("service_frames_shed_total", server.frames_shed);
+  snap.set_counter("service_slow_queries_total", server.slow_queries);
+  snap.set_gauge("service_active_connections",
+                 static_cast<std::int64_t>(server.active));
+  snap.set_gauge("service_peak_active_connections",
+                 static_cast<std::int64_t>(server.peak_active));
+  snap.set_gauge("service_queue_depth",
+                 static_cast<std::int64_t>(server.queue_depth));
+  snap.set_gauge("service_queue_high_water",
+                 static_cast<std::int64_t>(server.queue_high_water));
+  snap.set_gauge("service_uptime_ms",
+                 static_cast<std::int64_t>(server.uptime_ms));
+  snap.set_gauge("service_workers",
+                 static_cast<std::int64_t>(server.workers));
+
+  const util::LruStats cache = cache_stats();
+  snap.set_counter("cache_hits_total", cache.hits);
+  snap.set_counter("cache_misses_total", cache.misses);
+  snap.set_counter("cache_joined_total", cache.joined);
+  snap.set_counter("cache_evictions_total", cache.evictions);
+  // lookups() == hits + misses + joined; exported so consumers (and the
+  // conservation test) need no client-side arithmetic.
+  snap.set_counter("cache_lookups_total", cache.lookups());
+  snap.set_gauge("cache_entries", static_cast<std::int64_t>(cache.entries));
+  snap.set_gauge("cache_capacity",
+                 static_cast<std::int64_t>(cache_.capacity()));
+
+  snap.set_histogram("service_queue_wait_us",
+                     obs::freeze_histogram(queue_wait_us_));
+  snap.set_histogram("service_query_us", obs::freeze_histogram(query_us_));
+
+  util::json::Value response = ok_response(Op::kMetrics);
+  response.set("metrics", snap.json());
   return response;
 }
 
@@ -743,7 +836,8 @@ void ServiceServer::worker_loop() {
       queue_depth_.store(static_cast<std::uint64_t>(queue_.size()),
                          std::memory_order_relaxed);
     }
-    std::string frame = run_query(job.path);
+    queue_wait_us_.record_us(now_us() - job.enqueue_us);
+    std::string frame = run_query(job);
     {
       const std::lock_guard<std::mutex> lock(completions_mu_);
       completions_.push_back(
@@ -755,7 +849,12 @@ void ServiceServer::worker_loop() {
   }
 }
 
-std::string ServiceServer::run_query(const std::string& path) {
+std::string ServiceServer::run_query(const Job& job) {
+  const std::string& path = job.path;
+  obs::Trace trace(job.trace_id);
+  obs::Span query_span(nullptr, "query", &query_us_);
+  const std::uint64_t started_us = now_us();
+
   // Query: hash the content first, then consult the cache. Reading the
   // file on every query is what makes the cache content-addressed — a
   // changed binary at the same path is a different key, and the same
@@ -765,23 +864,50 @@ std::string ServiceServer::run_query(const std::string& path) {
   std::span<const std::uint8_t> bytes;
   std::optional<util::MappedFile> mapped = util::MappedFile::map(path);
   std::vector<std::uint8_t> fallback;
+  util::json::Value response = ok_response(Op::kQuery);
   if (mapped) {
     bytes = mapped->bytes();
   } else if (util::read_file_bytes(path, &fallback)) {
     bytes = {fallback.data(), fallback.size()};
   } else {
-    util::json::Value response = ok_response(Op::kQuery);
     response.set("cache", util::json::Value("none"));
     response.set("result",
                  analysis_json(eval::AnalysisSession::unreadable(path)));
+    response.set("trace", util::json::Value(trace.id()));
+    response.set("stages", trace.stages_json());
     return encode_frame(response);
   }
   const std::uint64_t key = eval::AnalysisSession::content_hash(bytes);
-  const auto [analysis, outcome] = cache_.get_or_compute(
-      key, [&] { return session_.analyze_image(bytes, path); });
-  util::json::Value response = ok_response(Op::kQuery);
+  const auto [analysis, outcome] = cache_.get_or_compute(key, [&] {
+    // Only a miss runs the pipeline, so only a miss has stage timings;
+    // hits and joins echo an empty stages array.
+    return session_.analyze_image(bytes, path,
+                                  eval::AnalysisSession::Detail::kFull,
+                                  &trace);
+  });
   response.set("cache", util::json::Value(outcome_name(outcome)));
   response.set("result", analysis_json(*analysis));
+  response.set("trace", util::json::Value(trace.id()));
+  response.set("stages", trace.stages_json());
+  query_span.finish();
+
+  const std::uint64_t elapsed_ms = (now_us() - started_us) / 1000;
+  if (options_.slow_query_ms != 0 && elapsed_ms >= options_.slow_query_ms) {
+    slow_queries_.fetch_add(1, std::memory_order_relaxed);
+    std::string stages;
+    for (const obs::Trace::Stage& stage : trace.stages()) {
+      if (!stages.empty()) {
+        stages += ',';
+      }
+      stages += stage.name + "=" + std::to_string(stage.us) + "us";
+    }
+    obs::log_warn("service", "slow query",
+                  {{"trace", trace.id()},
+                   {"path", path},
+                   {"ms", std::to_string(elapsed_ms)},
+                   {"cache", outcome_name(outcome)},
+                   {"stages", stages}});
+  }
   return encode_frame(response);
 }
 

@@ -44,6 +44,7 @@
 
 #include "core/detector.hpp"
 #include "eval/session.hpp"
+#include "obs/metrics.hpp"
 #include "service/protocol.hpp"
 #include "util/framing.hpp"
 #include "util/lru.hpp"
@@ -74,6 +75,9 @@ struct ServerOptions {
   /// Evict a connection whose buffered responses it has not drained for
   /// this long (slow/stalled reader). 0 disables.
   std::uint64_t write_stall_ms = 10'000;
+  /// Log (at warn) any query whose wall time meets or exceeds this many
+  /// milliseconds, with its trace id and per-stage timings. 0 disables.
+  std::uint64_t slow_query_ms = 0;
   /// Detector configuration for every analysis (the service equivalent
   /// of BatchOptions::detector; defaults to the full FETCH pipeline).
   core::DetectorOptions detector;
@@ -143,6 +147,8 @@ class ServiceServer {
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;  ///< reply slot on that connection
     std::string path;
+    std::string trace_id;         ///< echoed in the reply
+    std::uint64_t enqueue_us = 0; ///< steady µs at enqueue (queue-wait metric)
   };
 
   struct Completion {
@@ -171,10 +177,14 @@ class ServiceServer {
   void begin_drain(std::uint64_t now_ms);
   [[nodiscard]] bool drain_complete() const;
   [[nodiscard]] util::json::Value stats_response(Op op) const;
+  /// fetch-metrics-v1 snapshot of this server (connection/queue/query
+  /// counters, latency histograms, cache counters) merged with
+  /// obs::Registry::global() (decode cache, session stages).
+  [[nodiscard]] util::json::Value metrics_response() const;
 
   // --- worker-side ---
   void worker_loop();
-  [[nodiscard]] std::string run_query(const std::string& path);
+  [[nodiscard]] std::string run_query(const Job& job);
 
   ServerOptions options_;
   std::size_t effective_queue_depth_ = 0;
@@ -221,6 +231,13 @@ class ServiceServer {
   std::atomic<std::uint64_t> queue_depth_{0};
   std::atomic<std::uint64_t> queue_high_water_{0};
   std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> slow_queries_{0};
+  std::uint64_t start_ms_ = 0;  ///< set by start(); uptime anchor
+
+  // Per-server latency histograms (NOT in the global registry, so two
+  // in-process servers — the tests run several — never share them).
+  obs::Histogram queue_wait_us_;  ///< enqueue → worker dequeue
+  obs::Histogram query_us_;       ///< worker dequeue → response encoded
 };
 
 }  // namespace fetch::service

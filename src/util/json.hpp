@@ -133,6 +133,10 @@ class Value {
   /// Serializes with 2-space indentation (stable across runs).
   [[nodiscard]] std::string dump(int indent = 0) const;
 
+  /// Single-line serialization (no newlines, minimal spacing) — for
+  /// JSON-lines sinks where one value must stay one line.
+  [[nodiscard]] std::string dump_compact() const;
+
   /// Strict parse of a complete JSON document (trailing whitespace only).
   /// std::nullopt on any syntax error.
   [[nodiscard]] static std::optional<Value> parse(std::string_view text);
@@ -477,6 +481,47 @@ inline void dump_value(const Value& value, int depth, std::string& out) {
   }
 }
 
+inline void dump_value_compact(const Value& value, std::string& out) {
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber:
+      out += value.text();
+      break;
+    case Value::Kind::kString:
+      dump_string(value.text(), out);
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < value.items().size(); ++i) {
+        if (i != 0) {
+          out += ',';
+        }
+        dump_value_compact(value.items()[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < value.members().size(); ++i) {
+        if (i != 0) {
+          out += ',';
+        }
+        dump_string(value.members()[i].first, out);
+        out += ':';
+        dump_value_compact(value.members()[i].second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
 }  // namespace detail
 
 inline Value Value::number(double value) {
@@ -488,6 +533,12 @@ inline Value Value::number(double value) {
 inline std::string Value::dump(int indent) const {
   std::string out;
   detail::dump_value(*this, indent, out);
+  return out;
+}
+
+inline std::string Value::dump_compact() const {
+  std::string out;
+  detail::dump_value_compact(*this, out);
   return out;
 }
 

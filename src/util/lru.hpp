@@ -45,6 +45,12 @@ struct LruStats {
   std::uint64_t joined = 0;     ///< waited on another caller's computation
   std::uint64_t evictions = 0;  ///< entries dropped to respect capacity
   std::size_t entries = 0;      ///< current cached entries
+
+  /// Every lookup lands in exactly one of hits/misses/joined — the
+  /// conservation law the observability tests pin down.
+  [[nodiscard]] std::uint64_t lookups() const {
+    return hits + misses + joined;
+  }
 };
 
 template <typename V>

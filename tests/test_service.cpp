@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -526,7 +527,7 @@ TEST(ServiceOverload, SlowLorisTrickleDoesNotResetIdleClock) {
   // the idle window, but the deadline is re-armed only on *complete*
   // frames, so the trickler must still be evicted mid-frame.
   const std::vector<std::uint8_t> wire =
-      wire_request({service::Op::kPing, {}});
+      wire_request({service::Op::kPing, {}, {}});
   bool evicted = false;
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(10);
@@ -564,7 +565,7 @@ TEST(ServiceOverload, QueueFullGetsImmediateOverloadedReply) {
   auto fd = util::unix_connect(server.socket(), &error);
   ASSERT_TRUE(fd.has_value()) << error;
   const std::vector<std::uint8_t> wire =
-      wire_request({service::Op::kQuery, path});
+      wire_request({service::Op::kQuery, path, {}});
   for (std::size_t i = 0; i < kBurst; ++i) {
     std::size_t sent = 0;
     while (sent < wire.size()) {
@@ -665,7 +666,7 @@ TEST(ServiceOverload, StalledReaderIsEvictedByWriteDeadline) {
   // replies for, and never read: the flush stalls and the write-stall
   // deadline must evict us.
   const std::vector<std::uint8_t> wire =
-      wire_request({service::Op::kStats, {}});
+      wire_request({service::Op::kStats, {}, {}});
   for (std::size_t i = 0; i < 1'500; ++i) {
     std::size_t sent = 0;
     while (sent < wire.size()) {
@@ -703,11 +704,92 @@ TEST(ServiceOverload, StatsOpSurfacesRobustnessCounters) {
   for (const char* key :
        {"accepted", "active", "peak_active", "rejected_connections",
         "emfile_rejections", "idle_timeouts", "write_stall_timeouts",
-        "queries_shed", "frames_shed", "queue_depth", "queue_high_water"}) {
+        "queries_shed", "frames_shed", "queue_depth", "queue_high_water",
+        "slow_queries", "uptime_ms", "workers"}) {
     ASSERT_NE(nested->get(key), nullptr) << key;
   }
   EXPECT_GE(nested->get("rejected_connections")->as_double(), 1.0);
   EXPECT_GE(nested->get("accepted")->as_double(), 1.0);
+}
+
+TEST(ServiceMetrics, MetricsOpReturnsSchemaValidSnapshot) {
+  TestServer server;
+  auto client = server.connect();
+  std::string error;
+  const std::string path =
+      write_sample_binary("svc_metrics.bin", 0, 0x3e7a1);
+  // Deterministic load: one miss, one hit.
+  ASSERT_TRUE(client.query(path, &error).has_value()) << error;
+  ASSERT_TRUE(client.query(path, &error).has_value()) << error;
+
+  const auto metrics = client.metrics(&error);
+  ASSERT_TRUE(metrics.has_value()) << error;
+  const auto snapshot = obs::Snapshot::from_json(*metrics, &error);
+  ASSERT_TRUE(snapshot.has_value()) << error;
+
+  const auto& counters = snapshot->counters();
+  for (const char* name :
+       {"service_accepted_total", "cache_hits_total", "cache_misses_total",
+        "cache_joined_total", "cache_lookups_total"}) {
+    ASSERT_TRUE(counters.count(name) != 0) << name;
+  }
+  // Conservation: every lookup is exactly one of hit/miss/join.
+  EXPECT_EQ(counters.at("cache_lookups_total"),
+            counters.at("cache_hits_total") +
+                counters.at("cache_misses_total") +
+                counters.at("cache_joined_total"));
+  EXPECT_GE(counters.at("cache_hits_total"), 1u);
+  EXPECT_GE(counters.at("cache_misses_total"), 1u);
+
+  const auto& histograms = snapshot->histograms();
+  ASSERT_TRUE(histograms.count("service_query_us") != 0);
+  ASSERT_TRUE(histograms.count("service_queue_wait_us") != 0);
+  EXPECT_GE(histograms.at("service_query_us").count, 2u);
+
+  const auto& gauges = snapshot->gauges();
+  ASSERT_TRUE(gauges.count("service_workers") != 0);
+  EXPECT_GT(gauges.at("service_workers"), 0);
+
+  // The snapshot doubles as the Prometheus source; rendering must not
+  // choke on any live metric name or value.
+  EXPECT_NE(obs::prometheus_text(*snapshot).find("fetch_cache_hits_total"),
+            std::string::npos);
+}
+
+TEST(ServiceMetrics, TraceIdsEchoAndStagesFollowCacheState) {
+  TestServer server;
+  auto client = server.connect();
+  std::string error;
+  const std::string path =
+      write_sample_binary("svc_trace.bin", 1, 0x3e7a2);
+
+  // A client-supplied id comes back verbatim, and the miss that computes
+  // the analysis carries per-stage timings.
+  const auto miss = client.query(path, &error, "deadbeef00000042");
+  ASSERT_TRUE(miss.has_value()) << error;
+  EXPECT_EQ(miss->trace, "deadbeef00000042");
+  EXPECT_EQ(miss->cache, "miss");
+  std::vector<std::string> stage_names;
+  for (const util::json::Value& stage : miss->stages.items()) {
+    const util::json::Value* name = stage.get("stage");
+    ASSERT_NE(name, nullptr);
+    stage_names.push_back(name->text());
+  }
+  EXPECT_EQ(stage_names,
+            (std::vector<std::string>{"elf_parse", "truth", "detector_build",
+                                      "detect", "score"}));
+
+  // No id supplied: the daemon mints a 16-hex one. A cache hit answers
+  // from the stored result, so it has no stage timings to report.
+  const auto hit = client.query(path, &error);
+  ASSERT_TRUE(hit.has_value()) << error;
+  EXPECT_EQ(hit->cache, "hit");
+  EXPECT_EQ(hit->trace.size(), 16u);
+  for (const char c : hit->trace) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+        << hit->trace;
+  }
+  EXPECT_EQ(hit->stages.items().size(), 0u);
 }
 
 // The sanitizer-matrix stress cases (ctest label "concurrency", run under

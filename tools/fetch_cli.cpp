@@ -45,11 +45,21 @@
 /// /tmp/fetch-serve.<uid>.sock) for serve/query/shutdown.
 /// Serve-only: --cache-capacity N (result-cache entries, default 256),
 /// --max-connections N, --queue-depth N, --idle-timeout-ms N,
-/// --write-stall-ms N, --daemonize, --pidfile PATH.
+/// --write-stall-ms N, --slow-query-ms N (warn-log queries at or over
+/// the threshold; 0 = off), --daemonize, --pidfile PATH.
 /// Client-only (query/shutdown): --retries N (connect retry with
 /// jittered exponential backoff), --timeout MS (response deadline),
-/// --op ping|stats|query (query). Exit codes: 0 ok, 1 error, 2 usage,
-/// 3 daemon unreachable or timed out, 4 daemon overloaded.
+/// --op ping|stats|metrics|query (query), --format FORMAT (stats:
+/// table|json; metrics: json|prom), --trace ID (query: send a trace id,
+/// echo the daemon's per-stage timings on stderr). Exit codes: 0 ok,
+/// 1 error, 2 usage, 3 daemon unreachable or timed out, 4 daemon
+/// overloaded.
+///
+/// Observability (any command): --log-level trace|debug|info|warn|error|
+/// off (default: FETCH_LOG env, else info; human-readable lines on
+/// stderr — never stdout), --log-file PATH (JSON-lines event sink).
+/// detect/batch also take --metrics-json PATH (dump the process's
+/// fetch-metrics-v1 counters/histograms after the run).
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -82,6 +92,8 @@
 #include "eval/runner.hpp"
 #include "eval/session.hpp"
 #include "eval/table.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "synth/corpus_store.hpp"
@@ -308,13 +320,16 @@ struct ServiceArgs {
   std::size_t queue_depth = 0;            ///< --queue-depth N
   std::uint64_t idle_timeout_ms = kUnsetMs;   ///< --idle-timeout-ms N
   std::uint64_t write_stall_ms = kUnsetMs;    ///< --write-stall-ms N
+  std::uint64_t slow_query_ms = kUnsetMs;     ///< --slow-query-ms N
   bool daemonize = false;                 ///< --daemonize
   std::string pidfile;                    ///< --pidfile PATH
 
   // query/shutdown-only knobs.
   std::size_t retries = 0;       ///< --retries N (connect attempts - 1)
   std::uint64_t timeout_ms = 0;  ///< --timeout MS (response deadline)
-  std::string op;                ///< --op ping|stats|query (query only)
+  std::string op;      ///< --op ping|stats|metrics|query (query only)
+  std::string format;  ///< --format (stats: table|json; metrics: json|prom)
+  std::string trace;   ///< --trace ID (query only)
 
   [[nodiscard]] bool any() const {
     return !socket.empty() || cache_capacity != 0 || serve_only() ||
@@ -323,10 +338,11 @@ struct ServiceArgs {
   [[nodiscard]] bool serve_only() const {
     return max_connections != 0 || queue_depth != 0 ||
            idle_timeout_ms != kUnsetMs || write_stall_ms != kUnsetMs ||
-           daemonize || !pidfile.empty();
+           slow_query_ms != kUnsetMs || daemonize || !pidfile.empty();
   }
   [[nodiscard]] bool client_only() const {
-    return retries != 0 || timeout_ms != 0 || !op.empty();
+    return retries != 0 || timeout_ms != 0 || !op.empty() ||
+           !format.empty() || !trace.empty();
   }
 };
 
@@ -416,25 +432,31 @@ int cmd_serve(std::size_t jobs, const ServiceArgs& service) {
   if (service.write_stall_ms != ServiceArgs::kUnsetMs) {
     options.write_stall_ms = service.write_stall_ms;
   }
+  if (service.slow_query_ms != ServiceArgs::kUnsetMs) {
+    options.slow_query_ms = service.slow_query_ms;
+  }
   service::ServiceServer server(options);
   std::string error;
   if (!server.start(&error)) {
-    std::cerr << "error: " << error << "\n";
+    obs::log_error("serve", "cannot start", {{"error", error}});
     return 1;
   }
-  std::cerr << "fetch-serve: listening on " << server.socket_path()
-            << " (cache capacity "
-            << server.options().cache_capacity << " entries, "
-            << server.options().max_connections << " connections max)\n";
+  obs::log_info(
+      "serve", "listening",
+      {{"socket", server.socket_path()},
+       {"cache_capacity", std::to_string(server.options().cache_capacity)},
+       {"max_connections",
+        std::to_string(server.options().max_connections)}});
   if (service.daemonize && !daemonize_self(&error)) {
-    std::cerr << "error: " << error << "\n";
+    obs::log_error("serve", "cannot daemonize", {{"error", error}});
     return 1;
   }
   if (!service.pidfile.empty()) {
     std::ofstream out(service.pidfile, std::ios::trunc);
     out << ::getpid() << "\n";
     if (!out) {
-      std::cerr << "error: cannot write pidfile " << service.pidfile << "\n";
+      obs::log_error("serve", "cannot write pidfile",
+                     {{"path", service.pidfile}});
       return 1;
     }
   }
@@ -457,10 +479,14 @@ int cmd_serve(std::size_t jobs, const ServiceArgs& service) {
   }
   const util::LruStats stats = server.cache_stats();
   const service::ServerStats robustness = server.server_stats();
-  std::cerr << "fetch-serve: stopped (hits " << stats.hits << ", misses "
-            << stats.misses << ", joined " << stats.joined << ", evictions "
-            << stats.evictions << ", shed " << robustness.queries_shed
-            << ", rejected " << robustness.rejected_connections << ")\n";
+  obs::log_info(
+      "serve", "stopped",
+      {{"hits", std::to_string(stats.hits)},
+       {"misses", std::to_string(stats.misses)},
+       {"joined", std::to_string(stats.joined)},
+       {"evictions", std::to_string(stats.evictions)},
+       {"shed", std::to_string(robustness.queries_shed)},
+       {"rejected", std::to_string(robustness.rejected_connections)}});
   return 0;
 }
 
@@ -488,6 +514,23 @@ int render_stats(const util::json::Value& stats) {
   return 0;
 }
 
+/// `query --op stats --format table`: the same flattened keys as the
+/// default rendering, aligned in a two-column table.
+int render_stats_table(const util::json::Value& stats) {
+  eval::TextTable table({"metric", "value"});
+  for (const auto& [key, value] : stats.members()) {
+    if (value.is_object()) {
+      for (const auto& [sub_key, sub_value] : value.members()) {
+        table.add_row({key + "." + sub_key, sub_value.dump()});
+      }
+      continue;
+    }
+    table.add_row({key, value.dump()});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_query(const std::vector<const char*>& args,
               const ServiceArgs& service) {
   std::string error;
@@ -511,7 +554,35 @@ int cmd_query(const std::vector<const char*>& args,
       std::cerr << "error: " << error << "\n";
       return client_exit_code(&*client, error);
     }
+    if (service.format == "json") {
+      std::cout << stats->dump() << "\n";
+      return 0;
+    }
+    if (service.format == "table") {
+      return render_stats_table(*stats);
+    }
     return render_stats(*stats);
+  }
+  if (service.op == "metrics") {
+    const auto metrics = client->metrics(&error);
+    if (!metrics) {
+      std::cerr << "error: " << error << "\n";
+      return client_exit_code(&*client, error);
+    }
+    if (service.format == "prom") {
+      // Round-trip through the typed snapshot: a daemon whose metrics
+      // document does not parse as fetch-metrics-v1 is a bug worth a
+      // loud error, not garbled exposition output.
+      const auto snapshot = obs::Snapshot::from_json(*metrics, &error);
+      if (!snapshot) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+      }
+      std::cout << obs::prometheus_text(*snapshot);
+      return 0;
+    }
+    std::cout << metrics->dump() << "\n";
+    return 0;
   }
   int rc = 0;
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -522,10 +593,24 @@ int cmd_query(const std::vector<const char*>& args,
     std::error_code ec;
     const std::filesystem::path abs = std::filesystem::absolute(spelling, ec);
     const std::string sent = ec ? spelling : abs.string();
-    auto result = client->query(sent, &error);
+    auto result = client->query(sent, &error, service.trace);
     if (!result) {
       std::cerr << "error: " << error << "\n";
       return client_exit_code(&*client, error);
+    }
+    if (!service.trace.empty()) {
+      // Opt-in (--trace): stage timings on stderr, so default query
+      // output stays byte-identical to one-shot `detect`.
+      std::cerr << "trace " << result->trace << ": cache " << result->cache;
+      for (const util::json::Value& stage : result->stages.items()) {
+        const util::json::Value* name = stage.get("stage");
+        const util::json::Value* us = stage.get("us");
+        if (name != nullptr && us != nullptr) {
+          std::cerr << " " << name->text() << "="
+                    << static_cast<std::uint64_t>(us->as_double()) << "us";
+        }
+      }
+      std::cerr << "\n";
     }
     // Error messages name the absolutized path; restore the caller's
     // spelling so failures too are byte-identical to one-shot `detect`.
@@ -553,7 +638,7 @@ int cmd_shutdown(const ServiceArgs& service) {
     std::cerr << "error: " << error << "\n";
     return client_exit_code(&*client, error);
   }
-  std::cerr << "fetch-serve: shutdown acknowledged\n";
+  obs::log_info("serve", "shutdown acknowledged");
   return 0;
 }
 
@@ -643,23 +728,43 @@ int cmd_batch(const std::vector<const char*>& args, const BatchArgs& batch,
   return report.error_count() == report.rows().size() ? 1 : 0;
 }
 
+/// Dumps the process-wide metrics registry when --metrics-json was
+/// given, preserving the command's exit code unless the dump fails.
+int finish_with_metrics(const std::string& path, int rc) {
+  if (path.empty()) {
+    return rc;
+  }
+  std::string error;
+  if (!obs::write_global_metrics_json(path, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return rc == 0 ? 1 : rc;
+  }
+  return rc;
+}
+
 int usage() {
   std::cerr << "usage: fetch-cli [--jobs N] [--scale smoke|default|full] "
                "[--cache-dir DIR]\n"
+               "                 [--log-level LEVEL] [--log-file PATH]\n"
                "                 <detect|fde|unwind|compare|audit> <elf> [pc]\n"
+               "       fetch-cli [opts] detect [--metrics-json PATH] <elf>\n"
                "       fetch-cli [opts] corpus [self-built|wild]\n"
                "       fetch-cli [opts] batch [--from-file LIST] [--dir DIR]\n"
-               "                 [--json PATH] [--csv PATH]\n"
+               "                 [--json PATH] [--csv PATH] "
+               "[--metrics-json PATH]\n"
                "                 [--truth auto|dynsym|ehframe|sidecar] "
                "[<elf>...]\n"
                "       fetch-cli [opts] serve [--socket PATH] "
                "[--cache-capacity N]\n"
                "                 [--max-connections N] [--queue-depth N]\n"
                "                 [--idle-timeout-ms N] [--write-stall-ms N]\n"
-               "                 [--daemonize] [--pidfile PATH]\n"
+               "                 [--slow-query-ms N] [--daemonize] "
+               "[--pidfile PATH]\n"
                "       fetch-cli [opts] query [--socket PATH] [--retries N] "
                "[--timeout MS]\n"
-               "                 [--op ping|stats|query] [<elf>...]\n"
+               "                 [--op ping|stats|metrics|query] "
+               "[--format FORMAT]\n"
+               "                 [--trace ID] [<elf>...]\n"
                "       fetch-cli [opts] shutdown [--socket PATH] "
                "[--retries N] [--timeout MS]\n";
   return 2;
@@ -673,6 +778,9 @@ int main(int argc, char** argv) {
   std::size_t jobs = 0;  // 0 → FETCH_JOBS env / hardware default
   BatchArgs batch;
   ServiceArgs service;
+  std::string log_level;     // --log-level (any command)
+  std::string log_file;      // --log-file (any command)
+  std::string metrics_json;  // --metrics-json (detect/batch only)
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -818,6 +926,38 @@ int main(int argc, char** argv) {
       service.op = argv[++i];
     } else if (arg.rfind("--op=", 0) == 0) {
       service.op = arg.substr(5);
+    } else if (arg == "--slow-query-ms" && i + 1 < argc) {
+      std::size_t ms = 0;
+      if (!util::parse_jobs(argv[++i], &ms)) {
+        return usage();
+      }
+      service.slow_query_ms = ms;  // 0 = disabled
+    } else if (arg.rfind("--slow-query-ms=", 0) == 0) {
+      std::size_t ms = 0;
+      if (!util::parse_jobs(arg.substr(16), &ms)) {
+        return usage();
+      }
+      service.slow_query_ms = ms;
+    } else if (arg == "--format" && i + 1 < argc) {
+      service.format = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      service.format = arg.substr(9);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      service.trace = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      service.trace = arg.substr(8);
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      log_level = argv[++i];
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      log_level = arg.substr(12);
+    } else if (arg == "--log-file" && i + 1 < argc) {
+      log_file = argv[++i];
+    } else if (arg.rfind("--log-file=", 0) == 0) {
+      log_file = arg.substr(11);
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_json = argv[++i];
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_json = arg.substr(15);
     } else if (!arg.empty() && arg.front() == '-') {
       return usage();  // unknown flags must not pass as positionals
     } else {
@@ -825,12 +965,30 @@ int main(int argc, char** argv) {
     }
   }
   corpus_options.jobs = jobs;
+  if (!log_level.empty()) {
+    const auto level = obs::parse_log_level(log_level);
+    if (!level) {
+      return usage();
+    }
+    obs::Logger::instance().set_level(*level);
+  }
+  if (!log_file.empty()) {
+    std::string error;
+    if (!obs::Logger::instance().open_file(log_file, &error)) {
+      std::cerr << "fetch-cli: --log-file: " << error << "\n";
+      return 2;
+    }
+  }
   if (args.empty()) {
     return usage();
   }
   const std::string cmd = args[0];
   if (batch.any() && cmd != "batch") {
     return usage();  // batch-only flags on a non-batch command
+  }
+  if (!metrics_json.empty() && cmd != "detect" && cmd != "batch") {
+    return usage();  // --metrics-json dumps the analysis pipeline's
+                     // registry; service commands use `--op metrics`
   }
   const bool service_cmd =
       cmd == "serve" || cmd == "query" || cmd == "shutdown";
@@ -845,19 +1003,38 @@ int main(int argc, char** argv) {
     return usage();  // client knobs only make sense on client commands
   }
   if (!service.op.empty() &&
-      (cmd != "query" || (service.op != "ping" && service.op != "stats" &&
-                          service.op != "query"))) {
+      (cmd != "query" ||
+       (service.op != "ping" && service.op != "stats" &&
+        service.op != "metrics" && service.op != "query"))) {
     return usage();
   }
+  if (!service.format.empty()) {
+    // --format binds to a specific op's renderings; anything else is a
+    // usage error rather than a silently ignored flag.
+    const bool stats_fmt = service.op == "stats" &&
+                           (service.format == "table" ||
+                            service.format == "json");
+    const bool metrics_fmt = service.op == "metrics" &&
+                             (service.format == "json" ||
+                              service.format == "prom");
+    if (cmd != "query" || (!stats_fmt && !metrics_fmt)) {
+      return usage();
+    }
+  }
+  if (!service.trace.empty() && (cmd != "query" || !service.op.empty())) {
+    return usage();  // --trace rides a path-analyzing query only
+  }
   if (cmd == "batch") {
-    return cmd_batch(args, batch, jobs);
+    return finish_with_metrics(metrics_json, cmd_batch(args, batch, jobs));
   }
   if (cmd == "serve") {
     return args.size() == 1 ? cmd_serve(jobs, service) : usage();
   }
   if (cmd == "query") {
-    // `--op ping|stats` take no paths; a path-analyzing query needs ≥ 1.
-    const bool pathless = service.op == "ping" || service.op == "stats";
+    // `--op ping|stats|metrics` take no paths; a path-analyzing query
+    // needs ≥ 1.
+    const bool pathless = service.op == "ping" || service.op == "stats" ||
+                          service.op == "metrics";
     if (pathless) {
       return args.size() == 1 ? cmd_query(args, service) : usage();
     }
@@ -869,7 +1046,9 @@ int main(int argc, char** argv) {
   if (cmd == "detect") {
     // Session-based so `detect` and served `query` render through the
     // same code path (byte-identical output).
-    return args.size() == 2 ? cmd_detect(args[1]) : usage();
+    return args.size() == 2
+               ? finish_with_metrics(metrics_json, cmd_detect(args[1]))
+               : usage();
   }
   if (cmd == "corpus") {
     // Shared validation (same path as the benches): reject unusable

@@ -196,13 +196,13 @@ void gen_service_frame(const fs::path& root) {
     return framed(static_cast<std::uint32_t>(payload.size()), payload);
   };
   write_seed(root, "service_frame", "ping.bin",
-             framed_request({Op::kPing, ""}));
+             framed_request({Op::kPing, "", ""}));
   write_seed(root, "service_frame", "query.bin",
-             framed_request({Op::kQuery, "/usr/bin/true"}));
+             framed_request({Op::kQuery, "/usr/bin/true", ""}));
   write_seed(root, "service_frame", "stats.bin",
-             framed_request({Op::kStats, ""}));
+             framed_request({Op::kStats, "", ""}));
   write_seed(root, "service_frame", "shutdown.bin",
-             framed_request({Op::kShutdown, ""}));
+             framed_request({Op::kShutdown, "", ""}));
 
   // Regression: header advertising ~4 GiB — must trip the kMaxFrameBytes
   // cap, not drive a 4 GiB allocation.

@@ -67,6 +67,7 @@
 #include "elf/elf_builder.hpp"
 #include "elf/elf_file.hpp"
 #include "eval/session.hpp"
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -89,8 +90,9 @@ struct HostileInput {
 
 int usage() {
   std::cerr << "usage: hostile_check [--corpus DIR] [--socket PATH]\n"
-               "                     [--json PATH] [--max-rss-mb N]\n"
-               "                     [--skip-service] [--clients N]\n"
+               "                     [--json PATH] [--metrics-json PATH]\n"
+               "                     [--max-rss-mb N] [--skip-service]\n"
+               "                     [--clients N]\n"
                "       (at least one of --corpus / --clients)\n";
   return 2;
 }
@@ -442,9 +444,9 @@ service::ServerStats run_client_phase(std::size_t clients,
   std::atomic<std::size_t> evicted{0};
   std::vector<std::thread> hostiles;
   const std::vector<std::uint8_t> query_wire =
-      frame_request({service::Op::kQuery, sample_path});
+      frame_request({service::Op::kQuery, sample_path, {}});
   const std::vector<std::uint8_t> stats_wire =
-      frame_request({service::Op::kStats, {}});
+      frame_request({service::Op::kStats, {}, {}});
 
   // Five cohorts, round-robin. Every cohort models one way a client can
   // hold resources without doing useful work.
@@ -646,6 +648,7 @@ int main(int argc, char** argv) {
   std::string corpus_dir;
   std::string socket_path;
   std::string json_path;
+  std::string metrics_json_path;
   std::size_t max_rss_mb = 2048;
   bool skip_service = false;
   std::size_t clients = 0;
@@ -663,6 +666,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_json_path = argv[++i];
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_json_path = arg.substr(15);
     } else if (arg == "--max-rss-mb" && i + 1 < argc) {
       max_rss_mb = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--skip-service") {
@@ -895,6 +902,17 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::cerr << "json report: " << json_path << "\n";
+  }
+
+  if (!metrics_json_path.empty()) {
+    // What the pipeline actually did under attack (error counters,
+    // cache churn, stage latency) — archived next to the verdict JSON.
+    std::string error;
+    if (!obs::write_global_metrics_json(metrics_json_path, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    std::cerr << "metrics snapshot: " << metrics_json_path << "\n";
   }
 
   std::cout << (violations.empty() ? "hostile check: PASS\n"

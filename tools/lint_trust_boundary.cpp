@@ -40,7 +40,8 @@ namespace fs = std::filesystem;
 
 /// Directories (scanned recursively) and single files that make up the
 /// trust boundary, relative to the repo root.
-constexpr const char* kScanDirs[] = {"src/elf", "src/ehframe", "src/x86"};
+constexpr const char* kScanDirs[] = {"src/elf", "src/ehframe", "src/x86",
+                                     "src/obs"};
 constexpr const char* kScanFiles[] = {"src/util/framing.hpp"};
 
 struct Rule {

@@ -34,6 +34,7 @@
 
 #include "eval/batch.hpp"
 #include "eval/table.hpp"
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
@@ -51,7 +52,8 @@ int usage() {
   std::cerr << "usage: realbin_check [--jobs N] [--list FILE]...\n"
                "                     [--thresholds FILE] [--tier NAME]\n"
                "                     [--truth auto|dynsym|ehframe|sidecar]\n"
-               "                     [--json PATH] [<elf>...]\n";
+               "                     [--json PATH] [--metrics-json PATH]\n"
+               "                     [<elf>...]\n";
   return 2;
 }
 
@@ -99,6 +101,7 @@ int main(int argc, char** argv) {
   std::string tier;
   eval::TruthMode truth = eval::TruthMode::kAuto;
   std::string json_path;
+  std::string metrics_json_path;
   std::vector<std::string> explicit_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -138,6 +141,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_json_path = argv[++i];
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_json_path = arg.substr(15);
     } else if (!arg.empty() && arg.front() == '-') {
       return usage();
     } else {
@@ -205,6 +212,17 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::cerr << "json report: " << json_path << "\n";
+  }
+
+  if (!metrics_json_path.empty()) {
+    // Pipeline-internal counters (cache behavior, per-stage latency) for
+    // CI artifacts; separate from the batch report, which scores results.
+    std::string error;
+    if (!obs::write_global_metrics_json(metrics_json_path, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    std::cerr << "metrics snapshot: " << metrics_json_path << "\n";
   }
 
   // The gate. Every violation is reported before the verdict so a failing
